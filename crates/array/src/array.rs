@@ -1,0 +1,247 @@
+//! Dense, row-major `f64` n-dimensional arrays.
+
+/// A dense n-dimensional array of `f64` values in row-major (C) order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Array {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Array {
+    /// Array of zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty(), "arrays need at least one axis");
+        let len = shape.iter().product();
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Build from a flat buffer (length must match the shape's volume).
+    pub fn from_vec(shape: &[usize], data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data length must match shape volume"
+        );
+        assert!(!shape.is_empty());
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Build by evaluating `f` at every multi-index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(&[usize]) -> f64) -> Self {
+        let mut out = Self::zeros(shape);
+        let mut idx = vec![0usize; shape.len()];
+        for linear in 0..out.len() {
+            out.data[linear] = f(&idx);
+            Self::advance(&mut idx, shape);
+            let _ = linear;
+        }
+        out
+    }
+
+    fn advance(idx: &mut [usize], shape: &[usize]) {
+        for k in (0..idx.len()).rev() {
+            idx[k] += 1;
+            if idx[k] < shape[k] {
+                return;
+            }
+            idx[k] = 0;
+        }
+    }
+
+    /// Shape (extent per axis).
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of axes.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total cell count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array has zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat row-major buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat buffer.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Convert a multi-index to the linear offset.
+    #[inline]
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.ndim());
+        let mut off = 0;
+        for (i, (&v, &d)) in index.iter().zip(self.shape.iter()).enumerate() {
+            debug_assert!(v < d, "index {v} out of bounds on axis {i} (extent {d})");
+            off = off * d + v;
+        }
+        off
+    }
+
+    /// Convert a linear offset back to a multi-index.
+    pub fn unravel(&self, mut linear: usize) -> Vec<usize> {
+        let mut idx = vec![0usize; self.ndim()];
+        for k in (0..self.ndim()).rev() {
+            idx[k] = linear % self.shape[k];
+            linear /= self.shape[k];
+        }
+        idx
+    }
+
+    /// Value at a multi-index.
+    #[inline]
+    pub fn get(&self, index: &[usize]) -> f64 {
+        self.data[self.offset(index)]
+    }
+
+    /// Set the value at a multi-index.
+    #[inline]
+    pub fn set(&mut self, index: &[usize], value: f64) {
+        let off = self.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Iterate multi-indices in row-major order.
+    pub fn indices(&self) -> IndexIter {
+        IndexIter {
+            shape: self.shape.clone(),
+            next: Some(vec![0; self.ndim()]),
+        }
+    }
+
+    /// Reshape into a new shape of equal volume (no data movement).
+    pub fn reshaped(&self, shape: &[usize]) -> Array {
+        Array::from_vec(shape, self.data.clone())
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Array {
+        Array {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// FNV-1a hash of shape and value bits — the content token used for
+    /// `base_sig` reuse.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for &d in &self.shape {
+            eat(&(d as u64).to_le_bytes());
+        }
+        for &v in &self.data {
+            eat(&v.to_bits().to_le_bytes());
+        }
+        h
+    }
+}
+
+/// Row-major multi-index iterator.
+pub struct IndexIter {
+    shape: Vec<usize>,
+    next: Option<Vec<usize>>,
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.shape.iter().any(|&d| d == 0) {
+            return None;
+        }
+        let cur = self.next.take()?;
+        let mut nxt = cur.clone();
+        let mut k = self.shape.len();
+        loop {
+            if k == 0 {
+                self.next = None;
+                break;
+            }
+            k -= 1;
+            nxt[k] += 1;
+            if nxt[k] < self.shape[k] {
+                self.next = Some(nxt);
+                break;
+            }
+            nxt[k] = 0;
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_indexing() {
+        let a = Array::from_fn(&[2, 3], |idx| (idx[0] * 10 + idx[1]) as f64);
+        assert_eq!(a.shape(), &[2, 3]);
+        assert_eq!(a.get(&[1, 2]), 12.0);
+        assert_eq!(a.offset(&[1, 2]), 5);
+        assert_eq!(a.unravel(5), vec![1, 2]);
+        assert_eq!(a.data(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn indices_iterate_row_major() {
+        let a = Array::zeros(&[2, 2]);
+        let all: Vec<Vec<usize>> = a.indices().collect();
+        assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn from_fn_and_map() {
+        let a = Array::from_fn(&[4], |idx| idx[0] as f64);
+        let b = a.map(|v| v * 2.0);
+        assert_eq!(b.data(), &[0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn content_hash_sensitivity() {
+        let a = Array::from_vec(&[2], vec![1.0, 2.0]);
+        let b = Array::from_vec(&[2], vec![1.0, 3.0]);
+        let c = Array::from_vec(&[1, 2], vec![1.0, 2.0]);
+        assert_ne!(a.content_hash(), b.content_hash());
+        assert_ne!(a.content_hash(), c.content_hash(), "shape participates");
+        assert_eq!(a.content_hash(), a.clone().content_hash());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Array::from_fn(&[2, 3], |idx| (idx[0] * 3 + idx[1]) as f64);
+        let b = a.reshaped(&[3, 2]);
+        assert_eq!(b.shape(), &[3, 2]);
+        assert_eq!(b.data(), a.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn bad_from_vec_panics() {
+        let _ = Array::from_vec(&[2, 2], vec![1.0]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Lineage capture plumbing: operation results and the lineage builder.
+//!
+//! This is the Rust analogue of the paper's `tracked_cell` capture
+//! (§VII.A.1): operations record, for every output cell, the input cells
+//! that contributed to it, yielding one [`LineageTable`] per input array.
+
+use crate::array::Array;
+use dslog::table::LineageTable;
+
+/// The result of executing one tracked operation.
+#[derive(Debug, Clone)]
+pub struct OpResult {
+    /// The output array.
+    pub output: Array,
+    /// One lineage relation per input array, in input order.
+    pub lineage: Vec<LineageTable>,
+}
+
+impl OpResult {
+    /// Lineage for input `i`.
+    pub fn lineage_for(&self, i: usize) -> &LineageTable {
+        &self.lineage[i]
+    }
+}
+
+/// Incrementally builds the lineage relations of an operation with
+/// `n_inputs` input arrays.
+#[derive(Debug)]
+pub struct LineageBuilder {
+    tables: Vec<LineageTable>,
+    out_buf: Vec<i64>,
+}
+
+impl LineageBuilder {
+    /// A builder for an output with `out_arity` axes and the given input
+    /// arities.
+    pub fn new(out_arity: usize, in_arities: &[usize]) -> Self {
+        Self {
+            tables: in_arities
+                .iter()
+                .map(|&ia| LineageTable::new(out_arity, ia))
+                .collect(),
+            out_buf: Vec::with_capacity(out_arity),
+        }
+    }
+
+    /// Record that output cell `out_idx` received a contribution from
+    /// `in_idx` of input `input`.
+    #[inline]
+    pub fn add(&mut self, input: usize, out_idx: &[usize], in_idx: &[usize]) {
+        self.out_buf.clear();
+        self.out_buf.extend(out_idx.iter().map(|&v| v as i64));
+        let in_cell: Vec<i64> = in_idx.iter().map(|&v| v as i64).collect();
+        self.tables[input].push_pair(&self.out_buf, &in_cell);
+    }
+
+    /// Record a contribution with pre-converted `i64` coordinates.
+    #[inline]
+    pub fn add_i64(&mut self, input: usize, out_idx: &[i64], in_idx: &[i64]) {
+        self.tables[input].push_pair(out_idx, in_idx);
+    }
+
+    /// Finish: normalize all tables and pair them with the output array.
+    pub fn finish(mut self, output: Array) -> OpResult {
+        for t in &mut self.tables {
+            t.normalize();
+        }
+        OpResult {
+            output,
+            lineage: self.tables,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_per_input() {
+        let mut b = LineageBuilder::new(1, &[1, 2]);
+        b.add(0, &[0], &[0]);
+        b.add(1, &[0], &[1, 1]);
+        b.add(1, &[0], &[0, 1]);
+        b.add(1, &[0], &[0, 1]); // duplicate, removed by normalize
+        let r = b.finish(Array::zeros(&[1]));
+        assert_eq!(r.lineage_for(0).n_rows(), 1);
+        assert_eq!(r.lineage_for(1).n_rows(), 2);
+        assert_eq!(r.lineage_for(1).row(0), &[0, 0, 1]);
+        assert_eq!(r.lineage_for(1).row(1), &[0, 1, 1]);
+    }
+}

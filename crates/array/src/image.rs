@@ -1,0 +1,190 @@
+//! Image operations for the paper's computer-vision workflow (Table VIII,
+//! Fig. 8A): resize, luminosity adjustment, rotation, horizontal flip, and
+//! the `ImgFilter` convolution of Table VII.
+//!
+//! Images are single-channel 2-D arrays (the paper's VIRAT frame is RGB;
+//! the channel axis adds no lineage structure beyond a third identity
+//! attribute, so grayscale preserves every pattern the experiments
+//! exercise — see DESIGN.md §4).
+
+use crate::array::Array;
+use crate::capture::{LineageBuilder, OpResult};
+use crate::ops::OpArgs;
+
+/// Area-average resize to `(out_h, out_w)`: every output pixel reads its
+/// source block — rectangular all-to-all lineage per output (pattern 1+3).
+pub fn resize(img: &Array, out_h: usize, out_w: usize) -> OpResult {
+    assert_eq!(img.ndim(), 2, "resize expects a 2-D image");
+    let (h, w) = (img.shape()[0], img.shape()[1]);
+    let mut out = Array::zeros(&[out_h, out_w]);
+    let mut lb = LineageBuilder::new(2, &[2]);
+    for i in 0..out_h {
+        for j in 0..out_w {
+            // Source block [i0, i1) x [j0, j1).
+            let i0 = i * h / out_h;
+            let i1 = (((i + 1) * h).div_ceil(out_h)).min(h).max(i0 + 1);
+            let j0 = j * w / out_w;
+            let j1 = (((j + 1) * w).div_ceil(out_w)).min(w).max(j0 + 1);
+            let mut acc = 0.0;
+            for si in i0..i1 {
+                for sj in j0..j1 {
+                    acc += img.get(&[si, sj]);
+                    lb.add(0, &[i, j], &[si, sj]);
+                }
+            }
+            out.set(&[i, j], acc / ((i1 - i0) * (j1 - j0)) as f64);
+        }
+    }
+    lb.finish(out)
+}
+
+/// Luminosity scale: element-wise multiply by a scalar (pattern 3).
+pub fn luminosity(img: &Array, factor: f64) -> OpResult {
+    let out = img.map(|v| v * factor);
+    let mut lb = LineageBuilder::new(img.ndim(), &[img.ndim()]);
+    for idx in img.indices() {
+        lb.add(0, &idx, &idx);
+    }
+    lb.finish(out)
+}
+
+/// 90° counter-clockwise rotation.
+pub fn rotate90(img: &Array) -> OpResult {
+    crate::ops::apply("rot90", &[img], &OpArgs::none())
+}
+
+/// Horizontal flip (mirror along the vertical axis).
+pub fn hflip(img: &Array) -> OpResult {
+    crate::ops::apply("fliplr", &[img], &OpArgs::none())
+}
+
+/// The paper's `ImgFilter`: a 3×3 filter whose lineage is value-dependent —
+/// only window cells whose magnitude exceeds `threshold` contribute (an
+/// edge-preserving filter; paper §VII.C counts ImgFilter among the
+/// value-dependent operations).
+pub fn img_filter(img: &Array, threshold: f64) -> OpResult {
+    assert_eq!(img.ndim(), 2);
+    let (h, w) = (img.shape()[0], img.shape()[1]);
+    let mut out = Array::zeros(&[h, w]);
+    let mut lb = LineageBuilder::new(2, &[2]);
+    for i in 0..h {
+        for j in 0..w {
+            let mut acc = 0.0;
+            let mut count = 0usize;
+            for di in -1i64..=1 {
+                for dj in -1i64..=1 {
+                    let (si, sj) = (i as i64 + di, j as i64 + dj);
+                    if si < 0 || sj < 0 || si >= h as i64 || sj >= w as i64 {
+                        continue;
+                    }
+                    let v = img.get(&[si as usize, sj as usize]);
+                    if v.abs() > threshold {
+                        acc += v;
+                        count += 1;
+                        lb.add(0, &[i, j], &[si as usize, sj as usize]);
+                    }
+                }
+            }
+            out.set(&[i, j], if count > 0 { acc / count as f64 } else { 0.0 });
+        }
+    }
+    lb.finish(out)
+}
+
+/// A plain 3×3 box blur with full-window lineage (value-independent
+/// convolution, used by the ResNet-style workflows).
+pub fn conv3x3(img: &Array) -> OpResult {
+    assert_eq!(img.ndim(), 2);
+    let (h, w) = (img.shape()[0], img.shape()[1]);
+    let mut out = Array::zeros(&[h, w]);
+    let mut lb = LineageBuilder::new(2, &[2]);
+    for i in 0..h {
+        for j in 0..w {
+            let mut acc = 0.0;
+            let mut count = 0usize;
+            for di in -1i64..=1 {
+                for dj in -1i64..=1 {
+                    let (si, sj) = (i as i64 + di, j as i64 + dj);
+                    if si < 0 || sj < 0 || si >= h as i64 || sj >= w as i64 {
+                        continue;
+                    }
+                    acc += img.get(&[si as usize, sj as usize]);
+                    count += 1;
+                    lb.add(0, &[i, j], &[si as usize, sj as usize]);
+                }
+            }
+            out.set(&[i, j], acc / count as f64);
+        }
+    }
+    lb.finish(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_image(h: usize, w: usize) -> Array {
+        Array::from_fn(&[h, w], |idx| (idx[0] * w + idx[1]) as f64)
+    }
+
+    #[test]
+    fn resize_downscale_blocks() {
+        let img = gradient_image(4, 4);
+        let r = resize(&img, 2, 2);
+        assert_eq!(r.output.shape(), &[2, 2]);
+        // out[0,0] = mean of the 2x2 top-left block.
+        assert_eq!(r.output.get(&[0, 0]), (0.0 + 1.0 + 4.0 + 5.0) / 4.0);
+        // Its lineage has exactly 4 contributing cells.
+        let rows = r.lineage[0]
+            .rows()
+            .filter(|row| row[0] == 0 && row[1] == 0)
+            .count();
+        assert_eq!(rows, 4);
+    }
+
+    #[test]
+    fn resize_upscale_replicates() {
+        let img = gradient_image(2, 2);
+        let r = resize(&img, 4, 4);
+        assert_eq!(r.output.shape(), &[4, 4]);
+        assert_eq!(r.output.get(&[0, 0]), 0.0);
+        assert_eq!(r.output.get(&[3, 3]), 3.0);
+    }
+
+    #[test]
+    fn img_filter_thresholds_lineage() {
+        let mut img = Array::zeros(&[3, 3]);
+        img.set(&[1, 1], 10.0);
+        img.set(&[0, 0], 0.1);
+        let r = img_filter(&img, 1.0);
+        // Only the (1,1) cell exceeds the threshold anywhere.
+        assert!(r.lineage[0].rows().all(|row| row[2] == 1 && row[3] == 1));
+        assert_eq!(r.output.get(&[0, 0]), 10.0);
+    }
+
+    #[test]
+    fn conv3x3_interior_nine_cells() {
+        let img = gradient_image(5, 5);
+        let r = conv3x3(&img);
+        let rows = r.lineage[0]
+            .rows()
+            .filter(|row| row[0] == 2 && row[1] == 2)
+            .count();
+        assert_eq!(rows, 9);
+        // Corner cells read a 2x2 window.
+        let corner = r.lineage[0]
+            .rows()
+            .filter(|row| row[0] == 0 && row[1] == 0)
+            .count();
+        assert_eq!(corner, 4);
+    }
+
+    #[test]
+    fn rotate_and_flip_execute() {
+        let img = gradient_image(3, 4);
+        let r = rotate90(&img);
+        assert_eq!(r.output.shape(), &[4, 3]);
+        let f = hflip(&img);
+        assert_eq!(f.output.get(&[0, 0]), img.get(&[0, 3]));
+    }
+}

@@ -1,0 +1,26 @@
+//! # dslog-array — a dense n-dimensional array engine with per-cell lineage
+//!
+//! This crate is the "numpy + tracked_cell" substrate of the DSLog paper's
+//! evaluation (§VII.A.1): a dense `f64` n-d array type ([`Array`]) and a
+//! catalog of array operations ([`ops`]) where **every operation emits the
+//! exact cell-level lineage relation** between each input and its output,
+//! ready to ingest into DSLog.
+//!
+//! The catalog mirrors the paper's coverage study (§VII.E): 75 element-wise
+//! operations and 61 complex operations (reductions, scans, shape
+//! manipulation, linear algebra, sorting, signal processing), 136 in total,
+//! each taking and returning `f64` arrays with scalar-only extra arguments.
+//!
+//! Additional modules provide the domain operations of the paper's query
+//! workflows: [`image`] (resize / luminosity / rotate / flip / filters) and
+//! [`nn`] (conv2d / batch-norm / ReLU / residual add for the ResNet block).
+
+pub mod array;
+pub mod capture;
+pub mod image;
+pub mod nn;
+pub mod ops;
+
+pub use array::Array;
+pub use capture::{LineageBuilder, OpResult};
+pub use ops::{apply, catalog, find_op, OpArgs, OpCategory, OpDef};

@@ -1,0 +1,129 @@
+//! Neural-network inference operations for the paper's ResNet workflow
+//! (Fig. 8C): 3×3 convolution, inference-mode batch normalization, ReLU,
+//! and the residual addition.
+//!
+//! Batch norm at inference uses running statistics (constants), so its
+//! lineage is element-wise — matching the paper's observation that "the
+//! structure of operations in the machine learning inference operations are
+//! extremely regular, and ProvRC could compress such structures very
+//! efficiently".
+
+use crate::array::Array;
+use crate::capture::{LineageBuilder, OpResult};
+
+fn elementwise(a: &Array, f: impl Fn(f64) -> f64) -> OpResult {
+    let out = a.map(&f);
+    let mut lb = LineageBuilder::new(a.ndim(), &[a.ndim()]);
+    for idx in a.indices() {
+        lb.add(0, &idx, &idx);
+    }
+    lb.finish(out)
+}
+
+/// 3×3 same-padding convolution over a 2-D feature map with the given
+/// kernel (row-major 9 weights).
+pub fn conv2d_3x3(fm: &Array, kernel: &[f64; 9]) -> OpResult {
+    assert_eq!(fm.ndim(), 2, "conv2d expects a 2-D feature map");
+    let (h, w) = (fm.shape()[0], fm.shape()[1]);
+    let mut out = Array::zeros(&[h, w]);
+    let mut lb = LineageBuilder::new(2, &[2]);
+    for i in 0..h {
+        for j in 0..w {
+            let mut acc = 0.0;
+            for di in -1i64..=1 {
+                for dj in -1i64..=1 {
+                    let (si, sj) = (i as i64 + di, j as i64 + dj);
+                    if si < 0 || sj < 0 || si >= h as i64 || sj >= w as i64 {
+                        continue;
+                    }
+                    let kidx = ((di + 1) * 3 + (dj + 1)) as usize;
+                    acc += kernel[kidx] * fm.get(&[si as usize, sj as usize]);
+                    lb.add(0, &[i, j], &[si as usize, sj as usize]);
+                }
+            }
+            out.set(&[i, j], acc);
+        }
+    }
+    lb.finish(out)
+}
+
+/// Inference-mode batch normalization with running mean/var (element-wise).
+pub fn batch_norm(fm: &Array, mean: f64, var: f64, gamma: f64, beta: f64) -> OpResult {
+    let denom = (var + 1e-5).sqrt();
+    elementwise(fm, move |v| gamma * (v - mean) / denom + beta)
+}
+
+/// ReLU activation (element-wise).
+pub fn relu(fm: &Array) -> OpResult {
+    elementwise(fm, |v| v.max(0.0))
+}
+
+/// Residual addition of two equally-shaped feature maps; identity lineage
+/// to both inputs.
+pub fn residual_add(a: &Array, b: &Array) -> OpResult {
+    assert_eq!(a.shape(), b.shape());
+    let data: Vec<f64> = a
+        .data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(&x, &y)| x + y)
+        .collect();
+    let out = Array::from_vec(a.shape(), data);
+    let mut lb = LineageBuilder::new(a.ndim(), &[a.ndim(), b.ndim()]);
+    for idx in a.indices() {
+        lb.add(0, &idx, &idx);
+        lb.add(1, &idx, &idx);
+    }
+    lb.finish(out)
+}
+
+/// The canonical identity kernel for tests.
+pub const IDENTITY_KERNEL: [f64; 9] = [0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0];
+
+/// A small edge-detect kernel used by the ResNet workflow generator.
+pub const EDGE_KERNEL: [f64; 9] = [0.0, -1.0, 0.0, -1.0, 4.0, -1.0, 0.0, -1.0, 0.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_identity_kernel() {
+        let fm = Array::from_fn(&[4, 4], |idx| (idx[0] * 4 + idx[1]) as f64);
+        let r = conv2d_3x3(&fm, &IDENTITY_KERNEL);
+        assert_eq!(r.output.data(), fm.data());
+        // Interior lineage window = 9 cells even for the identity kernel
+        // (taint semantics: the op reads them).
+        let rows = r.lineage[0]
+            .rows()
+            .filter(|row| row[0] == 1 && row[1] == 1)
+            .count();
+        assert_eq!(rows, 9);
+    }
+
+    #[test]
+    fn batch_norm_is_affine() {
+        let fm = Array::from_vec(&[2], vec![1.0, 3.0]);
+        let r = batch_norm(&fm, 2.0, 1.0, 1.0, 0.0);
+        assert!((r.output.data()[0] + r.output.data()[1]).abs() < 1e-4);
+        assert_eq!(r.lineage[0].n_rows(), 2);
+    }
+
+    #[test]
+    fn relu_clamps() {
+        let fm = Array::from_vec(&[3], vec![-1.0, 0.0, 2.0]);
+        let r = relu(&fm);
+        assert_eq!(r.output.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn residual_add_two_parents() {
+        let a = Array::from_vec(&[2], vec![1.0, 2.0]);
+        let b = Array::from_vec(&[2], vec![10.0, 20.0]);
+        let r = residual_add(&a, &b);
+        assert_eq!(r.output.data(), &[11.0, 22.0]);
+        assert_eq!(r.lineage.len(), 2);
+        assert_eq!(r.lineage[0].n_rows(), 2);
+        assert_eq!(r.lineage[1].n_rows(), 2);
+    }
+}

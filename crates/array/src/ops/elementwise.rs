@@ -1,0 +1,288 @@
+//! The 75 element-wise operations (52 unary + 23 binary), mirroring numpy's
+//! float64 element-wise API surface.
+//!
+//! All of them have identity lineage (`out[i] ← in[i]`), which ProvRC
+//! compresses to a single relative-indexed row regardless of array size —
+//! the paper's pattern (3).
+
+use super::{binary_elementwise, unary_elementwise, OpArgs, OpCategory, OpDef};
+use crate::array::Array;
+use crate::capture::OpResult;
+
+/// Generate an `OpDef` for a unary element-wise function.
+macro_rules! unary {
+    ($name:literal, $f:expr) => {{
+        fn apply(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+            unary_elementwise(inputs[0], $f)
+        }
+        OpDef {
+            name: $name,
+            category: OpCategory::Element,
+            arity: 1,
+            pipeline_safe: true,
+            min_ndim: 1,
+            apply,
+        }
+    }};
+}
+
+/// Generate an `OpDef` for a unary op that reads scalar args.
+macro_rules! unary_args {
+    ($name:literal, $f:expr) => {{
+        fn apply(inputs: &[&Array], args: &OpArgs) -> OpResult {
+            let g = $f;
+            let lo = args.float(0, 0.25);
+            let hi = args.float(1, 0.75);
+            unary_elementwise(inputs[0], move |v| g(v, lo, hi))
+        }
+        OpDef {
+            name: $name,
+            category: OpCategory::Element,
+            arity: 1,
+            pipeline_safe: true,
+            min_ndim: 1,
+            apply,
+        }
+    }};
+}
+
+/// Generate an `OpDef` for a binary element-wise function.
+macro_rules! binary {
+    ($name:literal, $f:expr) => {{
+        fn apply(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+            binary_elementwise(inputs[0], inputs[1], $f)
+        }
+        OpDef {
+            name: $name,
+            category: OpCategory::Element,
+            arity: 2,
+            pipeline_safe: false,
+            min_ndim: 1,
+            apply,
+        }
+    }};
+}
+
+/// Unary ops excluded from the random-pipeline subset (the paper's 76-op
+/// list is a *selection*; we exclude the predicate-like and rounding
+/// variants to land on the same count).
+const NOT_IN_PIPELINE_LIST: &[&str] = &[
+    "signbit",
+    "isnan",
+    "isinf",
+    "isfinite",
+    "logical_not",
+    "real",
+    "conj",
+    "angle",
+    "spacing",
+    "around",
+    "round_",
+    "fix",
+];
+
+fn sinc(v: f64) -> f64 {
+    if v == 0.0 {
+        1.0
+    } else {
+        let x = std::f64::consts::PI * v;
+        x.sin() / x
+    }
+}
+
+/// Modified Bessel function of the first kind, order 0 (series expansion).
+fn bessel_i0(v: f64) -> f64 {
+    let x2 = v * v / 4.0;
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for k in 1..30 {
+        term *= x2 / ((k * k) as f64);
+        sum += term;
+        if term < 1e-16 * sum {
+            break;
+        }
+    }
+    sum
+}
+
+fn bool_f(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// All 75 element-wise definitions.
+pub(super) fn defs() -> Vec<OpDef> {
+    let mut defs = raw_defs();
+    for d in &mut defs {
+        if NOT_IN_PIPELINE_LIST.contains(&d.name) {
+            d.pipeline_safe = false;
+        }
+    }
+    defs
+}
+
+fn raw_defs() -> Vec<OpDef> {
+    vec![
+        // --- unary (52) ---
+        unary!("negative", |v| -v),
+        unary!("positive", |v| v),
+        unary!("absolute", f64::abs),
+        unary!("fabs", f64::abs),
+        unary!("sign", |v: f64| if v == 0.0 { 0.0 } else { v.signum() }),
+        unary!("sqrt", |v: f64| v.abs().sqrt()),
+        unary!("cbrt", f64::cbrt),
+        unary!("square", |v| v * v),
+        unary!("reciprocal", |v: f64| 1.0 / v),
+        unary!("exp", |v: f64| (v.clamp(-700.0, 700.0)).exp()),
+        unary!("exp2", |v: f64| (v.clamp(-1000.0, 1000.0)).exp2()),
+        unary!("expm1", |v: f64| (v.clamp(-700.0, 700.0)).exp_m1()),
+        unary!("log", |v: f64| v.abs().max(1e-300).ln()),
+        unary!("log2", |v: f64| v.abs().max(1e-300).log2()),
+        unary!("log10", |v: f64| v.abs().max(1e-300).log10()),
+        unary!("log1p", |v: f64| (v.max(-1.0 + 1e-12)).ln_1p()),
+        unary!("sin", f64::sin),
+        unary!("cos", f64::cos),
+        unary!("tan", f64::tan),
+        unary!("arcsin", |v: f64| v.clamp(-1.0, 1.0).asin()),
+        unary!("arccos", |v: f64| v.clamp(-1.0, 1.0).acos()),
+        unary!("arctan", f64::atan),
+        unary!("sinh", |v: f64| v.clamp(-700.0, 700.0).sinh()),
+        unary!("cosh", |v: f64| v.clamp(-700.0, 700.0).cosh()),
+        unary!("tanh", f64::tanh),
+        unary!("arcsinh", f64::asinh),
+        unary!("arccosh", |v: f64| v.abs().max(1.0).acosh()),
+        unary!("arctanh", |v: f64| v.clamp(-1.0 + 1e-12, 1.0 - 1e-12).atanh()),
+        unary!("floor", f64::floor),
+        unary!("ceil", f64::ceil),
+        unary!("trunc", f64::trunc),
+        unary!("rint", |v: f64| v.round_ties_even()),
+        unary!("around", |v: f64| v.round_ties_even()),
+        unary!("round_", f64::round),
+        unary!("fix", f64::trunc),
+        unary!("degrees", f64::to_degrees),
+        unary!("radians", f64::to_radians),
+        unary!("deg2rad", f64::to_radians),
+        unary!("rad2deg", f64::to_degrees),
+        unary!("sinc", sinc),
+        unary!("i0", bessel_i0),
+        unary!("nan_to_num", |v: f64| if v.is_finite() { v } else { 0.0 }),
+        unary!("signbit", |v: f64| bool_f(v.is_sign_negative())),
+        unary!("isnan", |v: f64| bool_f(v.is_nan())),
+        unary!("isinf", |v: f64| bool_f(v.is_infinite())),
+        unary!("isfinite", |v: f64| bool_f(v.is_finite())),
+        unary!("logical_not", |v: f64| bool_f(v == 0.0)),
+        unary!("real", |v| v),
+        unary!("conj", |v| v),
+        unary!("angle", |v: f64| if v < 0.0 { std::f64::consts::PI } else { 0.0 }),
+        unary!("spacing", |v: f64| {
+            let next = f64::from_bits(v.abs().to_bits() + 1);
+            next - v.abs()
+        }),
+        unary_args!("clip", |v: f64, lo: f64, hi: f64| v.clamp(lo.min(hi), hi.max(lo))),
+        // --- binary (23) ---
+        binary!("add", |x, y| x + y),
+        binary!("subtract", |x, y| x - y),
+        binary!("multiply", |x, y| x * y),
+        binary!("divide", |x: f64, y: f64| x / y),
+        binary!("true_divide", |x: f64, y: f64| x / y),
+        binary!("floor_divide", |x: f64, y: f64| (x / y).floor()),
+        binary!("mod", |x: f64, y: f64| x.rem_euclid(y.abs().max(1e-300))),
+        binary!("fmod", |x: f64, y: f64| x % if y == 0.0 { 1e-300 } else { y }),
+        binary!("remainder", |x: f64, y: f64| x.rem_euclid(y.abs().max(1e-300))),
+        binary!("power", |x: f64, y: f64| x.abs().powf(y.clamp(-64.0, 64.0))),
+        binary!("float_power", |x: f64, y: f64| x.abs().powf(y.clamp(-64.0, 64.0))),
+        binary!("hypot", f64::hypot),
+        binary!("arctan2", f64::atan2),
+        binary!("maximum", f64::max),
+        binary!("minimum", f64::min),
+        binary!("fmax", f64::max),
+        binary!("fmin", f64::min),
+        binary!("copysign", f64::copysign),
+        binary!("nextafter", |x: f64, y: f64| {
+            if x == y {
+                x
+            } else if x < y {
+                f64::from_bits(x.to_bits().wrapping_add(1))
+            } else {
+                f64::from_bits(x.to_bits().wrapping_sub(1))
+            }
+        }),
+        binary!("logaddexp", |x: f64, y: f64| {
+            let m = x.max(y);
+            m + ((x - m).exp() + (y - m).exp()).ln()
+        }),
+        binary!("logaddexp2", |x: f64, y: f64| {
+            let m = x.max(y);
+            m + ((x - m).exp2() + (y - m).exp2()).log2()
+        }),
+        binary!("heaviside", |x: f64, y: f64| {
+            if x < 0.0 {
+                0.0
+            } else if x == 0.0 {
+                y
+            } else {
+                1.0
+            }
+        }),
+        binary!("ldexp", |x: f64, y: f64| x * (y.clamp(-64.0, 64.0)).exp2()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OpArgs;
+
+    #[test]
+    fn counts() {
+        let defs = defs();
+        assert_eq!(defs.len(), 75);
+        let unary = defs.iter().filter(|d| d.arity == 1).count();
+        assert_eq!(unary, 52);
+        assert_eq!(defs.len() - unary, 23);
+    }
+
+    #[test]
+    fn identity_lineage_shape() {
+        let a = Array::from_vec(&[2, 2], vec![1.0, -2.0, 3.0, -4.0]);
+        let defs = defs();
+        let neg = defs.iter().find(|d| d.name == "negative").unwrap();
+        let r = (neg.apply)(&[&a], &OpArgs::none());
+        assert_eq!(r.output.data(), &[-1.0, 2.0, -3.0, 4.0]);
+        assert_eq!(r.lineage[0].n_rows(), 4);
+        assert_eq!(r.lineage[0].row(0), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn binary_lineage_both_inputs() {
+        let a = Array::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let b = Array::from_vec(&[3], vec![10.0, 20.0, 30.0]);
+        let defs = defs();
+        let add = defs.iter().find(|d| d.name == "add").unwrap();
+        let r = (add.apply)(&[&a, &b], &OpArgs::none());
+        assert_eq!(r.output.data(), &[11.0, 22.0, 33.0]);
+        assert_eq!(r.lineage.len(), 2);
+        assert_eq!(r.lineage[0].n_rows(), 3);
+        assert_eq!(r.lineage[1].n_rows(), 3);
+    }
+
+    #[test]
+    fn clip_uses_float_args() {
+        let a = Array::from_vec(&[4], vec![-1.0, 0.3, 0.6, 2.0]);
+        let defs = defs();
+        let clip = defs.iter().find(|d| d.name == "clip").unwrap();
+        let r = (clip.apply)(&[&a], &OpArgs::floats(&[0.0, 1.0]));
+        assert_eq!(r.output.data(), &[0.0, 0.3, 0.6, 1.0]);
+    }
+
+    #[test]
+    fn special_functions_sane() {
+        assert!((sinc(0.0) - 1.0).abs() < 1e-12);
+        assert!(sinc(1.0).abs() < 1e-12);
+        assert!((bessel_i0(0.0) - 1.0).abs() < 1e-12);
+        assert!((bessel_i0(1.0) - 1.2660658777520084).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,398 @@
+//! Linear-algebra operations (12 complex ops).
+//!
+//! `matmul` is the paper's Matrix*Matrix / Matrix*Vector workload: every
+//! output cell reads a full row of A and a full column of B, which ProvRC
+//! collapses to a constant number of rows regardless of matrix size.
+//! `cross` is deliberately faithful to numpy: its lineage pattern differs
+//! between 2-vectors and 3-vectors, which is what produced the paper's one
+//! reuse misprediction (§VII.E).
+
+use super::{OpArgs, OpCategory, OpDef};
+use crate::array::Array;
+use crate::capture::{LineageBuilder, OpResult};
+
+macro_rules! op {
+    ($name:literal, $arity:expr, $safe:expr, $min_ndim:expr, $apply:ident) => {
+        OpDef {
+            name: $name,
+            category: OpCategory::Complex,
+            arity: $arity,
+            pipeline_safe: $safe,
+            min_ndim: $min_ndim,
+            apply: $apply,
+        }
+    };
+}
+
+pub(super) fn defs() -> Vec<OpDef> {
+    vec![
+        op!("matmul", 2, false, 2, matmul),
+        op!("dot", 2, false, 1, dot),
+        op!("inner", 2, false, 1, inner),
+        op!("outer", 2, false, 1, outer),
+        op!("vdot", 2, false, 1, vdot),
+        op!("kron", 2, false, 1, kron),
+        op!("cross", 2, false, 1, cross),
+        op!("trace", 1, true, 2, trace),
+        op!("diag", 1, false, 1, diag),
+        op!("diagonal", 1, true, 2, diagonal),
+        op!("tril", 1, true, 2, tril),
+        op!("triu", 1, true, 2, triu),
+    ]
+}
+
+fn matmul(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let (a, b) = (inputs[0], inputs[1]);
+    assert_eq!(a.ndim(), 2, "matmul lhs must be 2-D");
+    let (n, k) = (a.shape()[0], a.shape()[1]);
+    if b.ndim() == 1 {
+        // Matrix * Vector.
+        assert_eq!(b.shape()[0], k);
+        let mut out = Array::zeros(&[n]);
+        let mut lb = LineageBuilder::new(1, &[2, 1]);
+        for i in 0..n {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += a.get(&[i, l]) * b.get(&[l]);
+                lb.add(0, &[i], &[i, l]);
+                lb.add(1, &[i], &[l]);
+            }
+            out.set(&[i], acc);
+        }
+        return lb.finish(out);
+    }
+    assert_eq!(b.ndim(), 2, "matmul rhs must be 1-D or 2-D");
+    let m = b.shape()[1];
+    assert_eq!(b.shape()[0], k);
+    let mut out = Array::zeros(&[n, m]);
+    let mut lb = LineageBuilder::new(2, &[2, 2]);
+    for i in 0..n {
+        for j in 0..m {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += a.get(&[i, l]) * b.get(&[l, j]);
+                lb.add(0, &[i, j], &[i, l]);
+                lb.add(1, &[i, j], &[l, j]);
+            }
+            out.set(&[i, j], acc);
+        }
+    }
+    lb.finish(out)
+}
+
+fn dot(inputs: &[&Array], args: &OpArgs) -> OpResult {
+    let (a, b) = (inputs[0], inputs[1]);
+    if a.ndim() == 1 && b.ndim() == 1 {
+        assert_eq!(a.len(), b.len());
+        let value: f64 = a
+            .data()
+            .iter()
+            .zip(b.data().iter())
+            .map(|(&x, &y)| x * y)
+            .sum();
+        let out = Array::from_vec(&[1], vec![value]);
+        let mut lb = LineageBuilder::new(1, &[1, 1]);
+        for i in 0..a.len() {
+            lb.add(0, &[0], &[i]);
+            lb.add(1, &[0], &[i]);
+        }
+        return lb.finish(out);
+    }
+    matmul(inputs, args)
+}
+
+fn inner(inputs: &[&Array], args: &OpArgs) -> OpResult {
+    dot(inputs, args)
+}
+
+fn vdot(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let (a, b) = (inputs[0], inputs[1]);
+    assert_eq!(a.len(), b.len(), "vdot flattens then dots");
+    let value: f64 = a
+        .data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(&x, &y)| x * y)
+        .sum();
+    let out = Array::from_vec(&[1], vec![value]);
+    let mut lb = LineageBuilder::new(1, &[a.ndim(), b.ndim()]);
+    for i in 0..a.len() {
+        lb.add(0, &[0], &a.unravel(i));
+        lb.add(1, &[0], &b.unravel(i));
+    }
+    lb.finish(out)
+}
+
+fn outer(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let (a, b) = (inputs[0], inputs[1]);
+    let (n, m) = (a.len(), b.len());
+    let mut out = Array::zeros(&[n, m]);
+    let mut lb = LineageBuilder::new(2, &[a.ndim(), b.ndim()]);
+    for i in 0..n {
+        for j in 0..m {
+            out.set(&[i, j], a.data()[i] * b.data()[j]);
+            lb.add(0, &[i, j], &a.unravel(i));
+            lb.add(1, &[i, j], &b.unravel(j));
+        }
+    }
+    lb.finish(out)
+}
+
+fn kron(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let (a, b) = (inputs[0], inputs[1]);
+    let (n, m) = (a.len(), b.len());
+    let mut out = Array::zeros(&[n * m]);
+    let mut lb = LineageBuilder::new(1, &[a.ndim(), b.ndim()]);
+    for i in 0..n {
+        for j in 0..m {
+            out.set(&[i * m + j], a.data()[i] * b.data()[j]);
+            lb.add(0, &[i * m + j], &a.unravel(i));
+            lb.add(1, &[i * m + j], &b.unravel(j));
+        }
+    }
+    lb.finish(out)
+}
+
+/// numpy-faithful `cross`: 3-vectors give a 3-vector whose each component
+/// reads the two *other* components; 2-vectors give a scalar reading all
+/// four inputs. Supports batched `(n, 3)` / `(n, 2)` inputs. The lineage
+/// pattern therefore depends on the trailing dimension — the paper's
+/// reuse misprediction.
+fn cross(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let (a, b) = (inputs[0], inputs[1]);
+    assert_eq!(a.shape(), b.shape(), "cross expects matching shapes");
+    let d = *a.shape().last().unwrap();
+    assert!(d == 2 || d == 3, "cross needs trailing dimension 2 or 3");
+    let batched = a.ndim() == 2;
+    let rows = if batched { a.shape()[0] } else { 1 };
+    let get = |arr: &Array, r: usize, c: usize| {
+        if batched {
+            arr.get(&[r, c])
+        } else {
+            arr.get(&[c])
+        }
+    };
+
+    if d == 3 {
+        let out_shape: Vec<usize> = if batched { vec![rows, 3] } else { vec![3] };
+        let mut out = Array::zeros(&out_shape);
+        let mut lb = LineageBuilder::new(out_shape.len(), &[a.ndim(), b.ndim()]);
+        for r in 0..rows {
+            let (a0, a1, a2) = (get(a, r, 0), get(a, r, 1), get(a, r, 2));
+            let (b0, b1, b2) = (get(b, r, 0), get(b, r, 1), get(b, r, 2));
+            let vals = [a1 * b2 - a2 * b1, a2 * b0 - a0 * b2, a0 * b1 - a1 * b0];
+            // Component i reads components other than i from both inputs.
+            for (i, &v) in vals.iter().enumerate() {
+                let out_idx: Vec<usize> = if batched { vec![r, i] } else { vec![i] };
+                out.set(&out_idx, v);
+                for c in 0..3 {
+                    if c != i {
+                        let in_idx: Vec<usize> = if batched { vec![r, c] } else { vec![c] };
+                        lb.add(0, &out_idx, &in_idx);
+                        lb.add(1, &out_idx, &in_idx);
+                    }
+                }
+            }
+        }
+        lb.finish(out)
+    } else {
+        // 2-D cross product: scalar z-component; all four cells contribute.
+        let out_shape: Vec<usize> = if batched { vec![rows, 1] } else { vec![1] };
+        let mut out = Array::zeros(&out_shape);
+        let mut lb = LineageBuilder::new(out_shape.len(), &[a.ndim(), b.ndim()]);
+        for r in 0..rows {
+            let v = get(a, r, 0) * get(b, r, 1) - get(a, r, 1) * get(b, r, 0);
+            let out_idx: Vec<usize> = if batched { vec![r, 0] } else { vec![0] };
+            out.set(&out_idx, v);
+            for c in 0..2 {
+                let in_idx: Vec<usize> = if batched { vec![r, c] } else { vec![c] };
+                lb.add(0, &out_idx, &in_idx);
+                lb.add(1, &out_idx, &in_idx);
+            }
+        }
+        lb.finish(out)
+    }
+}
+
+fn trace(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    // numpy semantics: sum over the diagonal of axes (0, 1); remaining axes
+    // survive, so a (N, M, R…) input gives an (R…)-shaped output (a 2-D
+    // matrix gives the scalar, represented as a one-cell array).
+    let a = inputs[0];
+    assert!(a.ndim() >= 2, "trace needs a matrix");
+    let n = a.shape()[0].min(a.shape()[1]);
+    let rest: Vec<usize> = a.shape()[2..].to_vec();
+    let out_shape = if rest.is_empty() { vec![1] } else { rest.clone() };
+    let mut out = Array::zeros(&out_shape);
+    let mut lb = LineageBuilder::new(out_shape.len(), &[a.ndim()]);
+    let rest_arr = Array::zeros(&if rest.is_empty() { vec![1] } else { rest.clone() });
+    for rest_idx in rest_arr.indices() {
+        let out_idx: Vec<usize> = if rest.is_empty() { vec![0] } else { rest_idx.clone() };
+        let mut acc = 0.0;
+        for i in 0..n {
+            let mut in_idx = vec![i, i];
+            if !rest.is_empty() {
+                in_idx.extend_from_slice(&rest_idx);
+            }
+            acc += a.get(&in_idx);
+            lb.add(0, &out_idx, &in_idx);
+        }
+        out.set(&out_idx, acc);
+    }
+    lb.finish(out)
+}
+
+fn diag(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    if a.ndim() >= 2 {
+        return diagonal(inputs, &OpArgs::none());
+    }
+    // 1-D → diagonal matrix.
+    let n = a.len();
+    let mut out = Array::zeros(&[n, n]);
+    let mut lb = LineageBuilder::new(2, &[1]);
+    for i in 0..n {
+        out.set(&[i, i], a.data()[i]);
+        lb.add(0, &[i, i], &[i]);
+    }
+    lb.finish(out)
+}
+
+fn diagonal(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    // numpy semantics: extract the diagonal of axes (0, 1); remaining axes
+    // survive and the diagonal axis is appended last, so a (N, M, R…) input
+    // gives an (R…, min(N, M))-shaped output.
+    let a = inputs[0];
+    assert!(a.ndim() >= 2, "diagonal needs a matrix");
+    let n = a.shape()[0].min(a.shape()[1]);
+    let rest: Vec<usize> = a.shape()[2..].to_vec();
+    let mut out_shape = rest.clone();
+    out_shape.push(n);
+    let mut out = Array::zeros(&out_shape);
+    let mut lb = LineageBuilder::new(out_shape.len(), &[a.ndim()]);
+    let rest_arr = Array::zeros(&if rest.is_empty() { vec![1] } else { rest.clone() });
+    for rest_idx in rest_arr.indices() {
+        for i in 0..n {
+            let mut out_idx: Vec<usize> = if rest.is_empty() { Vec::new() } else { rest_idx.clone() };
+            out_idx.push(i);
+            let mut in_idx = vec![i, i];
+            if !rest.is_empty() {
+                in_idx.extend_from_slice(&rest_idx);
+            }
+            out.set(&out_idx, a.get(&in_idx));
+            lb.add(0, &out_idx, &in_idx);
+        }
+    }
+    lb.finish(out)
+}
+
+fn tri_filter(a: &Array, keep: impl Fn(usize, usize) -> bool) -> OpResult {
+    // numpy semantics: the triangle predicate applies to the *last two*
+    // axes (inputs are batches of matrices shaped (…, M, N)).
+    assert!(a.ndim() >= 2, "tril/triu need a matrix");
+    let (ri, ci) = (a.ndim() - 2, a.ndim() - 1);
+    let mut out = Array::zeros(a.shape());
+    let mut lb = LineageBuilder::new(a.ndim(), &[a.ndim()]);
+    for idx in a.indices() {
+        if keep(idx[ri], idx[ci]) {
+            out.set(&idx, a.get(&idx));
+            lb.add(0, &idx, &idx);
+        }
+    }
+    lb.finish(out)
+}
+
+fn tril(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    tri_filter(inputs[0], |i, j| j <= i)
+}
+
+fn triu(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    tri_filter(inputs[0], |i, j| j >= i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_values_and_lineage() {
+        // [[1,2],[3,4]] @ [[5,6],[7,8]] = [[19,22],[43,50]]
+        let a = Array::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Array::from_vec(&[2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+        let r = matmul(&[&a, &b], &OpArgs::none());
+        assert_eq!(r.output.data(), &[19.0, 22.0, 43.0, 50.0]);
+        // A-side lineage: out(i,j) <- A(i, l) for all l: 2*2*2 = 8 rows.
+        assert_eq!(r.lineage[0].n_rows(), 8);
+        assert_eq!(r.lineage[1].n_rows(), 8);
+    }
+
+    #[test]
+    fn matvec() {
+        let a = Array::from_vec(&[2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0]);
+        let v = Array::from_vec(&[3], vec![2.0, 3.0, 4.0]);
+        let r = matmul(&[&a, &v], &OpArgs::none());
+        assert_eq!(r.output.data(), &[2.0, 7.0]);
+        assert_eq!(r.lineage[1].out_arity(), 1);
+        assert_eq!(r.lineage[1].in_arity(), 1);
+    }
+
+    #[test]
+    fn cross_3_reads_other_components() {
+        let a = Array::from_vec(&[3], vec![1.0, 0.0, 0.0]);
+        let b = Array::from_vec(&[3], vec![0.0, 1.0, 0.0]);
+        let r = cross(&[&a, &b], &OpArgs::none());
+        assert_eq!(r.output.data(), &[0.0, 0.0, 1.0]);
+        // out[0] reads components 1 and 2, not 0.
+        assert!(r.lineage[0].rows().any(|row| row == [0, 1]));
+        assert!(r.lineage[0].rows().any(|row| row == [0, 2]));
+        assert!(!r.lineage[0].rows().any(|row| row == [0, 0]));
+    }
+
+    #[test]
+    fn cross_2_is_all_to_all_scalar() {
+        let a = Array::from_vec(&[2], vec![1.0, 2.0]);
+        let b = Array::from_vec(&[2], vec![3.0, 4.0]);
+        let r = cross(&[&a, &b], &OpArgs::none());
+        assert_eq!(r.output.data(), &[1.0 * 4.0 - 2.0 * 3.0]);
+        assert_eq!(r.lineage[0].n_rows(), 2);
+        // Pattern differs from the 3-vector case: this is the reuse trap.
+    }
+
+    #[test]
+    fn cross_batched() {
+        let a = Array::from_vec(&[2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+        let b = Array::from_vec(&[2, 3], vec![0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
+        let r = cross(&[&a, &b], &OpArgs::none());
+        assert_eq!(r.output.shape(), &[2, 3]);
+        assert_eq!(r.output.data(), &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn diagonal_and_trace() {
+        let a = Array::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let d = diagonal(&[&a], &OpArgs::none());
+        assert_eq!(d.output.data(), &[1.0, 4.0]);
+        let t = trace(&[&a], &OpArgs::none());
+        assert_eq!(t.output.data(), &[5.0]);
+        assert_eq!(t.lineage[0].n_rows(), 2);
+    }
+
+    #[test]
+    fn outer_product_lineage() {
+        let a = Array::from_vec(&[2], vec![1.0, 2.0]);
+        let b = Array::from_vec(&[3], vec![3.0, 4.0, 5.0]);
+        let r = outer(&[&a, &b], &OpArgs::none());
+        assert_eq!(r.output.shape(), &[2, 3]);
+        assert_eq!(r.output.get(&[1, 2]), 10.0);
+        assert!(r.lineage[0].rows().any(|row| row == [1, 2, 1]));
+        assert!(r.lineage[1].rows().any(|row| row == [1, 2, 2]));
+    }
+
+    #[test]
+    fn tril_zeroes_upper() {
+        let a = Array::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let r = tril(&[&a], &OpArgs::none());
+        assert_eq!(r.output.data(), &[1.0, 0.0, 3.0, 4.0]);
+        assert_eq!(r.lineage[0].n_rows(), 3);
+    }
+}

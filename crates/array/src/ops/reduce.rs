@@ -1,0 +1,447 @@
+//! Reductions and scans (25 complex ops).
+//!
+//! Value-*independent* reductions (sum, mean, …) have all-to-all lineage —
+//! the paper's pattern (1), compressing to a single row. Value-*dependent*
+//! reductions (min, max, median, quantile, argmin, …) contribute only the
+//! selected cell(s); their lineage is tiny but changes with the data, which
+//! is what defeats `dim_sig`/`gen_sig` reuse for them.
+//!
+//! `sum`, `prod`, `mean`, `amin`, `amax` accept an optional axis argument
+//! (`ints[0]`, `-1` = reduce everything) — axis reduction is the paper's
+//! "Aggregate" workload in Table VII.
+
+use super::{full_reduce_all, full_reduce_cells, raveled, OpArgs, OpCategory, OpDef};
+use crate::array::Array;
+use crate::capture::{LineageBuilder, OpResult};
+
+macro_rules! op {
+    ($name:literal, $safe:expr, $apply:ident) => {
+        OpDef {
+            name: $name,
+            category: OpCategory::Complex,
+            arity: 1,
+            pipeline_safe: $safe,
+            min_ndim: 1,
+            apply: $apply,
+        }
+    };
+}
+
+pub(super) fn defs() -> Vec<OpDef> {
+    vec![
+        op!("sum", true, sum),
+        op!("prod", true, prod),
+        op!("mean", true, mean),
+        op!("std", true, std_),
+        op!("var", true, var_),
+        op!("amin", true, amin),
+        op!("amax", true, amax),
+        op!("ptp", true, ptp),
+        op!("median", true, median),
+        op!("quantile", true, quantile),
+        op!("percentile", true, percentile),
+        op!("average", true, average),
+        op!("nansum", false, nansum),
+        op!("nanprod", false, nanprod),
+        op!("nanmean", false, nanmean),
+        op!("nanmin", false, nanmin),
+        op!("nanmax", false, nanmax),
+        op!("nanstd", false, nanstd),
+        op!("nanvar", false, nanvar),
+        op!("argmin", false, argmin),
+        op!("argmax", false, argmax),
+        op!("count_nonzero", false, count_nonzero),
+        op!("cumsum", false, cumsum),
+        op!("cumprod", false, cumprod),
+        op!("nancumsum", false, nancumsum),
+    ]
+}
+
+// --- helpers ---------------------------------------------------------------
+
+/// Reduce along `axis` of an n-D array: every cell of the reduced slice
+/// contributes to its output cell (pattern 1 per output).
+fn axis_reduce(a: &Array, axis: usize, init: f64, fold: impl Fn(f64, f64) -> f64) -> OpResult {
+    assert!(axis < a.ndim(), "axis out of range");
+    let out_shape: Vec<usize> = a
+        .shape()
+        .iter()
+        .enumerate()
+        .filter(|&(k, _)| k != axis)
+        .map(|(_, &d)| d)
+        .collect();
+    let out_shape = if out_shape.is_empty() {
+        vec![1]
+    } else {
+        out_shape
+    };
+    let mut out = Array::from_vec(
+        &out_shape,
+        vec![init; out_shape.iter().product::<usize>()],
+    );
+    let mut b = LineageBuilder::new(out.ndim(), &[a.ndim()]);
+    let collapse_to_point = a.ndim() == 1;
+    let mut out_idx: Vec<usize> = Vec::with_capacity(out.ndim());
+    for idx in a.indices() {
+        out_idx.clear();
+        if collapse_to_point {
+            out_idx.push(0);
+        } else {
+            out_idx.extend(idx.iter().enumerate().filter(|&(k, _)| k != axis).map(|(_, &v)| v));
+        }
+        let off = out.offset(&out_idx);
+        out.data_mut()[off] = fold(out.data()[off], a.get(&idx));
+        b.add(0, &out_idx, &idx);
+    }
+    b.finish(out)
+}
+
+fn full_or_axis(
+    a: &Array,
+    args: &OpArgs,
+    init: f64,
+    fold: impl Fn(f64, f64) -> f64 + Copy,
+) -> OpResult {
+    let axis = args.int(0, -1);
+    if axis < 0 || a.ndim() == 1 {
+        let value = a.data().iter().copied().fold(init, fold);
+        full_reduce_all(a, value)
+    } else {
+        axis_reduce(a, axis as usize, init, fold)
+    }
+}
+
+fn selected_cells(a: &Array, pick: impl Fn(&[f64]) -> Vec<usize>) -> OpResult {
+    let cells = pick(a.data());
+    let value = cells.first().map_or(f64::NAN, |&c| a.data()[c]);
+    full_reduce_cells(a, value, &cells)
+}
+
+fn sorted_order(data: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    order.sort_by(|&x, &y| data[x].partial_cmp(&data[y]).unwrap_or(std::cmp::Ordering::Equal));
+    order
+}
+
+/// Cells that determine the q-quantile under linear interpolation.
+fn quantile_cells(data: &[f64], q: f64) -> (f64, Vec<usize>) {
+    let order = sorted_order(data);
+    let n = order.len();
+    if n == 0 {
+        return (f64::NAN, Vec::new());
+    }
+    let pos = q.clamp(0.0, 1.0) * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    let value = data[order[lo]] * (1.0 - frac) + data[order[hi]] * frac;
+    let mut cells = vec![order[lo]];
+    if hi != lo {
+        cells.push(order[hi]);
+    }
+    (value, cells)
+}
+
+// --- ops -------------------------------------------------------------------
+
+fn sum(inputs: &[&Array], args: &OpArgs) -> OpResult {
+    full_or_axis(inputs[0], args, 0.0, |acc, v| acc + v)
+}
+
+fn prod(inputs: &[&Array], args: &OpArgs) -> OpResult {
+    full_or_axis(inputs[0], args, 1.0, |acc, v| acc * v)
+}
+
+fn mean(inputs: &[&Array], args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let axis = args.int(0, -1);
+    if axis < 0 || a.ndim() == 1 {
+        let value = a.data().iter().sum::<f64>() / a.len().max(1) as f64;
+        full_reduce_all(a, value)
+    } else {
+        let d = a.shape()[axis as usize] as f64;
+        let mut r = axis_reduce(a, axis as usize, 0.0, |acc, v| acc + v);
+        r.output = r.output.map(|v| v / d);
+        r
+    }
+}
+
+fn var_value(data: &[f64]) -> f64 {
+    let n = data.len().max(1) as f64;
+    let m = data.iter().sum::<f64>() / n;
+    data.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / n
+}
+
+fn std_(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    full_reduce_all(inputs[0], var_value(inputs[0].data()).sqrt())
+}
+
+fn var_(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    full_reduce_all(inputs[0], var_value(inputs[0].data()))
+}
+
+fn amin(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    selected_cells(inputs[0], |d| {
+        d.iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| vec![i])
+            .unwrap_or_default()
+    })
+}
+
+fn amax(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    selected_cells(inputs[0], |d| {
+        d.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| vec![i])
+            .unwrap_or_default()
+    })
+}
+
+fn ptp(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let d = a.data();
+    let imin = (0..d.len()).min_by(|&x, &y| d[x].total_cmp(&d[y])).unwrap_or(0);
+    let imax = (0..d.len()).max_by(|&x, &y| d[x].total_cmp(&d[y])).unwrap_or(0);
+    full_reduce_cells(a, d[imax] - d[imin], &[imin, imax])
+}
+
+fn median(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let (value, cells) = quantile_cells(a.data(), 0.5);
+    full_reduce_cells(a, value, &cells)
+}
+
+fn quantile(inputs: &[&Array], args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let (value, cells) = quantile_cells(a.data(), args.float(0, 0.25));
+    full_reduce_cells(a, value, &cells)
+}
+
+fn percentile(inputs: &[&Array], args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let (value, cells) = quantile_cells(a.data(), args.float(0, 90.0) / 100.0);
+    full_reduce_cells(a, value, &cells)
+}
+
+fn average(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    full_reduce_all(a, a.data().iter().sum::<f64>() / a.len().max(1) as f64)
+}
+
+fn non_nan_cells(a: &Array) -> Vec<usize> {
+    (0..a.len()).filter(|&i| !a.data()[i].is_nan()).collect()
+}
+
+fn nan_reduce(a: &Array, init: f64, fold: impl Fn(f64, f64) -> f64) -> OpResult {
+    let cells = non_nan_cells(a);
+    let value = cells.iter().map(|&i| a.data()[i]).fold(init, fold);
+    let out = Array::from_vec(&[1], vec![value]);
+    let mut b = LineageBuilder::new(1, &[a.ndim()]);
+    for &c in &cells {
+        b.add(0, &[0], &a.unravel(c));
+    }
+    b.finish(out)
+}
+
+fn nansum(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    nan_reduce(inputs[0], 0.0, |a, v| a + v)
+}
+
+fn nanprod(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    nan_reduce(inputs[0], 1.0, |a, v| a * v)
+}
+
+fn nanmean(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let cells = non_nan_cells(a);
+    let n = cells.len().max(1) as f64;
+    let sum: f64 = cells.iter().map(|&i| a.data()[i]).sum();
+    let mut r = nan_reduce(a, 0.0, |x, v| x + v);
+    r.output = Array::from_vec(&[1], vec![sum / n]);
+    r
+}
+
+fn nanmin(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    selected_cells(inputs[0], |d| {
+        (0..d.len())
+            .filter(|&i| !d[i].is_nan())
+            .min_by(|&x, &y| d[x].total_cmp(&d[y]))
+            .map(|i| vec![i])
+            .unwrap_or_default()
+    })
+}
+
+fn nanmax(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    selected_cells(inputs[0], |d| {
+        (0..d.len())
+            .filter(|&i| !d[i].is_nan())
+            .max_by(|&x, &y| d[x].total_cmp(&d[y]))
+            .map(|i| vec![i])
+            .unwrap_or_default()
+    })
+}
+
+fn nanstd(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let vals: Vec<f64> = a.data().iter().copied().filter(|v| !v.is_nan()).collect();
+    let mut r = nan_reduce(a, 0.0, |x, v| x + v);
+    r.output = Array::from_vec(&[1], vec![var_value(&vals).sqrt()]);
+    r
+}
+
+fn nanvar(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let vals: Vec<f64> = a.data().iter().copied().filter(|v| !v.is_nan()).collect();
+    let mut r = nan_reduce(a, 0.0, |x, v| x + v);
+    r.output = Array::from_vec(&[1], vec![var_value(&vals)]);
+    r
+}
+
+fn argmin(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let d = a.data();
+    let i = (0..d.len()).min_by(|&x, &y| d[x].total_cmp(&d[y])).unwrap_or(0);
+    full_reduce_cells(a, i as f64, &[i])
+}
+
+fn argmax(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let d = a.data();
+    let i = (0..d.len()).max_by(|&x, &y| d[x].total_cmp(&d[y])).unwrap_or(0);
+    full_reduce_cells(a, i as f64, &[i])
+}
+
+fn count_nonzero(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let count = a.data().iter().filter(|&&v| v != 0.0).count() as f64;
+    full_reduce_all(a, count)
+}
+
+/// Scan over the raveled array: out[i] ← in[0..=i] (quadratic lineage).
+fn scan(a: &Array, fold: impl Fn(f64, f64) -> f64, init: f64, skip_nan: bool) -> OpResult {
+    let flat = raveled(a);
+    let n = flat.len();
+    let mut out = Vec::with_capacity(n);
+    let mut acc = init;
+    for &v in flat.data() {
+        if !(skip_nan && v.is_nan()) {
+            acc = fold(acc, v);
+        }
+        out.push(acc);
+    }
+    let mut b = LineageBuilder::new(1, &[a.ndim()]);
+    for i in 0..n {
+        for j in 0..=i {
+            if skip_nan && flat.data()[j].is_nan() {
+                continue;
+            }
+            b.add(0, &[i], &a.unravel(j));
+        }
+    }
+    b.finish(Array::from_vec(&[n], out))
+}
+
+fn cumsum(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    scan(inputs[0], |a, v| a + v, 0.0, false)
+}
+
+fn cumprod(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    scan(inputs[0], |a, v| a * v, 1.0, false)
+}
+
+fn nancumsum(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    scan(inputs[0], |a, v| a + v, 0.0, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(data: &[f64]) -> Array {
+        Array::from_vec(&[data.len()], data.to_vec())
+    }
+
+    #[test]
+    fn sum_full_all_to_all() {
+        let a = Array::from_fn(&[3, 2], |idx| (idx[0] * 2 + idx[1]) as f64);
+        let r = sum(&[&a], &OpArgs::none());
+        assert_eq!(r.output.data(), &[15.0]);
+        assert_eq!(r.lineage[0].n_rows(), 6);
+    }
+
+    #[test]
+    fn sum_axis1_is_the_paper_aggregate() {
+        // B = A.sum(axis=1), shape (3,2) — paper Fig. 1.
+        let a = Array::from_vec(&[3, 2], vec![0.0, 3.0, 1.0, 5.0, 2.0, 1.0]);
+        let r = sum(&[&a], &OpArgs::ints(&[1]));
+        assert_eq!(r.output.shape(), &[3]);
+        assert_eq!(r.output.data(), &[3.0, 6.0, 3.0]);
+        // Lineage: 6 rows (i, i, j).
+        assert_eq!(r.lineage[0].n_rows(), 6);
+        assert_eq!(r.lineage[0].row(0), &[0, 0, 0]);
+        assert_eq!(r.lineage[0].row(1), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn min_is_value_dependent() {
+        let a = arr(&[5.0, 1.0, 3.0]);
+        let r = amin(&[&a], &OpArgs::none());
+        assert_eq!(r.output.data(), &[1.0]);
+        assert_eq!(r.lineage[0].n_rows(), 1);
+        assert_eq!(r.lineage[0].row(0), &[0, 1]);
+    }
+
+    #[test]
+    fn median_even_length_two_cells() {
+        let a = arr(&[4.0, 1.0, 3.0, 2.0]);
+        let r = median(&[&a], &OpArgs::none());
+        assert_eq!(r.output.data(), &[2.5]);
+        assert_eq!(r.lineage[0].n_rows(), 2);
+    }
+
+    #[test]
+    fn ptp_touches_extremes() {
+        let a = arr(&[2.0, 9.0, -1.0, 5.0]);
+        let r = ptp(&[&a], &OpArgs::none());
+        assert_eq!(r.output.data(), &[10.0]);
+        let rows: Vec<&[i64]> = r.lineage[0].rows().collect();
+        assert_eq!(rows, vec![&[0i64, 1][..], &[0, 2]]);
+    }
+
+    #[test]
+    fn cumsum_prefix_lineage() {
+        let a = arr(&[1.0, 2.0, 3.0]);
+        let r = cumsum(&[&a], &OpArgs::none());
+        assert_eq!(r.output.data(), &[1.0, 3.0, 6.0]);
+        assert_eq!(r.lineage[0].n_rows(), 6); // 1 + 2 + 3
+    }
+
+    #[test]
+    fn nan_ops_skip_nans() {
+        let a = arr(&[1.0, f64::NAN, 3.0]);
+        let r = nansum(&[&a], &OpArgs::none());
+        assert_eq!(r.output.data(), &[4.0]);
+        assert_eq!(r.lineage[0].n_rows(), 2, "NaN cell does not contribute");
+        let rmin = nanmin(&[&a], &OpArgs::none());
+        assert_eq!(rmin.output.data(), &[1.0]);
+    }
+
+    #[test]
+    fn argmax_reports_index() {
+        let a = arr(&[1.0, 9.0, 3.0]);
+        let r = argmax(&[&a], &OpArgs::none());
+        assert_eq!(r.output.data(), &[1.0]);
+        assert_eq!(r.lineage[0].row(0), &[0, 1]);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let a = arr(&[0.0, 10.0]);
+        let r = quantile(&[&a], &OpArgs::floats(&[0.5]));
+        assert_eq!(r.output.data(), &[5.0]);
+        assert_eq!(r.lineage[0].n_rows(), 2);
+    }
+}

@@ -1,0 +1,344 @@
+//! Shape-manipulation operations (15 complex ops).
+//!
+//! These are pure index permutations / replications, so their lineage is
+//! one row per output cell (or per replica). Many of them — transpose,
+//! roll, tile, pad — hit ProvRC's relative-indexing pattern (3) and
+//! compress to a handful of rows.
+
+use super::{raveled, OpArgs, OpCategory, OpDef};
+use crate::array::Array;
+use crate::capture::{LineageBuilder, OpResult};
+
+macro_rules! op {
+    ($name:literal, $safe:expr, $min_ndim:expr, $apply:ident) => {
+        OpDef {
+            name: $name,
+            category: OpCategory::Complex,
+            arity: 1,
+            pipeline_safe: $safe,
+            min_ndim: $min_ndim,
+            apply: $apply,
+        }
+    };
+}
+
+pub(super) fn defs() -> Vec<OpDef> {
+    vec![
+        op!("transpose", true, 1, transpose),
+        op!("reshape", true, 1, reshape),
+        op!("ravel", true, 1, ravel),
+        op!("flatten", true, 1, flatten),
+        op!("squeeze", true, 1, squeeze),
+        op!("expand_dims", true, 1, expand_dims),
+        op!("flip", true, 1, flip),
+        op!("fliplr", true, 2, fliplr),
+        op!("flipud", true, 2, flipud),
+        op!("rot90", true, 2, rot90),
+        op!("roll", true, 1, roll),
+        op!("repeat", false, 1, repeat),
+        op!("tile", false, 1, tile),
+        op!("pad", true, 1, pad),
+        op!("swapaxes", true, 2, swapaxes),
+    ]
+}
+
+/// Pure permutation helper: `map(out_idx) -> in_idx`.
+fn permutation(
+    a: &Array,
+    out_shape: &[usize],
+    map: impl Fn(&[usize]) -> Vec<usize>,
+) -> OpResult {
+    let mut out = Array::zeros(out_shape);
+    let mut b = LineageBuilder::new(out_shape.len(), &[a.ndim()]);
+    let idxs: Vec<Vec<usize>> = out.indices().collect();
+    for out_idx in idxs {
+        let in_idx = map(&out_idx);
+        out.set(&out_idx, a.get(&in_idx));
+        b.add(0, &out_idx, &in_idx);
+    }
+    b.finish(out)
+}
+
+fn transpose(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let out_shape: Vec<usize> = a.shape().iter().rev().copied().collect();
+    permutation(a, &out_shape, |out_idx| {
+        out_idx.iter().rev().copied().collect()
+    })
+}
+
+fn reshape(inputs: &[&Array], args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    // ints = target shape; default: split or collapse to 2 columns.
+    let target: Vec<usize> = if args.ints.is_empty() {
+        if a.len() % 2 == 0 {
+            vec![a.len() / 2, 2]
+        } else {
+            vec![a.len()]
+        }
+    } else {
+        args.ints.iter().map(|&v| v as usize).collect()
+    };
+    assert_eq!(
+        target.iter().product::<usize>(),
+        a.len(),
+        "reshape must preserve volume"
+    );
+    let reshaped = a.reshaped(&target);
+    let shape = target.clone();
+    permutation(a, &target, move |out_idx| {
+        // linear offset in the new shape = linear offset in the old shape
+        let mut linear = 0usize;
+        for (v, d) in out_idx.iter().zip(shape.iter()) {
+            linear = linear * d + v;
+        }
+        a.unravel(linear)
+    })
+    .with_output(reshaped)
+}
+
+/// Small extension trait so reshape-style ops can replace the output while
+/// keeping the captured lineage.
+trait WithOutput {
+    fn with_output(self, output: Array) -> OpResult;
+}
+
+impl WithOutput for OpResult {
+    fn with_output(mut self, output: Array) -> OpResult {
+        self.output = output;
+        self
+    }
+}
+
+fn ravel(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    permutation(a, &[a.len()], |out_idx| a.unravel(out_idx[0]))
+}
+
+fn flatten(inputs: &[&Array], args: &OpArgs) -> OpResult {
+    ravel(inputs, args)
+}
+
+fn squeeze(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let out_shape: Vec<usize> = a.shape().iter().copied().filter(|&d| d != 1).collect();
+    let out_shape = if out_shape.is_empty() { vec![1] } else { out_shape };
+    let kept: Vec<usize> = a
+        .shape()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != 1)
+        .map(|(k, _)| k)
+        .collect();
+    let ndim = a.ndim();
+    permutation(a, &out_shape, move |out_idx| {
+        let mut in_idx = vec![0usize; ndim];
+        if kept.is_empty() {
+            return in_idx;
+        }
+        for (v, &k) in out_idx.iter().zip(kept.iter()) {
+            in_idx[k] = *v;
+        }
+        in_idx
+    })
+}
+
+fn expand_dims(inputs: &[&Array], args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let axis = args.int(0, 0).clamp(0, a.ndim() as i64) as usize;
+    let mut out_shape = a.shape().to_vec();
+    out_shape.insert(axis, 1);
+    permutation(a, &out_shape, move |out_idx| {
+        let mut in_idx = out_idx.to_vec();
+        in_idx.remove(axis);
+        in_idx
+    })
+}
+
+fn flip(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let shape = a.shape().to_vec();
+    permutation(a, &shape.clone(), move |out_idx| {
+        out_idx
+            .iter()
+            .zip(shape.iter())
+            .map(|(&v, &d)| d - 1 - v)
+            .collect()
+    })
+}
+
+fn fliplr(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    assert!(a.ndim() >= 2, "fliplr needs ndim >= 2");
+    let d1 = a.shape()[1];
+    permutation(a, &a.shape().to_vec(), move |out_idx| {
+        let mut in_idx = out_idx.to_vec();
+        in_idx[1] = d1 - 1 - in_idx[1];
+        in_idx
+    })
+}
+
+fn flipud(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let d0 = a.shape()[0];
+    permutation(a, &a.shape().to_vec(), move |out_idx| {
+        let mut in_idx = out_idx.to_vec();
+        in_idx[0] = d0 - 1 - in_idx[0];
+        in_idx
+    })
+}
+
+fn rot90(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    assert!(a.ndim() >= 2, "rot90 needs ndim >= 2");
+    let (h, w) = (a.shape()[0], a.shape()[1]);
+    let mut out_shape = a.shape().to_vec();
+    out_shape[0] = w;
+    out_shape[1] = h;
+    // numpy rot90: out[i, j] = in[j, w - 1 - i] (counter-clockwise).
+    permutation(a, &out_shape, move |out_idx| {
+        let mut in_idx = out_idx.to_vec();
+        in_idx[0] = out_idx[1];
+        in_idx[1] = w - 1 - out_idx[0];
+        in_idx
+    })
+}
+
+fn roll(inputs: &[&Array], args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let n = a.len() as i64;
+    let k = args.int(0, 1).rem_euclid(n.max(1));
+    permutation(a, &a.shape().to_vec(), move |out_idx| {
+        // Roll over the flattened order, like numpy's axis=None.
+        let mut linear = 0i64;
+        for (v, d) in out_idx.iter().zip(a.shape().iter()) {
+            linear = linear * *d as i64 + *v as i64;
+        }
+        a.unravel(((linear - k).rem_euclid(n)) as usize)
+    })
+}
+
+fn repeat(inputs: &[&Array], args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let k = args.int(0, 2).max(1) as usize;
+    let flat = raveled(a);
+    let n = flat.len();
+    permutation(a, &[n * k], move |out_idx| a.unravel(out_idx[0] / k))
+}
+
+fn tile(inputs: &[&Array], args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let k = args.int(0, 2).max(1) as usize;
+    let n = a.len();
+    permutation(a, &[n * k], move |out_idx| a.unravel(out_idx[0] % n))
+}
+
+fn pad(inputs: &[&Array], args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let w = args.int(0, 1).max(0) as usize;
+    let out_shape: Vec<usize> = a.shape().iter().map(|&d| d + 2 * w).collect();
+    let mut out = Array::zeros(&out_shape);
+    let mut b = LineageBuilder::new(out_shape.len(), &[a.ndim()]);
+    for in_idx in a.indices() {
+        let out_idx: Vec<usize> = in_idx.iter().map(|&v| v + w).collect();
+        out.set(&out_idx, a.get(&in_idx));
+        b.add(0, &out_idx, &in_idx);
+    }
+    // Padding cells are constant zeros: no lineage (correct contribution
+    // semantics — they depend on no input cell).
+    b.finish(out)
+}
+
+fn swapaxes(inputs: &[&Array], args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let ax1 = args.int(0, 0).clamp(0, a.ndim() as i64 - 1) as usize;
+    let ax2 = args.int(1, 1).clamp(0, a.ndim() as i64 - 1) as usize;
+    let mut out_shape = a.shape().to_vec();
+    out_shape.swap(ax1, ax2);
+    permutation(a, &out_shape, move |out_idx| {
+        let mut in_idx = out_idx.to_vec();
+        in_idx.swap(ax1, ax2);
+        in_idx
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_2d() {
+        let a = Array::from_fn(&[2, 3], |idx| (idx[0] * 3 + idx[1]) as f64);
+        let r = transpose(&[&a], &OpArgs::none());
+        assert_eq!(r.output.shape(), &[3, 2]);
+        assert_eq!(r.output.get(&[2, 1]), a.get(&[1, 2]));
+        assert_eq!(r.lineage[0].n_rows(), 6);
+    }
+
+    #[test]
+    fn roll_shifts_flat_order() {
+        let a = Array::from_vec(&[4], vec![0.0, 1.0, 2.0, 3.0]);
+        let r = roll(&[&a], &OpArgs::ints(&[1]));
+        assert_eq!(r.output.data(), &[3.0, 0.0, 1.0, 2.0]);
+        // out[1] <- in[0]
+        assert!(r.lineage[0].rows().any(|row| row == [1, 0]));
+    }
+
+    #[test]
+    fn tile_duplicates_whole_array() {
+        let a = Array::from_vec(&[3], vec![7.0, 8.0, 9.0]);
+        let r = tile(&[&a], &OpArgs::ints(&[2]));
+        assert_eq!(r.output.data(), &[7.0, 8.0, 9.0, 7.0, 8.0, 9.0]);
+        assert_eq!(r.lineage[0].n_rows(), 6);
+        assert!(r.lineage[0].rows().any(|row| row == [4, 1]));
+    }
+
+    #[test]
+    fn repeat_elementwise() {
+        let a = Array::from_vec(&[2], vec![5.0, 6.0]);
+        let r = repeat(&[&a], &OpArgs::ints(&[3]));
+        assert_eq!(r.output.data(), &[5.0, 5.0, 5.0, 6.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn pad_leaves_border_without_lineage() {
+        let a = Array::from_vec(&[2], vec![1.0, 2.0]);
+        let r = pad(&[&a], &OpArgs::ints(&[1]));
+        assert_eq!(r.output.data(), &[0.0, 1.0, 2.0, 0.0]);
+        assert_eq!(r.lineage[0].n_rows(), 2);
+    }
+
+    #[test]
+    fn rot90_matches_numpy() {
+        // numpy: rot90([[1,2],[3,4]]) == [[2,4],[1,3]]
+        let a = Array::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let r = rot90(&[&a], &OpArgs::none());
+        assert_eq!(r.output.data(), &[2.0, 4.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_linear_order() {
+        let a = Array::from_fn(&[6], |idx| idx[0] as f64);
+        let r = reshape(&[&a], &OpArgs::ints(&[2, 3]));
+        assert_eq!(r.output.shape(), &[2, 3]);
+        assert_eq!(r.output.get(&[1, 2]), 5.0);
+        assert!(r.lineage[0].rows().any(|row| row == [1, 2, 5]));
+    }
+
+    #[test]
+    fn squeeze_and_expand_dims_roundtrip() {
+        let a = Array::from_fn(&[3], |idx| idx[0] as f64);
+        let e = expand_dims(&[&a], &OpArgs::ints(&[0]));
+        assert_eq!(e.output.shape(), &[1, 3]);
+        let s = squeeze(&[&e.output], &OpArgs::none());
+        assert_eq!(s.output.shape(), &[3]);
+        assert_eq!(s.output.data(), a.data());
+    }
+
+    #[test]
+    fn flip_reverses() {
+        let a = Array::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let r = flip(&[&a], &OpArgs::none());
+        assert_eq!(r.output.data(), &[3.0, 2.0, 1.0]);
+    }
+}

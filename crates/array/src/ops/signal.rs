@@ -1,0 +1,189 @@
+//! Signal-processing and difference operations (6 complex ops).
+//!
+//! These are the shifted-window patterns (convolve/correlate/diff/gradient)
+//! that motivate ProvRC's relative value transformation: the input window
+//! slides with the output index, so the delta interval is constant.
+
+use super::{full_reduce_all, raveled, OpArgs, OpCategory, OpDef};
+use crate::array::Array;
+use crate::capture::{LineageBuilder, OpResult};
+
+macro_rules! op {
+    ($name:literal, $arity:expr, $safe:expr, $apply:ident) => {
+        OpDef {
+            name: $name,
+            category: OpCategory::Complex,
+            arity: $arity,
+            pipeline_safe: $safe,
+            min_ndim: 1,
+            apply: $apply,
+        }
+    };
+}
+
+pub(super) fn defs() -> Vec<OpDef> {
+    vec![
+        op!("convolve", 2, false, convolve),
+        op!("correlate", 2, false, correlate),
+        op!("diff", 1, true, diff),
+        op!("ediff1d", 1, true, ediff1d),
+        op!("gradient", 1, true, gradient),
+        op!("trapz", 1, true, trapz),
+    ]
+}
+
+/// 1-D "full" convolution: out[k] = Σ_j a[j] * v[k - j].
+fn convolve(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = raveled(inputs[0]);
+    let v = raveled(inputs[1]);
+    let (n, m) = (a.len(), v.len());
+    let out_len = n + m - 1;
+    let mut out = Array::zeros(&[out_len]);
+    let mut lb = LineageBuilder::new(1, &[inputs[0].ndim(), inputs[1].ndim()]);
+    for k in 0..out_len {
+        let mut acc = 0.0;
+        for j in 0..n {
+            if k >= j && k - j < m {
+                acc += a.data()[j] * v.data()[k - j];
+                lb.add(0, &[k], &inputs[0].unravel(j));
+                lb.add(1, &[k], &inputs[1].unravel(k - j));
+            }
+        }
+        out.set(&[k], acc);
+    }
+    lb.finish(out)
+}
+
+/// 1-D "valid" cross-correlation: out[k] = Σ_j a[k + j] * v[j].
+fn correlate(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = raveled(inputs[0]);
+    let v = raveled(inputs[1]);
+    let (n, m) = (a.len(), v.len());
+    assert!(n >= m, "correlate expects len(a) >= len(v)");
+    let out_len = n - m + 1;
+    let mut out = Array::zeros(&[out_len]);
+    let mut lb = LineageBuilder::new(1, &[inputs[0].ndim(), inputs[1].ndim()]);
+    for k in 0..out_len {
+        let mut acc = 0.0;
+        for j in 0..m {
+            acc += a.data()[k + j] * v.data()[j];
+            lb.add(0, &[k], &inputs[0].unravel(k + j));
+            lb.add(1, &[k], &inputs[1].unravel(j));
+        }
+        out.set(&[k], acc);
+    }
+    lb.finish(out)
+}
+
+fn diff(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = raveled(inputs[0]);
+    let n = a.len();
+    assert!(n >= 2, "diff needs at least two cells");
+    let mut out = Array::zeros(&[n - 1]);
+    let mut lb = LineageBuilder::new(1, &[inputs[0].ndim()]);
+    for i in 0..n - 1 {
+        out.set(&[i], a.data()[i + 1] - a.data()[i]);
+        lb.add(0, &[i], &inputs[0].unravel(i));
+        lb.add(0, &[i], &inputs[0].unravel(i + 1));
+    }
+    lb.finish(out)
+}
+
+fn ediff1d(inputs: &[&Array], args: &OpArgs) -> OpResult {
+    diff(inputs, args)
+}
+
+/// numpy.gradient: central differences inside, one-sided at the edges.
+fn gradient(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = raveled(inputs[0]);
+    let n = a.len();
+    assert!(n >= 2, "gradient needs at least two cells");
+    let d = a.data();
+    let mut out = Array::zeros(&[n]);
+    let mut lb = LineageBuilder::new(1, &[inputs[0].ndim()]);
+    for i in 0..n {
+        let (value, cells): (f64, Vec<usize>) = if i == 0 {
+            (d[1] - d[0], vec![0, 1])
+        } else if i == n - 1 {
+            (d[n - 1] - d[n - 2], vec![n - 2, n - 1])
+        } else {
+            ((d[i + 1] - d[i - 1]) / 2.0, vec![i - 1, i, i + 1])
+        };
+        out.set(&[i], value);
+        for c in cells {
+            lb.add(0, &[i], &inputs[0].unravel(c));
+        }
+    }
+    lb.finish(out)
+}
+
+/// Trapezoidal integration over the flattened array: a full reduction.
+fn trapz(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = raveled(inputs[0]);
+    let d = a.data();
+    let value = if d.len() < 2 {
+        0.0
+    } else {
+        d.windows(2).map(|w| (w[0] + w[1]) / 2.0).sum()
+    };
+    full_reduce_all(inputs[0], value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convolve_full_mode() {
+        // numpy.convolve([1,2,3],[0,1,0.5]) = [0,1,2.5,4,1.5]
+        let a = Array::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let v = Array::from_vec(&[3], vec![0.0, 1.0, 0.5]);
+        let r = convolve(&[&a, &v], &OpArgs::none());
+        assert_eq!(r.output.data(), &[0.0, 1.0, 2.5, 4.0, 1.5]);
+        // Middle output cells read a window of a.
+        assert!(r.lineage[0].rows().any(|row| row == [2, 0]));
+        assert!(r.lineage[0].rows().any(|row| row == [2, 1]));
+        assert!(r.lineage[0].rows().any(|row| row == [2, 2]));
+    }
+
+    #[test]
+    fn correlate_valid_mode() {
+        let a = Array::from_vec(&[4], vec![1.0, 2.0, 3.0, 4.0]);
+        let v = Array::from_vec(&[2], vec![1.0, 1.0]);
+        let r = correlate(&[&a, &v], &OpArgs::none());
+        assert_eq!(r.output.data(), &[3.0, 5.0, 7.0]);
+        // Sliding window: out[k] <- a[k], a[k+1].
+        assert!(r.lineage[0].rows().any(|row| row == [1, 1]));
+        assert!(r.lineage[0].rows().any(|row| row == [1, 2]));
+    }
+
+    #[test]
+    fn diff_window() {
+        let a = Array::from_vec(&[4], vec![1.0, 4.0, 9.0, 16.0]);
+        let r = diff(&[&a], &OpArgs::none());
+        assert_eq!(r.output.data(), &[3.0, 5.0, 7.0]);
+        assert_eq!(r.lineage[0].n_rows(), 6);
+    }
+
+    #[test]
+    fn gradient_edges_one_sided() {
+        let a = Array::from_vec(&[4], vec![0.0, 1.0, 4.0, 9.0]);
+        let r = gradient(&[&a], &OpArgs::none());
+        assert_eq!(r.output.data(), &[1.0, 2.0, 4.0, 5.0]);
+        // Interior cell 1 reads 0, 1, 2.
+        let rows: Vec<Vec<i64>> = r.lineage[0]
+            .rows()
+            .filter(|row| row[0] == 1)
+            .map(|row| row.to_vec())
+            .collect();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn trapz_reduces_all() {
+        let a = Array::from_vec(&[3], vec![0.0, 1.0, 0.0]);
+        let r = trapz(&[&a], &OpArgs::none());
+        assert_eq!(r.output.data(), &[1.0]);
+        assert_eq!(r.lineage[0].n_rows(), 3);
+    }
+}

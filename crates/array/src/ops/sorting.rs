@@ -1,0 +1,132 @@
+//! Sorting operations (3 complex ops).
+//!
+//! Sorting lineage is a data-dependent permutation — the paper calls `Sort`
+//! "the worst case for ProvRC, where no continuous patterns exist in the
+//! lineage" (§VII.C). It is also the canonical value-dependent case that
+//! defeats `dim_sig`/`gen_sig` reuse.
+
+use super::{OpArgs, OpCategory, OpDef};
+use crate::array::Array;
+use crate::capture::{LineageBuilder, OpResult};
+
+macro_rules! op {
+    ($name:literal, $apply:ident) => {
+        OpDef {
+            name: $name,
+            category: OpCategory::Complex,
+            arity: 1,
+            pipeline_safe: true,
+            min_ndim: 1,
+            apply: $apply,
+        }
+    };
+}
+
+pub(super) fn defs() -> Vec<OpDef> {
+    vec![op!("sort", sort), op!("argsort", argsort), op!("partition", partition)]
+}
+
+fn order_of(a: &Array) -> Vec<usize> {
+    let d = a.data();
+    let mut order: Vec<usize> = (0..d.len()).collect();
+    order.sort_by(|&x, &y| d[x].total_cmp(&d[y]));
+    order
+}
+
+/// Build `out[i] ← in[perm[i]]` over the flattened input.
+fn permuted(a: &Array, perm: &[usize], values: impl Fn(usize) -> f64) -> OpResult {
+    let n = a.len();
+    let mut out = Array::zeros(&[n]);
+    let mut lb = LineageBuilder::new(1, &[a.ndim()]);
+    for (i, &src) in perm.iter().enumerate() {
+        out.set(&[i], values(src));
+        lb.add(0, &[i], &a.unravel(src));
+    }
+    let _ = n;
+    lb.finish(out)
+}
+
+fn sort(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let order = order_of(a);
+    permuted(a, &order, |src| a.data()[src])
+}
+
+fn argsort(inputs: &[&Array], _args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let order = order_of(a);
+    permuted(a, &order, |src| src as f64)
+}
+
+/// numpy `partition(kth)`: the kth element lands in sorted position; the two
+/// sides hold the smaller/larger elements in (here: stable index) order.
+fn partition(inputs: &[&Array], args: &OpArgs) -> OpResult {
+    let a = inputs[0];
+    let n = a.len();
+    let k = (args.int(0, (n / 2) as i64).max(0) as usize).min(n.saturating_sub(1));
+    let order = order_of(a);
+    // Elements in sorted order; left of k: indices sorted by original
+    // position (a valid partition), pivot at k, right likewise.
+    let mut left: Vec<usize> = order[..k].to_vec();
+    let mut right: Vec<usize> = order[k + 1..].to_vec();
+    left.sort_unstable();
+    right.sort_unstable();
+    let mut perm = left;
+    perm.push(order[k]);
+    perm.extend(right);
+    permuted(a, &perm, |src| a.data()[src])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_values_and_lineage() {
+        let a = Array::from_vec(&[4], vec![3.0, 1.0, 4.0, 1.5]);
+        let r = sort(&[&a], &OpArgs::none());
+        assert_eq!(r.output.data(), &[1.0, 1.5, 3.0, 4.0]);
+        // out[0] came from in[1].
+        assert!(r.lineage[0].rows().any(|row| row == [0, 1]));
+        assert!(r.lineage[0].rows().any(|row| row == [3, 2]));
+    }
+
+    #[test]
+    fn argsort_reports_indices() {
+        let a = Array::from_vec(&[3], vec![30.0, 10.0, 20.0]);
+        let r = argsort(&[&a], &OpArgs::none());
+        assert_eq!(r.output.data(), &[1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn partition_pivot_in_place() {
+        let a = Array::from_vec(&[5], vec![9.0, 1.0, 8.0, 2.0, 7.0]);
+        let r = partition(&[&a], &OpArgs::ints(&[2]));
+        let out = r.output.data();
+        // Pivot position 2 holds the 3rd smallest (7.0); left ≤ pivot ≤ right.
+        assert_eq!(out[2], 7.0);
+        assert!(out[..2].iter().all(|&v| v <= out[2]));
+        assert!(out[3..].iter().all(|&v| v >= out[2]));
+    }
+
+    #[test]
+    fn sort_lineage_is_permutation() {
+        let a = Array::from_vec(&[6], vec![5.0, 3.0, 6.0, 1.0, 2.0, 4.0]);
+        let r = sort(&[&a], &OpArgs::none());
+        let t = &r.lineage[0];
+        assert_eq!(t.n_rows(), 6);
+        // Every input index appears exactly once.
+        let mut seen: Vec<i64> = t.rows().map(|row| row[1]).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn sort_2d_flattens() {
+        let a = Array::from_vec(&[2, 2], vec![4.0, 1.0, 3.0, 2.0]);
+        let r = sort(&[&a], &OpArgs::none());
+        assert_eq!(r.output.shape(), &[4]);
+        assert_eq!(r.output.data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(r.lineage[0].in_arity(), 2);
+    }
+}

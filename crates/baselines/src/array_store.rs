@@ -1,0 +1,101 @@
+//! The `Array` baseline: lineage tuples stored as a dense numpy-style
+//! array (paper §VII.B). Functionally identical bytes to `Raw` plus an
+//! npy-like descriptor header; its distinguishing feature is the *query*
+//! strategy (vectorized equality scans, see
+//! [`crate::relengine::array_query`]), not the storage encoding.
+
+use crate::LineageFormat;
+use dslog::table::LineageTable;
+
+const MAGIC: &[u8; 6] = b"\x93DSNPY";
+
+/// Dense `i64` array-of-rows storage with an npy-like header.
+pub struct ArrayStore;
+
+impl LineageFormat for ArrayStore {
+    fn name(&self) -> &'static str {
+        "Array"
+    }
+
+    fn encode(&self, table: &LineageTable) -> Vec<u8> {
+        // npy-like textual descriptor, padded to 64 bytes like numpy pads
+        // to 16-byte alignment.
+        let descr = format!(
+            "{{'descr': '<i8', 'fortran_order': False, 'shape': ({}, {}), 'out_arity': {}}}",
+            table.n_rows(),
+            table.arity(),
+            table.out_arity()
+        );
+        let mut out = Vec::with_capacity(80 + table.raw().len() * 8);
+        out.extend_from_slice(MAGIC);
+        let mut header = descr.into_bytes();
+        while (header.len() + MAGIC.len() + 2) % 64 != 0 {
+            header.push(b' ');
+        }
+        out.extend_from_slice(&(header.len() as u16).to_le_bytes());
+        out.extend_from_slice(&header);
+        for &v in table.raw() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode(&self, bytes: &[u8]) -> LineageTable {
+        assert_eq!(&bytes[..6], MAGIC, "bad ArrayStore magic");
+        let hlen = u16::from_le_bytes(bytes[6..8].try_into().unwrap()) as usize;
+        let header = std::str::from_utf8(&bytes[8..8 + hlen]).expect("utf8 header");
+        let grab = |key: &str| -> usize {
+            let at = header.find(key).expect("header key");
+            let rest = &header[at + key.len()..];
+            rest.trim_start_matches([':', ' ', '('])
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .expect("header number")
+        };
+        let n_rows = grab("'shape'");
+        let shape_at = header.find("'shape'").unwrap();
+        let after_comma = &header[shape_at..];
+        let arity: usize = after_comma
+            .split(',')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .trim_end_matches([')', ' '])
+            .parse()
+            .expect("arity");
+        let out_arity = grab("'out_arity'");
+        let in_arity = arity - out_arity;
+        let mut table = LineageTable::with_capacity(out_arity, in_arity, n_rows);
+        let mut pos = 8 + hlen;
+        let mut row = vec![0i64; arity];
+        for _ in 0..n_rows {
+            for slot in row.iter_mut() {
+                *slot = i64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+                pos += 8;
+            }
+            table.push_row(&row);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_header() {
+        let mut t = LineageTable::new(2, 1);
+        for i in 0..10 {
+            t.push_row(&[i, i + 1, 2 * i]);
+        }
+        let bytes = ArrayStore.encode(&t);
+        let back = ArrayStore.decode(&bytes);
+        assert_eq!(back.row_set(), t.row_set());
+        assert_eq!(back.out_arity(), 2);
+        // Slightly larger than Raw due to the textual header.
+        assert!(bytes.len() > 10 * 3 * 8);
+    }
+}

@@ -1,0 +1,72 @@
+//! The `Raw` baseline: row-oriented, uncompressed lineage tuples
+//! (paper §VII.B, modeled after Ground's table design).
+
+use crate::LineageFormat;
+use dslog::table::LineageTable;
+
+const MAGIC: &[u8; 4] = b"DSRW";
+
+/// Row-major `i64` little-endian storage with a 20-byte header.
+pub struct Raw;
+
+impl LineageFormat for Raw {
+    fn name(&self) -> &'static str {
+        "Raw"
+    }
+
+    fn encode(&self, table: &LineageTable) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + table.raw().len() * 8);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(table.out_arity() as u32).to_le_bytes());
+        out.extend_from_slice(&(table.in_arity() as u32).to_le_bytes());
+        out.extend_from_slice(&(table.n_rows() as u64).to_le_bytes());
+        for &v in table.raw() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode(&self, bytes: &[u8]) -> LineageTable {
+        assert_eq!(&bytes[..4], MAGIC, "bad Raw magic");
+        let out_arity = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        let in_arity = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let n_rows = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+        let arity = out_arity + in_arity;
+        let mut table = LineageTable::with_capacity(out_arity, in_arity, n_rows);
+        let mut row = vec![0i64; arity];
+        let mut pos = 20;
+        for _ in 0..n_rows {
+            for slot in row.iter_mut() {
+                *slot = i64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+                pos += 8;
+            }
+            table.push_row(&row);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_is_linear() {
+        let mut t = LineageTable::new(1, 1);
+        for i in 0..100 {
+            t.push_row(&[i, i]);
+        }
+        let bytes = Raw.encode(&t);
+        assert_eq!(bytes.len(), 20 + 100 * 2 * 8);
+        assert_eq!(Raw.decode(&bytes).row_set(), t.row_set());
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = LineageTable::new(2, 1);
+        let bytes = Raw.encode(&t);
+        let back = Raw.decode(&bytes);
+        assert!(back.is_empty());
+        assert_eq!(back.out_arity(), 2);
+    }
+}

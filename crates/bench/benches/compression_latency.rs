@@ -1,0 +1,77 @@
+//! Criterion companion to Fig. 7: compression latency as a function of
+//! input size, for the two extreme lineage types the paper measures —
+//! one-to-one element-wise lineage (A) and one-axis aggregation lineage
+//! (B) — across every storage format plus ProvRC and ProvRC-GZip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dslog::provrc;
+use dslog::storage::format as provrc_format;
+use dslog::table::{LineageTable, Orientation};
+use dslog_baselines::all_formats;
+
+/// One-to-one element-wise lineage over `n` cells.
+fn elementwise_lineage(n: usize) -> LineageTable {
+    let mut t = LineageTable::new(1, 1);
+    for i in 0..n as i64 {
+        t.push_row(&[i, i]);
+    }
+    t
+}
+
+/// One-axis aggregation lineage: `rows × cols` cells collapse to `rows`.
+fn aggregation_lineage(rows: usize, cols: usize) -> LineageTable {
+    let mut t = LineageTable::new(1, 2);
+    for i in 0..rows as i64 {
+        for j in 0..cols as i64 {
+            t.push_row(&[i, i, j]);
+        }
+    }
+    t
+}
+
+fn bench_pattern(
+    c: &mut Criterion,
+    group_name: &str,
+    make: impl Fn(usize) -> (LineageTable, Vec<usize>, Vec<usize>),
+) {
+    let mut group = c.benchmark_group(group_name);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let (table, out_shape, in_shape) = make(n);
+        group.throughput(Throughput::Elements(table.n_rows() as u64));
+
+        group.bench_with_input(BenchmarkId::new("ProvRC", n), &table, |b, t| {
+            b.iter(|| provrc::compress(t, &out_shape, &in_shape, Orientation::Backward))
+        });
+        group.bench_with_input(BenchmarkId::new("ProvRC-GZip", n), &table, |b, t| {
+            b.iter(|| {
+                let compressed =
+                    provrc::compress(t, &out_shape, &in_shape, Orientation::Backward);
+                provrc_format::serialize_gzip(&compressed)
+            })
+        });
+        for format in all_formats() {
+            group.bench_with_input(BenchmarkId::new(format.name(), n), &table, |b, t| {
+                b.iter(|| format.encode(t))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn compression_latency(c: &mut Criterion) {
+    bench_pattern(c, "fig7a_elementwise", |n| {
+        (elementwise_lineage(n), vec![n], vec![n])
+    });
+    bench_pattern(c, "fig7b_aggregation", |n| {
+        let cols = 100;
+        let rows = (n / cols).max(1);
+        (aggregation_lineage(rows, cols), vec![rows], vec![rows, cols])
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = compression_latency
+}
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Micro-benchmarks of ProvRC's internals: each compression stage, the
+//! disk-format serializer, decompression, and the per-hop merge step —
+//! the knobs DESIGN.md §3 calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dslog::provrc;
+use dslog::storage::format;
+use dslog::interval::Interval;
+use dslog::table::{BoxTable, LineageTable, Orientation};
+
+/// Pure range pattern (aggregation): exercises step 1 almost exclusively.
+fn range_pattern(n: usize) -> LineageTable {
+    let mut t = LineageTable::new(1, 2);
+    for i in 0..(n / 8).max(1) as i64 {
+        for j in 0..8 {
+            t.push_row(&[i, i, j]);
+        }
+    }
+    t
+}
+
+/// Diagonal pattern (element-wise): compresses only via the relative
+/// transformation of step 2.
+fn diagonal_pattern(n: usize) -> LineageTable {
+    let mut t = LineageTable::new(1, 1);
+    for i in 0..n as i64 {
+        t.push_row(&[i, i]);
+    }
+    t
+}
+
+/// Permutation (sort-like): the incompressible worst case.
+fn permutation_pattern(n: usize) -> LineageTable {
+    let n = n as i64;
+    let mut t = LineageTable::new(1, 1);
+    for i in 0..n {
+        t.push_row(&[i, (i * 48271 + 13) % n]);
+    }
+    t
+}
+
+fn compress_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provrc_compress");
+    group.sample_size(10);
+    let n = 20_000usize;
+    for (name, table, out_shape, in_shape) in [
+        ("range", range_pattern(n), vec![n / 8], vec![n / 8, 8]),
+        ("diagonal", diagonal_pattern(n), vec![n], vec![n]),
+        ("permutation", permutation_pattern(n), vec![n], vec![n]),
+    ] {
+        group.bench_with_input(BenchmarkId::new("backward", name), &table, |b, t| {
+            b.iter(|| provrc::compress(t, &out_shape, &in_shape, Orientation::Backward))
+        });
+        group.bench_with_input(BenchmarkId::new("both_orientations", name), &table, |b, t| {
+            b.iter(|| provrc::compress_both(t, &out_shape, &in_shape))
+        });
+    }
+    group.finish();
+}
+
+fn roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provrc_roundtrip");
+    group.sample_size(10);
+    let n = 20_000usize;
+    for (name, table, out_shape, in_shape) in [
+        ("diagonal", diagonal_pattern(n), vec![n], vec![n]),
+        ("permutation", permutation_pattern(n), vec![n], vec![n]),
+    ] {
+        let compressed = provrc::compress(&table, &out_shape, &in_shape, Orientation::Backward);
+        group.bench_with_input(BenchmarkId::new("serialize", name), &compressed, |b, t| {
+            b.iter(|| format::serialize(t))
+        });
+        let bytes = format::serialize(&compressed);
+        group.bench_with_input(BenchmarkId::new("deserialize", name), &bytes, |b, bytes| {
+            b.iter(|| format::deserialize(bytes).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("decompress", name), &compressed, |b, t| {
+            b.iter(|| t.decompress().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn merge_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boxtable_merge");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        // Adjacent unit boxes: the best case for merging (collapses to 1).
+        let mut adjacent = BoxTable::new(1);
+        for i in 0..n as i64 {
+            adjacent.push_box(&[Interval::point(i)]);
+        }
+        group.bench_with_input(BenchmarkId::new("adjacent", n), &adjacent, |b, t| {
+            b.iter_batched(
+                || t.clone(),
+                |mut t| {
+                    t.merge();
+                    t
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+
+        // Scattered boxes: merging finds nothing but must still scan.
+        let mut scattered = BoxTable::new(1);
+        for i in 0..n as i64 {
+            scattered.push_box(&[Interval::point(i * 3)]);
+        }
+        group.bench_with_input(BenchmarkId::new("scattered", n), &scattered, |b, t| {
+            b.iter_batched(
+                || t.clone(),
+                |mut t| {
+                    t.merge();
+                    t
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = compress_stages, roundtrip, merge_step
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Diagnostic: walk one random pipeline hop by hop, timing the θ-join and
+//! the merge separately and printing box counts, to locate the merge-mode
+//! blowup seen in debug_merge.
+
+use dslog::api::Dslog;
+use dslog::query::theta_join;
+use dslog::table::BoxTable;
+use dslog_workloads::random_numpy::{generate, RandomPipelineSpec};
+use std::time::Instant;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let p = generate(RandomPipelineSpec {
+        seed: seed.wrapping_mul(7919).wrapping_add(42),
+        n_ops: 5,
+        initial_cells: 100_000,
+    });
+    let mut db = Dslog::new();
+    p.register_into(&mut db).unwrap();
+
+    let shape = p.shape_of("a0").to_vec();
+    let cols = shape.get(1).copied().unwrap_or(1) as i64;
+    let cells: Vec<Vec<i64>> = (0..1000)
+        .map(|i| {
+            if shape.len() == 1 {
+                vec![i]
+            } else {
+                vec![i / cols, i % cols]
+            }
+        })
+        .collect();
+
+    for merge in [true, false] {
+        println!("== merge={merge} ==");
+        let mut cur = BoxTable::from_cells(shape.len(), &cells);
+        for hop in p.main_path.windows(2) {
+            let (table, _) = db.storage().resolve_hop(&hop[0], &hop[1]).unwrap();
+            let t0 = Instant::now();
+            let mut next = theta_join(&cur, &table);
+            let t_join = t0.elapsed();
+            let joined_boxes = next.n_boxes();
+            let t0 = Instant::now();
+            if merge {
+                next.merge();
+            }
+            let t_merge = t0.elapsed();
+            println!(
+                "  {}->{}: R rows {:>6}, Q {:>7} boxes -> join {:>8} boxes in {:>10.2?}, merge -> {:>7} boxes in {:>10.2?}",
+                hop[0],
+                hop[1],
+                table.n_rows(),
+                cur.n_boxes(),
+                joined_boxes,
+                t_join,
+                next.n_boxes(),
+                t_merge
+            );
+            cur = next;
+        }
+    }
+}

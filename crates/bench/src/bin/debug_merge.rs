@@ -1,0 +1,57 @@
+//! Diagnostic: per-pipeline DSLog vs DSLog-NoMerge timing with per-hop box
+//! counts, to locate where the merge step pays off or costs (Fig. 9's
+//! DSLog-NoMerge ablation).
+
+use dslog::api::Dslog;
+use dslog::query::QueryOptions;
+use dslog_workloads::random_numpy::{generate, RandomPipelineSpec};
+use std::time::Instant;
+
+fn main() {
+    for seed in 0..20u64 {
+        let p = generate(RandomPipelineSpec {
+            seed: seed.wrapping_mul(7919).wrapping_add(42),
+            n_ops: 5,
+            initial_cells: 100_000,
+        });
+        let mut db = Dslog::new();
+        // Materialize both orientations up front so the first timed query
+        // does not pay one-time forward-orientation derivation.
+        db.set_materialize(dslog::storage::Materialize::Both);
+        p.register_into(&mut db).unwrap();
+        let path: Vec<&str> = p.main_path.iter().map(String::as_str).collect();
+        let shape = p.shape_of("a0").to_vec();
+        let cols = shape.get(1).copied().unwrap_or(1) as i64;
+        let cells: Vec<Vec<i64>> = (0..1000)
+            .map(|i| {
+                if shape.len() == 1 {
+                    vec![i]
+                } else {
+                    vec![i / cols, i % cols]
+                }
+            })
+            .collect();
+
+        let t0 = Instant::now();
+        let merged = db
+            .prov_query_opts(&path, &cells, QueryOptions { merge: true })
+            .unwrap();
+        let t_merge = t0.elapsed();
+        let t0 = Instant::now();
+        let unmerged = db
+            .prov_query_opts(&path, &cells, QueryOptions { merge: false })
+            .unwrap();
+        let t_nomerge = t0.elapsed();
+        let ops: Vec<&str> = p
+            .hops
+            .iter()
+            .map(|h| h.out_array.as_str())
+            .collect();
+        println!(
+            "seed {seed:2}  merge {t_merge:>10.2?} ({} boxes)  nomerge {t_nomerge:>10.2?} ({} boxes)  {}",
+            merged.cells.n_boxes(),
+            unmerged.cells.n_boxes(),
+            ops.join(",")
+        );
+    }
+}

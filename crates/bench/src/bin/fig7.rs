@@ -1,0 +1,80 @@
+//! Figure 7: compression latency as a function of input size, for the two
+//! extreme lineage types — (A) one-to-one element-wise and (B) one-axis
+//! aggregation (paper §VII.C.2).
+//!
+//! Latency covers the full path the paper measures: "read,
+//! format-conversion, compression, and flush" — here, capture-table →
+//! encoded bytes.
+//!
+//! Run: `cargo run -p dslog-bench --release --bin fig7 [--scale f]`
+
+use dslog::provrc;
+use dslog::storage::format as provrc_format;
+use dslog::table::{LineageTable, Orientation};
+use dslog_array::{apply, OpArgs};
+use dslog_bench::{cli_scale_seed, secs, timed, TextTable};
+use dslog_baselines::all_formats;
+use dslog_workloads::pipelines::random_array;
+
+fn elementwise_lineage(cells: usize, seed: u64) -> (LineageTable, Vec<usize>, Vec<usize>) {
+    let a = random_array(&[cells], seed);
+    let r = apply("negative", &[&a], &OpArgs::none());
+    (
+        r.lineage[0].clone(),
+        r.output.shape().to_vec(),
+        a.shape().to_vec(),
+    )
+}
+
+fn aggregation_lineage(cells: usize, seed: u64) -> (LineageTable, Vec<usize>, Vec<usize>) {
+    let side = (cells as f64).sqrt() as usize;
+    let a = random_array(&[side.max(2), (cells / side.max(2)).max(2)], seed);
+    let r = apply("sum", &[&a], &OpArgs::ints(&[1]));
+    (
+        r.lineage[0].clone(),
+        r.output.shape().to_vec(),
+        a.shape().to_vec(),
+    )
+}
+
+fn bench_case(
+    title: &str,
+    gen: impl Fn(usize, u64) -> (LineageTable, Vec<usize>, Vec<usize>),
+    sizes: &[usize],
+    seed: u64,
+) {
+    println!("\n(Fig 7 {title}) compression latency vs input size");
+    let mut header = vec!["cells".to_string()];
+    let formats = all_formats();
+    header.extend(formats.iter().map(|f| f.name().to_string()));
+    header.push("ProvRC-GZip".to_string());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
+
+    for &cells in sizes {
+        let (lineage, out_shape, in_shape) = gen(cells, seed);
+        let mut row = vec![cells.to_string()];
+        for f in &formats {
+            let (_, t) = timed(|| f.encode(&lineage));
+            row.push(secs(t));
+        }
+        let (_, t) = timed(|| {
+            let c = provrc::compress(&lineage, &out_shape, &in_shape, Orientation::Backward);
+            provrc_format::serialize_gzip(&c)
+        });
+        row.push(secs(t));
+        table.row(&row);
+    }
+    println!("{}", table.render());
+}
+
+fn main() {
+    let (scale, seed) = cli_scale_seed();
+    println!("Figure 7 — compression latency (scale {scale}, seed {seed})");
+    let sizes: Vec<usize> = [1_000usize, 10_000, 100_000, 1_000_000]
+        .iter()
+        .map(|&s| ((s as f64 * scale) as usize).max(100))
+        .collect();
+    bench_case("A: element-wise", elementwise_lineage, &sizes, seed);
+    bench_case("B: aggregation", aggregation_lineage, &sizes, seed);
+}

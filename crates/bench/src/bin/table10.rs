@@ -1,0 +1,57 @@
+//! Table X: qualitative estimate of compressible operations and longest
+//! operation chains in Kaggle-style data-science workflows (paper §VII.F).
+//!
+//! 20 simulated notebook traces per dataset; compressibility of each array
+//! op is classified by actually compressing its lineage with ProvRC (see
+//! `dslog_workloads::kaggle`). The paper's numbers for comparison:
+//!
+//! ```text
+//! Flight : total 54.9±38.8  compressible 40.5±27.6 (76.3±11.0%)  chain 16.4±13.3
+//! Netflix: total 58.3±36.3  compressible 40.0±27.2 (66.9± 9.2%)  chain 14.2± 9.0
+//! ```
+//!
+//! Run: `cargo run -p dslog-bench --release --bin table10`
+
+use dslog_bench::{cli_scale_seed, TextTable};
+use dslog_workloads::kaggle::{mean_std, simulate, Dataset, NotebookTrace};
+
+fn summarize(name: &str, traces: &[NotebookTrace], table: &mut TextTable) {
+    let totals: Vec<f64> = traces.iter().map(|t| t.total_ops as f64).collect();
+    let comps: Vec<f64> = traces.iter().map(|t| t.compressible_ops as f64).collect();
+    let pcts: Vec<f64> = traces.iter().map(|t| t.compressible_pct()).collect();
+    let chains: Vec<f64> = traces.iter().map(|t| t.longest_chain as f64).collect();
+    let (tm, ts) = mean_std(&totals);
+    let (cm, cs) = mean_std(&comps);
+    let (pm, ps) = mean_std(&pcts);
+    let (lm, ls) = mean_std(&chains);
+    table.row(&[
+        name.to_string(),
+        format!("{tm:.1} ± {ts:.1}"),
+        format!("{cm:.1} ± {cs:.1}"),
+        format!("{pm:.1} ± {ps:.1}"),
+        format!("{lm:.1} ± {ls:.1}"),
+    ]);
+}
+
+fn main() {
+    let (_, seed) = cli_scale_seed();
+    println!("Table X — compressible operations and longest chains in simulated Kaggle workflows (seed {seed})\n");
+
+    let flight = simulate(Dataset::Flight, 20, seed);
+    let netflix = simulate(Dataset::Netflix, 20, seed ^ 0x4e7f);
+
+    let mut table = TextTable::new(&[
+        "Dataset",
+        "Total Op.",
+        "Compressible Op.",
+        "Compressible (%)",
+        "Longest Chain",
+    ]);
+    summarize("Flight", &flight, &mut table);
+    summarize("Netflix", &netflix, &mut table);
+    let mut all = flight;
+    all.extend(netflix);
+    summarize("Total", &all, &mut table);
+    println!("{}", table.render());
+    println!("(paper: Flight 54.9±38.8 / 40.5±27.6 / 76.3±11.0% / 16.4±13.3; Netflix 58.3±36.3 / 40±27.2 / 66.9±9.2% / 14.2±9.0)");
+}

@@ -1,0 +1,263 @@
+//! Table VII: compression ratio of 12 operations across all storage
+//! formats (Raw, Array, Parquet, Parquet-GZip, Turbo-RC, ProvRC,
+//! ProvRC-GZip).
+//!
+//! Run: `cargo run -p dslog-bench --release --bin table7 [--scale f]`
+//!
+//! Sizes are scaled for laptop runs (the paper used 1M-cell arrays and the
+//! full IMDB tables on a 192 GiB server); compression *ratios* and format
+//! rankings are the reproduction target.
+
+use dslog::provrc;
+use dslog::storage::format as provrc_format;
+use dslog::table::{LineageTable, Orientation};
+use dslog_array::{apply, image, OpArgs};
+use dslog_baselines::all_formats;
+use dslog_bench::{cli_scale_seed, mb, pct, TextTable};
+use dslog_workloads::{imdb, pipelines, relops, saliency, virat};
+
+/// One workload: named lineage tables plus their array shapes.
+struct Workload {
+    name: &'static str,
+    /// (lineage, out_shape, in_shape) per captured pair.
+    tables: Vec<(LineageTable, Vec<usize>, Vec<usize>)>,
+}
+
+fn workloads(scale: f64, seed: u64) -> Vec<Workload> {
+    let dim = |base: usize| ((base as f64 * scale) as usize).max(8);
+    let mut out = Vec::new();
+
+    // 1M-cell square at scale 1.0 → 1000x1000; default harness scale keeps
+    // CI-speed runs, pass --scale 2.5 for paper-sized arrays.
+    let side = dim(400);
+    let sq = pipelines::random_array(&[side, side], seed);
+
+    // Negative — one-to-one element-wise.
+    let r = apply("negative", &[&sq], &OpArgs::none());
+    out.push(Workload {
+        name: "Negative",
+        tables: vec![(
+            r.lineage[0].clone(),
+            r.output.shape().to_vec(),
+            sq.shape().to_vec(),
+        )],
+    });
+
+    // Addition — two inputs.
+    let sq2 = pipelines::random_array(&[side, side], seed ^ 1);
+    let r = apply("add", &[&sq, &sq2], &OpArgs::none());
+    out.push(Workload {
+        name: "Addition",
+        tables: vec![
+            (
+                r.lineage[0].clone(),
+                r.output.shape().to_vec(),
+                sq.shape().to_vec(),
+            ),
+            (
+                r.lineage[1].clone(),
+                r.output.shape().to_vec(),
+                sq2.shape().to_vec(),
+            ),
+        ],
+    });
+
+    // Aggregate — sum over axis 1.
+    let r = apply("sum", &[&sq], &OpArgs::ints(&[1]));
+    out.push(Workload {
+        name: "Aggregate",
+        tables: vec![(
+            r.lineage[0].clone(),
+            r.output.shape().to_vec(),
+            sq.shape().to_vec(),
+        )],
+    });
+
+    // Repetition — tile the flattened array 2x.
+    let flat = pipelines::random_array(&[side * side / 2], seed ^ 2);
+    let r = apply("tile", &[&flat], &OpArgs::ints(&[2]));
+    out.push(Workload {
+        name: "Repetition",
+        tables: vec![(
+            r.lineage[0].clone(),
+            r.output.shape().to_vec(),
+            flat.shape().to_vec(),
+        )],
+    });
+
+    // Matrix*Vector.
+    let mside = dim(280);
+    let m = pipelines::random_array(&[mside, mside], seed ^ 3);
+    let v = pipelines::random_array(&[mside], seed ^ 4);
+    let r = apply("matmul", &[&m, &v], &OpArgs::none());
+    out.push(Workload {
+        name: "Matrix*Vector",
+        tables: vec![
+            (
+                r.lineage[0].clone(),
+                r.output.shape().to_vec(),
+                m.shape().to_vec(),
+            ),
+            (
+                r.lineage[1].clone(),
+                r.output.shape().to_vec(),
+                v.shape().to_vec(),
+            ),
+        ],
+    });
+
+    // Matrix*Matrix (heavily scaled: the paper's 1000² matmul lineage is
+    // 40 GB raw).
+    let mm = dim(72);
+    let a = pipelines::random_array(&[mm, mm], seed ^ 5);
+    let b = pipelines::random_array(&[mm, mm], seed ^ 6);
+    let r = apply("matmul", &[&a, &b], &OpArgs::none());
+    out.push(Workload {
+        name: "Matrix*Matrix",
+        tables: vec![
+            (
+                r.lineage[0].clone(),
+                r.output.shape().to_vec(),
+                a.shape().to_vec(),
+            ),
+            (
+                r.lineage[1].clone(),
+                r.output.shape().to_vec(),
+                b.shape().to_vec(),
+            ),
+        ],
+    });
+
+    // Sort — the worst case.
+    let flat = pipelines::random_array(&[side * side], seed ^ 7);
+    let r = apply("sort", &[&flat], &OpArgs::none());
+    out.push(Workload {
+        name: "Sort",
+        tables: vec![(
+            r.lineage[0].clone(),
+            r.output.shape().to_vec(),
+            flat.shape().to_vec(),
+        )],
+    });
+
+    // ImgFilter — value-dependent 3x3 filter.
+    let img_side = dim(180);
+    let frame = virat::synthetic_frame(img_side, img_side, seed ^ 8);
+    let r = image::img_filter(&frame, 100.0);
+    out.push(Workload {
+        name: "ImgFilter",
+        tables: vec![(
+            r.lineage[0].clone(),
+            r.output.shape().to_vec(),
+            frame.shape().to_vec(),
+        )],
+    });
+
+    // Lime / DRISE — explainable-AI capture on the synthetic frame.
+    let xai_side = dim(160);
+    let frame = virat::synthetic_frame(xai_side, xai_side, seed ^ 9);
+    let (det, lineage) = saliency::lime_capture(&frame, 8, seed ^ 10);
+    out.push(Workload {
+        name: "Lime",
+        tables: vec![(lineage, det.shape().to_vec(), frame.shape().to_vec())],
+    });
+    let (det, lineage) = saliency::drise_capture(&frame, 24, seed ^ 11);
+    out.push(Workload {
+        name: "DRISE",
+        tables: vec![(lineage, det.shape().to_vec(), frame.shape().to_vec())],
+    });
+
+    // Group By / Inner Join on the synthetic IMDB tables.
+    let rows = dim(220) * dim(220) / 4;
+    let tables = imdb::generate(rows, seed ^ 12);
+    let r = relops::group_by_sum(&tables.basics, 4, 3);
+    out.push(Workload {
+        name: "Group By",
+        tables: vec![(
+            r.lineage[0].clone(),
+            r.output.shape().to_vec(),
+            tables.basics.shape().to_vec(),
+        )],
+    });
+    let r = relops::inner_join(&tables.basics, &tables.episode, 0, 0);
+    out.push(Workload {
+        name: "Inner Join",
+        tables: vec![
+            (
+                r.lineage[0].clone(),
+                r.output.shape().to_vec(),
+                tables.basics.shape().to_vec(),
+            ),
+            (
+                r.lineage[1].clone(),
+                r.output.shape().to_vec(),
+                tables.episode.shape().to_vec(),
+            ),
+        ],
+    });
+
+    out
+}
+
+fn main() {
+    let (scale, seed) = cli_scale_seed();
+    println!("Table VII — compression ratio per operation (scale {scale}, seed {seed})");
+    println!("(paper: Chameleon Xeon + 192 GiB, 1M-cell arrays; here: scaled, ratios comparable)\n");
+
+    let formats = all_formats();
+    let mut header: Vec<&str> = vec!["Name", "Raw(MB)"];
+    let names: Vec<String> = formats
+        .iter()
+        .skip(1) // Raw handled as the yardstick column
+        .map(|f| f.name().to_string())
+        .collect();
+    let mut owned: Vec<String> = Vec::new();
+    for n in &names {
+        owned.push(format!("{n}(MB)"));
+        owned.push(format!("{n}(%)"));
+    }
+    owned.push("ProvRC(MB)".into());
+    owned.push("ProvRC(%)".into());
+    owned.push("ProvRC-GZip(MB)".into());
+    owned.push("ProvRC-GZip(%)".into());
+    header.extend(owned.iter().map(String::as_str));
+    let mut table = TextTable::new(&header);
+
+    for w in workloads(scale, seed) {
+        let raw_bytes: usize = w
+            .tables
+            .iter()
+            .map(|(t, _, _)| formats[0].encode(t).len())
+            .sum();
+        let mut cells = vec![w.name.to_string(), mb(raw_bytes)];
+        for f in formats.iter().skip(1) {
+            let bytes: usize = w.tables.iter().map(|(t, _, _)| f.encode(t).len()).sum();
+            cells.push(mb(bytes));
+            cells.push(pct(bytes, raw_bytes));
+        }
+        // ProvRC (backward orientation only, as stored long-term).
+        let provrc_bytes: usize = w
+            .tables
+            .iter()
+            .map(|(t, out_shape, in_shape)| {
+                let c = provrc::compress(t, out_shape, in_shape, Orientation::Backward);
+                provrc_format::serialize(&c).len()
+            })
+            .sum();
+        cells.push(mb(provrc_bytes));
+        cells.push(pct(provrc_bytes, raw_bytes));
+        let gz_bytes: usize = w
+            .tables
+            .iter()
+            .map(|(t, out_shape, in_shape)| {
+                let c = provrc::compress(t, out_shape, in_shape, Orientation::Backward);
+                provrc_format::serialize_gzip(&c).len()
+            })
+            .sum();
+        cells.push(mb(gz_bytes));
+        cells.push(pct(gz_bytes, raw_bytes));
+        table.row(&cells);
+        eprintln!("  done: {}", w.name);
+    }
+    println!("{}", table.render());
+}

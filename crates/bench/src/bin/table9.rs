@@ -1,0 +1,231 @@
+//! Table IX: numpy API operations covered by compression and reuse
+//! (paper §VII.E).
+//!
+//! Every catalog operation is executed 20 times (10 distinct shapes × 2
+//! data seeds). Per op we record:
+//! * **compression** — serialized ProvRC < 50% of the raw relation,
+//! * **dim_sig** — the predictor promoted a shape-level mapping,
+//! * **gen_sig** — the predictor promoted a generalized mapping,
+//! * **error**  — a promoted gen mapping predicts *wrong* lineage at a
+//!   held-out shape (the paper's `cross` misprediction).
+//!
+//! Run: `cargo run -p dslog-bench --release --bin table9`
+
+use dslog::provrc;
+use dslog::reuse::{Mapping, ReuseManager, SigKind};
+use dslog::table::Orientation;
+use dslog_array::{catalog, Array, OpArgs, OpCategory, OpDef};
+use dslog_bench::{cli_scale_seed, TextTable};
+use dslog_workloads::pipelines::random_array;
+
+/// Shapes for the 20 training runs of an op (10 distinct × 2 seeds) plus a
+/// held-out validation shape.
+fn shapes_for(def: &OpDef) -> (Vec<Vec<usize>>, Vec<usize>) {
+    if def.name == "cross" {
+        // Batched 3-vectors of varying batch size; held-out: 2-vectors —
+        // the shape regime where the lineage pattern changes.
+        let train: Vec<Vec<usize>> = (0..10).map(|i| vec![4 + i, 3]).collect();
+        (train, vec![5, 2])
+    } else {
+        let train: Vec<Vec<usize>> = (0..10).map(|i| vec![6 + i, 4 + (i % 3)]).collect();
+        (train, vec![9, 5])
+    }
+}
+
+/// Build inputs for one run of an op at the given primary shape.
+fn inputs_for(def: &OpDef, shape: &[usize], seed: u64) -> Vec<Array> {
+    let a = random_array(shape, seed);
+    match (def.arity, def.name) {
+        (1, _) => vec![a],
+        (2, "matmul" | "dot" | "inner") => {
+            let b_shape: Vec<usize> = shape.iter().rev().copied().collect();
+            vec![a, random_array(&b_shape, seed ^ 0x9d)]
+        }
+        (2, _) => vec![a, random_array(shape, seed ^ 0x5e)],
+        _ => unreachable!(),
+    }
+}
+
+/// Execute and wrap the result as a reuse mapping (backward orientation).
+fn capture_mapping(def: &OpDef, inputs: &[Array]) -> Mapping {
+    let refs: Vec<&Array> = inputs.iter().collect();
+    let r = (def.apply)(&refs, &OpArgs::none());
+    let tables = r
+        .lineage
+        .iter()
+        .enumerate()
+        .map(|(i, lineage)| {
+            provrc::compress(
+                lineage,
+                r.output.shape(),
+                inputs[i].shape(),
+                Orientation::Backward,
+            )
+        })
+        .collect();
+    Mapping {
+        tables,
+        in_shapes: inputs.iter().map(|a| a.shape().to_vec()).collect(),
+        out_shapes: vec![r.output.shape().to_vec()],
+    }
+}
+
+struct Row {
+    compressed: bool,
+    dim: bool,
+    gen: bool,
+    error: bool,
+}
+
+fn evaluate(def: &OpDef, seed: u64) -> Row {
+    let (train_shapes, holdout) = shapes_for(def);
+
+    // Compression: measured on the first run. The criterion is *pattern*
+    // compressibility — ProvRC row reduction below 50% — because byte
+    // shrinkage alone can come from varint coding even on permutation
+    // lineage like `sort` (DESIGN.md §8).
+    let inputs = inputs_for(def, &train_shapes[0], seed);
+    let refs: Vec<&Array> = inputs.iter().collect();
+    let r = (def.apply)(&refs, &OpArgs::none());
+    let mut raw_rows = 0usize;
+    let mut compressed_rows = 0usize;
+    for (i, lineage) in r.lineage.iter().enumerate() {
+        if lineage.is_empty() {
+            continue;
+        }
+        let c = provrc::compress(
+            lineage,
+            r.output.shape(),
+            inputs[i].shape(),
+            Orientation::Backward,
+        );
+        raw_rows += lineage.normalized().n_rows();
+        compressed_rows += c.n_rows();
+    }
+    let compressed = raw_rows > 0 && (compressed_rows as f64) < 0.5 * raw_rows as f64;
+
+    // Reuse: 20 runs through the automatic predictor (m = 1).
+    let mut mgr = ReuseManager::new(1);
+    for (run, shape) in train_shapes
+        .iter()
+        .flat_map(|s| [s, s])
+        .enumerate()
+    {
+        let inputs = inputs_for(def, shape, seed.wrapping_add(run as u64 * 131));
+        let in_shapes: Vec<Vec<usize>> = inputs.iter().map(|a| a.shape().to_vec()).collect();
+        let out_shapes = vec![{
+            let refs: Vec<&Array> = inputs.iter().collect();
+            (def.apply)(&refs, &OpArgs::none()).output.shape().to_vec()
+        }];
+        if mgr
+            .lookup(def.name, &[], None, &in_shapes, &out_shapes)
+            .is_some()
+        {
+            continue; // served from a permanent mapping, as DSLog would
+        }
+        let mapping = capture_mapping(def, &inputs);
+        mgr.observe(def.name, &[], None, &mapping);
+    }
+    let dim = mgr.has_permanent(def.name, &[], SigKind::Dim);
+    let gen = mgr.has_permanent(def.name, &[], SigKind::Gen);
+
+    // Error check: a promoted gen mapping must predict the held-out shape.
+    let mut error = false;
+    if gen {
+        let inputs = inputs_for(def, &holdout, seed ^ 0x777);
+        let truth = capture_mapping(def, &inputs);
+        if let Some((_, predicted)) = mgr.lookup(
+            def.name,
+            &[],
+            None,
+            &truth.in_shapes,
+            &truth.out_shapes,
+        ) {
+            let agree = predicted.tables.len() == truth.tables.len()
+                && predicted
+                    .tables
+                    .iter()
+                    .zip(truth.tables.iter())
+                    .all(|(p, t)| match (p.decompress(), t.decompress()) {
+                        (Ok(dp), Ok(dt)) => dp.row_set() == dt.row_set(),
+                        _ => false,
+                    });
+            error = !agree;
+        }
+    }
+
+    Row {
+        compressed,
+        dim,
+        gen,
+        error,
+    }
+}
+
+fn main() {
+    let (_, seed) = cli_scale_seed();
+    println!("Table IX — numpy API operations covered by compression and reuse (seed {seed})\n");
+
+    let mut per_category: std::collections::BTreeMap<&str, (usize, usize, usize, usize, usize)> =
+        std::collections::BTreeMap::new();
+    let mut errors: Vec<&str> = Vec::new();
+    for def in catalog() {
+        let row = evaluate(def, seed);
+        let key = match def.category {
+            OpCategory::Element => "element",
+            OpCategory::Complex => "complex",
+        };
+        let e = per_category.entry(key).or_default();
+        e.0 += 1;
+        e.1 += row.compressed as usize;
+        e.2 += row.dim as usize;
+        e.3 += row.gen as usize;
+        e.4 += row.error as usize;
+        if row.error {
+            errors.push(def.name);
+        }
+        eprint!("\r  evaluated {}                    ", def.name);
+    }
+    eprintln!();
+
+    let mut table = TextTable::new(&[
+        "Op.", "Tot.", "ProvRC", "%", "dim_sig", "%", "gen_sig", "%", "Error",
+    ]);
+    let mut totals = (0usize, 0usize, 0usize, 0usize, 0usize);
+    for (key, (tot, comp, dim, gen, err)) in &per_category {
+        let pctf = |x: usize| format!("{:.1}", 100.0 * x as f64 / *tot as f64);
+        table.row(&[
+            key.to_string(),
+            tot.to_string(),
+            comp.to_string(),
+            pctf(*comp),
+            dim.to_string(),
+            pctf(*dim),
+            gen.to_string(),
+            pctf(*gen),
+            err.to_string(),
+        ]);
+        totals.0 += tot;
+        totals.1 += comp;
+        totals.2 += dim;
+        totals.3 += gen;
+        totals.4 += err;
+    }
+    let pctf = |x: usize| format!("{:.1}", 100.0 * x as f64 / totals.0 as f64);
+    table.row(&[
+        "total".to_string(),
+        totals.0.to_string(),
+        totals.1.to_string(),
+        pctf(totals.1),
+        totals.2.to_string(),
+        pctf(totals.2),
+        totals.3.to_string(),
+        pctf(totals.3),
+        totals.4.to_string(),
+    ]);
+    println!("{}", table.render());
+    if !errors.is_empty() {
+        println!("mispredicted ops: {errors:?} (paper: cross)");
+    }
+    println!("(paper: element 75/75/75/75/0; complex 61/55/51/24/1; total 136/130/126/99/1)");
+}

@@ -1,0 +1,242 @@
+//! CLI subcommand implementations. Each returns the text to print so the
+//! test suite can drive commands in-process.
+
+use crate::csv;
+use crate::opts::{parse_array_spec, parse_cells, Opts};
+use dslog::api::{Dslog, TableCapture};
+use dslog::provrc;
+use dslog::storage::format as provrc_format;
+use dslog::table::Orientation;
+use dslog_baselines::all_formats;
+use std::fmt::Write as _;
+
+/// `dslog help`
+pub fn help() -> String {
+    "\
+dslog — fine-grained array lineage storage, compression, and querying
+
+USAGE:
+  dslog ingest   --db DIR --in NAME:3x2 --out NAME:3 --csv FILE [--op NAME] [--gzip]
+  dslog stats    --db DIR
+  dslog query    --db DIR --path B,A --cells \"1;2;0\" [--no-merge]
+  dslog export   --db DIR --edge IN,OUT [--csv FILE]
+  dslog compress --csv FILE --out-arity N
+  dslog help
+
+A database is a directory of ProvRC-compressed lineage tables plus a
+catalog. CSV relations have one row per lineage pair: output-cell indices
+first, then input-cell indices (Figure 1B of the DSLog paper).
+
+Query cells are `;`-separated, each a `,`-separated index tuple of the
+first array on --path. The answer lists interval boxes over the last
+array's axes.
+"
+    .to_string()
+}
+
+fn open_db(opts: &Opts) -> Result<Dslog, String> {
+    let dir = opts.required("db")?;
+    Dslog::open(dir).map_err(|e| format!("open {dir}: {e}"))
+}
+
+/// `dslog ingest`: add one CSV relation as an edge, creating or extending
+/// the database directory.
+pub fn ingest(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let db_dir = opts.required("db")?;
+    let (in_name, in_shape) = parse_array_spec(opts.required("in")?)?;
+    let (out_name, out_shape) = parse_array_spec(opts.required("out")?)?;
+    let csv_path = opts.required("csv")?;
+    let gzip = opts.switch("gzip");
+
+    let text = std::fs::read_to_string(csv_path).map_err(|e| format!("read {csv_path}: {e}"))?;
+    let table = csv::parse(&text, out_shape.len(), in_shape.len())?;
+    let n_rows = table.n_rows();
+    let raw_bytes = table.nbytes();
+
+    // Extend an existing database or start a fresh one.
+    let mut db = match Dslog::open(db_dir) {
+        Ok(db) => db,
+        Err(dslog::DslogError::Io(_)) => Dslog::new(),
+        Err(e) => return Err(format!("open {db_dir}: {e}")),
+    };
+    db.define_array(&in_name, &in_shape).map_err(|e| e.to_string())?;
+    db.define_array(&out_name, &out_shape).map_err(|e| e.to_string())?;
+    db.add_lineage(&in_name, &out_name, &TableCapture::new(table))
+        .map_err(|e| e.to_string())?;
+    db.save(db_dir, gzip).map_err(|e| e.to_string())?;
+
+    let stored = db
+        .storage()
+        .stored_table(&in_name, &out_name, Orientation::Backward)
+        .map_err(|e| e.to_string())?;
+    let compressed_bytes = if gzip {
+        provrc_format::serialize_gzip(&stored).len()
+    } else {
+        provrc_format::serialize(&stored).len()
+    };
+    Ok(format!(
+        "ingested {n_rows} lineage rows as edge {in_name} -> {out_name}\n\
+         compressed {} rows, {raw_bytes} B raw -> {compressed_bytes} B on disk ({:.3}%)\n",
+        stored.n_rows(),
+        100.0 * compressed_bytes as f64 / raw_bytes.max(1) as f64
+    ))
+}
+
+/// `dslog stats`: what the database holds.
+pub fn stats(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let db = open_db(&opts)?;
+    let storage = db.storage();
+    let mut out = String::new();
+    let names = storage.array_names();
+    writeln!(out, "{} array(s):", names.len()).unwrap();
+    for name in &names {
+        let meta = storage.array(name).map_err(|e| e.to_string())?;
+        writeln!(out, "  {name}  shape {:?}", meta.shape).unwrap();
+    }
+    writeln!(
+        out,
+        "{} edge(s), {} B of compressed lineage on disk",
+        storage.n_edges(),
+        storage.storage_bytes()
+    )
+    .unwrap();
+    Ok(out)
+}
+
+/// `dslog query`: forward/backward lineage along a path.
+pub fn query(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let db = open_db(&opts)?;
+    let path_spec = opts.required("path")?;
+    let path: Vec<&str> = path_spec.split(',').map(str::trim).collect();
+    let cells = parse_cells(opts.required("cells")?)?;
+    if cells.is_empty() {
+        return Err("no query cells given".to_string());
+    }
+
+    let result = db
+        .prov_query_opts(
+            &path,
+            &cells,
+            dslog::query::QueryOptions {
+                merge: !opts.switch("no-merge"),
+            },
+        )
+        .map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} box(es), {} cell(s), {} hop(s):",
+        result.cells.n_boxes(),
+        result.cells.volume(),
+        result.hops
+    )
+    .unwrap();
+    for b in result.cells.boxes() {
+        let dims: Vec<String> = b
+            .iter()
+            .map(|ivl| {
+                if ivl.is_point() {
+                    format!("{}", ivl.lo)
+                } else {
+                    format!("[{}, {}]", ivl.lo, ivl.hi)
+                }
+            })
+            .collect();
+        writeln!(out, "  ({})", dims.join(", ")).unwrap();
+    }
+    Ok(out)
+}
+
+/// `dslog export`: decompress one edge back to CSV (stdout or --csv FILE).
+pub fn export(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let db = open_db(&opts)?;
+    let edge_spec = opts.required("edge")?;
+    let (in_name, out_name) = edge_spec
+        .split_once(',')
+        .ok_or_else(|| format!("--edge `{edge_spec}` must be IN,OUT"))?;
+    let stored = db
+        .storage()
+        .stored_table(in_name.trim(), out_name.trim(), Orientation::Backward)
+        .map_err(|e| e.to_string())?;
+    let table = stored.decompress().map_err(|e| e.to_string())?;
+    let rendered = csv::render(&table);
+    if let Some(path) = opts.optional("csv") {
+        std::fs::write(path, &rendered).map_err(|e| format!("write {path}: {e}"))?;
+        Ok(format!("wrote {} rows to {path}\n", table.n_rows()))
+    } else {
+        Ok(rendered)
+    }
+}
+
+/// `dslog compress`: compare every storage format on a CSV relation.
+pub fn compress(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let csv_path = opts.required("csv")?;
+    let out_arity = opts.required_usize("out-arity")?;
+    let text = std::fs::read_to_string(csv_path).map_err(|e| format!("read {csv_path}: {e}"))?;
+
+    // Infer total arity from the first data row.
+    let arity = text
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .ok_or("empty CSV")?
+        .split(',')
+        .count();
+    if out_arity == 0 || out_arity >= arity {
+        return Err(format!(
+            "--out-arity {out_arity} impossible for {arity}-column rows"
+        ));
+    }
+    let table = csv::parse(&text, out_arity, arity - out_arity)?;
+
+    // Shapes for ProvRC: tight bounding extents of the observed indices.
+    let mut extents = vec![1i64; arity];
+    for row in table.rows() {
+        for (e, &v) in extents.iter_mut().zip(row) {
+            *e = (*e).max(v + 1);
+        }
+    }
+    let out_shape: Vec<usize> = extents[..out_arity].iter().map(|&e| e as usize).collect();
+    let in_shape: Vec<usize> = extents[out_arity..].iter().map(|&e| e as usize).collect();
+
+    let raw_bytes = table.nbytes();
+    let mut rows: Vec<(String, usize)> = all_formats()
+        .iter()
+        .map(|f| (f.name().to_string(), f.encode(&table).len()))
+        .collect();
+    let provrc_table = provrc::compress(&table, &out_shape, &in_shape, Orientation::Backward);
+    rows.push((
+        "ProvRC".to_string(),
+        provrc_format::serialize(&provrc_table).len(),
+    ));
+    rows.push((
+        "ProvRC-GZip".to_string(),
+        provrc_format::serialize_gzip(&provrc_table).len(),
+    ));
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} rows, {} output + {} input attributes, {raw_bytes} B raw\n",
+        table.n_rows(),
+        out_arity,
+        arity - out_arity
+    )
+    .unwrap();
+    writeln!(out, "{:<14} {:>12} {:>10}", "format", "bytes", "% of raw").unwrap();
+    for (name, bytes) in rows {
+        writeln!(
+            out,
+            "{name:<14} {bytes:>12} {:>10.4}",
+            100.0 * bytes as f64 / raw_bytes.max(1) as f64
+        )
+        .unwrap();
+    }
+    Ok(out)
+}

@@ -1,0 +1,74 @@
+//! CSV import/export of lineage relations.
+//!
+//! One row per line, comma-separated integers: the first `out_arity`
+//! columns are output-cell indices, the rest input-cell indices — exactly
+//! the relational representation of Figure 1(B). Lines starting with `#`
+//! and blank lines are skipped, so exported files can carry a header
+//! comment and re-import cleanly.
+
+use dslog::table::LineageTable;
+
+/// Parse CSV text into a relation with the given arities.
+pub fn parse(text: &str, out_arity: usize, in_arity: usize) -> Result<LineageTable, String> {
+    let mut table = LineageTable::new(out_arity, in_arity);
+    let arity = out_arity + in_arity;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let row: Result<Vec<i64>, _> = line.split(',').map(|v| v.trim().parse()).collect();
+        let row = row.map_err(|_| format!("line {}: bad integer in `{line}`", lineno + 1))?;
+        if row.len() != arity {
+            return Err(format!(
+                "line {}: expected {arity} columns ({out_arity} output + {in_arity} input), got {}",
+                lineno + 1,
+                row.len()
+            ));
+        }
+        table.push_row(&row);
+    }
+    table.normalize();
+    Ok(table)
+}
+
+/// Render a relation as CSV (rows in normalized order).
+pub fn render(table: &LineageTable) -> String {
+    let mut out = String::new();
+    for row in table.rows() {
+        let cols: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        out.push_str(&cols.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_roundtrip() {
+        let text = "# comment\n1,1,0\n1,1,1\n\n0,0,0\n";
+        let t = parse(text, 1, 2).unwrap();
+        assert_eq!(t.n_rows(), 3);
+        let rendered = render(&t);
+        let t2 = parse(&rendered, 1, 2).unwrap();
+        assert_eq!(t.row_set(), t2.row_set());
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        assert!(parse("1,2", 1, 2).is_err(), "short row");
+        assert!(parse("1,2,x", 1, 2).is_err(), "non-integer");
+        assert!(parse("1,2,3,4", 1, 2).is_err(), "long row");
+    }
+
+    #[test]
+    fn negative_indices_parse() {
+        // Relative/offset tooling may produce negatives; the CSV layer is
+        // agnostic (bounds are the query layer's concern).
+        let t = parse("0,-1", 1, 1).unwrap();
+        assert_eq!(t.row(0), &[0, -1]);
+    }
+}

@@ -1,0 +1,145 @@
+//! `dslog` — command-line interface for DSLog lineage databases.
+//!
+//! A lineage database is a directory written by [`dslog::Dslog::save`].
+//! The CLI covers the full capture-free workflow: ingest relations from
+//! CSV, inspect what is stored, run forward/backward queries, export back
+//! to CSV, and compare storage formats on a relation.
+//!
+//! ```text
+//! dslog ingest  --db DIR --in A:3x2 --out B:3 --csv lineage.csv [--gzip]
+//! dslog stats   --db DIR
+//! dslog query   --db DIR --path B,A --cells "1;2"
+//! dslog export  --db DIR --edge A,B [--csv out.csv]
+//! dslog compress --csv lineage.csv --out-arity 1
+//! dslog help
+//! ```
+
+mod commands;
+mod csv;
+mod opts;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Dispatch a full command line; returns the text to print. Kept separate
+/// from `main` so tests can drive the CLI in-process.
+pub(crate) fn run(args: &[String]) -> Result<String, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(commands::help());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "ingest" => commands::ingest(rest),
+        "stats" => commands::stats(rest),
+        "query" => commands::query(rest),
+        "export" => commands::export(rest),
+        "compress" => commands::compress(rest),
+        "help" | "--help" | "-h" => Ok(commands::help()),
+        other => Err(format!("unknown command `{other}`; see `dslog help`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn temp_db(tag: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("dslog-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    fn write_sum_csv(tag: &str) -> String {
+        let path = std::env::temp_dir().join(format!("dslog-cli-{tag}-{}.csv", std::process::id()));
+        let mut body = String::new();
+        for i in 0..3 {
+            for j in 0..2 {
+                body.push_str(&format!("{i},{i},{j}\n"));
+            }
+        }
+        std::fs::write(&path, body).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let out = run(&[]).unwrap();
+        for cmd in ["ingest", "stats", "query", "export", "compress"] {
+            assert!(out.contains(cmd), "help should mention {cmd}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn full_ingest_stats_query_export_cycle() {
+        let db = temp_db("cycle");
+        let csv = write_sum_csv("cycle");
+
+        let out = run(&s(&[
+            "ingest", "--db", &db, "--in", "A:3x2", "--out", "B:3", "--csv", &csv,
+        ]))
+        .unwrap();
+        assert!(out.contains("ingested"), "{out}");
+
+        let stats = run(&s(&["stats", "--db", &db])).unwrap();
+        assert!(stats.contains('A') && stats.contains('B'), "{stats}");
+        assert!(stats.contains("1 edge"), "{stats}");
+
+        // Backward query: B[1] -> A must hit row 1, both columns.
+        let q = run(&s(&["query", "--db", &db, "--path", "B,A", "--cells", "1"])).unwrap();
+        assert!(q.contains("(1, [0, 1])"), "{q}");
+
+        // Export roundtrips the relation.
+        let q2 = run(&s(&["export", "--db", &db, "--edge", "A,B"])).unwrap();
+        assert_eq!(q2.lines().count(), 6, "{q2}");
+        assert!(q2.lines().any(|l| l == "2,2,1"), "{q2}");
+
+        let _ = std::fs::remove_dir_all(&db);
+        let _ = std::fs::remove_file(&csv);
+    }
+
+    #[test]
+    fn compress_reports_all_formats() {
+        let csv = write_sum_csv("compress");
+        let out = run(&s(&["compress", "--csv", &csv, "--out-arity", "1"])).unwrap();
+        for fmt in ["Raw", "Parquet", "Turbo-RC", "ProvRC"] {
+            assert!(out.contains(fmt), "missing {fmt} in:\n{out}");
+        }
+        let _ = std::fs::remove_file(&csv);
+    }
+
+    #[test]
+    fn query_rejects_bad_cells() {
+        let db = temp_db("badcells");
+        let csv = write_sum_csv("badcells");
+        run(&s(&[
+            "ingest", "--db", &db, "--in", "A:3x2", "--out", "B:3", "--csv", &csv,
+        ]))
+        .unwrap();
+        assert!(run(&s(&["query", "--db", &db, "--path", "B,A", "--cells", "9"])).is_err());
+        assert!(run(&s(&["query", "--db", &db, "--path", "B", "--cells", "1"])).is_err());
+        let _ = std::fs::remove_dir_all(&db);
+        let _ = std::fs::remove_file(&csv);
+    }
+}

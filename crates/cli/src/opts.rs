@@ -1,0 +1,149 @@
+//! Minimal `--flag value` argument parsing (no third-party parser: the
+//! offline dependency set has none, and the grammar here is tiny).
+
+use std::collections::BTreeMap;
+
+/// Parsed flags: `--key value` pairs plus bare `--switch` booleans.
+#[derive(Debug, Default)]
+pub struct Opts {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Flags that take no value.
+const SWITCHES: &[&str] = &["gzip", "no-merge", "forward-store"];
+
+impl Opts {
+    /// Parse `--key value` / `--switch` arguments; rejects positionals.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = Opts::default();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{arg}`"));
+            };
+            if SWITCHES.contains(&key) {
+                opts.switches.push(key.to_string());
+                i += 1;
+                continue;
+            }
+            let Some(value) = args.get(i + 1) else {
+                return Err(format!("flag --{key} needs a value"));
+            };
+            if opts.values.insert(key.to_string(), value.clone()).is_some() {
+                return Err(format!("flag --{key} given twice"));
+            }
+            i += 2;
+        }
+        Ok(opts)
+    }
+
+    /// A required string flag.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// A required `usize` flag.
+    pub fn required_usize(&self, key: &str) -> Result<usize, String> {
+        self.required(key)?
+            .parse()
+            .map_err(|_| format!("flag --{key} must be an integer"))
+    }
+}
+
+/// Parse an `NAME:AxBxC` array spec into (name, shape).
+pub fn parse_array_spec(spec: &str) -> Result<(String, Vec<usize>), String> {
+    let (name, dims) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("array spec `{spec}` must look like NAME:3x2"))?;
+    if name.is_empty() {
+        return Err(format!("array spec `{spec}` has an empty name"));
+    }
+    let shape: Result<Vec<usize>, _> = dims.split('x').map(str::parse).collect();
+    let shape = shape.map_err(|_| format!("bad dimensions in array spec `{spec}`"))?;
+    if shape.is_empty() || shape.contains(&0) {
+        return Err(format!("array spec `{spec}` needs positive dimensions"));
+    }
+    Ok((name.to_string(), shape))
+}
+
+/// Parse a `;`-separated list of `,`-separated cell indices:
+/// `"1;2;0,1"` → `[[1], [2], [0, 1]]` (arity checked by the query layer).
+pub fn parse_cells(spec: &str) -> Result<Vec<Vec<i64>>, String> {
+    spec.split(';')
+        .filter(|s| !s.trim().is_empty())
+        .map(|cell| {
+            cell.split(',')
+                .map(|v| {
+                    v.trim()
+                        .parse::<i64>()
+                        .map_err(|_| format!("bad cell index `{v}` in `{spec}`"))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_switches() {
+        let o = Opts::parse(&s(&["--db", "/tmp/x", "--gzip", "--path", "B,A"])).unwrap();
+        assert_eq!(o.required("db").unwrap(), "/tmp/x");
+        assert_eq!(o.required("path").unwrap(), "B,A");
+        assert!(o.switch("gzip"));
+        assert!(!o.switch("no-merge"));
+        assert!(o.optional("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_positionals_duplicates_and_dangling() {
+        assert!(Opts::parse(&s(&["positional"])).is_err());
+        assert!(Opts::parse(&s(&["--db", "a", "--db", "b"])).is_err());
+        assert!(Opts::parse(&s(&["--db"])).is_err());
+    }
+
+    #[test]
+    fn array_specs() {
+        assert_eq!(
+            parse_array_spec("A:3x2").unwrap(),
+            ("A".to_string(), vec![3, 2])
+        );
+        assert_eq!(parse_array_spec("B:7").unwrap(), ("B".to_string(), vec![7]));
+        assert!(parse_array_spec("A").is_err());
+        assert!(parse_array_spec(":3").is_err());
+        assert!(parse_array_spec("A:0x2").is_err());
+        assert!(parse_array_spec("A:3xZ").is_err());
+    }
+
+    #[test]
+    fn cell_lists() {
+        assert_eq!(
+            parse_cells("1;2;0,1").unwrap(),
+            vec![vec![1], vec![2], vec![0, 1]]
+        );
+        assert_eq!(parse_cells(" 3 , 4 ").unwrap(), vec![vec![3, 4]]);
+        assert!(parse_cells("a").is_err());
+        assert!(parse_cells("").unwrap().is_empty());
+    }
+}

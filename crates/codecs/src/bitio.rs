@@ -1,0 +1,184 @@
+//! LSB-first bit-level I/O used by the bit-packing, hybrid, Huffman and
+//! DEFLATE codecs.
+//!
+//! Bits are written into bytes starting at the least-significant bit, the
+//! same convention DEFLATE uses, so multi-bit fields written with
+//! [`BitWriter::write_bits`] can be read back with [`BitReader::read_bits`]
+//! in the same order.
+
+use crate::{CodecError, Result};
+
+/// Accumulates bits LSB-first into a byte buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    bit_acc: u64,
+    bit_count: u32,
+}
+
+impl BitWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a writer with `cap` bytes of pre-reserved output capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+            bit_acc: 0,
+            bit_count: 0,
+        }
+    }
+
+    /// Write the low `n` bits of `v` (n ≤ 57).
+    #[inline]
+    pub fn write_bits(&mut self, v: u64, n: u32) {
+        debug_assert!(n <= 57, "write_bits supports at most 57 bits at once");
+        debug_assert!(n == 64 || v < (1u64 << n), "value wider than bit count");
+        self.bit_acc |= v << self.bit_count;
+        self.bit_count += n;
+        while self.bit_count >= 8 {
+            self.buf.push(self.bit_acc as u8);
+            self.bit_acc >>= 8;
+            self.bit_count -= 8;
+        }
+    }
+
+    /// Number of complete bytes plus any partial byte currently buffered.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + self.bit_count as usize
+    }
+
+    /// Pad to a byte boundary with zero bits and return the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.bit_count > 0 {
+            self.buf.push(self.bit_acc as u8);
+        }
+        self.buf
+    }
+}
+
+/// Reads bits LSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    bit_acc: u64,
+    bit_count: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Start reading at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self {
+            data,
+            pos: 0,
+            bit_acc: 0,
+            bit_count: 0,
+        }
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        while self.bit_count <= 56 && self.pos < self.data.len() {
+            self.bit_acc |= u64::from(self.data[self.pos]) << self.bit_count;
+            self.pos += 1;
+            self.bit_count += 8;
+        }
+    }
+
+    /// Read `n` bits (n ≤ 57); errors if the stream is exhausted.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        debug_assert!(n <= 57);
+        if self.bit_count < n {
+            self.refill();
+            if self.bit_count < n {
+                return Err(CodecError::UnexpectedEof);
+            }
+        }
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let out = self.bit_acc & mask;
+        self.bit_acc >>= n;
+        self.bit_count -= n;
+        Ok(out)
+    }
+
+    /// Read a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<u64> {
+        self.read_bits(1)
+    }
+
+    /// Total bits consumed so far (including buffered-but-unread refills).
+    pub fn bits_consumed(&self) -> usize {
+        self.pos * 8 - self.bit_count as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        let fields: Vec<(u64, u32)> = vec![
+            (1, 1),
+            (0, 1),
+            (5, 3),
+            (255, 8),
+            (1023, 10),
+            (0x1f_ffff, 21),
+            (1, 1),
+            (0xdead_beef, 33),
+        ];
+        for &(v, n) in &fields {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            assert_eq!(r.read_bits(n).unwrap(), v, "field ({v}, {n})");
+        }
+    }
+
+    #[test]
+    fn eof_detection() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        // Remaining padding bits are readable (zeros), but past the final
+        // byte it must error.
+        assert_eq!(r.read_bits(5).unwrap(), 0);
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn many_single_bits() {
+        let mut w = BitWriter::new();
+        for i in 0..1000u64 {
+            w.write_bits(i & 1, 1);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for i in 0..1000u64 {
+            assert_eq!(r.read_bit().unwrap(), i & 1);
+        }
+    }
+
+    #[test]
+    fn bit_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0b11, 2);
+        assert_eq!(w.bit_len(), 2);
+        w.write_bits(0x3f, 6);
+        assert_eq!(w.bit_len(), 8);
+        w.write_bits(1, 1);
+        assert_eq!(w.bit_len(), 9);
+    }
+}

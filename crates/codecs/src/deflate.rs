@@ -1,0 +1,264 @@
+//! DEFLATE-style compression: LZ77 tokens entropy-coded with dynamic
+//! canonical Huffman tables over the literal/length and distance alphabets.
+//!
+//! The alphabets and extra-bit tables are exactly RFC 1951's (286 lit/len
+//! symbols, 30 distance symbols); the container framing is our own single
+//! tagged block (`STORED` fallback when compression does not pay off).
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::huffman::{read_lengths, write_lengths, Decoder, Encoder};
+use crate::lz77::{tokenize, try_detokenize, Token};
+use crate::varint::{read_uvarint, write_uvarint};
+use crate::{CodecError, Result};
+
+const BLOCK_STORED: u8 = 0;
+const BLOCK_HUFFMAN: u8 = 1;
+
+const EOB: usize = 256;
+const NUM_LITLEN: usize = 286;
+const NUM_DIST: usize = 30;
+
+/// RFC 1951 length code table: (base length, extra bits) for codes 257..=285.
+const LENGTH_TABLE: [(u32, u32); 29] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1),
+    (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3),
+    (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5),
+    (258, 0),
+];
+
+/// RFC 1951 distance code table: (base distance, extra bits) for codes 0..=29.
+const DIST_TABLE: [(u32, u32); 30] = [
+    (1, 0), (2, 0), (3, 0), (4, 0),
+    (5, 1), (7, 1),
+    (9, 2), (13, 2),
+    (17, 3), (25, 3),
+    (33, 4), (49, 4),
+    (65, 5), (97, 5),
+    (129, 6), (193, 6),
+    (257, 7), (385, 7),
+    (513, 8), (769, 8),
+    (1025, 9), (1537, 9),
+    (2049, 10), (3073, 10),
+    (4097, 11), (6145, 11),
+    (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+];
+
+/// Map a match length (3..=258) to (code index 257-based offset, extra bits, extra value).
+#[inline]
+fn length_code(len: u32) -> (usize, u32, u32) {
+    debug_assert!((3..=258).contains(&len));
+    // Linear scan is fine: table is tiny and this is not the hot loop bound.
+    for (i, &(base, extra)) in LENGTH_TABLE.iter().enumerate().rev() {
+        if len >= base {
+            return (257 + i, extra, len - base);
+        }
+    }
+    unreachable!()
+}
+
+/// Map a distance (1..=32768) to (code index, extra bits, extra value).
+#[inline]
+fn dist_code(dist: u32) -> (usize, u32, u32) {
+    debug_assert!((1..=32768).contains(&dist));
+    for (i, &(base, extra)) in DIST_TABLE.iter().enumerate().rev() {
+        if dist >= base {
+            return (i, extra, dist - base);
+        }
+    }
+    unreachable!()
+}
+
+/// Compress `data`. Falls back to a stored block when Huffman coding would
+/// not shrink the payload.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let tokens = tokenize(data);
+
+    // Gather symbol frequencies.
+    let mut lit_freq = vec![0u64; NUM_LITLEN];
+    let mut dist_freq = vec![0u64; NUM_DIST];
+    for &t in &tokens {
+        match t {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                lit_freq[length_code(len).0] += 1;
+                dist_freq[dist_code(dist).0] += 1;
+            }
+        }
+    }
+    lit_freq[EOB] += 1;
+
+    let lit_enc = Encoder::from_freqs(&lit_freq);
+    let dist_enc = Encoder::from_freqs(&dist_freq);
+
+    let mut header = Vec::new();
+    write_uvarint(&mut header, data.len() as u64);
+    write_lengths(&mut header, lit_enc.lengths());
+    write_lengths(&mut header, dist_enc.lengths());
+
+    let mut w = BitWriter::with_capacity(data.len() / 2 + 64);
+    for &t in &tokens {
+        match t {
+            Token::Literal(b) => lit_enc.write_symbol(&mut w, b as usize),
+            Token::Match { len, dist } => {
+                let (lcode, lextra, lval) = length_code(len);
+                lit_enc.write_symbol(&mut w, lcode);
+                if lextra > 0 {
+                    w.write_bits(u64::from(lval), lextra);
+                }
+                let (dcode, dextra, dval) = dist_code(dist);
+                dist_enc.write_symbol(&mut w, dcode);
+                if dextra > 0 {
+                    w.write_bits(u64::from(dval), dextra);
+                }
+            }
+        }
+    }
+    lit_enc.write_symbol(&mut w, EOB);
+    let payload = w.finish();
+
+    if header.len() + payload.len() + 1 >= data.len() + 2 {
+        // Stored fallback.
+        let mut out = Vec::with_capacity(data.len() + 10);
+        out.push(BLOCK_STORED);
+        write_uvarint(&mut out, data.len() as u64);
+        out.extend_from_slice(data);
+        out
+    } else {
+        let mut out = Vec::with_capacity(header.len() + payload.len() + 1);
+        out.push(BLOCK_HUFFMAN);
+        out.extend_from_slice(&header);
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+/// Decompress a buffer produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    let &tag = data.first().ok_or(CodecError::UnexpectedEof)?;
+    let mut pos = 1usize;
+    match tag {
+        BLOCK_STORED => {
+            let n = read_uvarint(data, &mut pos)? as usize;
+            let end = pos + n;
+            if end > data.len() {
+                return Err(CodecError::UnexpectedEof);
+            }
+            Ok(data[pos..end].to_vec())
+        }
+        BLOCK_HUFFMAN => {
+            let n = read_uvarint(data, &mut pos)? as usize;
+            let lit_lengths = read_lengths(data, &mut pos)?;
+            let dist_lengths = read_lengths(data, &mut pos)?;
+            if lit_lengths.len() != NUM_LITLEN || dist_lengths.len() != NUM_DIST {
+                return Err(CodecError::InvalidFormat("deflate alphabet size"));
+            }
+            let lit_dec = Decoder::from_lengths(&lit_lengths);
+            let dist_dec = Decoder::from_lengths(&dist_lengths);
+            let mut r = BitReader::new(&data[pos..]);
+            let mut tokens = Vec::new();
+            loop {
+                let sym = lit_dec.read_symbol(&mut r)? as usize;
+                if sym == EOB {
+                    break;
+                }
+                if sym < 256 {
+                    tokens.push(Token::Literal(sym as u8));
+                } else {
+                    let idx = sym - 257;
+                    if idx >= LENGTH_TABLE.len() {
+                        return Err(CodecError::InvalidFormat("bad length code"));
+                    }
+                    let (base, extra) = LENGTH_TABLE[idx];
+                    let len = base + r.read_bits(extra)? as u32;
+                    let dsym = dist_dec.read_symbol(&mut r)? as usize;
+                    if dsym >= DIST_TABLE.len() {
+                        return Err(CodecError::InvalidFormat("bad distance code"));
+                    }
+                    let (dbase, dextra) = DIST_TABLE[dsym];
+                    let dist = dbase + r.read_bits(dextra)? as u32;
+                    tokens.push(Token::Match { len, dist });
+                }
+            }
+            let out = try_detokenize(&tokens)?;
+            if out.len() != n {
+                return Err(CodecError::InvalidFormat("deflate size mismatch"));
+            }
+            Ok(out)
+        }
+        _ => Err(CodecError::InvalidFormat("unknown deflate block tag")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let comp = compress(data);
+        assert_eq!(decompress(&comp).unwrap(), data);
+        comp.len()
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"x");
+        roundtrip(b"xyz");
+    }
+
+    #[test]
+    fn text_compresses() {
+        let data = "lineage tables are highly repetitive; ".repeat(200);
+        let size = roundtrip(data.as_bytes());
+        assert!(size < data.len() / 5, "text should compress 5x+, got {size}/{}", data.len());
+    }
+
+    #[test]
+    fn zeros_compress_extremely() {
+        let data = vec![0u8; 1 << 16];
+        let size = roundtrip(&data);
+        assert!(size < 200, "zero page should be tiny, got {size}");
+    }
+
+    #[test]
+    fn random_falls_back_to_stored() {
+        let data: Vec<u8> = (0..4096u64)
+            .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 24) as u8)
+            .collect();
+        let comp = compress(&data);
+        assert_eq!(decompress(&comp).unwrap(), data);
+        assert!(comp.len() <= data.len() + 16);
+    }
+
+    #[test]
+    fn length_code_boundaries() {
+        assert_eq!(length_code(3), (257, 0, 0));
+        assert_eq!(length_code(10), (264, 0, 0));
+        assert_eq!(length_code(11), (265, 1, 0));
+        assert_eq!(length_code(12), (265, 1, 1));
+        assert_eq!(length_code(257), (284, 5, 30));
+        assert_eq!(length_code(258), (285, 0, 0));
+    }
+
+    #[test]
+    fn dist_code_boundaries() {
+        assert_eq!(dist_code(1), (0, 0, 0));
+        assert_eq!(dist_code(4), (3, 0, 0));
+        assert_eq!(dist_code(5), (4, 1, 0));
+        assert_eq!(dist_code(32768), (29, 13, 8191));
+    }
+
+    #[test]
+    fn structured_binary_roundtrip() {
+        let mut data = Vec::new();
+        for i in 0..20_000i64 {
+            data.extend_from_slice(&(i / 7).to_le_bytes());
+        }
+        let size = roundtrip(&data);
+        assert!(size < data.len() / 4);
+    }
+}

@@ -1,0 +1,81 @@
+//! Gzip-like container around [`crate::deflate`]: magic, payload, CRC-32 of
+//! the uncompressed data, and the uncompressed size.
+//!
+//! Used for the paper's `Parquet-GZip` and `ProvRC-GZip` variants. The
+//! framing is DSLog-private (no interop requirement); the 12-byte overhead is
+//! comparable to a real gzip member header+trailer.
+
+use crate::crc32::crc32;
+use crate::deflate;
+use crate::varint::{read_uvarint, write_uvarint};
+use crate::{CodecError, Result};
+
+const MAGIC: &[u8; 4] = b"DSGZ";
+
+/// Compress `data` into a checksummed container.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let body = deflate::compress(data);
+    let mut out = Vec::with_capacity(body.len() + 16);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    write_uvarint(&mut out, data.len() as u64);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decompress and verify a container produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    if data.len() < 8 || &data[..4] != MAGIC {
+        return Err(CodecError::InvalidFormat("bad gzip magic"));
+    }
+    let stored_crc = u32::from_le_bytes(data[4..8].try_into().unwrap());
+    let mut pos = 8;
+    let n = read_uvarint(data, &mut pos)? as usize;
+    let out = deflate::decompress(&data[pos..])?;
+    if out.len() != n {
+        return Err(CodecError::InvalidFormat("gzip size mismatch"));
+    }
+    if crc32(&out) != stored_crc {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = b"gzip container roundtrip test data, repeated: ".repeat(50);
+        let comp = compress(&data);
+        assert_eq!(decompress(&comp).unwrap(), data);
+        assert!(comp.len() < data.len());
+    }
+
+    #[test]
+    fn empty() {
+        let comp = compress(b"");
+        assert_eq!(decompress(&comp).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let data = b"some payload that compresses".repeat(20);
+        let mut comp = compress(&data);
+        // Flip a bit in the deflate body.
+        let idx = comp.len() - 3;
+        comp[idx] ^= 0x40;
+        assert!(decompress(&comp).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut comp = compress(b"hello");
+        comp[0] = b'X';
+        assert_eq!(
+            decompress(&comp),
+            Err(CodecError::InvalidFormat("bad gzip magic"))
+        );
+    }
+}

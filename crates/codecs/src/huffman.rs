@@ -1,0 +1,438 @@
+//! Canonical, length-limited Huffman coding.
+//!
+//! Code lengths are computed from symbol frequencies with a standard
+//! heap-based Huffman construction, then clamped to `MAX_CODE_LEN` bits and
+//! repaired to satisfy the Kraft inequality (the classic "lazy
+//! length-limiting" used by zlib-family encoders). Canonical codes are
+//! assigned per RFC 1951 §3.2.2 and written LSB-first after bit-reversal so
+//! they are decodable with the LSB-first [`crate::bitio::BitReader`].
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::varint::{read_uvarint, write_uvarint};
+use crate::{CodecError, Result};
+
+/// Maximum code length in bits (same limit as DEFLATE).
+pub const MAX_CODE_LEN: u32 = 15;
+
+/// Compute length-limited Huffman code lengths for `freqs`.
+///
+/// Symbols with zero frequency get length 0 (no code). If only one symbol has
+/// nonzero frequency it is assigned length 1.
+pub fn code_lengths(freqs: &[u64]) -> Vec<u32> {
+    let n = freqs.len();
+    let mut lengths = vec![0u32; n];
+    let active: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    match active.len() {
+        0 => return lengths,
+        1 => {
+            lengths[active[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Heap-based Huffman tree construction over (freq, node).
+    #[derive(Clone)]
+    struct Node {
+        freq: u64,
+        // Leaf symbol or internal children indices into `nodes`.
+        kind: NodeKind,
+    }
+    #[derive(Clone)]
+    enum NodeKind {
+        Leaf(usize),
+        Internal(usize, usize),
+    }
+
+    let mut nodes: Vec<Node> = active
+        .iter()
+        .map(|&s| Node {
+            freq: freqs[s],
+            kind: NodeKind::Leaf(s),
+        })
+        .collect();
+
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| Reverse((node.freq, i)))
+        .collect();
+
+    while heap.len() > 1 {
+        let Reverse((f1, i1)) = heap.pop().unwrap();
+        let Reverse((f2, i2)) = heap.pop().unwrap();
+        let merged = Node {
+            freq: f1 + f2,
+            kind: NodeKind::Internal(i1, i2),
+        };
+        nodes.push(merged);
+        heap.push(Reverse((f1 + f2, nodes.len() - 1)));
+    }
+    let root = heap.pop().unwrap().0 .1;
+
+    // Depth-first traversal to assign depths.
+    let mut stack = vec![(root, 0u32)];
+    while let Some((idx, depth)) = stack.pop() {
+        match nodes[idx].kind {
+            NodeKind::Leaf(sym) => lengths[sym] = depth.max(1),
+            NodeKind::Internal(left, right) => {
+                stack.push((left, depth + 1));
+                stack.push((right, depth + 1));
+            }
+        }
+    }
+
+    limit_lengths(&mut lengths);
+    lengths
+}
+
+/// Clamp lengths to [`MAX_CODE_LEN`] and repair the Kraft sum.
+fn limit_lengths(lengths: &mut [u32]) {
+    let mut overflow = false;
+    for len in lengths.iter_mut() {
+        if *len > MAX_CODE_LEN {
+            *len = MAX_CODE_LEN;
+            overflow = true;
+        }
+    }
+    if !overflow {
+        return;
+    }
+    // Kraft sum in units of 2^-MAX_CODE_LEN.
+    let unit = 1u64 << MAX_CODE_LEN;
+    let kraft = |lengths: &[u32]| -> u64 {
+        lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| unit >> l)
+            .sum()
+    };
+    let mut sum = kraft(lengths);
+    // Demote codes (increase length) until the Kraft inequality holds.
+    while sum > unit {
+        // Find the longest code shorter than MAX and lengthen it.
+        let mut candidate = None;
+        for (i, &l) in lengths.iter().enumerate() {
+            if l > 0 && l < MAX_CODE_LEN {
+                match candidate {
+                    None => candidate = Some(i),
+                    Some(c) if lengths[c] < l => candidate = Some(i),
+                    _ => {}
+                }
+            }
+        }
+        let i = candidate.expect("kraft repair: no candidate");
+        sum -= unit >> lengths[i];
+        lengths[i] += 1;
+        sum += unit >> lengths[i];
+    }
+}
+
+/// Assign canonical codes (RFC 1951 ordering) for the given lengths.
+/// Returns per-symbol `(code, len)`; code bits are in MSB-first canonical
+/// order and must be bit-reversed before LSB-first writing (see [`Encoder`]).
+pub fn canonical_codes(lengths: &[u32]) -> Vec<(u32, u32)> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0);
+    let mut bl_count = vec![0u32; (max_len + 1) as usize];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; (max_len + 2) as usize];
+    let mut code = 0u32;
+    for bits in 1..=max_len {
+        code = (code + bl_count[(bits - 1) as usize]) << 1;
+        next_code[bits as usize] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                (0, 0)
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                (c, l)
+            }
+        })
+        .collect()
+}
+
+#[inline]
+fn reverse_bits(code: u32, len: u32) -> u32 {
+    code.reverse_bits() >> (32 - len)
+}
+
+/// A ready-to-use Huffman encoder for one alphabet.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    /// Per-symbol LSB-first code and bit length.
+    codes: Vec<(u32, u32)>,
+    lengths: Vec<u32>,
+}
+
+impl Encoder {
+    /// Build an encoder from symbol frequencies.
+    pub fn from_freqs(freqs: &[u64]) -> Self {
+        let lengths = code_lengths(freqs);
+        Self::from_lengths(&lengths)
+    }
+
+    /// Build an encoder from known code lengths.
+    pub fn from_lengths(lengths: &[u32]) -> Self {
+        let codes = canonical_codes(lengths)
+            .into_iter()
+            .map(|(c, l)| if l == 0 { (0, 0) } else { (reverse_bits(c, l), l) })
+            .collect();
+        Self {
+            codes,
+            lengths: lengths.to_vec(),
+        }
+    }
+
+    /// The code lengths this encoder was built from.
+    pub fn lengths(&self) -> &[u32] {
+        &self.lengths
+    }
+
+    /// Emit the code for `sym` into `w`.
+    #[inline]
+    pub fn write_symbol(&self, w: &mut BitWriter, sym: usize) {
+        let (code, len) = self.codes[sym];
+        debug_assert!(len > 0, "symbol {sym} has no code");
+        w.write_bits(u64::from(code), len);
+    }
+
+    /// Bit length of the code for `sym` (0 = no code).
+    #[inline]
+    pub fn len_of(&self, sym: usize) -> u32 {
+        self.codes[sym].1
+    }
+}
+
+/// Canonical Huffman decoder (per-length first-code table walk).
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// For each length `l`: (first canonical code of length l, index of first
+    /// symbol with that length in `sorted_symbols`, count).
+    per_len: Vec<(u32, u32, u32)>,
+    sorted_symbols: Vec<u32>,
+    max_len: u32,
+}
+
+impl Decoder {
+    /// Build a decoder from code lengths (same array the encoder used).
+    pub fn from_lengths(lengths: &[u32]) -> Self {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        let mut bl_count = vec![0u32; (max_len + 1) as usize];
+        for &l in lengths {
+            if l > 0 {
+                bl_count[l as usize] += 1;
+            }
+        }
+        let mut first_code = vec![0u32; (max_len + 2) as usize];
+        let mut first_sym = vec![0u32; (max_len + 2) as usize];
+        let mut code = 0u32;
+        let mut sym_base = 0u32;
+        for bits in 1..=max_len {
+            code = (code + bl_count[(bits - 1) as usize]) << 1;
+            first_code[bits as usize] = code;
+            first_sym[bits as usize] = sym_base;
+            sym_base += bl_count[bits as usize];
+        }
+        // Symbols sorted by (length, symbol) — canonical order.
+        let mut sorted: Vec<u32> = (0..lengths.len() as u32)
+            .filter(|&s| lengths[s as usize] > 0)
+            .collect();
+        sorted.sort_by_key(|&s| (lengths[s as usize], s));
+        let per_len = (0..=max_len as usize)
+            .map(|l| {
+                (
+                    first_code.get(l).copied().unwrap_or(0),
+                    first_sym.get(l).copied().unwrap_or(0),
+                    bl_count.get(l).copied().unwrap_or(0),
+                )
+            })
+            .collect();
+        Self {
+            per_len,
+            sorted_symbols: sorted,
+            max_len,
+        }
+    }
+
+    /// Decode one symbol from `r`.
+    #[inline]
+    pub fn read_symbol(&self, r: &mut BitReader<'_>) -> Result<u32> {
+        let mut code = 0u32;
+        for len in 1..=self.max_len {
+            code = (code << 1) | (r.read_bit()? as u32);
+            let (first_code, first_sym, count) = self.per_len[len as usize];
+            if count > 0 && code >= first_code && code < first_code + count {
+                let idx = first_sym + (code - first_code);
+                return Ok(self.sorted_symbols[idx as usize]);
+            }
+        }
+        Err(CodecError::InvalidFormat("invalid huffman code"))
+    }
+}
+
+/// Serialize code lengths compactly (RLE over lengths).
+pub fn write_lengths(buf: &mut Vec<u8>, lengths: &[u32]) {
+    write_uvarint(buf, lengths.len() as u64);
+    let mut i = 0;
+    while i < lengths.len() {
+        let l = lengths[i];
+        let mut run = 1;
+        while i + run < lengths.len() && lengths[i + run] == l {
+            run += 1;
+        }
+        write_uvarint(buf, u64::from(l));
+        write_uvarint(buf, run as u64);
+        i += run;
+    }
+}
+
+/// Inverse of [`write_lengths`].
+pub fn read_lengths(data: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
+    let n = read_uvarint(data, pos)? as usize;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let l = read_uvarint(data, pos)? as u32;
+        if l > MAX_CODE_LEN {
+            return Err(CodecError::InvalidFormat("code length too large"));
+        }
+        let run = read_uvarint(data, pos)? as usize;
+        if out.len() + run > n {
+            return Err(CodecError::InvalidFormat("length run overflow"));
+        }
+        out.extend(std::iter::repeat(l).take(run));
+    }
+    Ok(out)
+}
+
+/// Compress a byte buffer with a single Huffman table (entropy-only stage of
+/// the Turbo-RC baseline).
+pub fn compress_bytes(data: &[u8]) -> Vec<u8> {
+    let mut freqs = vec![0u64; 256];
+    for &b in data {
+        freqs[b as usize] += 1;
+    }
+    let encoder = Encoder::from_freqs(&freqs);
+    let mut out = Vec::new();
+    write_uvarint(&mut out, data.len() as u64);
+    write_lengths(&mut out, encoder.lengths());
+    let mut w = BitWriter::with_capacity(data.len() / 2 + 16);
+    for &b in data {
+        encoder.write_symbol(&mut w, b as usize);
+    }
+    let payload = w.finish();
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decompress a buffer produced by [`compress_bytes`].
+pub fn decompress_bytes(data: &[u8]) -> Result<Vec<u8>> {
+    let mut pos = 0;
+    let n = read_uvarint(data, &mut pos)? as usize;
+    let lengths = read_lengths(data, &mut pos)?;
+    let decoder = Decoder::from_lengths(&lengths);
+    let mut r = BitReader::new(&data[pos..]);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(decoder.read_symbol(&mut r)? as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_symbols(freqs: &[u64], stream: &[usize]) {
+        let enc = Encoder::from_freqs(freqs);
+        let dec = Decoder::from_lengths(enc.lengths());
+        let mut w = BitWriter::new();
+        for &s in stream {
+            enc.write_symbol(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in stream {
+            assert_eq!(dec.read_symbol(&mut r).unwrap(), s as u32);
+        }
+    }
+
+    #[test]
+    fn two_symbols() {
+        roundtrip_symbols(&[10, 3], &[0, 1, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let lengths = code_lengths(&[0, 42, 0]);
+        assert_eq!(lengths, vec![0, 1, 0]);
+        roundtrip_symbols(&[0, 42, 0], &[1, 1, 1]);
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        let freqs: Vec<u64> = (0..64).map(|i| 1u64 << (i / 8)).collect();
+        let stream: Vec<usize> = (0..64).cycle().take(1000).collect();
+        roundtrip_symbols(&freqs, &stream);
+    }
+
+    #[test]
+    fn kraft_holds_after_limiting() {
+        // Fibonacci-like frequencies force deep trees that need limiting.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lengths = code_lengths(&freqs);
+        assert!(lengths.iter().all(|&l| l <= MAX_CODE_LEN));
+        let unit = 1u64 << MAX_CODE_LEN;
+        let sum: u64 = lengths.iter().filter(|&&l| l > 0).map(|&l| unit >> l).sum();
+        assert!(sum <= unit, "kraft violated: {sum} > {unit}");
+        // And the codes still roundtrip.
+        let stream: Vec<usize> = (0..40).cycle().take(500).collect();
+        roundtrip_symbols(&freqs, &stream);
+    }
+
+    #[test]
+    fn lengths_serialization_roundtrip() {
+        let lengths = vec![0u32, 3, 3, 3, 3, 0, 0, 0, 5, 5, 1];
+        let mut buf = Vec::new();
+        write_lengths(&mut buf, &lengths);
+        let mut pos = 0;
+        assert_eq!(read_lengths(&buf, &mut pos).unwrap(), lengths);
+    }
+
+    #[test]
+    fn compress_bytes_roundtrip() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 7) as u8 * 3).collect();
+        let comp = compress_bytes(&data);
+        assert!(comp.len() < data.len());
+        assert_eq!(decompress_bytes(&comp).unwrap(), data);
+    }
+
+    #[test]
+    fn compress_empty() {
+        let comp = compress_bytes(&[]);
+        assert_eq!(decompress_bytes(&comp).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn compress_uniform_random_doesnt_corrupt() {
+        // Incompressible data must still roundtrip.
+        let data: Vec<u8> = (0..4096u64).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        assert_eq!(decompress_bytes(&compress_bytes(&data)).unwrap(), data);
+    }
+}

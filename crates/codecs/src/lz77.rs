@@ -1,0 +1,214 @@
+//! Hash-chain LZ77 matcher with a 32 KiB sliding window.
+//!
+//! This mirrors the matcher structure of zlib's deflate: a 3-byte rolling
+//! hash indexes chain heads, chains link earlier occurrences, and a bounded
+//! chain walk finds the longest match within the window. Output is a token
+//! stream of literals and `(length, distance)` matches consumed by
+//! [`crate::deflate`].
+
+/// Sliding window size (matches DEFLATE).
+pub const WINDOW_SIZE: usize = 32 * 1024;
+/// Minimum useful match length.
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length (matches DEFLATE).
+pub const MAX_MATCH: usize = 258;
+/// How many chain entries to inspect per position (speed/ratio knob).
+const MAX_CHAIN: usize = 64;
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A single literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes starting `dist` bytes back.
+    Match {
+        /// Match length in `[MIN_MATCH, MAX_MATCH]`.
+        len: u32,
+        /// Distance in `[1, WINDOW_SIZE]`.
+        dist: u32,
+    },
+}
+
+#[inline]
+fn hash3(data: &[u8], pos: usize) -> usize {
+    let v = u32::from(data[pos])
+        | (u32::from(data[pos + 1]) << 8)
+        | (u32::from(data[pos + 2]) << 16);
+    ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
+}
+
+/// Tokenize `data` greedily.
+pub fn tokenize(data: &[u8]) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::with_capacity(n / 3 + 16);
+    if n < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+
+    // head[h] = most recent position with hash h (+1, 0 = none).
+    let mut head = vec![0u32; HASH_SIZE];
+    // prev[pos % WINDOW_SIZE] = previous position with the same hash (+1).
+    let mut prev = vec![0u32; WINDOW_SIZE];
+
+    let mut pos = 0usize;
+    while pos < n {
+        if pos + MIN_MATCH > n {
+            tokens.push(Token::Literal(data[pos]));
+            pos += 1;
+            continue;
+        }
+        let h = hash3(data, pos);
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut candidate = head[h] as usize;
+        let mut chain = 0;
+        let max_len = MAX_MATCH.min(n - pos);
+        while candidate > 0 && chain < MAX_CHAIN {
+            let cand_pos = candidate - 1;
+            if pos - cand_pos > WINDOW_SIZE {
+                break;
+            }
+            // Quick check: candidate must beat best at position best_len.
+            if best_len == 0 || data[cand_pos + best_len] == data[pos + best_len] {
+                let mut len = 0usize;
+                while len < max_len && data[cand_pos + len] == data[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = pos - cand_pos;
+                    if len >= max_len {
+                        break;
+                    }
+                }
+            }
+            candidate = prev[cand_pos % WINDOW_SIZE] as usize;
+            chain += 1;
+        }
+
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match {
+                len: best_len as u32,
+                dist: best_dist as u32,
+            });
+            // Insert hash entries for all covered positions.
+            let end = (pos + best_len).min(n - MIN_MATCH + 1);
+            let mut p = pos;
+            while p < end {
+                let hh = hash3(data, p);
+                prev[p % WINDOW_SIZE] = head[hh];
+                head[hh] = (p + 1) as u32;
+                p += 1;
+            }
+            pos += best_len;
+        } else {
+            prev[pos % WINDOW_SIZE] = head[h];
+            head[h] = (pos + 1) as u32;
+            tokens.push(Token::Literal(data[pos]));
+            pos += 1;
+        }
+    }
+    tokens
+}
+
+/// Reconstruct bytes from a trusted token stream (as produced by
+/// [`tokenize`]).
+///
+/// # Panics
+/// Panics if a match distance reaches before the start of the output; use
+/// [`try_detokenize`] for tokens decoded from untrusted bytes.
+pub fn detokenize(tokens: &[Token]) -> Vec<u8> {
+    try_detokenize(tokens).expect("invalid match distance in trusted token stream")
+}
+
+/// Reconstruct bytes from a possibly-corrupt token stream, rejecting match
+/// distances that reach before the start of the output.
+pub fn try_detokenize(tokens: &[Token]) -> crate::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                if dist as usize > out.len() || dist == 0 {
+                    return Err(crate::CodecError::InvalidFormat(
+                        "lz77 match distance out of range",
+                    ));
+                }
+                let start = out.len() - dist as usize;
+                for i in 0..len as usize {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let tokens = tokenize(data);
+        assert_eq!(detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn repeated_text_finds_matches() {
+        let data = b"the quick brown fox jumps over the lazy dog. the quick brown fox!";
+        let tokens = tokenize(data);
+        assert!(
+            tokens.iter().any(|t| matches!(t, Token::Match { .. })),
+            "expected at least one match token"
+        );
+        assert_eq!(detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn overlapping_match_rle_style() {
+        // "aaaa..." relies on overlapping copies (dist=1, len>1).
+        let data = vec![b'a'; 1000];
+        let tokens = tokenize(&data);
+        assert!(tokens.len() < 20, "RLE-like input should produce few tokens");
+        assert_eq!(detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn long_random_roundtrip() {
+        let data: Vec<u8> = (0..100_000u64)
+            .map(|i| (i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) >> 33) as u8)
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_structured_roundtrip() {
+        let mut data = Vec::new();
+        for i in 0..5000u32 {
+            data.extend_from_slice(&(i % 100).to_le_bytes());
+        }
+        let tokens = tokenize(&data);
+        let matched: usize = tokens
+            .iter()
+            .map(|t| match t {
+                Token::Match { len, .. } => *len as usize,
+                _ => 0,
+            })
+            .sum();
+        assert!(matched > data.len() / 2, "structured data should mostly match");
+        assert_eq!(detokenize(&tokens), data);
+    }
+}

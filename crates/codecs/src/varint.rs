@@ -1,0 +1,136 @@
+//! LEB128 unsigned varints and zig-zag signed varints.
+//!
+//! These are the workhorse scalar encodings of every DSLog on-disk format:
+//! compressed lineage cells, column chunk headers, run lengths, etc.
+
+use crate::{CodecError, Result};
+
+/// Append `v` to `buf` as an LEB128 varint (7 bits per byte, little-endian).
+#[inline]
+pub fn write_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Decode an LEB128 varint from `data` starting at `*pos`, advancing `*pos`.
+#[inline]
+pub fn read_uvarint(data: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut shift = 0u32;
+    let mut out = 0u64;
+    loop {
+        let byte = *data.get(*pos).ok_or(CodecError::UnexpectedEof)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(CodecError::VarintOverflow);
+        }
+        out |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(CodecError::VarintOverflow);
+        }
+    }
+}
+
+/// Zig-zag map a signed integer to an unsigned one (small magnitudes stay small).
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append a signed integer as a zig-zag varint.
+#[inline]
+pub fn write_ivarint(buf: &mut Vec<u8>, v: i64) {
+    write_uvarint(buf, zigzag(v));
+}
+
+/// Decode a zig-zag varint written by [`write_ivarint`].
+#[inline]
+pub fn read_ivarint(data: &[u8], pos: &mut usize) -> Result<i64> {
+    Ok(unzigzag(read_uvarint(data, pos)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_roundtrip_boundaries() {
+        let cases = [
+            0u64,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &cases {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_uvarint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn ivarint_roundtrip_boundaries() {
+        let cases = [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 12345, -98765];
+        for &v in &cases {
+            let mut buf = Vec::new();
+            write_ivarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_ivarint(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_orders_by_magnitude() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+    }
+
+    #[test]
+    fn read_past_end_is_error() {
+        let buf = vec![0x80, 0x80];
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&buf, &mut pos), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn overlong_varint_is_error() {
+        let buf = vec![0xff; 11];
+        let mut pos = 0;
+        assert!(read_uvarint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn multiple_values_sequential() {
+        let mut buf = Vec::new();
+        for v in 0..200u64 {
+            write_uvarint(&mut buf, v * 997);
+        }
+        let mut pos = 0;
+        for v in 0..200u64 {
+            assert_eq!(read_uvarint(&buf, &mut pos).unwrap(), v * 997);
+        }
+        assert_eq!(pos, buf.len());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based roundtrip tests for every codec in `dslog-codecs`.
+
+use dslog_codecs::{bitpack, deflate, dict, gzip, huffman, hybrid, rle, varint};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn uvarint_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        varint::write_uvarint(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(varint::read_uvarint(&buf, &mut pos).unwrap(), v);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn ivarint_roundtrip(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        varint::write_ivarint(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(varint::read_ivarint(&buf, &mut pos).unwrap(), v);
+    }
+
+    #[test]
+    fn zigzag_involution(v in any::<i64>()) {
+        prop_assert_eq!(varint::unzigzag(varint::zigzag(v)), v);
+    }
+
+    #[test]
+    fn rle_roundtrip(values in prop::collection::vec(-100i64..100, 0..500)) {
+        prop_assert_eq!(rle::decode(&rle::encode(&values)).unwrap(), values);
+    }
+
+    #[test]
+    fn rle_roundtrip_wide(values in prop::collection::vec(any::<i64>(), 0..100)) {
+        prop_assert_eq!(rle::decode(&rle::encode(&values)).unwrap(), values);
+    }
+
+    #[test]
+    fn bitpack_roundtrip(width in 1u32..33, values in prop::collection::vec(any::<u64>(), 0..200)) {
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let values: Vec<u64> = values.into_iter().map(|v| v & mask).collect();
+        let packed = bitpack::pack(&values, width);
+        prop_assert_eq!(bitpack::unpack(&packed, width, values.len()).unwrap(), values);
+    }
+
+    #[test]
+    fn hybrid_roundtrip(values in prop::collection::vec(0u32..4096, 0..400)) {
+        let width = bitpack::width_for(&values.iter().map(|&v| u64::from(v)).collect::<Vec<_>>());
+        let enc = hybrid::encode(&values, width);
+        prop_assert_eq!(hybrid::decode(&enc).unwrap(), values);
+    }
+
+    #[test]
+    fn hybrid_roundtrip_runny(
+        runs in prop::collection::vec((0u32..16, 1usize..40), 0..40)
+    ) {
+        let values: Vec<u32> = runs
+            .iter()
+            .flat_map(|&(v, n)| std::iter::repeat(v).take(n))
+            .collect();
+        let enc = hybrid::encode(&values, 4);
+        prop_assert_eq!(hybrid::decode(&enc).unwrap(), values);
+    }
+
+    #[test]
+    fn dict_roundtrip(values in prop::collection::vec(any::<i64>(), 0..300)) {
+        let enc = dict::encode(&values).unwrap();
+        prop_assert_eq!(dict::decode(&enc), values);
+    }
+
+    #[test]
+    fn huffman_bytes_roundtrip(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let comp = huffman::compress_bytes(&data);
+        prop_assert_eq!(huffman::decompress_bytes(&comp).unwrap(), data);
+    }
+
+    #[test]
+    fn deflate_roundtrip(data in prop::collection::vec(any::<u8>(), 0..3000)) {
+        let comp = deflate::compress(&data);
+        prop_assert_eq!(deflate::decompress(&comp).unwrap(), data);
+    }
+
+    #[test]
+    fn deflate_roundtrip_structured(
+        runs in prop::collection::vec((any::<u8>(), 1usize..60), 0..60)
+    ) {
+        let data: Vec<u8> = runs
+            .iter()
+            .flat_map(|&(v, n)| std::iter::repeat(v).take(n))
+            .collect();
+        let comp = deflate::compress(&data);
+        prop_assert_eq!(deflate::decompress(&comp).unwrap(), data);
+    }
+
+    #[test]
+    fn gzip_roundtrip(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let comp = gzip::compress(&data);
+        prop_assert_eq!(gzip::decompress(&comp).unwrap(), data);
+    }
+}

@@ -1,0 +1,449 @@
+//! The DSLog public API (paper §III.A): defining tracked arrays, capturing
+//! lineage, registering operations, and issuing `prov_query` calls.
+
+use crate::error::{DslogError, Result};
+use crate::query::{self, QueryOptions};
+use crate::reuse::{ArgValue, Mapping, ReuseHit, ReuseManager, ReuseStats};
+use crate::storage::{Materialize, StorageManager};
+use crate::table::{BoxTable, LineageTable};
+
+/// A lineage capture method for one (input array, output array) pair.
+///
+/// The paper's capture object enumerates, per output cell, the contributing
+/// input cells; any such enumeration materializes as a [`LineageTable`], so
+/// the trait asks directly for the full relation. DSLog is agnostic to how
+/// it was produced (§II.A).
+pub trait Capture {
+    /// Produce the lineage relation `R(out_attrs, in_attrs)` for the given
+    /// array shapes.
+    fn capture(&self, in_shape: &[usize], out_shape: &[usize]) -> LineageTable;
+}
+
+/// A capture backed by a precomputed table (e.g. from the array engine's
+/// tracked-cell execution).
+#[derive(Debug, Clone)]
+pub struct TableCapture {
+    table: LineageTable,
+}
+
+impl TableCapture {
+    /// Wrap a precomputed lineage table.
+    pub fn new(table: LineageTable) -> Self {
+        Self { table }
+    }
+}
+
+impl Capture for TableCapture {
+    fn capture(&self, _in_shape: &[usize], _out_shape: &[usize]) -> LineageTable {
+        self.table.clone()
+    }
+}
+
+/// A capture backed by a closure over the shapes.
+pub struct FnCapture<F>(pub F);
+
+impl<F> Capture for FnCapture<F>
+where
+    F: Fn(&[usize], &[usize]) -> LineageTable,
+{
+    fn capture(&self, in_shape: &[usize], out_shape: &[usize]) -> LineageTable {
+        (self.0)(in_shape, out_shape)
+    }
+}
+
+/// How a `register_operation` call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistrationOutcome {
+    /// Lineage was freshly captured and compressed.
+    Captured,
+    /// Lineage came from a stored signature without invoking capture.
+    Reused(ReuseHit),
+}
+
+/// Result of a `prov_query`.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Cells of the last array on the path, as a union of interval boxes.
+    pub cells: BoxTable,
+    /// Number of θ-joins executed.
+    pub hops: usize,
+}
+
+/// Top-level DSLog handle: storage manager + reuse manager + query planner.
+#[derive(Debug, Default)]
+pub struct Dslog {
+    storage: StorageManager,
+    reuse: ReuseManager,
+    query_options: QueryOptions,
+}
+
+impl Dslog {
+    /// A fresh DSLog instance with paper-default settings (backward tables
+    /// materialized, merge step enabled, reuse predictor with m = 1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the orientation materialization policy.
+    pub fn set_materialize(&mut self, m: Materialize) {
+        self.storage.set_materialize(m);
+    }
+
+    /// Enable/disable the per-hop merge step (the `DSLog-NoMerge` ablation).
+    pub fn set_merge(&mut self, merge: bool) {
+        self.query_options.merge = merge;
+    }
+
+    /// Access the underlying storage manager (benchmarking, inspection).
+    pub fn storage(&self) -> &StorageManager {
+        &self.storage
+    }
+
+    /// Mutable storage access (ingest paths used by the bench harness).
+    pub fn storage_mut(&mut self) -> &mut StorageManager {
+        &mut self.storage
+    }
+
+    /// Reuse statistics (Table IX harness).
+    pub fn reuse_stats(&self) -> ReuseStats {
+        self.reuse.stats()
+    }
+
+    /// Per-edge forward/backward query counts (§IV.C workload statistics).
+    pub fn edge_stats(&self) -> Vec<crate::storage::EdgeStats> {
+        self.storage.edge_stats()
+    }
+
+    /// Re-materialize each edge's majority query orientation and drop the
+    /// minority one (§IV.C: store "one version depending on the
+    /// distribution of forward and reverse queries"). Safe at any time;
+    /// dropped orientations are re-derived on demand.
+    pub fn rebalance_materialization(&mut self) -> Result<()> {
+        self.storage.rebalance_materialization()
+    }
+
+    /// Access to the reuse manager (coverage experiments).
+    pub fn reuse_manager(&self) -> &ReuseManager {
+        &self.reuse
+    }
+
+    /// Persist the stored arrays and compressed lineage tables into a
+    /// database directory. With `gzip` the table files use the ProvRC-GZip
+    /// disk format (the paper's recommended long-term configuration).
+    ///
+    /// The reuse predictor's signature tables are not persisted; they are
+    /// re-learned per process (§VI.C re-validates mappings anyway).
+    pub fn save(&self, dir: impl AsRef<std::path::Path>, gzip: bool) -> Result<()> {
+        crate::storage::persist::save(&self.storage, dir.as_ref(), gzip)
+    }
+
+    /// Open a database directory previously written by [`save`](Self::save).
+    pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Self> {
+        Ok(Self {
+            storage: crate::storage::persist::open(dir.as_ref())?,
+            reuse: ReuseManager::default(),
+            query_options: QueryOptions::default(),
+        })
+    }
+
+    /// Define a named tracked array with a fixed shape (paper: `Array`).
+    pub fn define_array(&mut self, name: &str, shape: &[usize]) -> Result<()> {
+        self.storage.define_array(name, shape)
+    }
+
+    /// Capture and store lineage between two arrays (paper: `Lineage`).
+    ///
+    /// `in_array` is the source of contributions, `out_array` the result.
+    pub fn add_lineage(
+        &mut self,
+        in_array: &str,
+        out_array: &str,
+        capture: &dyn Capture,
+    ) -> Result<()> {
+        let in_shape = self.storage.array(in_array)?.shape.clone();
+        let out_shape = self.storage.array(out_array)?.shape.clone();
+        let table = capture.capture(&in_shape, &out_shape);
+        self.storage.ingest_lineage(in_array, out_array, &table)
+    }
+
+    /// Register an executed operation (paper: `register_operation`).
+    ///
+    /// `captures` holds one capture per (input, output) pair in row-major
+    /// pair order (`in_idx * out_arrs.len() + out_idx`). With `reuse`
+    /// enabled, stored signatures may satisfy the call without invoking any
+    /// capture; either way the automatic reuse predictor observes the call.
+    pub fn register_operation(
+        &mut self,
+        op_name: &str,
+        in_arrs: &[&str],
+        out_arrs: &[&str],
+        captures: Vec<Box<dyn Capture>>,
+        op_args: &[ArgValue],
+        reuse: bool,
+    ) -> Result<RegistrationOutcome> {
+        self.register_operation_full(op_name, in_arrs, out_arrs, captures, op_args, reuse, None)
+    }
+
+    /// Like [`register_operation`](Self::register_operation) but with
+    /// content hashes of the input arrays, enabling `base_sig` reuse.
+    #[allow(clippy::too_many_arguments)]
+    pub fn register_operation_full(
+        &mut self,
+        op_name: &str,
+        in_arrs: &[&str],
+        out_arrs: &[&str],
+        captures: Vec<Box<dyn Capture>>,
+        op_args: &[ArgValue],
+        reuse: bool,
+        content_hashes: Option<&[u64]>,
+    ) -> Result<RegistrationOutcome> {
+        assert_eq!(
+            captures.len(),
+            in_arrs.len() * out_arrs.len(),
+            "one capture per (input, output) pair"
+        );
+        let in_shapes: Vec<Vec<usize>> = in_arrs
+            .iter()
+            .map(|a| self.storage.array(a).map(|m| m.shape.clone()))
+            .collect::<Result<_>>()?;
+        let out_shapes: Vec<Vec<usize>> = out_arrs
+            .iter()
+            .map(|a| self.storage.array(a).map(|m| m.shape.clone()))
+            .collect::<Result<_>>()?;
+
+        if reuse {
+            if let Some((hit, mapping)) =
+                self.reuse
+                    .lookup(op_name, op_args, content_hashes, &in_shapes, &out_shapes)
+            {
+                self.install_mapping(in_arrs, out_arrs, mapping)?;
+                return Ok(RegistrationOutcome::Reused(hit));
+            }
+        }
+
+        // Fresh capture per pair.
+        let mut tables = Vec::with_capacity(captures.len());
+        for (pair_idx, capture) in captures.iter().enumerate() {
+            let in_idx = pair_idx / out_arrs.len();
+            let out_idx = pair_idx % out_arrs.len();
+            let table = capture.capture(&in_shapes[in_idx], &out_shapes[out_idx]);
+            self.storage
+                .ingest_lineage(in_arrs[in_idx], out_arrs[out_idx], &table)?;
+            tables.push(self.storage.stored_table(
+                in_arrs[in_idx],
+                out_arrs[out_idx],
+                crate::table::Orientation::Backward,
+            )?);
+        }
+
+        // Feed the automatic reuse predictor (§VI.C).
+        let mapping = Mapping {
+            tables: tables.iter().map(|t| (**t).clone()).collect(),
+            in_shapes,
+            out_shapes,
+        };
+        self.reuse
+            .observe(op_name, op_args, content_hashes, &mapping);
+        Ok(RegistrationOutcome::Captured)
+    }
+
+    fn install_mapping(
+        &mut self,
+        in_arrs: &[&str],
+        out_arrs: &[&str],
+        mapping: Mapping,
+    ) -> Result<()> {
+        let n_out = out_arrs.len();
+        for (pair_idx, table) in mapping.tables.into_iter().enumerate() {
+            let in_idx = pair_idx / n_out;
+            let out_idx = pair_idx % n_out;
+            self.storage
+                .ingest_compressed(in_arrs[in_idx], out_arrs[out_idx], table)?;
+        }
+        Ok(())
+    }
+
+    /// Query lineage along a path of arrays (paper: `prov_query`).
+    ///
+    /// `path[0]` holds the `query_cells`; the result contains the linked
+    /// cells of the last array. A path in operation direction is a forward
+    /// query; against it, a backward query; mixed paths work hop by hop.
+    pub fn prov_query(&self, path: &[&str], query_cells: &[Vec<i64>]) -> Result<QueryResult> {
+        self.prov_query_opts(path, query_cells, self.query_options)
+    }
+
+    /// `prov_query` with explicit options (used by the ablation benches).
+    pub fn prov_query_opts(
+        &self,
+        path: &[&str],
+        query_cells: &[Vec<i64>],
+        opts: QueryOptions,
+    ) -> Result<QueryResult> {
+        if path.len() < 2 {
+            return Err(DslogError::PathTooShort);
+        }
+        let first = self.storage.array(path[0])?;
+        let arity = first.ndim();
+        for cell in query_cells {
+            if cell.len() != arity {
+                return Err(DslogError::QueryArityMismatch {
+                    expected: arity,
+                    got: cell.len(),
+                });
+            }
+            if cell
+                .iter()
+                .zip(first.shape.iter())
+                .any(|(&v, &d)| v < 0 || v >= d as i64)
+            {
+                return Err(DslogError::CellOutOfBounds {
+                    index: cell.clone(),
+                    shape: first.shape.clone(),
+                });
+            }
+        }
+
+        let mut cur = BoxTable::from_cells(arity, query_cells);
+        // The query itself is always range-encoded into Q′ (§V.B: "The
+        // query, Q′, is encoded from Q in the same format as the compressed
+        // relational lineage tables with multi-attribute range encoding").
+        // This is part of query encoding, not the inter-hop merge ablation.
+        cur.merge();
+        let mut hops = 0;
+        for hop in path.windows(2) {
+            // Validate the arrays exist even if the query went empty.
+            self.storage.array(hop[1])?;
+            let (table, _direction) = self.storage.resolve_hop(hop[0], hop[1])?;
+            let mut next = query::theta_join(&cur, &table);
+            if opts.merge {
+                next.merge();
+            }
+            cur = next;
+            hops += 1;
+            if cur.is_empty() {
+                // Later hops keep the (empty) arity of their target array.
+                let last = self.storage.array(*path.last().unwrap())?;
+                return Ok(QueryResult {
+                    cells: BoxTable::new(last.ndim()),
+                    hops,
+                });
+            }
+        }
+        Ok(QueryResult { cells: cur, hops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_lineage() -> LineageTable {
+        let mut t = LineageTable::new(1, 2);
+        for i in 0..3 {
+            for j in 0..2 {
+                t.push_row(&[i, i, j]);
+            }
+        }
+        t
+    }
+
+    fn setup() -> Dslog {
+        let mut db = Dslog::new();
+        db.define_array("A", &[3, 2]).unwrap();
+        db.define_array("B", &[3]).unwrap();
+        db.add_lineage("A", "B", &TableCapture::new(sum_lineage()))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn backward_query() {
+        let db = setup();
+        let r = db.prov_query(&["B", "A"], &[vec![1]]).unwrap();
+        assert!(r.cells.contains_cell(&[1, 0]));
+        assert!(r.cells.contains_cell(&[1, 1]));
+        assert!(!r.cells.contains_cell(&[0, 0]));
+        assert_eq!(r.hops, 1);
+    }
+
+    #[test]
+    fn forward_query() {
+        let db = setup();
+        let r = db.prov_query(&["A", "B"], &[vec![2, 0]]).unwrap();
+        assert!(r.cells.contains_cell(&[2]));
+        assert!(!r.cells.contains_cell(&[1]));
+    }
+
+    #[test]
+    fn two_hop_roundtrip() {
+        let db = setup();
+        let r = db.prov_query(&["B", "A", "B"], &[vec![0]]).unwrap();
+        assert!(r.cells.contains_cell(&[0]));
+        assert_eq!(r.hops, 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        let db = setup();
+        assert!(matches!(
+            db.prov_query(&["B"], &[vec![0]]),
+            Err(DslogError::PathTooShort)
+        ));
+        assert!(matches!(
+            db.prov_query(&["B", "A"], &[vec![0, 0]]),
+            Err(DslogError::QueryArityMismatch { .. })
+        ));
+        assert!(matches!(
+            db.prov_query(&["B", "A"], &[vec![5]]),
+            Err(DslogError::CellOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            db.prov_query(&["B", "Q"], &[vec![0]]),
+            Err(DslogError::UnknownArray(_))
+        ));
+    }
+
+    #[test]
+    fn register_operation_and_reuse_flow() {
+        let mut db = Dslog::new();
+        for run in 0..3 {
+            let a = format!("A{run}");
+            let b = format!("B{run}");
+            db.define_array(&a, &[3, 2]).unwrap();
+            db.define_array(&b, &[3]).unwrap();
+            let outcome = db
+                .register_operation(
+                    "sum_axis1",
+                    &[&a],
+                    &[&b],
+                    vec![Box::new(TableCapture::new(sum_lineage()))],
+                    &[ArgValue::Int(1)],
+                    true,
+                )
+                .unwrap();
+            match run {
+                0 | 1 => assert_eq!(outcome, RegistrationOutcome::Captured),
+                _ => assert!(matches!(outcome, RegistrationOutcome::Reused(_))),
+            }
+        }
+        // Reused edge answers queries identically.
+        let r = db.prov_query(&["B2", "A2"], &[vec![2]]).unwrap();
+        assert!(r.cells.contains_cell(&[2, 0]));
+        assert!(r.cells.contains_cell(&[2, 1]));
+        assert_eq!(db.reuse_stats().captures, 2);
+        assert!(db.reuse_stats().dim_hits + db.reuse_stats().gen_hits >= 1);
+    }
+
+    #[test]
+    fn empty_query_result_short_circuits() {
+        // Lineage that misses some output cells: query those.
+        let mut db = Dslog::new();
+        db.define_array("X", &[4]).unwrap();
+        db.define_array("Y", &[4]).unwrap();
+        let mut t = LineageTable::new(1, 1);
+        t.push_row(&[0, 0]); // only Y[0] has lineage
+        db.add_lineage("X", "Y", &TableCapture::new(t)).unwrap();
+        let r = db.prov_query(&["Y", "X"], &[vec![3]]).unwrap();
+        assert!(r.cells.is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! Closed integer intervals — the unit of ProvRC's range encoding.
+
+/// A closed interval `[lo, hi]` of `i64` cell indices (or deltas).
+///
+/// Invariant: `lo <= hi`. A singleton has `lo == hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// `[lo, hi]`, asserting the invariant in debug builds.
+    #[inline]
+    pub fn new(lo: i64, hi: i64) -> Self {
+        debug_assert!(lo <= hi, "interval [{lo}, {hi}] is empty");
+        Self { lo, hi }
+    }
+
+    /// The singleton `[v, v]`.
+    #[inline]
+    pub fn point(v: i64) -> Self {
+        Self { lo: v, hi: v }
+    }
+
+    /// Whether this interval holds exactly one value.
+    #[inline]
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Number of integers covered.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        (self.hi - self.lo) as u64 + 1
+    }
+
+    /// Always false — intervals are non-empty by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `v` lies inside.
+    #[inline]
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether `other` is fully inside `self`.
+    #[inline]
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Intersection, or `None` when disjoint.
+    #[inline]
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Whether the two intervals overlap in at least one integer.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Whether `other` starts exactly one past `self` (exact concatenation).
+    #[inline]
+    pub fn abuts_below(&self, other: &Interval) -> bool {
+        other.lo == self.hi + 1
+    }
+
+    /// Whether the union of the two intervals is a single interval
+    /// (overlap or exact adjacency in either direction).
+    #[inline]
+    pub fn mergeable(&self, other: &Interval) -> bool {
+        self.overlaps(other) || self.hi + 1 == other.lo || other.hi + 1 == self.lo
+    }
+
+    /// Union of two overlapping-or-adjacent intervals.
+    #[inline]
+    pub fn merge(&self, other: &Interval) -> Interval {
+        debug_assert!(self.overlaps(other) || self.hi + 1 == other.lo || other.hi + 1 == self.lo);
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Shift both endpoints by `delta`.
+    #[inline]
+    pub fn shift(&self, delta: i64) -> Interval {
+        Interval {
+            lo: self.lo + delta,
+            hi: self.hi + delta,
+        }
+    }
+
+    /// Minkowski sum: `{ a + d | a ∈ self, d ∈ delta }`, itself an interval.
+    ///
+    /// This is exactly the paper's `rel_back(t.x, t.xy)` (§V.B.2).
+    #[inline]
+    pub fn minkowski_sum(&self, delta: &Interval) -> Interval {
+        Interval {
+            lo: self.lo + delta.lo,
+            hi: self.hi + delta.hi,
+        }
+    }
+
+    /// Difference interval `{ a − b | a ∈ self, b singleton }` for a point `b`.
+    #[inline]
+    pub fn sub_point(&self, b: i64) -> Interval {
+        Interval {
+            lo: self.lo - b,
+            hi: self.hi - b,
+        }
+    }
+
+    /// Iterate the covered integers.
+    pub fn iter(&self) -> impl Iterator<Item = i64> {
+        self.lo..=self.hi
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_point() {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_cases() {
+        let a = Interval::new(1, 5);
+        assert_eq!(a.intersect(&Interval::new(3, 9)), Some(Interval::new(3, 5)));
+        assert_eq!(a.intersect(&Interval::new(5, 9)), Some(Interval::point(5)));
+        assert_eq!(a.intersect(&Interval::new(6, 9)), None);
+        assert_eq!(a.intersect(&a), Some(a));
+    }
+
+    #[test]
+    fn merge_and_mergeable() {
+        let a = Interval::new(1, 3);
+        assert!(a.mergeable(&Interval::new(4, 6)));
+        assert!(a.mergeable(&Interval::new(2, 6)));
+        assert!(a.mergeable(&Interval::new(-2, 0)));
+        assert!(!a.mergeable(&Interval::new(5, 6)));
+        assert_eq!(a.merge(&Interval::new(4, 6)), Interval::new(1, 6));
+        assert_eq!(a.merge(&Interval::new(0, 2)), Interval::new(0, 3));
+    }
+
+    #[test]
+    fn minkowski_sum_is_rel_back() {
+        // Paper Fig. 5 / §V.B.2: b ∈ [1,2] with delta [0,1] covers a ∈ [1,3].
+        let b = Interval::new(1, 2);
+        let delta = Interval::new(0, 1);
+        assert_eq!(b.minkowski_sum(&delta), Interval::new(1, 3));
+    }
+
+    #[test]
+    fn len_and_contains() {
+        let a = Interval::new(-2, 2);
+        assert_eq!(a.len(), 5);
+        assert!(a.contains(0));
+        assert!(!a.contains(3));
+        assert!(a.contains_interval(&Interval::new(-1, 1)));
+        assert!(!a.contains_interval(&Interval::new(0, 3)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Interval::point(7).to_string(), "7");
+        assert_eq!(Interval::new(1, 4).to_string(), "[1, 4]");
+    }
+}

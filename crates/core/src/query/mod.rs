@@ -1,0 +1,49 @@
+//! In-situ query processing over compressed lineage (paper §V).
+//!
+//! A lineage query walks a path `X1 → X2 → … → Xn`; each hop is a θ-join
+//! ([`theta_join`]) between the current cell set (a [`BoxTable`]) and the
+//! compressed lineage table whose *primary* (absolute) side matches the
+//! query side of the hop. Between hops the result is projected onto the
+//! next array's attributes (built into the θ-join) and row-reduced with the
+//! merge step (§V.B.3) — the `DSLog-NoMerge` ablation of Fig. 9 disables
+//! the latter.
+
+pub mod reference;
+pub mod theta_join;
+
+pub use theta_join::theta_join;
+
+use crate::table::{BoxTable, CompressedTable};
+
+/// Tuning knobs for query execution.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOptions {
+    /// Run the row-reduction merge after each hop (§V.B.3). Disabling this
+    /// reproduces the paper's `DSLog-NoMerge` ablation.
+    pub merge: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self { merge: true }
+    }
+}
+
+/// Execute a chain of θ-joins left-to-right (§V.B.3's query plan).
+///
+/// `tables[i]`'s primary side must be the space the query currently lives
+/// in; its secondary side becomes the next space.
+pub fn query_chain(query: &BoxTable, tables: &[&CompressedTable], opts: QueryOptions) -> BoxTable {
+    let mut cur = query.clone();
+    if opts.merge {
+        cur.merge();
+    }
+    for table in tables {
+        let mut next = theta_join(&cur, table);
+        if opts.merge {
+            next.merge();
+        }
+        cur = next;
+    }
+    cur
+}

@@ -1,0 +1,234 @@
+//! The θ-join of §V.B: a range join on the absolute attributes followed by
+//! de-relativization of the relative attributes.
+//!
+//! **Step 1 — range join**: each query box is intersected with each
+//! compressed row's primary intervals; rows with any empty intersection are
+//! dropped. Because each compressed row is all-to-all between its primary
+//! and secondary sides (in relative space for `Rel` cells), the intersection
+//! preserves exactly the lineage of the queried cells (Fig. 4).
+//!
+//! **Step 2 — de-relativize**: relative cells are turned back into absolute
+//! intervals with `rel_back(x, δ) = [x.lo + δ.lo, x.hi + δ.hi]` over the
+//! *intersected* anchor interval (Fig. 5). When two or more relative cells
+//! share one anchor (e.g. the lineage of `B[i] = A[i,i]`), de-relativizing
+//! each independently and taking the product would over-approximate the true
+//! cell set; we split the shared anchor interval into unit points in exactly
+//! that case, which keeps the result exact (DESIGN.md §3.3).
+
+use crate::interval::Interval;
+use crate::table::{BoxTable, Cell, CompressedTable};
+
+/// Join a query box table (over the table's primary attributes) against a
+/// compressed lineage table, returning covered cells of the secondary side.
+pub fn theta_join(query: &BoxTable, table: &CompressedTable) -> BoxTable {
+    assert_eq!(
+        query.arity(),
+        table.primary_arity(),
+        "query arity must match the table's absolute side"
+    );
+    assert!(
+        !table.is_generalized(),
+        "generalized tables must be instantiated before querying"
+    );
+    let pa = table.primary_arity();
+    let sa = table.secondary_arity();
+    let mut out = BoxTable::new(sa);
+    let mut isect = vec![Interval::point(0); pa];
+
+    for q in query.boxes() {
+        'rows: for row in table.rows() {
+            let (prim, sec) = row.split_at(pa);
+            for k in 0..pa {
+                let Cell::Abs(p) = prim[k] else {
+                    unreachable!("instantiated tables have absolute primary cells")
+                };
+                match p.intersect(&q[k]) {
+                    Some(i) => isect[k] = i,
+                    None => continue 'rows,
+                }
+            }
+            emit_derelativized(&isect, sec, &mut out);
+        }
+    }
+    out
+}
+
+/// De-relativize one joined row and append the resulting box(es) to `out`.
+fn emit_derelativized(isect: &[Interval], sec: &[Cell], out: &mut BoxTable) {
+    // Count relative dependents per anchor.
+    let mut dependents = vec![0u32; isect.len()];
+    for cell in sec {
+        if let Cell::Rel { anchor, .. } = cell {
+            dependents[*anchor as usize] += 1;
+        }
+    }
+    // Anchors that need unit-splitting: ≥ 2 dependents over a non-point
+    // intersected interval.
+    let split: Vec<usize> = (0..isect.len())
+        .filter(|&j| dependents[j] >= 2 && !isect[j].is_point())
+        .collect();
+
+    if split.is_empty() {
+        let bx: Vec<Interval> = sec
+            .iter()
+            .map(|cell| match *cell {
+                Cell::Abs(ivl) => ivl,
+                Cell::Rel { anchor, delta } => isect[anchor as usize].minkowski_sum(&delta),
+                Cell::Sym { .. } => unreachable!("checked by theta_join"),
+            })
+            .collect();
+        out.push_box(&bx);
+        return;
+    }
+
+    // Enumerate unit assignments for the split anchors.
+    let mut values: Vec<i64> = split.iter().map(|&j| isect[j].lo).collect();
+    loop {
+        let bx: Vec<Interval> = sec
+            .iter()
+            .map(|cell| match *cell {
+                Cell::Abs(ivl) => ivl,
+                Cell::Rel { anchor, delta } => {
+                    let j = anchor as usize;
+                    match split.iter().position(|&s| s == j) {
+                        Some(si) => Interval::point(values[si]).minkowski_sum(&delta),
+                        None => isect[j].minkowski_sum(&delta),
+                    }
+                }
+                Cell::Sym { .. } => unreachable!("checked by theta_join"),
+            })
+            .collect();
+        out.push_box(&bx);
+
+        // Advance the odometer over the split anchors.
+        let mut advanced = false;
+        for k in (0..split.len()).rev() {
+            if values[k] < isect[split[k]].hi {
+                values[k] += 1;
+                for i in k + 1..split.len() {
+                    values[i] = isect[split[i]].lo;
+                }
+                advanced = true;
+                break;
+            }
+            values[k] = isect[split[k]].lo;
+        }
+        if !advanced {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provrc::compress;
+    use crate::query::reference;
+    use crate::table::{LineageTable, Orientation};
+
+    fn ivl(lo: i64, hi: i64) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    /// Paper running example: Table II stored, query Table IV (b1 ∈ [1,2]),
+    /// expected result Table VI: a1 = [1,2], a2 = [1,2].
+    #[test]
+    fn paper_tables_iv_to_vi() {
+        let mut t = LineageTable::new(1, 2);
+        for b in 1..=3 {
+            for a2 in 1..=2 {
+                t.push_row(&[b, b, a2]);
+            }
+        }
+        let compressed = compress(&t, &[4], &[4, 3], Orientation::Backward);
+        assert_eq!(compressed.n_rows(), 1);
+
+        let q = BoxTable::from_boxes(1, &[&[ivl(1, 2)]]);
+        let mut result = theta_join(&q, &compressed);
+        result.merge();
+        assert_eq!(result.n_boxes(), 1);
+        assert_eq!(result.row(0), &[ivl(1, 2), ivl(1, 2)]);
+    }
+
+    /// Fig. 5: one-to-one lineage [0,1]→[1,3]-style relative interval; the
+    /// de-relativized result must track the intersected anchor.
+    #[test]
+    fn relative_derelativization_tracks_intersection() {
+        let n = 10;
+        let mut t = LineageTable::new(1, 1);
+        for i in 0..n {
+            t.push_row(&[i, i]);
+        }
+        let compressed = compress(&t, &[n as usize], &[n as usize], Orientation::Backward);
+        let q = BoxTable::from_boxes(1, &[&[ivl(3, 5)]]);
+        let result = theta_join(&q, &compressed);
+        assert_eq!(result.n_boxes(), 1);
+        assert_eq!(result.row(0), &[ivl(3, 5)]);
+    }
+
+    #[test]
+    fn disjoint_query_returns_empty() {
+        let mut t = LineageTable::new(1, 1);
+        for i in 0..4 {
+            t.push_row(&[i, i]);
+        }
+        let compressed = compress(&t, &[4], &[4], Orientation::Backward);
+        let q = BoxTable::from_boxes(1, &[&[ivl(7, 9)]]);
+        assert!(theta_join(&q, &compressed).is_empty());
+    }
+
+    /// The shared-anchor case: B[i] = A[i,i]. Product de-relativization
+    /// would return a square; the correct answer is the diagonal.
+    #[test]
+    fn shared_anchor_splits_exactly() {
+        let n = 8i64;
+        let mut t = LineageTable::new(1, 2);
+        for i in 0..n {
+            t.push_row(&[i, i, i]);
+        }
+        let compressed = compress(&t, &[n as usize], &[n as usize, n as usize], Orientation::Backward);
+        assert_eq!(compressed.n_rows(), 1, "diag compresses to one row");
+
+        let q = BoxTable::from_boxes(1, &[&[ivl(2, 4)]]);
+        let result = theta_join(&q, &compressed);
+        let cells = result.cell_set();
+        let expected: std::collections::BTreeSet<Vec<i64>> =
+            (2..=4).map(|i| vec![i, i]).collect();
+        assert_eq!(cells, expected, "must be the diagonal, not the square");
+    }
+
+    #[test]
+    fn matches_reference_on_aggregate() {
+        let mut t = LineageTable::new(1, 2);
+        for b in 0..5 {
+            for j in 0..3 {
+                t.push_row(&[b, b, j]);
+            }
+        }
+        let compressed = compress(&t, &[5], &[5, 3], Orientation::Backward);
+        let q_cells = vec![vec![1i64], vec![3]];
+        let q = BoxTable::from_cells(1, &q_cells);
+        let result = theta_join(&q, &compressed);
+        let expected = reference::step(
+            &q_cells.iter().cloned().collect(),
+            &t,
+            reference::Direction::Backward,
+        );
+        assert_eq!(result.cell_set(), expected);
+    }
+
+    #[test]
+    fn multiple_query_boxes_union() {
+        let mut t = LineageTable::new(1, 1);
+        for i in 0..10 {
+            t.push_row(&[i, 9 - i]);
+        }
+        let compressed = compress(&t, &[10], &[10], Orientation::Backward);
+        let q = BoxTable::from_boxes(1, &[&[ivl(0, 0)], &[ivl(9, 9)]]);
+        let result = theta_join(&q, &compressed);
+        let cells = result.cell_set();
+        assert!(cells.contains(&vec![9]));
+        assert!(cells.contains(&vec![0]));
+        assert_eq!(cells.len(), 2);
+    }
+}

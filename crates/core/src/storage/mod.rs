@@ -1,0 +1,506 @@
+//! The storage manager: named arrays, lineage edges, and on-demand
+//! orientation derivation (paper §III, §IV.C).
+//!
+//! Lineage for an operation `O = op(I)` is stored per `(I, O)` pair as a
+//! ProvRC-compressed table. By default only the **backward** orientation is
+//! materialized (matching the paper's storage experiments); the forward
+//! orientation is derived lazily on the first forward query over that edge
+//! and cached.
+
+pub mod format;
+pub mod persist;
+
+use crate::error::{DslogError, Result};
+use crate::provrc;
+use crate::table::{CompressedTable, LineageTable, Orientation};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Metadata for a defined array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayMeta {
+    /// Shape (extent per axis).
+    pub shape: Vec<usize>,
+}
+
+impl ArrayMeta {
+    /// Number of axes.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+}
+
+/// Which orientations to materialize at ingest (paper §IV.C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Materialize {
+    /// Store backward only; derive forward on demand (paper default).
+    Backward,
+    /// Store forward only; derive backward on demand.
+    Forward,
+    /// Store both eagerly.
+    Both,
+}
+
+/// One stored lineage edge (input array → output array).
+#[derive(Debug)]
+struct Edge {
+    backward: RwLock<Option<Arc<CompressedTable>>>,
+    forward: RwLock<Option<Arc<CompressedTable>>>,
+    out_shape: Vec<usize>,
+    in_shape: Vec<usize>,
+    /// Query-direction counters feeding the §IV.C materialization decision
+    /// ("one version depending on the distribution of forward and reverse
+    /// queries").
+    backward_hits: AtomicU64,
+    forward_hits: AtomicU64,
+}
+
+impl Edge {
+    fn new(
+        backward: Option<Arc<CompressedTable>>,
+        forward: Option<Arc<CompressedTable>>,
+        out_shape: Vec<usize>,
+        in_shape: Vec<usize>,
+    ) -> Self {
+        Self {
+            backward: RwLock::new(backward),
+            forward: RwLock::new(forward),
+            out_shape,
+            in_shape,
+            backward_hits: AtomicU64::new(0),
+            forward_hits: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Per-edge query-direction statistics (§IV.C).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeStats {
+    /// Input array of the edge.
+    pub in_array: String,
+    /// Output array of the edge.
+    pub out_array: String,
+    /// Hops served in the backward direction (output → input).
+    pub backward_hits: u64,
+    /// Hops served in the forward direction (input → output).
+    pub forward_hits: u64,
+}
+
+impl Edge {
+    /// Fetch the requested orientation, deriving and caching it from the
+    /// other one if missing (decompress → recompress; §IV.C).
+    fn repr(&self, orientation: Orientation) -> Result<Arc<CompressedTable>> {
+        let slot = match orientation {
+            Orientation::Backward => &self.backward,
+            Orientation::Forward => &self.forward,
+        };
+        if let Some(t) = slot.read().as_ref() {
+            return Ok(Arc::clone(t));
+        }
+        let other = match orientation {
+            Orientation::Backward => &self.forward,
+            Orientation::Forward => &self.backward,
+        };
+        let source = other
+            .read()
+            .as_ref()
+            .map(Arc::clone)
+            .ok_or(DslogError::Corrupt("edge with no stored orientation"))?;
+        let full = source.decompress()?;
+        let derived = Arc::new(provrc::compress(
+            &full,
+            &self.out_shape,
+            &self.in_shape,
+            orientation,
+        ));
+        *slot.write() = Some(Arc::clone(&derived));
+        Ok(derived)
+    }
+}
+
+/// How a query hop traverses an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopDirection {
+    /// Query moves output → input: needs the backward orientation.
+    Backward,
+    /// Query moves input → output: needs the forward orientation.
+    Forward,
+}
+
+/// The DSLog storage manager.
+#[derive(Debug, Default)]
+pub struct StorageManager {
+    arrays: HashMap<String, ArrayMeta>,
+    /// Keyed by (input array, output array).
+    edges: HashMap<(String, String), Edge>,
+    materialize: Option<Materialize>,
+}
+
+impl StorageManager {
+    /// Empty manager with the default materialization policy (backward).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the materialization policy.
+    pub fn set_materialize(&mut self, m: Materialize) {
+        self.materialize = Some(m);
+    }
+
+    fn materialize_policy(&self) -> Materialize {
+        self.materialize.unwrap_or(Materialize::Backward)
+    }
+
+    /// Define (or re-define identically) a named array.
+    pub fn define_array(&mut self, name: &str, shape: &[usize]) -> Result<()> {
+        assert!(!shape.is_empty(), "arrays must have at least one axis");
+        match self.arrays.get(name) {
+            Some(meta) if meta.shape != shape => {
+                Err(DslogError::ArrayShapeConflict(name.to_string()))
+            }
+            Some(_) => Ok(()),
+            None => {
+                self.arrays.insert(
+                    name.to_string(),
+                    ArrayMeta {
+                        shape: shape.to_vec(),
+                    },
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Metadata for `name`.
+    pub fn array(&self, name: &str) -> Result<&ArrayMeta> {
+        self.arrays
+            .get(name)
+            .ok_or_else(|| DslogError::UnknownArray(name.to_string()))
+    }
+
+    /// All defined array names (sorted, for deterministic iteration).
+    pub fn array_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.arrays.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Ingest an uncompressed lineage relation for the edge
+    /// `in_array → out_array`, compressing it with ProvRC.
+    pub fn ingest_lineage(
+        &mut self,
+        in_array: &str,
+        out_array: &str,
+        lineage: &LineageTable,
+    ) -> Result<()> {
+        let in_shape = self.array(in_array)?.shape.clone();
+        let out_shape = self.array(out_array)?.shape.clone();
+        if lineage.out_arity() != out_shape.len() || lineage.in_arity() != in_shape.len() {
+            return Err(DslogError::ArityMismatch {
+                expected: out_shape.len() + in_shape.len(),
+                got: lineage.arity(),
+            });
+        }
+        let policy = self.materialize_policy();
+        let backward = matches!(policy, Materialize::Backward | Materialize::Both)
+            .then(|| Arc::new(provrc::compress(lineage, &out_shape, &in_shape, Orientation::Backward)));
+        let forward = matches!(policy, Materialize::Forward | Materialize::Both)
+            .then(|| Arc::new(provrc::compress(lineage, &out_shape, &in_shape, Orientation::Forward)));
+        self.edges.insert(
+            (in_array.to_string(), out_array.to_string()),
+            Edge::new(backward, forward, out_shape, in_shape),
+        );
+        Ok(())
+    }
+
+    /// Ingest an already-compressed table (used by the reuse path).
+    pub fn ingest_compressed(
+        &mut self,
+        in_array: &str,
+        out_array: &str,
+        table: CompressedTable,
+    ) -> Result<()> {
+        let in_shape = self.array(in_array)?.shape.clone();
+        let out_shape = self.array(out_array)?.shape.clone();
+        let (backward, forward) = match table.orientation() {
+            Orientation::Backward => (Some(Arc::new(table)), None),
+            Orientation::Forward => (None, Some(Arc::new(table))),
+        };
+        self.edges.insert(
+            (in_array.to_string(), out_array.to_string()),
+            Edge::new(backward, forward, out_shape, in_shape),
+        );
+        Ok(())
+    }
+
+    /// Resolve one query hop `from → to`: returns the compressed table whose
+    /// primary side is `from`'s attribute space, plus the hop direction.
+    pub fn resolve_hop(
+        &self,
+        from: &str,
+        to: &str,
+    ) -> Result<(Arc<CompressedTable>, HopDirection)> {
+        // Edge stored as (input=to, output=from) ⇒ hop is backward.
+        if let Some(edge) = self.edges.get(&(to.to_string(), from.to_string())) {
+            edge.backward_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((edge.repr(Orientation::Backward)?, HopDirection::Backward));
+        }
+        // Edge stored as (input=from, output=to) ⇒ hop is forward.
+        if let Some(edge) = self.edges.get(&(from.to_string(), to.to_string())) {
+            edge.forward_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((edge.repr(Orientation::Forward)?, HopDirection::Forward));
+        }
+        Err(DslogError::NoLineagePath {
+            from: from.to_string(),
+            to: to.to_string(),
+        })
+    }
+
+    /// Per-edge query-direction statistics, sorted by (input, output).
+    pub fn edge_stats(&self) -> Vec<EdgeStats> {
+        let mut stats: Vec<EdgeStats> = self
+            .edges
+            .iter()
+            .map(|((in_array, out_array), edge)| EdgeStats {
+                in_array: in_array.clone(),
+                out_array: out_array.clone(),
+                backward_hits: edge.backward_hits.load(Ordering::Relaxed),
+                forward_hits: edge.forward_hits.load(Ordering::Relaxed),
+            })
+            .collect();
+        stats.sort_by(|a, b| (&a.in_array, &a.out_array).cmp(&(&b.in_array, &b.out_array)));
+        stats
+    }
+
+    /// Rebalance materialized orientations to the observed query mix
+    /// (§IV.C: "either both versions can be stored or one version
+    /// depending on the distribution of forward and reverse queries").
+    ///
+    /// Per edge: the majority direction's orientation is materialized
+    /// (derived now if missing) and the minority one is dropped, freeing
+    /// its memory/disk; ties and never-queried edges keep the paper's
+    /// backward default. Queries after a rebalance stay correct — a
+    /// dropped orientation is simply re-derived on demand.
+    pub fn rebalance_materialization(&mut self) -> Result<()> {
+        for edge in self.edges.values() {
+            let bwd = edge.backward_hits.load(Ordering::Relaxed);
+            let fwd = edge.forward_hits.load(Ordering::Relaxed);
+            let keep = if fwd > bwd {
+                Orientation::Forward
+            } else {
+                Orientation::Backward
+            };
+            // Materialize the kept orientation first (may derive), then
+            // drop the other.
+            edge.repr(keep)?;
+            let drop_slot = match keep {
+                Orientation::Backward => &edge.forward,
+                Orientation::Forward => &edge.backward,
+            };
+            *drop_slot.write() = None;
+        }
+        Ok(())
+    }
+
+    /// Whether an edge exists between two arrays (either direction).
+    pub fn has_edge(&self, a: &str, b: &str) -> bool {
+        self.edges.contains_key(&(a.to_string(), b.to_string()))
+            || self.edges.contains_key(&(b.to_string(), a.to_string()))
+    }
+
+    /// The stored backward table for an edge (ingest order: in → out).
+    pub fn stored_table(
+        &self,
+        in_array: &str,
+        out_array: &str,
+        orientation: Orientation,
+    ) -> Result<Arc<CompressedTable>> {
+        let edge = self
+            .edges
+            .get(&(in_array.to_string(), out_array.to_string()))
+            .ok_or_else(|| DslogError::NoLineagePath {
+                from: in_array.to_string(),
+                to: out_array.to_string(),
+            })?;
+        edge.repr(orientation)
+    }
+
+    /// Serialized size in bytes of all stored tables (one orientation each),
+    /// the quantity the paper's storage experiments measure.
+    pub fn storage_bytes(&self) -> usize {
+        self.edges
+            .values()
+            .filter_map(|e| {
+                let b = e.backward.read();
+                if let Some(t) = b.as_ref() {
+                    return Some(format::serialize(t).len());
+                }
+                drop(b);
+                e.forward
+                    .read()
+                    .as_ref()
+                    .map(|t| format::serialize(t).len())
+            })
+            .sum()
+    }
+
+    /// Number of stored edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_lineage() -> LineageTable {
+        let mut t = LineageTable::new(1, 2);
+        for i in 0..3 {
+            for j in 0..2 {
+                t.push_row(&[i, i, j]);
+            }
+        }
+        t
+    }
+
+    fn manager_with_edge() -> StorageManager {
+        let mut s = StorageManager::new();
+        s.define_array("A", &[3, 2]).unwrap();
+        s.define_array("B", &[3]).unwrap();
+        s.ingest_lineage("A", "B", &sum_lineage()).unwrap();
+        s
+    }
+
+    #[test]
+    fn define_and_conflict() {
+        let mut s = StorageManager::new();
+        s.define_array("A", &[2, 2]).unwrap();
+        s.define_array("A", &[2, 2]).unwrap(); // idempotent
+        assert!(matches!(
+            s.define_array("A", &[3]),
+            Err(DslogError::ArrayShapeConflict(_))
+        ));
+        assert!(matches!(s.array("Z"), Err(DslogError::UnknownArray(_))));
+    }
+
+    #[test]
+    fn resolve_backward_hop() {
+        let s = manager_with_edge();
+        let (table, dir) = s.resolve_hop("B", "A").unwrap();
+        assert_eq!(dir, HopDirection::Backward);
+        assert_eq!(table.orientation(), Orientation::Backward);
+        assert_eq!(table.primary_arity(), 1);
+    }
+
+    #[test]
+    fn resolve_forward_hop_derives_orientation() {
+        let s = manager_with_edge();
+        // Only backward is materialized; the forward hop must derive it.
+        let (table, dir) = s.resolve_hop("A", "B").unwrap();
+        assert_eq!(dir, HopDirection::Forward);
+        assert_eq!(table.orientation(), Orientation::Forward);
+        assert_eq!(table.primary_arity(), 2);
+        // Derived table decompresses to the same relation.
+        assert_eq!(
+            table.decompress().unwrap().row_set(),
+            sum_lineage().row_set()
+        );
+        // Second resolution hits the cache (same Arc).
+        let (again, _) = s.resolve_hop("A", "B").unwrap();
+        assert!(Arc::ptr_eq(&table, &again));
+    }
+
+    #[test]
+    fn missing_edge_is_error() {
+        let s = manager_with_edge();
+        assert!(matches!(
+            s.resolve_hop("B", "Z"),
+            Err(DslogError::UnknownArray(_)) | Err(DslogError::NoLineagePath { .. })
+        ));
+        let mut s2 = StorageManager::new();
+        s2.define_array("X", &[1]).unwrap();
+        s2.define_array("Y", &[1]).unwrap();
+        assert!(matches!(
+            s2.resolve_hop("X", "Y"),
+            Err(DslogError::NoLineagePath { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut s = StorageManager::new();
+        s.define_array("A", &[3]).unwrap(); // 1-D, but lineage says 2-D input
+        s.define_array("B", &[3]).unwrap();
+        assert!(matches!(
+            s.ingest_lineage("A", "B", &sum_lineage()),
+            Err(DslogError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn storage_bytes_counts_one_orientation() {
+        let s = manager_with_edge();
+        let bytes = s.storage_bytes();
+        assert!(bytes > 0 && bytes < 200, "got {bytes}");
+    }
+
+    #[test]
+    fn edge_stats_count_directions() {
+        let s = manager_with_edge();
+        assert_eq!(s.edge_stats()[0].backward_hits, 0);
+        s.resolve_hop("B", "A").unwrap();
+        s.resolve_hop("B", "A").unwrap();
+        s.resolve_hop("A", "B").unwrap();
+        let stats = s.edge_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].in_array, "A");
+        assert_eq!(stats[0].out_array, "B");
+        assert_eq!(stats[0].backward_hits, 2);
+        assert_eq!(stats[0].forward_hits, 1);
+    }
+
+    #[test]
+    fn rebalance_keeps_majority_orientation() {
+        let mut s = manager_with_edge();
+        // Forward-heavy workload.
+        for _ in 0..5 {
+            s.resolve_hop("A", "B").unwrap();
+        }
+        s.resolve_hop("B", "A").unwrap();
+        s.rebalance_materialization().unwrap();
+        // Only forward is materialized now; backward queries re-derive and
+        // stay correct.
+        {
+            let edge = s.edges.get(&("A".to_string(), "B".to_string())).unwrap();
+            assert!(edge.forward.read().is_some());
+            assert!(edge.backward.read().is_none());
+        }
+        let (t, dir) = s.resolve_hop("B", "A").unwrap();
+        assert_eq!(dir, HopDirection::Backward);
+        assert_eq!(t.decompress().unwrap().row_set(), sum_lineage().row_set());
+    }
+
+    #[test]
+    fn rebalance_defaults_to_backward_on_tie() {
+        let mut s = manager_with_edge();
+        s.rebalance_materialization().unwrap();
+        let edge = s.edges.get(&("A".to_string(), "B".to_string())).unwrap();
+        assert!(edge.backward.read().is_some());
+        assert!(edge.forward.read().is_none());
+    }
+
+    #[test]
+    fn materialize_both_policy() {
+        let mut s = StorageManager::new();
+        s.set_materialize(Materialize::Both);
+        s.define_array("A", &[3, 2]).unwrap();
+        s.define_array("B", &[3]).unwrap();
+        s.ingest_lineage("A", "B", &sum_lineage()).unwrap();
+        // Both orientations resolvable without derivation.
+        s.resolve_hop("B", "A").unwrap();
+        s.resolve_hop("A", "B").unwrap();
+    }
+}

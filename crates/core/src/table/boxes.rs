@@ -1,0 +1,281 @@
+//! Tables of interval boxes.
+//!
+//! A [`BoxTable`] is a union of axis-aligned integer boxes (one box per
+//! row, one [`Interval`] per attribute). Queries are encoded as box tables
+//! (the paper's `Q'`, §V.B), and every θ-join hop produces one.
+
+use crate::interval::Interval;
+
+/// A union of interval boxes over `arity` attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BoxTable {
+    arity: usize,
+    /// Flat row-major storage; row length is `arity`.
+    data: Vec<Interval>,
+}
+
+impl BoxTable {
+    /// Empty table.
+    pub fn new(arity: usize) -> Self {
+        assert!(arity > 0);
+        Self {
+            arity,
+            data: Vec::new(),
+        }
+    }
+
+    /// Build from explicit boxes (tests and examples).
+    pub fn from_boxes(arity: usize, boxes: &[&[Interval]]) -> Self {
+        let mut t = Self::new(arity);
+        for b in boxes {
+            t.push_box(b);
+        }
+        t
+    }
+
+    /// Encode a set of concrete cells into a compact union of boxes using
+    /// the same multi-attribute range-encoding idea ProvRC uses (§V.B:
+    /// "The query Q′ is encoded from Q in the same format as the compressed
+    /// relational lineage tables with multi-attribute range encoding").
+    pub fn from_cells(arity: usize, cells: &[Vec<i64>]) -> Self {
+        let mut t = Self::new(arity);
+        let mut sorted: Vec<&Vec<i64>> = cells.iter().collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for cell in sorted {
+            debug_assert_eq!(cell.len(), arity);
+            t.data.extend(cell.iter().map(|&v| Interval::point(v)));
+        }
+        t.merge();
+        t
+    }
+
+    /// Number of attributes per box.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of boxes.
+    #[inline]
+    pub fn n_boxes(&self) -> usize {
+        self.data.len() / self.arity
+    }
+
+    /// Whether the table covers no cells.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append one box.
+    #[inline]
+    pub fn push_box(&mut self, b: &[Interval]) {
+        debug_assert_eq!(b.len(), self.arity);
+        self.data.extend_from_slice(b);
+    }
+
+    /// Box `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Interval] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterate boxes.
+    pub fn boxes(&self) -> impl Iterator<Item = &[Interval]> {
+        self.data.chunks_exact(self.arity)
+    }
+
+    /// Whether a concrete cell is covered by any box.
+    pub fn contains_cell(&self, cell: &[i64]) -> bool {
+        debug_assert_eq!(cell.len(), self.arity);
+        self.boxes()
+            .any(|b| b.iter().zip(cell).all(|(ivl, &v)| ivl.contains(v)))
+    }
+
+    /// Total number of covered cells, counting overlap regions once.
+    ///
+    /// Exact but potentially expensive; intended for tests and reporting.
+    pub fn cell_set(&self) -> std::collections::BTreeSet<Vec<i64>> {
+        let mut out = std::collections::BTreeSet::new();
+        for b in self.boxes() {
+            let mut cursor: Vec<i64> = b.iter().map(|ivl| ivl.lo).collect();
+            'outer: loop {
+                out.insert(cursor.clone());
+                for k in (0..self.arity).rev() {
+                    if cursor[k] < b[k].hi {
+                        cursor[k] += 1;
+                        for (j, c) in cursor.iter_mut().enumerate().skip(k + 1) {
+                            *c = b[j].lo;
+                        }
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+        }
+        out
+    }
+
+    /// Upper bound on covered cells (sum of box volumes; overlaps counted
+    /// multiple times). Cheap, used by the query planner for reporting.
+    pub fn volume(&self) -> u128 {
+        self.boxes()
+            .map(|b| b.iter().map(|ivl| u128::from(ivl.len())).product::<u128>())
+            .sum()
+    }
+
+    /// The paper's row-reduction "merge" step (§V.B.3): repeatedly unite
+    /// boxes that are identical on all attributes but one, where that one
+    /// attribute's intervals overlap or abut. Also drops duplicate boxes
+    /// and boxes fully contained in another identical-on-other-attrs box.
+    pub fn merge(&mut self) {
+        if self.n_boxes() <= 1 {
+            return;
+        }
+        loop {
+            let before = self.n_boxes();
+            for target in 0..self.arity {
+                self.merge_pass(target);
+            }
+            if self.n_boxes() == before {
+                break;
+            }
+        }
+    }
+
+    /// One merge pass over attribute `target`.
+    fn merge_pass(&mut self, target: usize) {
+        let arity = self.arity;
+        let n = self.n_boxes();
+        if n <= 1 {
+            return;
+        }
+        // Sort box indices by (other attrs, target.lo, target.hi).
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let data = &self.data;
+        let key_cmp = |&x: &u32, &y: &u32| {
+            let bx = &data[x as usize * arity..(x as usize + 1) * arity];
+            let by = &data[y as usize * arity..(y as usize + 1) * arity];
+            for k in 0..arity {
+                if k == target {
+                    continue;
+                }
+                match bx[k].cmp(&by[k]) {
+                    std::cmp::Ordering::Equal => {}
+                    other => return other,
+                }
+            }
+            bx[target].cmp(&by[target])
+        };
+        order.sort_unstable_by(key_cmp);
+
+        let mut out: Vec<Interval> = Vec::with_capacity(self.data.len());
+        let mut cur: Option<Vec<Interval>> = None;
+        for &idx in &order {
+            let b = &data[idx as usize * arity..(idx as usize + 1) * arity];
+            match cur {
+                None => cur = Some(b.to_vec()),
+                Some(ref mut c) => {
+                    let others_equal = (0..arity).all(|k| k == target || c[k] == b[k]);
+                    if others_equal && c[target].mergeable(&b[target]) {
+                        c[target] = c[target].merge(&b[target]);
+                    } else {
+                        out.extend_from_slice(c);
+                        *c = b.to_vec();
+                    }
+                }
+            }
+        }
+        if let Some(c) = cur {
+            out.extend_from_slice(&c);
+        }
+        self.data = out;
+    }
+
+    /// Convert each box's covered cells into explicit rows (tests only).
+    pub fn enumerate_cells(&self) -> Vec<Vec<i64>> {
+        self.cell_set().into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ivl(lo: i64, hi: i64) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    #[test]
+    fn from_cells_merges_runs() {
+        // range({1,2,3,4,9,12,13,14,15}) = {[1,4],[9],[12,15]} — paper §IV.A.
+        let cells: Vec<Vec<i64>> = [1, 2, 3, 4, 9, 12, 13, 14, 15]
+            .iter()
+            .map(|&v| vec![v])
+            .collect();
+        let t = BoxTable::from_cells(1, &cells);
+        assert_eq!(t.n_boxes(), 3);
+        let boxes: Vec<&[Interval]> = t.boxes().collect();
+        assert_eq!(boxes[0], &[ivl(1, 4)]);
+        assert_eq!(boxes[1], &[ivl(9, 9)]);
+        assert_eq!(boxes[2], &[ivl(12, 15)]);
+    }
+
+    #[test]
+    fn from_cells_2d_rectangle() {
+        let mut cells = Vec::new();
+        for i in 0..4 {
+            for j in 10..13 {
+                cells.push(vec![i, j]);
+            }
+        }
+        let t = BoxTable::from_cells(2, &cells);
+        assert_eq!(t.n_boxes(), 1);
+        assert_eq!(t.row(0), &[ivl(0, 3), ivl(10, 12)]);
+    }
+
+    #[test]
+    fn merge_needs_multiple_passes() {
+        // Four quadrant boxes forming one square merge only after two passes.
+        let t0 = BoxTable::from_boxes(
+            2,
+            &[
+                &[ivl(0, 1), ivl(0, 1)],
+                &[ivl(0, 1), ivl(2, 3)],
+                &[ivl(2, 3), ivl(0, 1)],
+                &[ivl(2, 3), ivl(2, 3)],
+            ],
+        );
+        let mut t = t0.clone();
+        t.merge();
+        assert_eq!(t.n_boxes(), 1);
+        assert_eq!(t.row(0), &[ivl(0, 3), ivl(0, 3)]);
+        assert_eq!(t.cell_set(), t0.cell_set());
+    }
+
+    #[test]
+    fn merge_unites_overlaps() {
+        let mut t = BoxTable::from_boxes(1, &[&[ivl(0, 5)], &[ivl(3, 9)], &[ivl(9, 9)]]);
+        t.merge();
+        assert_eq!(t.n_boxes(), 1);
+        assert_eq!(t.row(0), &[ivl(0, 9)]);
+    }
+
+    #[test]
+    fn contains_and_volume() {
+        let t = BoxTable::from_boxes(2, &[&[ivl(0, 1), ivl(0, 1)], &[ivl(5, 5), ivl(5, 6)]]);
+        assert!(t.contains_cell(&[1, 0]));
+        assert!(t.contains_cell(&[5, 6]));
+        assert!(!t.contains_cell(&[2, 2]));
+        assert_eq!(t.volume(), 4 + 2);
+        assert_eq!(t.cell_set().len(), 6);
+    }
+
+    #[test]
+    fn from_cells_dedups() {
+        let cells = vec![vec![3i64], vec![3], vec![3]];
+        let t = BoxTable::from_cells(1, &cells);
+        assert_eq!(t.n_boxes(), 1);
+        assert_eq!(t.volume(), 1);
+    }
+}

@@ -1,0 +1,387 @@
+//! The ProvRC-compressed lineage relation (paper §IV).
+//!
+//! A compressed table keeps one side of the relation **absolute** (the
+//! *primary* side — output attributes for the backward orientation stored by
+//! default, input attributes for the forward orientation of Table III) and
+//! allows the other side (*secondary*) to be either absolute intervals or
+//! **relative** intervals anchored to a primary attribute.
+//!
+//! Additionally, for lineage reuse (§VI.B), an absolute interval that spans
+//! the full extent of its attribute may be replaced by the *symbolic* cell
+//! [`Cell::Sym`]; such a table is *generalized* and must be instantiated with
+//! concrete shapes before queries.
+
+use crate::error::{DslogError, Result};
+use crate::interval::Interval;
+use crate::table::lineage::LineageTable;
+
+/// Which side of the relation is kept absolute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// Output attributes absolute; input attributes may be relative.
+    /// This is the version materialized for backward queries (paper default).
+    Backward,
+    /// Input attributes absolute; output attributes may be relative
+    /// (paper Table III), used for forward queries.
+    Forward,
+}
+
+impl Orientation {
+    /// The opposite orientation.
+    pub fn flip(self) -> Orientation {
+        match self {
+            Orientation::Backward => Orientation::Forward,
+            Orientation::Forward => Orientation::Backward,
+        }
+    }
+}
+
+/// One attribute's value inside a compressed row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cell {
+    /// An absolute interval of indices.
+    Abs(Interval),
+    /// A relative interval: the value set is `primary[anchor] + delta`
+    /// (all-to-all in the relative space, §V.B.1).
+    Rel {
+        /// Index of the primary attribute this cell is anchored to.
+        anchor: u8,
+        /// Delta interval (`value − anchor`).
+        delta: Interval,
+    },
+    /// Symbolic full extent `[0, D_attr − 1]` of attribute `attr`
+    /// (index reshaping, §VI.B / Fig. 6).
+    Sym {
+        /// Index of the attribute (in primary-then-secondary order) whose
+        /// dimension defines this interval.
+        attr: u8,
+    },
+}
+
+impl Cell {
+    /// Shorthand absolute point.
+    pub fn point(v: i64) -> Cell {
+        Cell::Abs(Interval::point(v))
+    }
+
+    /// Shorthand absolute interval.
+    pub fn abs(lo: i64, hi: i64) -> Cell {
+        Cell::Abs(Interval::new(lo, hi))
+    }
+
+    /// Whether this cell is symbolic.
+    pub fn is_sym(&self) -> bool {
+        matches!(self, Cell::Sym { .. })
+    }
+}
+
+/// A ProvRC-compressed lineage relation.
+///
+/// Attribute order within a row is primary attributes first, then secondary
+/// attributes; `attr` indices in [`Cell::Rel`]/[`Cell::Sym`] use this order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedTable {
+    orientation: Orientation,
+    primary_arity: usize,
+    secondary_arity: usize,
+    /// Extent (dimension size) of each attribute, primary-then-secondary
+    /// order. Needed for reshaping and bounds reasoning.
+    extents: Vec<i64>,
+    /// Flat row-major cells; row length is `primary_arity + secondary_arity`.
+    cells: Vec<Cell>,
+}
+
+impl CompressedTable {
+    /// Create an empty compressed table.
+    pub fn new(
+        orientation: Orientation,
+        primary_arity: usize,
+        secondary_arity: usize,
+        extents: Vec<i64>,
+    ) -> Self {
+        assert!(primary_arity > 0 && secondary_arity > 0);
+        assert_eq!(extents.len(), primary_arity + secondary_arity);
+        Self {
+            orientation,
+            primary_arity,
+            secondary_arity,
+            extents,
+            cells: Vec::new(),
+        }
+    }
+
+    /// The stored orientation.
+    pub fn orientation(&self) -> Orientation {
+        self.orientation
+    }
+
+    /// Arity of the absolute (query-side) attributes.
+    pub fn primary_arity(&self) -> usize {
+        self.primary_arity
+    }
+
+    /// Arity of the possibly-relative attributes.
+    pub fn secondary_arity(&self) -> usize {
+        self.secondary_arity
+    }
+
+    /// Total attribute count.
+    pub fn arity(&self) -> usize {
+        self.primary_arity + self.secondary_arity
+    }
+
+    /// Attribute extents (primary-then-secondary).
+    pub fn extents(&self) -> &[i64] {
+        &self.extents
+    }
+
+    /// Mutable access for reshaping.
+    pub(crate) fn extents_mut(&mut self) -> &mut Vec<i64> {
+        &mut self.extents
+    }
+
+    /// Number of compressed rows.
+    pub fn n_rows(&self) -> usize {
+        self.cells.len() / self.arity()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Append a row of cells (primary attributes first).
+    pub fn push_row(&mut self, row: &[Cell]) {
+        debug_assert_eq!(row.len(), self.arity());
+        self.cells.extend_from_slice(row);
+    }
+
+    /// Row `i` as a slice of cells.
+    pub fn row(&self, i: usize) -> &[Cell] {
+        let a = self.arity();
+        &self.cells[i * a..(i + 1) * a]
+    }
+
+    /// Mutable row access (used by reshaping).
+    pub(crate) fn row_mut(&mut self, i: usize) -> &mut [Cell] {
+        let a = self.arity();
+        &mut self.cells[i * a..(i + 1) * a]
+    }
+
+    /// Iterate rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[Cell]> {
+        self.cells.chunks_exact(self.arity())
+    }
+
+    /// Whether any cell is symbolic (table is generalized, not queryable).
+    pub fn is_generalized(&self) -> bool {
+        self.cells.iter().any(Cell::is_sym)
+    }
+
+    /// Resolve a cell to a concrete absolute interval given concrete values
+    /// of the primary attributes. `Rel` cells need `primary_values`; `Sym`
+    /// cells resolve against the stored extents.
+    pub fn resolve_cell(&self, cell: &Cell, primary_values: &[i64]) -> Interval {
+        match *cell {
+            Cell::Abs(ivl) => ivl,
+            Cell::Rel { anchor, delta } => {
+                Interval::point(primary_values[anchor as usize]).minkowski_sum(&delta)
+            }
+            Cell::Sym { attr } => Interval::new(0, self.extents[attr as usize] - 1),
+        }
+    }
+
+    /// Decompress to the uncompressed relation, in *output-attributes-first*
+    /// attribute order regardless of orientation (so both orientations of
+    /// the same lineage decompress to identical relations).
+    pub fn decompress(&self) -> Result<LineageTable> {
+        if self.is_generalized() {
+            return Err(DslogError::NotInstantiated);
+        }
+        let (out_arity, in_arity) = match self.orientation {
+            Orientation::Backward => (self.primary_arity, self.secondary_arity),
+            Orientation::Forward => (self.secondary_arity, self.primary_arity),
+        };
+        let mut table = LineageTable::new(out_arity, in_arity);
+        let pa = self.primary_arity;
+        let sa = self.secondary_arity;
+        let mut primary_vals = vec![0i64; pa];
+        let mut row_buf = vec![0i64; pa + sa];
+        for row in self.rows() {
+            let (prim, sec) = row.split_at(pa);
+            // Enumerate the Cartesian product of primary intervals.
+            let prim_ivls: Vec<Interval> = prim
+                .iter()
+                .map(|c| match *c {
+                    Cell::Abs(ivl) => ivl,
+                    _ => unreachable!("primary cells are absolute in instantiated tables"),
+                })
+                .collect();
+            for p in prim_ivls.iter().zip(primary_vals.iter_mut()) {
+                *p.1 = p.0.lo;
+            }
+            'prim: loop {
+                // Enumerate the secondary product for this primary point.
+                let sec_ivls: Vec<Interval> = sec
+                    .iter()
+                    .map(|c| self.resolve_cell(c, &primary_vals))
+                    .collect();
+                let mut sec_vals: Vec<i64> = sec_ivls.iter().map(|ivl| ivl.lo).collect();
+                'sec: loop {
+                    // Emit row in out-attrs-first order.
+                    match self.orientation {
+                        Orientation::Backward => {
+                            row_buf[..pa].copy_from_slice(&primary_vals);
+                            row_buf[pa..].copy_from_slice(&sec_vals);
+                        }
+                        Orientation::Forward => {
+                            row_buf[..sa].copy_from_slice(&sec_vals);
+                            row_buf[sa..].copy_from_slice(&primary_vals);
+                        }
+                    }
+                    table.push_row(&row_buf);
+                    for k in (0..sa).rev() {
+                        if sec_vals[k] < sec_ivls[k].hi {
+                            sec_vals[k] += 1;
+                            for (j, v) in sec_vals.iter_mut().enumerate().skip(k + 1) {
+                                *v = sec_ivls[j].lo;
+                            }
+                            continue 'sec;
+                        }
+                    }
+                    break;
+                }
+                for k in (0..pa).rev() {
+                    if primary_vals[k] < prim_ivls[k].hi {
+                        primary_vals[k] += 1;
+                        for (j, v) in primary_vals.iter_mut().enumerate().skip(k + 1) {
+                            *v = prim_ivls[j].lo;
+                        }
+                        continue 'prim;
+                    }
+                }
+                break;
+            }
+        }
+        table.normalize();
+        Ok(table)
+    }
+
+    /// Approximate in-memory footprint in bytes (reporting only; the
+    /// measured storage number comes from the serialized format).
+    pub fn nbytes_in_memory(&self) -> usize {
+        self.cells.len() * std::mem::size_of::<Cell>()
+    }
+}
+
+impl std::fmt::Display for CompressedTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "CompressedTable({:?}, {} primary + {} secondary, {} rows)",
+            self.orientation,
+            self.primary_arity,
+            self.secondary_arity,
+            self.n_rows()
+        )?;
+        for row in self.rows() {
+            let parts: Vec<String> = row
+                .iter()
+                .map(|c| match c {
+                    Cell::Abs(ivl) => format!("{ivl}"),
+                    Cell::Rel { anchor, delta } => {
+                        if delta.is_point() {
+                            format!("@{anchor}{:+}", delta.lo)
+                        } else {
+                            format!("@{anchor}+[{}, {}]", delta.lo, delta.hi)
+                        }
+                    }
+                    Cell::Sym { attr } => format!("[0, D{attr})"),
+                })
+                .collect();
+            writeln!(f, "  {}", parts.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built compressed form of the paper's running example (Table II,
+    /// 1-based): single row `b1=[1,3], a1=Rel(b1, 0), a2=[1,2]`.
+    fn paper_table_ii() -> CompressedTable {
+        let mut t = CompressedTable::new(Orientation::Backward, 1, 2, vec![3, 3, 2]);
+        t.push_row(&[
+            Cell::abs(1, 3),
+            Cell::Rel {
+                anchor: 0,
+                delta: Interval::point(0),
+            },
+            Cell::abs(1, 2),
+        ]);
+        t
+    }
+
+    #[test]
+    fn decompress_paper_running_example() {
+        let t = paper_table_ii();
+        let full = t.decompress().unwrap();
+        let expected = LineageTable::from_rows(
+            1,
+            2,
+            &[
+                &[1, 1, 1],
+                &[1, 1, 2],
+                &[2, 2, 1],
+                &[2, 2, 2],
+                &[3, 3, 1],
+                &[3, 3, 2],
+            ],
+        );
+        assert_eq!(full.row_set(), expected.row_set());
+    }
+
+    #[test]
+    fn forward_orientation_decompresses_to_same_relation() {
+        // Paper Table III: a1=[1,3], a2=[1,2], b1=Rel(a1, 0).
+        let mut t = CompressedTable::new(Orientation::Forward, 2, 1, vec![3, 2, 3]);
+        t.push_row(&[
+            Cell::abs(1, 3),
+            Cell::abs(1, 2),
+            Cell::Rel {
+                anchor: 0,
+                delta: Interval::point(0),
+            },
+        ]);
+        let full = t.decompress().unwrap();
+        assert_eq!(full.out_arity(), 1);
+        assert_eq!(full.in_arity(), 2);
+        assert_eq!(full.row_set(), paper_table_ii().decompress().unwrap().row_set());
+    }
+
+    #[test]
+    fn generalized_table_refuses_decompression() {
+        let mut t = CompressedTable::new(Orientation::Backward, 1, 1, vec![1, 4]);
+        t.push_row(&[Cell::point(0), Cell::Sym { attr: 1 }]);
+        assert_eq!(t.decompress(), Err(DslogError::NotInstantiated));
+    }
+
+    #[test]
+    fn resolve_sym_uses_extent() {
+        let t = CompressedTable::new(Orientation::Backward, 1, 1, vec![1, 4]);
+        let ivl = t.resolve_cell(&Cell::Sym { attr: 1 }, &[0]);
+        assert_eq!(ivl, Interval::new(0, 3));
+    }
+
+    #[test]
+    fn rel_cell_resolution() {
+        let t = paper_table_ii();
+        let rel = Cell::Rel {
+            anchor: 0,
+            delta: Interval::new(-1, 1),
+        };
+        assert_eq!(t.resolve_cell(&rel, &[5]), Interval::new(4, 6));
+    }
+}

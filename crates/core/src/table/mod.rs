@@ -1,0 +1,13 @@
+//! Relational representations of lineage.
+//!
+//! * [`lineage`] — the uncompressed relation `R(b1..bl, a1..am)` of §III.B.
+//! * [`boxes`] — tables of interval boxes (queries `Q'` and θ-join results).
+//! * [`compressed`] — the ProvRC-compressed relation of §IV.
+
+pub mod boxes;
+pub mod compressed;
+pub mod lineage;
+
+pub use boxes::BoxTable;
+pub use compressed::{Cell, CompressedTable, Orientation};
+pub use lineage::LineageTable;

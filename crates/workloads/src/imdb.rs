@@ -1,0 +1,126 @@
+//! Synthetic IMDB-like tables (paper §VII.C: the full `title.basics` and
+//! `title.episode` tables; see DESIGN.md §4 for the substitution).
+//!
+//! The lineage-relevant properties are reproduced faithfully:
+//! * `tconst` is sorted ascending (primary key, join key),
+//! * `startYear` is (mostly) sorted,
+//! * `isAdult` is unsorted 0/1 with heavy skew,
+//! * `genres` is a small categorical domain.
+//!
+//! Relational tables are 2-D arrays (rows × attributes) per the paper's
+//! data model ("a relational table can be represented as a 2D array").
+
+use dslog_array::Array;
+use rand::{Rng, SeedableRng};
+
+/// Number of genre categories used by one-hot encoding.
+pub const N_GENRES: usize = 8;
+
+/// Columns of the synthetic `title.basics`: tconst, isAdult, startYear,
+/// runtimeMinutes, genresCode.
+pub const BASICS_COLS: usize = 5;
+/// Columns of the synthetic `title.episode`: parentTconst, seasonNumber,
+/// episodeNumber.
+pub const EPISODE_COLS: usize = 3;
+
+/// The pair of generated tables.
+#[derive(Debug, Clone)]
+pub struct ImdbTables {
+    /// `title.basics`-like table, `n_rows × BASICS_COLS`.
+    pub basics: Array,
+    /// `title.episode`-like table, `~1.5 n_rows × EPISODE_COLS`.
+    pub episode: Array,
+}
+
+/// Generate both tables with `n_rows` base titles.
+pub fn generate(n_rows: usize, seed: u64) -> ImdbTables {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+
+    let mut basics = Array::zeros(&[n_rows, BASICS_COLS]);
+    let mut year: f64 = 1950.0;
+    for r in 0..n_rows {
+        // tconst: sorted unique ids with small random gaps.
+        let prev = if r == 0 { 0.0 } else { basics.get(&[r - 1, 0]) };
+        basics.set(&[r, 0], prev + 1.0 + rng.gen_range(0..3) as f64);
+        // isAdult: skewed unsorted.
+        basics.set(&[r, 1], if rng.gen::<f64>() < 0.05 { 1.0 } else { 0.0 });
+        // startYear: mostly sorted with occasional NaN-free noise.
+        year += rng.gen_range(0.0..0.1);
+        basics.set(&[r, 2], year.floor());
+        // runtimeMinutes: noisy; a few missing (NaN) to exercise the
+        // NaN-column filter... kept finite here, NaNs live in `episode`.
+        basics.set(&[r, 3], 40.0 + rng.gen_range(0.0..120.0));
+        // genres: categorical code.
+        basics.set(&[r, 4], rng.gen_range(0..N_GENRES) as f64);
+    }
+
+    let ep_rows = n_rows + n_rows / 2;
+    let mut episode = Array::zeros(&[ep_rows, EPISODE_COLS]);
+    for r in 0..ep_rows {
+        // parentTconst: references a random basics tconst (skewed to early
+        // titles, like real episode data).
+        let parent = (rng.gen::<f64>().powi(2) * n_rows as f64) as usize % n_rows;
+        episode.set(&[r, 0], basics.get(&[parent, 0]));
+        episode.set(&[r, 1], rng.gen_range(1..20) as f64);
+        episode.set(&[r, 2], rng.gen_range(1..30) as f64);
+    }
+    // Sort episode by parentTconst (IMDB ships it sorted by key).
+    let mut rows: Vec<Vec<f64>> = (0..ep_rows)
+        .map(|r| (0..EPISODE_COLS).map(|c| episode.get(&[r, c])).collect())
+        .collect();
+    rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+    for (r, row) in rows.iter().enumerate() {
+        for (c, &v) in row.iter().enumerate() {
+            episode.set(&[r, c], v);
+        }
+    }
+
+    ImdbTables { basics, episode }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tconst_is_sorted_unique() {
+        let t = generate(200, 42).basics;
+        for r in 1..200 {
+            assert!(t.get(&[r, 0]) > t.get(&[r - 1, 0]));
+        }
+    }
+
+    #[test]
+    fn start_year_is_sorted() {
+        let t = generate(200, 42).basics;
+        for r in 1..200 {
+            assert!(t.get(&[r, 2]) >= t.get(&[r - 1, 2]));
+        }
+    }
+
+    #[test]
+    fn is_adult_is_skewed_binary() {
+        let t = generate(500, 7).basics;
+        let ones = (0..500).filter(|&r| t.get(&[r, 1]) == 1.0).count();
+        assert!(ones > 0 && ones < 100, "skewed flag, got {ones}");
+    }
+
+    #[test]
+    fn episode_references_valid_keys() {
+        let tables = generate(100, 3);
+        let keys: std::collections::BTreeSet<u64> = (0..100)
+            .map(|r| tables.basics.get(&[r, 0]) as u64)
+            .collect();
+        for r in 0..tables.episode.shape()[0] {
+            assert!(keys.contains(&(tables.episode.get(&[r, 0]) as u64)));
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = generate(50, 9);
+        let b = generate(50, 9);
+        assert_eq!(a.basics.data(), b.basics.data());
+        assert_eq!(a.episode.data(), b.episode.data());
+    }
+}

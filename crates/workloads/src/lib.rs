@@ -1,0 +1,29 @@
+//! # dslog-workloads — datasets and workflow generators for the DSLog
+//! evaluation
+//!
+//! Synthetic stand-ins for every external resource the paper's experiments
+//! use (see DESIGN.md §4 for the substitution table):
+//!
+//! * [`imdb`] — IMDB-like `title.basics` / `title.episode` tables with the
+//!   paper's ordering properties (sorted `tconst`/`startYear`, unsorted
+//!   `isAdult`).
+//! * [`virat`] — a synthetic surveillance frame plus a detector stub.
+//! * [`saliency`] — LIME- and D-RISE-style explainable-AI lineage capture
+//!   simulators (bipartite weighted contributions, thresholded).
+//! * [`relops`] — relational operations (inner join, group-by, column
+//!   filters, one-hot encoding) with custom cell-level lineage capture.
+//! * [`pipelines`] — the paper's image / relational / ResNet workflows
+//!   (Table VIII, Fig. 8).
+//! * [`random_numpy`] — seeded random numpy pipelines (Fig. 9).
+//! * [`kaggle`] — the Table X notebook-trace study, with compressibility
+//!   classified by actually compressing each op's lineage.
+
+pub mod imdb;
+pub mod kaggle;
+pub mod pipelines;
+pub mod random_numpy;
+pub mod relops;
+pub mod saliency;
+pub mod virat;
+
+pub use pipelines::{Hop, Pipeline};

@@ -1,0 +1,263 @@
+//! Workflow plumbing plus the paper's three hand-built workflows
+//! (Table VIII and the ResNet block of Fig. 8).
+//!
+//! A [`Pipeline`] is a DAG of named arrays connected by captured lineage
+//! hops; it can be registered into a [`Dslog`] instance (in-situ path) or
+//! handed to the baseline formats as uncompressed tables.
+
+use crate::{relops, saliency, virat};
+use dslog::api::{Dslog, TableCapture};
+use dslog::table::LineageTable;
+use dslog_array::{image, nn, Array};
+
+/// One captured lineage edge between two named arrays.
+#[derive(Debug, Clone)]
+pub struct Hop {
+    /// Contributing (input) array name.
+    pub in_array: String,
+    /// Result (output) array name.
+    pub out_array: String,
+    /// The captured relation.
+    pub lineage: LineageTable,
+}
+
+/// A workflow: named arrays, lineage hops, and the main query path.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    /// Array name → shape, in creation order.
+    pub arrays: Vec<(String, Vec<usize>)>,
+    /// All captured hops (multi-input steps contribute several).
+    pub hops: Vec<Hop>,
+    /// The chain of array names a forward query walks (first = source).
+    pub main_path: Vec<String>,
+}
+
+impl Pipeline {
+    /// Start a pipeline with one source array.
+    pub fn new(source: &str, shape: &[usize]) -> Self {
+        Self {
+            arrays: vec![(source.to_string(), shape.to_vec())],
+            hops: Vec::new(),
+            main_path: vec![source.to_string()],
+        }
+    }
+
+    /// Record a step producing `out` from `input` (extends the main path if
+    /// `input` is its tail).
+    pub fn push_step(&mut self, input: &str, out: &str, shape: &[usize], lineage: LineageTable) {
+        if !self.arrays.iter().any(|(n, _)| n == out) {
+            self.arrays.push((out.to_string(), shape.to_vec()));
+        }
+        self.hops.push(Hop {
+            in_array: input.to_string(),
+            out_array: out.to_string(),
+            lineage,
+        });
+        if self.main_path.last().map(String::as_str) == Some(input) {
+            self.main_path.push(out.to_string());
+        }
+    }
+
+    /// Record a side input (e.g. the second operand of a join / residual).
+    pub fn add_array(&mut self, name: &str, shape: &[usize]) {
+        if !self.arrays.iter().any(|(n, _)| n == name) {
+            self.arrays.push((name.to_string(), shape.to_vec()));
+        }
+    }
+
+    /// Register every array and hop into a DSLog instance.
+    pub fn register_into(&self, db: &mut Dslog) -> dslog::Result<()> {
+        for (name, shape) in &self.arrays {
+            db.define_array(name, shape)?;
+        }
+        for hop in &self.hops {
+            db.add_lineage(
+                &hop.in_array,
+                &hop.out_array,
+                &TableCapture::new(hop.lineage.clone()),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// The uncompressed hop tables along the main path, in path order,
+    /// with the direction each hop is traversed (always forward here).
+    pub fn main_path_tables(&self) -> Vec<&LineageTable> {
+        self.main_path
+            .windows(2)
+            .map(|w| {
+                &self
+                    .hops
+                    .iter()
+                    .find(|h| h.in_array == w[0] && h.out_array == w[1])
+                    .expect("main path hop")
+                    .lineage
+            })
+            .collect()
+    }
+
+    /// Shape of a named array.
+    pub fn shape_of(&self, name: &str) -> &[usize] {
+        &self
+            .arrays
+            .iter()
+            .find(|(n, _)| n == name)
+            .expect("array")
+            .1
+    }
+
+    /// Total cells of the source array.
+    pub fn source_cells(&self) -> usize {
+        self.shape_of(&self.main_path[0]).iter().product()
+    }
+}
+
+/// The image workflow of Table VIII(A):
+/// resize → luminosity → rotate 90° → horizontal flip → LIME on a detector.
+///
+/// `side` controls the frame size (the paper resizes to 416×416; the
+/// default harness scale keeps laptop latencies sane — ratios are the
+/// reproduction target).
+pub fn image_workflow(side: usize, seed: u64) -> Pipeline {
+    let frame = virat::synthetic_frame(side * 2, side * 2, seed);
+    let mut p = Pipeline::new("frame", frame.shape());
+
+    let r1 = image::resize(&frame, side, side);
+    p.push_step("frame", "resized", r1.output.shape(), r1.lineage[0].clone());
+
+    let r2 = image::luminosity(&r1.output, 1.2);
+    p.push_step("resized", "bright", r2.output.shape(), r2.lineage[0].clone());
+
+    let r3 = image::rotate90(&r2.output);
+    p.push_step("bright", "rotated", r3.output.shape(), r3.lineage[0].clone());
+
+    let r4 = image::hflip(&r3.output);
+    p.push_step("rotated", "flipped", r4.output.shape(), r4.lineage[0].clone());
+
+    let (detection, lineage) = saliency::lime_capture(&r4.output, 8, seed ^ 0x11ce);
+    p.push_step("flipped", "detection", detection.shape(), lineage);
+    p
+}
+
+/// The relational workflow of Table VIII(B):
+/// inner join on `tconst` → drop NaN columns → add two columns →
+/// one-hot encode `genres` → add a constant to one column.
+pub fn relational_workflow(n_rows: usize, seed: u64) -> Pipeline {
+    let tables = crate::imdb::generate(n_rows, seed);
+    let mut p = Pipeline::new("basics", tables.basics.shape());
+    p.add_array("episode", tables.episode.shape());
+
+    // 1. Inner join on tconst (basics col 0, episode col 0).
+    let j = relops::inner_join(&tables.basics, &tables.episode, 0, 0);
+    p.push_step("basics", "joined", j.output.shape(), j.lineage[0].clone());
+    p.hops.push(Hop {
+        in_array: "episode".into(),
+        out_array: "joined".into(),
+        lineage: j.lineage[1].clone(),
+    });
+
+    // 2. Filter columns containing NaN.
+    let f = relops::drop_nan_columns(&j.output);
+    p.push_step("joined", "filtered", f.output.shape(), f.lineage[0].clone());
+
+    // 3. Add two columns (startYear + runtime → appended).
+    let a = relops::add_two_columns(&f.output, 2, 3);
+    p.push_step("filtered", "summed", a.output.shape(), a.lineage[0].clone());
+
+    // 4. One-hot encode genres (the genres code column).
+    let o = relops::one_hot(&a.output, 4, crate::imdb::N_GENRES);
+    p.push_step("summed", "onehot", o.output.shape(), o.lineage[0].clone());
+
+    // 5. Add a constant to one column.
+    let c = relops::add_constant(&o.output, 1, 7.0);
+    p.push_step("onehot", "final", c.output.shape(), c.lineage[0].clone());
+    p
+}
+
+/// The seven-step ResNet block of Fig. 8(C):
+/// conv → BN → ReLU → conv → BN → residual add → ReLU.
+pub fn resnet_workflow(side: usize, seed: u64) -> Pipeline {
+    let fm = virat::synthetic_frame(side, side, seed);
+    let mut p = Pipeline::new("input", fm.shape());
+
+    let c1 = nn::conv2d_3x3(&fm, &nn::EDGE_KERNEL);
+    p.push_step("input", "conv1", c1.output.shape(), c1.lineage[0].clone());
+
+    let b1 = nn::batch_norm(&c1.output, 0.0, 1.0, 1.0, 0.0);
+    p.push_step("conv1", "bn1", b1.output.shape(), b1.lineage[0].clone());
+
+    let r1 = nn::relu(&b1.output);
+    p.push_step("bn1", "relu1", r1.output.shape(), r1.lineage[0].clone());
+
+    let c2 = nn::conv2d_3x3(&r1.output, &nn::EDGE_KERNEL);
+    p.push_step("relu1", "conv2", c2.output.shape(), c2.lineage[0].clone());
+
+    let b2 = nn::batch_norm(&c2.output, 0.0, 1.0, 1.0, 0.0);
+    p.push_step("conv2", "bn2", b2.output.shape(), b2.lineage[0].clone());
+
+    // Residual: add the block input back in.
+    let add = nn::residual_add(&b2.output, &fm);
+    p.push_step("bn2", "residual", add.output.shape(), add.lineage[0].clone());
+    p.hops.push(Hop {
+        in_array: "input".into(),
+        out_array: "residual".into(),
+        lineage: add.lineage[1].clone(),
+    });
+
+    let r2 = nn::relu(&add.output);
+    p.push_step("residual", "output", r2.output.shape(), r2.lineage[0].clone());
+    p
+}
+
+/// Convenience: `Array` of random values in [0, 1).
+pub fn random_array(shape: &[usize], seed: u64) -> Array {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    Array::from_fn(shape, |_| rng.gen::<f64>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_workflow_structure() {
+        let p = image_workflow(16, 7);
+        assert_eq!(p.main_path.len(), 6);
+        assert_eq!(p.hops.len(), 5);
+        assert_eq!(p.main_path[0], "frame");
+        assert_eq!(p.main_path.last().unwrap(), "detection");
+    }
+
+    #[test]
+    fn relational_workflow_structure() {
+        let p = relational_workflow(60, 3);
+        assert_eq!(p.main_path.len(), 6); // basics + 5 stage outputs
+        assert_eq!(p.hops.len(), 6); // 5 main-path hops + the episode side
+    }
+
+    #[test]
+    fn resnet_workflow_has_seven_steps() {
+        let p = resnet_workflow(8, 1);
+        assert_eq!(p.main_path.len(), 8, "7 steps along the main chain");
+        assert_eq!(p.hops.len(), 8, "7 + the residual side hop");
+    }
+
+    #[test]
+    fn register_and_query_image_pipeline() {
+        let p = image_workflow(8, 9);
+        let mut db = Dslog::new();
+        p.register_into(&mut db).unwrap();
+        // Forward query from the frame through the whole pipeline.
+        let path: Vec<&str> = p.main_path.iter().map(String::as_str).collect();
+        let r = db.prov_query(&path, &[vec![0, 0], vec![1, 1]]).unwrap();
+        assert_eq!(r.hops, 5);
+        // Backward too.
+        let back_path: Vec<&str> = p.main_path.iter().rev().map(String::as_str).collect();
+        let det_len = p.shape_of("detection")[0] as i64;
+        let rb = db
+            .prov_query(&back_path, &[(0..det_len).map(|i| vec![i]).collect::<Vec<_>>()[0].clone()])
+            .unwrap();
+        let _ = rb;
+    }
+}

@@ -1,0 +1,149 @@
+//! Randomly generated numpy pipelines (paper §VII.D, Fig. 9): chains of 5
+//! or 10 operations drawn from the 76-op pipeline-safe subset, applied to a
+//! randomly-valued initial array.
+
+use crate::pipelines::{random_array, Pipeline};
+use dslog_array::{catalog, OpArgs, OpDef};
+use rand::{Rng, SeedableRng};
+
+/// Specification of one random pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomPipelineSpec {
+    /// RNG seed (pipelines are fully deterministic given the spec).
+    pub seed: u64,
+    /// Number of chained operations (paper: 5 and 10).
+    pub n_ops: usize,
+    /// Initial array cells (paper: 100,000). Realized as a 2-D array so
+    /// 2-D-only ops stay eligible early in the chain.
+    pub initial_cells: usize,
+}
+
+/// Growth guard: skip ops whose output would exceed this multiple of the
+/// initial cells (mirrors the paper's fixed-size workloads).
+const MAX_GROWTH: usize = 4;
+
+/// Generate a random pipeline. Array names are `a0 … aN` along the chain.
+pub fn generate(spec: RandomPipelineSpec) -> Pipeline {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(spec.seed);
+    let side = (spec.initial_cells as f64).sqrt() as usize;
+    let shape = vec![side.max(2), (spec.initial_cells / side.max(2)).max(2)];
+    let mut cur = random_array(&shape, spec.seed ^ 0xa11a);
+
+    let ops: Vec<&OpDef> = catalog().iter().filter(|d| d.pipeline_safe).collect();
+    let mut p = Pipeline::new("a0", cur.shape());
+    let mut step = 0usize;
+    let max_cells = spec.initial_cells * MAX_GROWTH;
+
+    while step < spec.n_ops {
+        // Re-draw until an op compatible with the current array shape and
+        // the growth guard is found.
+        let def = loop {
+            let cand = ops[rng.gen_range(0..ops.len())];
+            if cand.min_ndim <= cur.ndim() && cur.len() >= 2 {
+                break cand;
+            }
+        };
+        let args = args_for(def, &cur, &mut rng);
+        let r = dslog_array::apply(def.name, &[&cur], &args);
+        // Keep the array within the growth guard AND at >= 2 cells: a full
+        // reduction to a single cell would leave no eligible op for the
+        // next step (the candidate loop requires `cur.len() >= 2`).
+        if r.output.len() > max_cells || r.output.len() < 2 {
+            continue;
+        }
+        let in_name = format!("a{step}");
+        let out_name = format!("a{}", step + 1);
+        p.push_step(&in_name, &out_name, r.output.shape(), r.lineage[0].clone());
+        cur = r.output;
+        step += 1;
+    }
+    p
+}
+
+/// Reasonable scalar args per op (axis choices, shifts, pad widths, …).
+fn args_for(def: &OpDef, cur: &dslog_array::Array, rng: &mut impl Rng) -> OpArgs {
+    match def.name {
+        "roll" => OpArgs::ints(&[rng.gen_range(1..cur.len().max(2) as i64)]),
+        "pad" => OpArgs::ints(&[1]),
+        "expand_dims" => OpArgs::ints(&[rng.gen_range(0..=cur.ndim() as i64)]),
+        "reshape" => OpArgs::ints(&[cur.len() as i64]),
+        "sum" | "prod" | "mean" | "amin" | "amax" if cur.ndim() > 1 && rng.gen_bool(0.5) => {
+            OpArgs::ints(&[rng.gen_range(0..cur.ndim() as i64)])
+        }
+        "quantile" => OpArgs::floats(&[rng.gen_range(0.0..1.0)]),
+        "percentile" => OpArgs::floats(&[rng.gen_range(0.0..100.0)]),
+        "clip" => OpArgs::floats(&[0.2, 0.8]),
+        "partition" => OpArgs::ints(&[(cur.len() / 2) as i64]),
+        "swapaxes" if cur.ndim() >= 2 => OpArgs::ints(&[0, 1]),
+        _ => OpArgs::none(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_length() {
+        let p = generate(RandomPipelineSpec {
+            seed: 1,
+            n_ops: 5,
+            initial_cells: 400,
+        });
+        assert_eq!(p.main_path.len(), 6);
+        assert_eq!(p.hops.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let spec = RandomPipelineSpec {
+            seed: 17,
+            n_ops: 5,
+            initial_cells: 256,
+        };
+        let a = generate(spec);
+        let b = generate(spec);
+        let names_a: Vec<_> = a.main_path.clone();
+        assert_eq!(names_a, b.main_path);
+        for (x, y) in a.hops.iter().zip(b.hops.iter()) {
+            assert_eq!(x.lineage.row_set(), y.lineage.row_set());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(RandomPipelineSpec {
+            seed: 2,
+            n_ops: 5,
+            initial_cells: 256,
+        });
+        let b = generate(RandomPipelineSpec {
+            seed: 3,
+            n_ops: 5,
+            initial_cells: 256,
+        });
+        // Extremely unlikely to produce identical lineage everywhere.
+        let same = a
+            .hops
+            .iter()
+            .zip(b.hops.iter())
+            .all(|(x, y)| x.lineage.row_set() == y.lineage.row_set());
+        assert!(!same);
+    }
+
+    #[test]
+    fn ten_op_chains_work() {
+        let p = generate(RandomPipelineSpec {
+            seed: 5,
+            n_ops: 10,
+            initial_cells: 144,
+        });
+        assert_eq!(p.hops.len(), 10);
+        // Queryable end to end.
+        let mut db = dslog::Dslog::new();
+        p.register_into(&mut db).unwrap();
+        let path: Vec<&str> = p.main_path.iter().map(String::as_str).collect();
+        let r = db.prov_query(&path, &[vec![0, 0]]).unwrap();
+        assert_eq!(r.hops, 10);
+    }
+}

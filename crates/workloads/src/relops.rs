@@ -1,0 +1,227 @@
+//! Relational operations over 2-D (rows × attributes) arrays with custom
+//! cell-level lineage capture (paper §VII.A.3: "custom 'group-by' and
+//! 'inner-join' operations that record the lineage history of individual
+//! cells upon execution").
+
+use dslog_array::{Array, LineageBuilder, OpResult};
+
+/// Inner join of `left` and `right` on the given key columns. Output rows
+/// are the concatenation `left_row ++ right_row` (key column kept once per
+/// side, as in the paper's DuckDB-served join result).
+///
+/// Lineage: every output cell ← its source cell, **plus** both matched key
+/// cells (the join predicate contributes to each emitted cell's existence).
+pub fn inner_join(left: &Array, right: &Array, lkey: usize, rkey: usize) -> OpResult {
+    assert_eq!(left.ndim(), 2);
+    assert_eq!(right.ndim(), 2);
+    let (ln, lc) = (left.shape()[0], left.shape()[1]);
+    let (rn, rc) = (right.shape()[0], right.shape()[1]);
+
+    // Hash build on the smaller (left) side.
+    let mut build: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+    for r in 0..ln {
+        build
+            .entry(left.get(&[r, lkey]).to_bits())
+            .or_default()
+            .push(r);
+    }
+
+    let mut out_rows: Vec<(usize, usize)> = Vec::new();
+    for rr in 0..rn {
+        if let Some(ls) = build.get(&right.get(&[rr, rkey]).to_bits()) {
+            for &lr in ls {
+                out_rows.push((lr, rr));
+            }
+        }
+    }
+
+    let out_cols = lc + rc;
+    let mut out = Array::zeros(&[out_rows.len().max(1), out_cols]);
+    let mut lb = LineageBuilder::new(2, &[2, 2]);
+    for (o, &(lr, rr)) in out_rows.iter().enumerate() {
+        for c in 0..lc {
+            out.set(&[o, c], left.get(&[lr, c]));
+            lb.add(0, &[o, c], &[lr, c]);
+            // The join keys contribute to every cell of the row.
+            lb.add(0, &[o, c], &[lr, lkey]);
+            lb.add(1, &[o, c], &[rr, rkey]);
+        }
+        for c in 0..rc {
+            out.set(&[o, lc + c], right.get(&[rr, c]));
+            lb.add(1, &[o, lc + c], &[rr, c]);
+            lb.add(0, &[o, lc + c], &[lr, lkey]);
+            lb.add(1, &[o, lc + c], &[rr, rkey]);
+        }
+    }
+    lb.finish(out)
+}
+
+/// Group by `key_col`, summing `val_col`. Output: one row per group with
+/// columns (key, sum). Lineage: the key cell of group g ← all key cells in
+/// the group; the sum cell ← all value cells in the group.
+pub fn group_by_sum(table: &Array, key_col: usize, val_col: usize) -> OpResult {
+    assert_eq!(table.ndim(), 2);
+    let n = table.shape()[0];
+    let mut groups: std::collections::BTreeMap<u64, Vec<usize>> = std::collections::BTreeMap::new();
+    for r in 0..n {
+        groups
+            .entry(table.get(&[r, key_col]).to_bits())
+            .or_default()
+            .push(r);
+    }
+    let mut out = Array::zeros(&[groups.len().max(1), 2]);
+    let mut lb = LineageBuilder::new(2, &[2]);
+    for (g, (key_bits, rows)) in groups.iter().enumerate() {
+        out.set(&[g, 0], f64::from_bits(*key_bits));
+        let sum: f64 = rows.iter().map(|&r| table.get(&[r, val_col])).sum();
+        out.set(&[g, 1], sum);
+        for &r in rows {
+            lb.add(0, &[g, 0], &[r, key_col]);
+            lb.add(0, &[g, 1], &[r, val_col]);
+        }
+    }
+    lb.finish(out)
+}
+
+/// Drop every column that contains at least one NaN. Lineage is identity
+/// on the surviving columns.
+pub fn drop_nan_columns(table: &Array) -> OpResult {
+    assert_eq!(table.ndim(), 2);
+    let (n, c) = (table.shape()[0], table.shape()[1]);
+    let keep: Vec<usize> = (0..c)
+        .filter(|&col| (0..n).all(|r| !table.get(&[r, col]).is_nan()))
+        .collect();
+    let kc = keep.len().max(1);
+    let mut out = Array::zeros(&[n, kc]);
+    let mut lb = LineageBuilder::new(2, &[2]);
+    for r in 0..n {
+        for (nc, &oc) in keep.iter().enumerate() {
+            out.set(&[r, nc], table.get(&[r, oc]));
+            lb.add(0, &[r, nc], &[r, oc]);
+        }
+    }
+    lb.finish(out)
+}
+
+/// Append a derived column `col_a + col_b`. Existing cells keep identity
+/// lineage; the new column reads the two source cells of its row.
+pub fn add_two_columns(table: &Array, col_a: usize, col_b: usize) -> OpResult {
+    assert_eq!(table.ndim(), 2);
+    let (n, c) = (table.shape()[0], table.shape()[1]);
+    let mut out = Array::zeros(&[n, c + 1]);
+    let mut lb = LineageBuilder::new(2, &[2]);
+    for r in 0..n {
+        for col in 0..c {
+            out.set(&[r, col], table.get(&[r, col]));
+            lb.add(0, &[r, col], &[r, col]);
+        }
+        out.set(&[r, c], table.get(&[r, col_a]) + table.get(&[r, col_b]));
+        lb.add(0, &[r, c], &[r, col_a]);
+        lb.add(0, &[r, c], &[r, col_b]);
+    }
+    lb.finish(out)
+}
+
+/// One-hot encode `col` into `n_categories` appended indicator columns;
+/// every indicator cell reads the category cell of its row.
+pub fn one_hot(table: &Array, col: usize, n_categories: usize) -> OpResult {
+    assert_eq!(table.ndim(), 2);
+    let (n, c) = (table.shape()[0], table.shape()[1]);
+    let mut out = Array::zeros(&[n, c + n_categories]);
+    let mut lb = LineageBuilder::new(2, &[2]);
+    for r in 0..n {
+        for oc in 0..c {
+            out.set(&[r, oc], table.get(&[r, oc]));
+            lb.add(0, &[r, oc], &[r, oc]);
+        }
+        let cat = (table.get(&[r, col]).max(0.0) as usize).min(n_categories - 1);
+        for k in 0..n_categories {
+            out.set(&[r, c + k], if k == cat { 1.0 } else { 0.0 });
+            lb.add(0, &[r, c + k], &[r, col]);
+        }
+    }
+    lb.finish(out)
+}
+
+/// Add a constant to one column (element-wise identity lineage everywhere).
+pub fn add_constant(table: &Array, col: usize, k: f64) -> OpResult {
+    assert_eq!(table.ndim(), 2);
+    let (n, c) = (table.shape()[0], table.shape()[1]);
+    let mut out = Array::zeros(&[n, c]);
+    let mut lb = LineageBuilder::new(2, &[2]);
+    for r in 0..n {
+        for oc in 0..c {
+            let v = table.get(&[r, oc]);
+            out.set(&[r, oc], if oc == col { v + k } else { v });
+            lb.add(0, &[r, oc], &[r, oc]);
+        }
+    }
+    lb.finish(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: &[&[f64]]) -> Array {
+        let n = rows.len();
+        let c = rows[0].len();
+        let data: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Array::from_vec(&[n, c], data)
+    }
+
+    #[test]
+    fn inner_join_matches_keys() {
+        let left = table(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]]);
+        let right = table(&[&[2.0, 200.0], &[2.0, 201.0], &[9.0, 900.0]]);
+        let r = inner_join(&left, &right, 0, 0);
+        assert_eq!(r.output.shape(), &[2, 4]);
+        assert_eq!(r.output.get(&[0, 1]), 20.0);
+        assert_eq!(r.output.get(&[0, 3]), 200.0);
+        // Lineage to left includes the value cell and the key cell.
+        assert!(r.lineage[0].rows().any(|row| row == [0, 1, 1, 1]));
+        assert!(r.lineage[0].rows().any(|row| row == [0, 1, 1, 0]));
+    }
+
+    #[test]
+    fn group_by_sums_and_traces_groups() {
+        let t = table(&[&[1.0, 5.0], &[2.0, 7.0], &[1.0, 3.0]]);
+        let r = group_by_sum(&t, 0, 1);
+        assert_eq!(r.output.shape(), &[2, 2]);
+        assert_eq!(r.output.get(&[0, 1]), 8.0); // group key 1.0
+        // Sum cell of group 0 reads both value cells of the group.
+        assert!(r.lineage[0].rows().any(|row| row == [0, 1, 0, 1]));
+        assert!(r.lineage[0].rows().any(|row| row == [0, 1, 2, 1]));
+    }
+
+    #[test]
+    fn drop_nan_columns_filters() {
+        let t = table(&[&[1.0, f64::NAN, 3.0], &[4.0, 5.0, 6.0]]);
+        let r = drop_nan_columns(&t);
+        assert_eq!(r.output.shape(), &[2, 2]);
+        assert_eq!(r.output.get(&[0, 1]), 3.0);
+        // Lineage maps new col 1 to old col 2.
+        assert!(r.lineage[0].rows().any(|row| row == [0, 1, 0, 2]));
+    }
+
+    #[test]
+    fn one_hot_indicators() {
+        let t = table(&[&[0.0, 2.0], &[1.0, 0.0]]);
+        let r = one_hot(&t, 1, 3);
+        assert_eq!(r.output.shape(), &[2, 5]);
+        assert_eq!(r.output.get(&[0, 4]), 1.0); // category 2
+        assert_eq!(r.output.get(&[1, 2]), 1.0); // category 0
+        // Indicator cells read the category cell.
+        assert!(r.lineage[0].rows().any(|row| row == [0, 4, 0, 1]));
+    }
+
+    #[test]
+    fn add_columns_and_constant() {
+        let t = table(&[&[1.0, 2.0]]);
+        let r = add_two_columns(&t, 0, 1);
+        assert_eq!(r.output.get(&[0, 2]), 3.0);
+        let r2 = add_constant(&r.output, 2, 10.0);
+        assert_eq!(r2.output.get(&[0, 2]), 13.0);
+        assert_eq!(r2.lineage[0].n_rows(), 3);
+    }
+}

@@ -1,0 +1,122 @@
+//! Synthetic surveillance frame and detector stub — the VIRAT + YOLOv4
+//! substitution (DESIGN.md §4).
+//!
+//! A frame is a grayscale 2-D array containing a textured background plus a
+//! few rectangular "objects" (brighter blobs), which is all the saliency
+//! simulators need: contiguous regions whose pixels dominate the detector
+//! output, plus background noise.
+
+use dslog_array::Array;
+use rand::{Rng, SeedableRng};
+
+/// A rectangular object in a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Object {
+    /// Top-left row.
+    pub top: usize,
+    /// Top-left column.
+    pub left: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Width in pixels.
+    pub width: usize,
+}
+
+/// Generate a synthetic frame with textured background and 1–3 objects.
+pub fn synthetic_frame(h: usize, w: usize, seed: u64) -> Array {
+    let (frame, _) = synthetic_frame_with_objects(h, w, seed);
+    frame
+}
+
+/// Like [`synthetic_frame`], also returning the planted object boxes.
+pub fn synthetic_frame_with_objects(h: usize, w: usize, seed: u64) -> (Array, Vec<Object>) {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut frame = Array::from_fn(&[h, w], |idx| {
+        // Smooth-ish background texture.
+        let (i, j) = (idx[0] as f64, idx[1] as f64);
+        40.0 + 10.0 * ((i / 7.0).sin() + (j / 11.0).cos())
+    });
+    // Sprinkle noise.
+    for v in frame.data_mut() {
+        *v += rng.gen_range(-3.0..3.0);
+    }
+    let n_objects = rng.gen_range(1..=3usize.min(h / 8).max(1));
+    let mut objects = Vec::new();
+    for _ in 0..n_objects {
+        let height = rng.gen_range(h / 8..=(h / 3).max(h / 8 + 1));
+        let width = rng.gen_range(w / 8..=(w / 3).max(w / 8 + 1));
+        let top = rng.gen_range(0..h.saturating_sub(height).max(1));
+        let left = rng.gen_range(0..w.saturating_sub(width).max(1));
+        for i in top..(top + height).min(h) {
+            for j in left..(left + width).min(w) {
+                frame.set(&[i, j], 180.0 + rng.gen_range(-10.0..10.0));
+            }
+        }
+        objects.push(Object {
+            top,
+            left,
+            height,
+            width,
+        });
+    }
+    (frame, objects)
+}
+
+/// The detector stub: returns a detection vector (cx, cy, w, h, confidence,
+/// class) for the brightest planted object. Stands in for "YOLOv4 object
+/// detection … to detect a 'car' object" (§VII.C).
+pub fn detect(frame: &Array) -> Array {
+    let (h, w) = (frame.shape()[0], frame.shape()[1]);
+    // Centroid of bright pixels.
+    let mut sum = 0.0;
+    let (mut ci, mut cj, mut count) = (0.0, 0.0, 0.0);
+    for i in 0..h {
+        for j in 0..w {
+            let v = frame.get(&[i, j]);
+            if v > 120.0 {
+                ci += i as f64;
+                cj += j as f64;
+                count += 1.0;
+            }
+            sum += v;
+        }
+    }
+    let (cx, cy) = if count > 0.0 {
+        (cj / count, ci / count)
+    } else {
+        (w as f64 / 2.0, h as f64 / 2.0)
+    };
+    let conf = (count / (h * w) as f64).min(1.0);
+    Array::from_vec(&[6], vec![cx, cy, count.sqrt(), count.sqrt(), conf, sum % 80.0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_has_objects_brighter_than_background() {
+        let (frame, objects) = synthetic_frame_with_objects(32, 32, 5);
+        assert!(!objects.is_empty());
+        let o = objects[0];
+        let inside = frame.get(&[o.top + o.height / 2, o.left + o.width / 2]);
+        assert!(inside > 120.0, "object pixel {inside}");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = synthetic_frame(16, 16, 3);
+        let b = synthetic_frame(16, 16, 3);
+        assert_eq!(a.data(), b.data());
+        let c = synthetic_frame(16, 16, 4);
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn detector_outputs_six_fields() {
+        let frame = synthetic_frame(24, 24, 11);
+        let det = detect(&frame);
+        assert_eq!(det.shape(), &[6]);
+        assert!(det.data()[4] > 0.0, "confidence positive with objects");
+    }
+}

@@ -154,7 +154,9 @@ fn raw_defs() -> Vec<OpDef> {
         unary!("tanh", f64::tanh),
         unary!("arcsinh", f64::asinh),
         unary!("arccosh", |v: f64| v.abs().max(1.0).acosh()),
-        unary!("arctanh", |v: f64| v.clamp(-1.0 + 1e-12, 1.0 - 1e-12).atanh()),
+        unary!("arctanh", |v: f64| v
+            .clamp(-1.0 + 1e-12, 1.0 - 1e-12)
+            .atanh()),
         unary!("floor", f64::floor),
         unary!("ceil", f64::ceil),
         unary!("trunc", f64::trunc),
@@ -176,12 +178,17 @@ fn raw_defs() -> Vec<OpDef> {
         unary!("logical_not", |v: f64| bool_f(v == 0.0)),
         unary!("real", |v| v),
         unary!("conj", |v| v),
-        unary!("angle", |v: f64| if v < 0.0 { std::f64::consts::PI } else { 0.0 }),
+        unary!("angle", |v: f64| if v < 0.0 {
+            std::f64::consts::PI
+        } else {
+            0.0
+        }),
         unary!("spacing", |v: f64| {
             let next = f64::from_bits(v.abs().to_bits() + 1);
             next - v.abs()
         }),
-        unary_args!("clip", |v: f64, lo: f64, hi: f64| v.clamp(lo.min(hi), hi.max(lo))),
+        unary_args!("clip", |v: f64, lo: f64, hi: f64| v
+            .clamp(lo.min(hi), hi.max(lo))),
         // --- binary (23) ---
         binary!("add", |x, y| x + y),
         binary!("subtract", |x, y| x - y),
@@ -190,10 +197,17 @@ fn raw_defs() -> Vec<OpDef> {
         binary!("true_divide", |x: f64, y: f64| x / y),
         binary!("floor_divide", |x: f64, y: f64| (x / y).floor()),
         binary!("mod", |x: f64, y: f64| x.rem_euclid(y.abs().max(1e-300))),
-        binary!("fmod", |x: f64, y: f64| x % if y == 0.0 { 1e-300 } else { y }),
-        binary!("remainder", |x: f64, y: f64| x.rem_euclid(y.abs().max(1e-300))),
+        binary!("fmod", |x: f64, y: f64| x % if y == 0.0 {
+            1e-300
+        } else {
+            y
+        }),
+        binary!("remainder", |x: f64, y: f64| x
+            .rem_euclid(y.abs().max(1e-300))),
         binary!("power", |x: f64, y: f64| x.abs().powf(y.clamp(-64.0, 64.0))),
-        binary!("float_power", |x: f64, y: f64| x.abs().powf(y.clamp(-64.0, 64.0))),
+        binary!("float_power", |x: f64, y: f64| x
+            .abs()
+            .powf(y.clamp(-64.0, 64.0))),
         binary!("hypot", f64::hypot),
         binary!("arctan2", f64::atan2),
         binary!("maximum", f64::max),

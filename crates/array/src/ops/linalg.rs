@@ -222,12 +222,24 @@ fn trace(inputs: &[&Array], _args: &OpArgs) -> OpResult {
     assert!(a.ndim() >= 2, "trace needs a matrix");
     let n = a.shape()[0].min(a.shape()[1]);
     let rest: Vec<usize> = a.shape()[2..].to_vec();
-    let out_shape = if rest.is_empty() { vec![1] } else { rest.clone() };
+    let out_shape = if rest.is_empty() {
+        vec![1]
+    } else {
+        rest.clone()
+    };
     let mut out = Array::zeros(&out_shape);
     let mut lb = LineageBuilder::new(out_shape.len(), &[a.ndim()]);
-    let rest_arr = Array::zeros(&if rest.is_empty() { vec![1] } else { rest.clone() });
+    let rest_arr = Array::zeros(&if rest.is_empty() {
+        vec![1]
+    } else {
+        rest.clone()
+    });
     for rest_idx in rest_arr.indices() {
-        let out_idx: Vec<usize> = if rest.is_empty() { vec![0] } else { rest_idx.clone() };
+        let out_idx: Vec<usize> = if rest.is_empty() {
+            vec![0]
+        } else {
+            rest_idx.clone()
+        };
         let mut acc = 0.0;
         for i in 0..n {
             let mut in_idx = vec![i, i];
@@ -270,10 +282,18 @@ fn diagonal(inputs: &[&Array], _args: &OpArgs) -> OpResult {
     out_shape.push(n);
     let mut out = Array::zeros(&out_shape);
     let mut lb = LineageBuilder::new(out_shape.len(), &[a.ndim()]);
-    let rest_arr = Array::zeros(&if rest.is_empty() { vec![1] } else { rest.clone() });
+    let rest_arr = Array::zeros(&if rest.is_empty() {
+        vec![1]
+    } else {
+        rest.clone()
+    });
     for rest_idx in rest_arr.indices() {
         for i in 0..n {
-            let mut out_idx: Vec<usize> = if rest.is_empty() { Vec::new() } else { rest_idx.clone() };
+            let mut out_idx: Vec<usize> = if rest.is_empty() {
+                Vec::new()
+            } else {
+                rest_idx.clone()
+            };
             out_idx.push(i);
             let mut in_idx = vec![i, i];
             if !rest.is_empty() {

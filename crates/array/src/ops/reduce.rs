@@ -75,10 +75,7 @@ fn axis_reduce(a: &Array, axis: usize, init: f64, fold: impl Fn(f64, f64) -> f64
     } else {
         out_shape
     };
-    let mut out = Array::from_vec(
-        &out_shape,
-        vec![init; out_shape.iter().product::<usize>()],
-    );
+    let mut out = Array::from_vec(&out_shape, vec![init; out_shape.iter().product::<usize>()]);
     let mut b = LineageBuilder::new(out.ndim(), &[a.ndim()]);
     let collapse_to_point = a.ndim() == 1;
     let mut out_idx: Vec<usize> = Vec::with_capacity(out.ndim());
@@ -87,7 +84,12 @@ fn axis_reduce(a: &Array, axis: usize, init: f64, fold: impl Fn(f64, f64) -> f64
         if collapse_to_point {
             out_idx.push(0);
         } else {
-            out_idx.extend(idx.iter().enumerate().filter(|&(k, _)| k != axis).map(|(_, &v)| v));
+            out_idx.extend(
+                idx.iter()
+                    .enumerate()
+                    .filter(|&(k, _)| k != axis)
+                    .map(|(_, &v)| v),
+            );
         }
         let off = out.offset(&out_idx);
         out.data_mut()[off] = fold(out.data()[off], a.get(&idx));
@@ -119,7 +121,11 @@ fn selected_cells(a: &Array, pick: impl Fn(&[f64]) -> Vec<usize>) -> OpResult {
 
 fn sorted_order(data: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..data.len()).collect();
-    order.sort_by(|&x, &y| data[x].partial_cmp(&data[y]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&x, &y| {
+        data[x]
+            .partial_cmp(&data[y])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     order
 }
 
@@ -203,8 +209,12 @@ fn amax(inputs: &[&Array], _args: &OpArgs) -> OpResult {
 fn ptp(inputs: &[&Array], _args: &OpArgs) -> OpResult {
     let a = inputs[0];
     let d = a.data();
-    let imin = (0..d.len()).min_by(|&x, &y| d[x].total_cmp(&d[y])).unwrap_or(0);
-    let imax = (0..d.len()).max_by(|&x, &y| d[x].total_cmp(&d[y])).unwrap_or(0);
+    let imin = (0..d.len())
+        .min_by(|&x, &y| d[x].total_cmp(&d[y]))
+        .unwrap_or(0);
+    let imax = (0..d.len())
+        .max_by(|&x, &y| d[x].total_cmp(&d[y]))
+        .unwrap_or(0);
     full_reduce_cells(a, d[imax] - d[imin], &[imin, imax])
 }
 
@@ -303,14 +313,18 @@ fn nanvar(inputs: &[&Array], _args: &OpArgs) -> OpResult {
 fn argmin(inputs: &[&Array], _args: &OpArgs) -> OpResult {
     let a = inputs[0];
     let d = a.data();
-    let i = (0..d.len()).min_by(|&x, &y| d[x].total_cmp(&d[y])).unwrap_or(0);
+    let i = (0..d.len())
+        .min_by(|&x, &y| d[x].total_cmp(&d[y]))
+        .unwrap_or(0);
     full_reduce_cells(a, i as f64, &[i])
 }
 
 fn argmax(inputs: &[&Array], _args: &OpArgs) -> OpResult {
     let a = inputs[0];
     let d = a.data();
-    let i = (0..d.len()).max_by(|&x, &y| d[x].total_cmp(&d[y])).unwrap_or(0);
+    let i = (0..d.len())
+        .max_by(|&x, &y| d[x].total_cmp(&d[y]))
+        .unwrap_or(0);
     full_reduce_cells(a, i as f64, &[i])
 }
 

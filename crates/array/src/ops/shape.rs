@@ -43,11 +43,7 @@ pub(super) fn defs() -> Vec<OpDef> {
 }
 
 /// Pure permutation helper: `map(out_idx) -> in_idx`.
-fn permutation(
-    a: &Array,
-    out_shape: &[usize],
-    map: impl Fn(&[usize]) -> Vec<usize>,
-) -> OpResult {
+fn permutation(a: &Array, out_shape: &[usize], map: impl Fn(&[usize]) -> Vec<usize>) -> OpResult {
     let mut out = Array::zeros(out_shape);
     let mut b = LineageBuilder::new(out_shape.len(), &[a.ndim()]);
     let idxs: Vec<Vec<usize>> = out.indices().collect();
@@ -122,7 +118,11 @@ fn flatten(inputs: &[&Array], args: &OpArgs) -> OpResult {
 fn squeeze(inputs: &[&Array], _args: &OpArgs) -> OpResult {
     let a = inputs[0];
     let out_shape: Vec<usize> = a.shape().iter().copied().filter(|&d| d != 1).collect();
-    let out_shape = if out_shape.is_empty() { vec![1] } else { out_shape };
+    let out_shape = if out_shape.is_empty() {
+        vec![1]
+    } else {
+        out_shape
+    };
     let kept: Vec<usize> = a
         .shape()
         .iter()

@@ -23,7 +23,11 @@ macro_rules! op {
 }
 
 pub(super) fn defs() -> Vec<OpDef> {
-    vec![op!("sort", sort), op!("argsort", argsort), op!("partition", partition)]
+    vec![
+        op!("sort", sort),
+        op!("argsort", argsort),
+        op!("partition", partition),
+    ]
 }
 
 fn order_of(a: &Array) -> Vec<usize> {

@@ -167,10 +167,7 @@ mod tests {
     fn chains_compose() {
         let t = sum_table();
         let q = cells(&[&[2]]);
-        let got = hash_join_chain(
-            &q,
-            &[(&t, Direction::Backward), (&t, Direction::Forward)],
-        );
+        let got = hash_join_chain(&q, &[(&t, Direction::Backward), (&t, Direction::Forward)]);
         assert!(got.contains(&vec![2]));
         let got2 = array_query_chain(
             &q,

@@ -29,9 +29,7 @@ fn merge_ablation(c: &mut Criterion) {
     let path: Vec<&str> = p.main_path.iter().map(String::as_str).collect();
     let shape = p.shape_of("a0").to_vec();
     let cols = shape.get(1).copied().unwrap_or(1) as i64;
-    let cells: Vec<Vec<i64>> = (0..256)
-        .map(|i| vec![i / cols, i % cols])
-        .collect();
+    let cells: Vec<Vec<i64>> = (0..256).map(|i| vec![i / cols, i % cols]).collect();
 
     let mut group = c.benchmark_group("ablation_merge");
     group.sample_size(10);

@@ -44,8 +44,7 @@ fn bench_pattern(
         });
         group.bench_with_input(BenchmarkId::new("ProvRC-GZip", n), &table, |b, t| {
             b.iter(|| {
-                let compressed =
-                    provrc::compress(t, &out_shape, &in_shape, Orientation::Backward);
+                let compressed = provrc::compress(t, &out_shape, &in_shape, Orientation::Backward);
                 provrc_format::serialize_gzip(&compressed)
             })
         });
@@ -65,7 +64,11 @@ fn compression_latency(c: &mut Criterion) {
     bench_pattern(c, "fig7b_aggregation", |n| {
         let cols = 100;
         let rows = (n / cols).max(1);
-        (aggregation_lineage(rows, cols), vec![rows], vec![rows, cols])
+        (
+            aggregation_lineage(rows, cols),
+            vec![rows],
+            vec![rows, cols],
+        )
     });
 }
 

@@ -3,9 +3,9 @@
 //! the knobs DESIGN.md §3 calls out.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dslog::interval::Interval;
 use dslog::provrc;
 use dslog::storage::format;
-use dslog::interval::Interval;
 use dslog::table::{BoxTable, LineageTable, Orientation};
 
 /// Pure range pattern (aggregation): exercises step 1 almost exclusively.
@@ -51,9 +51,11 @@ fn compress_stages(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("backward", name), &table, |b, t| {
             b.iter(|| provrc::compress(t, &out_shape, &in_shape, Orientation::Backward))
         });
-        group.bench_with_input(BenchmarkId::new("both_orientations", name), &table, |b, t| {
-            b.iter(|| provrc::compress_both(t, &out_shape, &in_shape))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("both_orientations", name),
+            &table,
+            |b, t| b.iter(|| provrc::compress_both(t, &out_shape, &in_shape)),
+        );
     }
     group.finish();
 }

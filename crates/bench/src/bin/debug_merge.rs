@@ -42,11 +42,7 @@ fn main() {
             .prov_query_opts(&path, &cells, QueryOptions { merge: false })
             .unwrap();
         let t_nomerge = t0.elapsed();
-        let ops: Vec<&str> = p
-            .hops
-            .iter()
-            .map(|h| h.out_array.as_str())
-            .collect();
+        let ops: Vec<&str> = p.hops.iter().map(|h| h.out_array.as_str()).collect();
         println!(
             "seed {seed:2}  merge {t_merge:>10.2?} ({} boxes)  nomerge {t_nomerge:>10.2?} ({} boxes)  {}",
             merged.cells.n_boxes(),

@@ -12,8 +12,8 @@ use dslog::provrc;
 use dslog::storage::format as provrc_format;
 use dslog::table::{LineageTable, Orientation};
 use dslog_array::{apply, OpArgs};
-use dslog_bench::{cli_scale_seed, secs, timed, TextTable};
 use dslog_baselines::all_formats;
+use dslog_bench::{cli_scale_seed, secs, timed, TextTable};
 use dslog_workloads::pipelines::random_array;
 
 fn elementwise_lineage(cells: usize, seed: u64) -> (LineageTable, Vec<usize>, Vec<usize>) {

@@ -10,8 +10,8 @@
 
 use dslog::api::Dslog;
 use dslog::storage::Materialize;
-use dslog_baselines::relengine::{array_query_chain, hash_join_chain, Direction};
 use dslog_baselines::all_formats;
+use dslog_baselines::relengine::{array_query_chain, hash_join_chain, Direction};
 use dslog_bench::{cli_scale_seed, secs, timed, TextTable};
 use dslog_workloads::pipelines::{self, Pipeline};
 use rand::{Rng, SeedableRng};
@@ -54,7 +54,11 @@ fn run_workflow(name: &str, p: &Pipeline, seed: u64) {
         .collect();
 
     let selectivities = [0.0001, 0.001, 0.01, 0.1];
-    let mut header = vec!["selectivity".to_string(), "cells".to_string(), "DSLog".to_string()];
+    let mut header = vec![
+        "selectivity".to_string(),
+        "cells".to_string(),
+        "DSLog".to_string(),
+    ];
     header.extend(formats.iter().map(|f| f.name().to_string()));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut table = TextTable::new(&header_refs);
@@ -75,10 +79,7 @@ fn run_workflow(name: &str, p: &Pipeline, seed: u64) {
         for (fi, f) in formats.iter().enumerate() {
             let (result, t) = timed(|| {
                 let decoded: Vec<_> = stored[fi].iter().map(|b| f.decode(b)).collect();
-                let hops: Vec<_> = decoded
-                    .iter()
-                    .map(|t| (t, Direction::Forward))
-                    .collect();
+                let hops: Vec<_> = decoded.iter().map(|t| (t, Direction::Forward)).collect();
                 if f.name() == "Array" {
                     array_query_chain(&start, &hops, 1000)
                 } else {
@@ -87,7 +88,8 @@ fn run_workflow(name: &str, p: &Pipeline, seed: u64) {
             });
             row.push(secs(t));
             assert_eq!(
-                result, dslog_cells,
+                result,
+                dslog_cells,
                 "{name}: {} disagrees with DSLog at sel {sel}",
                 f.name()
             );
@@ -103,7 +105,11 @@ fn main() {
     println!("(Table VIII defines the image and relational pipelines)");
 
     let img_side = ((48.0 * scale) as usize).max(12);
-    run_workflow("image (A)", &pipelines::image_workflow(img_side, seed), seed);
+    run_workflow(
+        "image (A)",
+        &pipelines::image_workflow(img_side, seed),
+        seed,
+    );
 
     let rel_rows = ((2000.0 * scale) as usize).max(100);
     run_workflow(
@@ -113,5 +119,9 @@ fn main() {
     );
 
     let fm_side = ((40.0 * scale) as usize).max(8);
-    run_workflow("ResNet (C)", &pipelines::resnet_workflow(fm_side, seed), seed);
+    run_workflow(
+        "ResNet (C)",
+        &pipelines::resnet_workflow(fm_side, seed),
+        seed,
+    );
 }

@@ -11,8 +11,8 @@
 use dslog::api::Dslog;
 use dslog::query::QueryOptions;
 use dslog::storage::Materialize;
-use dslog_baselines::relengine::{array_query_chain, hash_join_chain, Direction};
 use dslog_baselines::all_formats;
+use dslog_baselines::relengine::{array_query_chain, hash_join_chain, Direction};
 use dslog_bench::{cli_scale_seed, secs, timed, TextTable};
 use dslog_workloads::random_numpy::{generate, RandomPipelineSpec};
 use rand::{Rng, SeedableRng};
@@ -53,7 +53,13 @@ impl Stats {
     }
 }
 
-fn run_experiment(n_ops: usize, n_pipelines: usize, initial_cells: usize, seed: u64, with_extras: bool) {
+fn run_experiment(
+    n_ops: usize,
+    n_pipelines: usize,
+    initial_cells: usize,
+    seed: u64,
+    with_extras: bool,
+) {
     println!("\n(Fig 9) {n_ops}-op random numpy workflows, {n_pipelines} pipelines, {initial_cells} initial cells");
     let selectivity = 0.01;
     let formats = all_formats();

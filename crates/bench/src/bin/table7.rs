@@ -202,7 +202,9 @@ fn workloads(scale: f64, seed: u64) -> Vec<Workload> {
 fn main() {
     let (scale, seed) = cli_scale_seed();
     println!("Table VII — compression ratio per operation (scale {scale}, seed {seed})");
-    println!("(paper: Chameleon Xeon + 192 GiB, 1M-cell arrays; here: scaled, ratios comparable)\n");
+    println!(
+        "(paper: Chameleon Xeon + 192 GiB, 1M-cell arrays; here: scaled, ratios comparable)\n"
+    );
 
     let formats = all_formats();
     let mut header: Vec<&str> = vec!["Name", "Raw(MB)"];

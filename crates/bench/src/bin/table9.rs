@@ -106,11 +106,7 @@ fn evaluate(def: &OpDef, seed: u64) -> Row {
 
     // Reuse: 20 runs through the automatic predictor (m = 1).
     let mut mgr = ReuseManager::new(1);
-    for (run, shape) in train_shapes
-        .iter()
-        .flat_map(|s| [s, s])
-        .enumerate()
-    {
+    for (run, shape) in train_shapes.iter().flat_map(|s| [s, s]).enumerate() {
         let inputs = inputs_for(def, shape, seed.wrapping_add(run as u64 * 131));
         let in_shapes: Vec<Vec<usize>> = inputs.iter().map(|a| a.shape().to_vec()).collect();
         let out_shapes = vec![{
@@ -134,13 +130,9 @@ fn evaluate(def: &OpDef, seed: u64) -> Row {
     if gen {
         let inputs = inputs_for(def, &holdout, seed ^ 0x777);
         let truth = capture_mapping(def, &inputs);
-        if let Some((_, predicted)) = mgr.lookup(
-            def.name,
-            &[],
-            None,
-            &truth.in_shapes,
-            &truth.out_shapes,
-        ) {
+        if let Some((_, predicted)) =
+            mgr.lookup(def.name, &[], None, &truth.in_shapes, &truth.out_shapes)
+        {
             let agree = predicted.tables.len() == truth.tables.len()
                 && predicted
                     .tables

@@ -20,7 +20,8 @@
 //!
 //! All binaries accept `--scale <f>` to shrink/grow workload sizes and
 //! print machine-readable rows (aligned text) comparable against the
-//! paper's numbers in EXPERIMENTS.md.
+//! paper's published tables/figures (see the README's benchmarks section
+//! for how to run and read them).
 
 use std::time::Instant;
 

@@ -60,8 +60,10 @@ pub fn ingest(args: &[String]) -> Result<String, String> {
         Err(dslog::DslogError::Io(_)) => Dslog::new(),
         Err(e) => return Err(format!("open {db_dir}: {e}")),
     };
-    db.define_array(&in_name, &in_shape).map_err(|e| e.to_string())?;
-    db.define_array(&out_name, &out_shape).map_err(|e| e.to_string())?;
+    db.define_array(&in_name, &in_shape)
+        .map_err(|e| e.to_string())?;
+    db.define_array(&out_name, &out_shape)
+        .map_err(|e| e.to_string())?;
     db.add_lineage(&in_name, &out_name, &TableCapture::new(table))
         .map_err(|e| e.to_string())?;
     db.save(db_dir, gzip).map_err(|e| e.to_string())?;

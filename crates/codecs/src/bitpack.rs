@@ -60,7 +60,11 @@ mod tests {
     #[test]
     fn roundtrip_various_widths() {
         for width in [1u32, 3, 7, 8, 13, 24, 33, 57] {
-            let max = if width >= 57 { u64::MAX >> 7 } else { (1u64 << width) - 1 };
+            let max = if width >= 57 {
+                u64::MAX >> 7
+            } else {
+                (1u64 << width) - 1
+            };
             let values: Vec<u64> = (0..100).map(|i| (i * 2654435761u64) % (max + 1)).collect();
             let packed = pack(&values, width);
             assert_eq!(unpack(&packed, width, values.len()).unwrap(), values);

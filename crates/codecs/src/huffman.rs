@@ -102,13 +102,8 @@ fn limit_lengths(lengths: &mut [u32]) {
     }
     // Kraft sum in units of 2^-MAX_CODE_LEN.
     let unit = 1u64 << MAX_CODE_LEN;
-    let kraft = |lengths: &[u32]| -> u64 {
-        lengths
-            .iter()
-            .filter(|&&l| l > 0)
-            .map(|&l| unit >> l)
-            .sum()
-    };
+    let kraft =
+        |lengths: &[u32]| -> u64 { lengths.iter().filter(|&&l| l > 0).map(|&l| unit >> l).sum() };
     let mut sum = kraft(lengths);
     // Demote codes (increase length) until the Kraft inequality holds.
     while sum > unit {
@@ -185,7 +180,13 @@ impl Encoder {
     pub fn from_lengths(lengths: &[u32]) -> Self {
         let codes = canonical_codes(lengths)
             .into_iter()
-            .map(|(c, l)| if l == 0 { (0, 0) } else { (reverse_bits(c, l), l) })
+            .map(|(c, l)| {
+                if l == 0 {
+                    (0, 0)
+                } else {
+                    (reverse_bits(c, l), l)
+                }
+            })
             .collect();
         Self {
             codes,
@@ -432,7 +433,9 @@ mod tests {
     #[test]
     fn compress_uniform_random_doesnt_corrupt() {
         // Incompressible data must still roundtrip.
-        let data: Vec<u8> = (0..4096u64).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> = (0..4096u64)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         assert_eq!(decompress_bytes(&compress_bytes(&data)).unwrap(), data);
     }
 }

@@ -20,7 +20,9 @@ const MIN_RLE_RUN: usize = 8;
 /// Encode `values` at the given bit `width` (all values must fit in `width`).
 pub fn encode(values: &[u32], width: u32) -> Vec<u8> {
     debug_assert!(width <= 32);
-    debug_assert!(values.iter().all(|&v| width == 32 || u64::from(v) < (1u64 << width)));
+    debug_assert!(values
+        .iter()
+        .all(|&v| width == 32 || u64::from(v) < (1u64 << width)));
     let mut out = Vec::new();
     write_uvarint(&mut out, values.len() as u64);
     out.push(width as u8);
@@ -138,7 +140,11 @@ mod tests {
     fn all_same_uses_rle() {
         let values = vec![9u32; 100_000];
         let enc = encode(&values, 4);
-        assert!(enc.len() < 16, "long run should encode tiny, got {}", enc.len());
+        assert!(
+            enc.len() < 16,
+            "long run should encode tiny, got {}",
+            enc.len()
+        );
         roundtrip(&values, 4);
     }
 

@@ -34,9 +34,8 @@ pub enum Token {
 
 #[inline]
 fn hash3(data: &[u8], pos: usize) -> usize {
-    let v = u32::from(data[pos])
-        | (u32::from(data[pos + 1]) << 8)
-        | (u32::from(data[pos + 2]) << 16);
+    let v =
+        u32::from(data[pos]) | (u32::from(data[pos + 1]) << 8) | (u32::from(data[pos + 2]) << 16);
     ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
 }
 
@@ -182,14 +181,21 @@ mod tests {
         // "aaaa..." relies on overlapping copies (dist=1, len>1).
         let data = vec![b'a'; 1000];
         let tokens = tokenize(&data);
-        assert!(tokens.len() < 20, "RLE-like input should produce few tokens");
+        assert!(
+            tokens.len() < 20,
+            "RLE-like input should produce few tokens"
+        );
         assert_eq!(detokenize(&tokens), data);
     }
 
     #[test]
     fn long_random_roundtrip() {
         let data: Vec<u8> = (0..100_000u64)
-            .map(|i| (i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) >> 33) as u8)
+            .map(|i| {
+                (i.wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407)
+                    >> 33) as u8
+            })
             .collect();
         roundtrip(&data);
     }
@@ -208,7 +214,10 @@ mod tests {
                 _ => 0,
             })
             .sum();
-        assert!(matched > data.len() / 2, "structured data should mostly match");
+        assert!(
+            matched > data.len() / 2,
+            "structured data should mostly match"
+        );
         assert_eq!(detokenize(&tokens), data);
     }
 }

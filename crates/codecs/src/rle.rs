@@ -24,7 +24,10 @@ pub fn runs_of(values: &[i64]) -> Vec<Run> {
     let Some(first) = iter.next() else {
         return out;
     };
-    let mut cur = Run { value: first, len: 1 };
+    let mut cur = Run {
+        value: first,
+        len: 1,
+    };
     for v in iter {
         if v == cur.value {
             cur.len += 1;
@@ -75,7 +78,11 @@ mod tests {
     fn single_long_run() {
         let values = vec![-7i64; 10_000];
         let enc = encode(&values);
-        assert!(enc.len() < 16, "one run should be a few bytes, got {}", enc.len());
+        assert!(
+            enc.len() < 16,
+            "one run should be a few bytes, got {}",
+            enc.len()
+        );
         assert_eq!(decode(&enc).unwrap(), values);
     }
 

@@ -1,0 +1,147 @@
+//! Known-answer tests: pin `crc32` and `varint` to externally published
+//! vectors so a silent algorithm change (polynomial, reflection, byte
+//! order, continuation-bit layout) can never pass CI.
+
+use dslog_codecs::{crc32, varint};
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF)
+// ---------------------------------------------------------------------------
+
+/// The canonical CRC-32 check value: CRC32("123456789") = 0xCBF43926.
+#[test]
+fn crc32_check_value() {
+    assert_eq!(crc32::crc32(b"123456789"), 0xCBF4_3926);
+}
+
+#[test]
+fn crc32_published_vectors() {
+    // Vectors reproducible with any stock CRC-32 implementation
+    // (zlib's crc32(), Python's zlib.crc32, ...).
+    assert_eq!(crc32::crc32(b""), 0x0000_0000);
+    assert_eq!(crc32::crc32(b"a"), 0xE8B7_BE43);
+    assert_eq!(crc32::crc32(b"abc"), 0x3524_41C2);
+    assert_eq!(crc32::crc32(b"message digest"), 0x2015_9D7F);
+    assert_eq!(crc32::crc32(b"abcdefghijklmnopqrstuvwxyz"), 0x4C27_50BD);
+    assert_eq!(crc32::crc32(&[0x00]), 0xD202_EF8D);
+    assert_eq!(crc32::crc32(&[0xFF; 32]), 0xFF6C_AB0B);
+}
+
+#[test]
+fn crc32_streaming_matches_oneshot() {
+    let data = b"123456789";
+    let mut hasher = crc32::Crc32::new();
+    hasher.update(&data[..4]);
+    hasher.update(&data[4..]);
+    assert_eq!(hasher.finalize(), 0xCBF4_3926);
+
+    let mut empty = crc32::Crc32::new();
+    empty.update(b"");
+    assert_eq!(empty.finalize(), crc32::crc32(b""));
+}
+
+// ---------------------------------------------------------------------------
+// LEB128 unsigned varints
+// ---------------------------------------------------------------------------
+
+fn uvarint_bytes(v: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    varint::write_uvarint(&mut buf, v);
+    buf
+}
+
+#[test]
+fn uvarint_known_encodings() {
+    // Boundary values around each 7-bit continuation threshold.
+    assert_eq!(uvarint_bytes(0), [0x00]);
+    assert_eq!(uvarint_bytes(1), [0x01]);
+    assert_eq!(uvarint_bytes(127), [0x7F]);
+    assert_eq!(uvarint_bytes(128), [0x80, 0x01]);
+    assert_eq!(uvarint_bytes(300), [0xAC, 0x02]);
+    assert_eq!(uvarint_bytes(16_383), [0xFF, 0x7F]);
+    assert_eq!(uvarint_bytes(16_384), [0x80, 0x80, 0x01]);
+    // u64::MAX needs the full 10 bytes: nine 0xFF continuations + 0x01.
+    assert_eq!(
+        uvarint_bytes(u64::MAX),
+        [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01]
+    );
+}
+
+#[test]
+fn uvarint_boundary_roundtrips() {
+    // Every power-of-two boundary where the encoded length changes.
+    let mut cases = vec![0u64, u64::MAX];
+    for shift in 0..64 {
+        let v = 1u64 << shift;
+        cases.extend([v - 1, v, v + 1]);
+    }
+    for v in cases {
+        let buf = uvarint_bytes(v);
+        assert!(buf.len() <= 10, "{v} encoded to {} bytes", buf.len());
+        let mut pos = 0;
+        assert_eq!(varint::read_uvarint(&buf, &mut pos).unwrap(), v);
+        assert_eq!(pos, buf.len(), "trailing bytes after decoding {v}");
+    }
+}
+
+#[test]
+fn uvarint_truncation_is_an_error() {
+    let buf = uvarint_bytes(u64::MAX);
+    for cut in 0..buf.len() {
+        let mut pos = 0;
+        assert!(
+            varint::read_uvarint(&buf[..cut], &mut pos).is_err(),
+            "truncation to {cut} bytes must not decode"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zig-zag signed varints
+// ---------------------------------------------------------------------------
+
+#[test]
+fn zigzag_known_mapping() {
+    // The Protocol-Buffers zig-zag table: 0, -1, 1, -2, 2, ...
+    assert_eq!(varint::zigzag(0), 0);
+    assert_eq!(varint::zigzag(-1), 1);
+    assert_eq!(varint::zigzag(1), 2);
+    assert_eq!(varint::zigzag(-2), 3);
+    assert_eq!(varint::zigzag(2), 4);
+    assert_eq!(varint::zigzag(i64::MAX), u64::MAX - 1);
+    assert_eq!(varint::zigzag(i64::MIN), u64::MAX);
+}
+
+#[test]
+fn ivarint_boundary_roundtrips() {
+    for v in [
+        0i64,
+        1,
+        -1,
+        63,
+        64,
+        -64,
+        -65,
+        i64::MAX - 1,
+        i64::MAX,
+        i64::MIN + 1,
+        i64::MIN,
+    ] {
+        let mut buf = Vec::new();
+        varint::write_ivarint(&mut buf, v);
+        let mut pos = 0;
+        assert_eq!(varint::read_ivarint(&buf, &mut pos).unwrap(), v);
+        assert_eq!(pos, buf.len());
+        assert_eq!(varint::unzigzag(varint::zigzag(v)), v);
+    }
+}
+
+#[test]
+fn ivarint_small_magnitudes_stay_small() {
+    // The point of zig-zag: near-zero values of either sign fit in 1 byte.
+    for v in -64i64..64 {
+        let mut buf = Vec::new();
+        varint::write_ivarint(&mut buf, v);
+        assert_eq!(buf.len(), 1, "{v} should encode to a single byte");
+    }
+}

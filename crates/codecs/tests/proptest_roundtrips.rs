@@ -1,4 +1,11 @@
 //! Property-based roundtrip tests for every codec in `dslog-codecs`.
+//!
+//! Runs are reproducible: the vendored proptest runner pins a fixed RNG
+//! seed (`proptest::test_runner::DEFAULT_RNG_SEED`; override with the
+//! `PROPTEST_RNG_SEED` env var when hunting for new counterexamples) and a
+//! failing case's seed is appended under this crate's
+//! `proptest-regressions/` directory (commit that file!) and replayed
+//! before fresh cases on every subsequent run.
 
 use dslog_codecs::{bitpack, deflate, dict, gzip, huffman, hybrid, rle, varint};
 use proptest::prelude::*;

@@ -51,7 +51,10 @@ impl std::fmt::Display for DslogError {
                 write!(f, "cell {index:?} out of bounds for shape {shape:?}")
             }
             DslogError::ArityMismatch { expected, got } => {
-                write!(f, "lineage arity {got} does not match array axes {expected}")
+                write!(
+                    f,
+                    "lineage arity {got} does not match array axes {expected}"
+                )
             }
             DslogError::NotInstantiated => {
                 write!(f, "table contains symbolic intervals; instantiate it first")

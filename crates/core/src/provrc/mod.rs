@@ -156,9 +156,9 @@ pub fn compress_batch_parallel(
     let mut results: Vec<Option<CompressedTable>> = (0..jobs.len()).map(|_| None).collect();
     let slots: Vec<parking_lot::Mutex<&mut Option<CompressedTable>>> =
         results.iter_mut().map(parking_lot::Mutex::new).collect();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..n_threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if idx >= jobs.len() {
                     break;
@@ -168,10 +168,12 @@ pub fn compress_batch_parallel(
                 **slots[idx].lock() = Some(compressed);
             });
         }
-    })
-    .expect("compression worker panicked");
+    });
     drop(slots);
-    results.into_iter().map(|r| r.expect("job completed")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("job completed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -287,13 +289,30 @@ mod tests {
                 t.push_row(&[i, j, i, j]);
             }
         }
-        let c = compress(&t, &[h as usize, w as usize], &[h as usize, w as usize], Orientation::Backward);
+        let c = compress(
+            &t,
+            &[h as usize, w as usize],
+            &[h as usize, w as usize],
+            Orientation::Backward,
+        );
         assert_eq!(c.n_rows(), 1, "got:\n{c}");
         let zero = Interval::point(0);
         assert_eq!(c.row(0)[0], Cell::abs(0, h - 1));
         assert_eq!(c.row(0)[1], Cell::abs(0, w - 1));
-        assert_eq!(c.row(0)[2], Cell::Rel { anchor: 0, delta: zero });
-        assert_eq!(c.row(0)[3], Cell::Rel { anchor: 1, delta: zero });
+        assert_eq!(
+            c.row(0)[2],
+            Cell::Rel {
+                anchor: 0,
+                delta: zero
+            }
+        );
+        assert_eq!(
+            c.row(0)[3],
+            Cell::Rel {
+                anchor: 1,
+                delta: zero
+            }
+        );
     }
 
     #[test]
@@ -365,7 +384,12 @@ mod tests {
         for i in 0..n {
             t.push_row(&[i, i, i]);
         }
-        let c = compress(&t, &[n as usize], &[n as usize, n as usize], Orientation::Backward);
+        let c = compress(
+            &t,
+            &[n as usize],
+            &[n as usize, n as usize],
+            Orientation::Backward,
+        );
         assert_eq!(c.n_rows(), 1, "got:\n{c}");
         assert_eq!(c.decompress().unwrap().row_set(), t.row_set());
     }

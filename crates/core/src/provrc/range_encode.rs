@@ -124,10 +124,7 @@ mod tests {
 
     #[test]
     fn other_attribute_mismatch_blocks_merge() {
-        let mut rows = vec![
-            wrow(&[1], &[(7, 7), (1, 1)]),
-            wrow(&[1], &[(8, 8), (2, 2)]),
-        ];
+        let mut rows = vec![wrow(&[1], &[(7, 7), (1, 1)]), wrow(&[1], &[(8, 8), (2, 2)])];
         secondary_pass(&mut rows, 1);
         assert_eq!(rows.len(), 2, "different a1 must prevent merging a2");
     }

@@ -113,12 +113,7 @@ mod tests {
     #[test]
     fn fig6_generalize_and_instantiate() {
         // (A) compress the d=2 lineage.
-        let c2 = compress(
-            &aggregate_table(2),
-            &[1],
-            &[2],
-            Orientation::Backward,
-        );
+        let c2 = compress(&aggregate_table(2), &[1], &[2], Orientation::Backward);
         assert_eq!(c2.n_rows(), 1);
         // (B) generalize: both the output [0,0] and input [0,1] intervals
         // span their attribute extents.
@@ -165,7 +160,11 @@ mod tests {
         }
         let c = compress(&t, &[4], &[8], Orientation::Backward);
         let g = generalize(&c);
-        assert_eq!(g.row(0)[1], Cell::point(0), "input cell [0,0] is not full extent (8)");
+        assert_eq!(
+            g.row(0)[1],
+            Cell::point(0),
+            "input cell [0,0] is not full extent (8)"
+        );
         assert_eq!(g.row(0)[0], Cell::Sym { attr: 0 });
     }
 

@@ -186,14 +186,18 @@ mod tests {
         for i in 0..n {
             t.push_row(&[i, i, i]);
         }
-        let compressed = compress(&t, &[n as usize], &[n as usize, n as usize], Orientation::Backward);
+        let compressed = compress(
+            &t,
+            &[n as usize],
+            &[n as usize, n as usize],
+            Orientation::Backward,
+        );
         assert_eq!(compressed.n_rows(), 1, "diag compresses to one row");
 
         let q = BoxTable::from_boxes(1, &[&[ivl(2, 4)]]);
         let result = theta_join(&q, &compressed);
         let cells = result.cell_set();
-        let expected: std::collections::BTreeSet<Vec<i64>> =
-            (2..=4).map(|i| vec![i, i]).collect();
+        let expected: std::collections::BTreeSet<Vec<i64>> = (2..=4).map(|i| vec![i, i]).collect();
         assert_eq!(cells, expected, "must be the diagonal, not the square");
     }
 

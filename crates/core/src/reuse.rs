@@ -81,7 +81,10 @@ pub struct Mapping {
 #[derive(Debug, Clone)]
 enum SigState {
     /// Seen once; awaiting `m` confirmations.
-    Pending { mapping: Mapping, confirmations: u32 },
+    Pending {
+        mapping: Mapping,
+        confirmations: u32,
+    },
     /// Validated; future calls may skip capture.
     Permanent(Mapping),
     /// Validation failed; never reuse under this key.
@@ -230,7 +233,9 @@ impl ReuseManager {
 
         // dim_sig
         let dim_key = Self::key(op_name, args, SigKind::Dim, None, in_shapes).unwrap();
-        self.advance(dim_key, mapping, |stored, fresh| mappings_equal(stored, fresh));
+        self.advance(dim_key, mapping, |stored, fresh| {
+            mappings_equal(stored, fresh)
+        });
 
         // gen_sig: the stored mapping is generalized; a confirming call must
         // have *different* shapes and instantiate to the fresh lineage.
@@ -334,12 +339,13 @@ fn mappings_equal(a: &Mapping, b: &Mapping) -> bool {
     {
         return false;
     }
-    a.tables.iter().zip(b.tables.iter()).all(|(x, y)| {
-        match (x.decompress(), y.decompress()) {
+    a.tables
+        .iter()
+        .zip(b.tables.iter())
+        .all(|(x, y)| match (x.decompress(), y.decompress()) {
             (Ok(dx), Ok(dy)) => dx.row_set() == dy.row_set(),
             _ => false,
-        }
-    })
+        })
 }
 
 /// Generalize every table in a mapping (index reshaping, §VI.B).

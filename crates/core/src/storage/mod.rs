@@ -204,10 +204,22 @@ impl StorageManager {
             });
         }
         let policy = self.materialize_policy();
-        let backward = matches!(policy, Materialize::Backward | Materialize::Both)
-            .then(|| Arc::new(provrc::compress(lineage, &out_shape, &in_shape, Orientation::Backward)));
-        let forward = matches!(policy, Materialize::Forward | Materialize::Both)
-            .then(|| Arc::new(provrc::compress(lineage, &out_shape, &in_shape, Orientation::Forward)));
+        let backward = matches!(policy, Materialize::Backward | Materialize::Both).then(|| {
+            Arc::new(provrc::compress(
+                lineage,
+                &out_shape,
+                &in_shape,
+                Orientation::Backward,
+            ))
+        });
+        let forward = matches!(policy, Materialize::Forward | Materialize::Both).then(|| {
+            Arc::new(provrc::compress(
+                lineage,
+                &out_shape,
+                &in_shape,
+                Orientation::Forward,
+            ))
+        });
         self.edges.insert(
             (in_array.to_string(), out_array.to_string()),
             Edge::new(backward, forward, out_shape, in_shape),

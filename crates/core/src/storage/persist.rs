@@ -107,8 +107,7 @@ pub fn save(storage: &StorageManager, dir: &Path, gzip: bool) -> Result<()> {
                     format::serialize(&table)
                 };
                 let path = dir.join(edge_file_name(idx, orientation, gzip));
-                std::fs::write(&path, bytes)
-                    .map_err(|e| DslogError::io("write edge table", e))?;
+                std::fs::write(&path, bytes).map_err(|e| DslogError::io("write edge table", e))?;
             }
         }
     }
@@ -120,8 +119,8 @@ pub fn save(storage: &StorageManager, dir: &Path, gzip: bool) -> Result<()> {
 
 /// Open a database directory written by [`save`].
 pub fn open(dir: &Path) -> Result<StorageManager> {
-    let catalog = std::fs::read(dir.join(CATALOG_FILE))
-        .map_err(|e| DslogError::io("read catalog", e))?;
+    let catalog =
+        std::fs::read(dir.join(CATALOG_FILE)).map_err(|e| DslogError::io("read catalog", e))?;
     if catalog.len() < CATALOG_MAGIC.len() + 1 || &catalog[..8] != CATALOG_MAGIC {
         return Err(DslogError::Corrupt("bad catalog magic"));
     }
@@ -155,8 +154,7 @@ pub fn open(dir: &Path) -> Result<StorageManager> {
         }
         let load = |orientation: Orientation| -> Result<Option<Arc<CompressedTable>>> {
             let path = dir.join(edge_file_name(idx, orientation, gzip));
-            let bytes =
-                std::fs::read(&path).map_err(|e| DslogError::io("read edge table", e))?;
+            let bytes = std::fs::read(&path).map_err(|e| DslogError::io("read edge table", e))?;
             let table = if gzip {
                 format::deserialize_gzip(&bytes)?
             } else {
@@ -167,8 +165,16 @@ pub fn open(dir: &Path) -> Result<StorageManager> {
             }
             Ok(Some(Arc::new(table)))
         };
-        let backward = if mask & 1 != 0 { load(Orientation::Backward)? } else { None };
-        let forward = if mask & 2 != 0 { load(Orientation::Forward)? } else { None };
+        let backward = if mask & 1 != 0 {
+            load(Orientation::Backward)?
+        } else {
+            None
+        };
+        let forward = if mask & 2 != 0 {
+            load(Orientation::Forward)?
+        } else {
+            None
+        };
 
         let out_shape = arrays
             .get(&out_name)
@@ -200,10 +206,7 @@ mod tests {
     use crate::table::LineageTable;
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "dslog-persist-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("dslog-persist-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -277,8 +280,12 @@ mod tests {
         save(&s, &dir, false).unwrap();
         let reopened = open(&dir).unwrap();
         // Both orientations load without derivation and agree.
-        let b = reopened.stored_table("X", "Y", Orientation::Backward).unwrap();
-        let f = reopened.stored_table("X", "Y", Orientation::Forward).unwrap();
+        let b = reopened
+            .stored_table("X", "Y", Orientation::Backward)
+            .unwrap();
+        let f = reopened
+            .stored_table("X", "Y", Orientation::Forward)
+            .unwrap();
         assert_eq!(
             b.decompress().unwrap().row_set(),
             f.decompress().unwrap().row_set()

@@ -358,7 +358,10 @@ mod tests {
         let full = t.decompress().unwrap();
         assert_eq!(full.out_arity(), 1);
         assert_eq!(full.in_arity(), 2);
-        assert_eq!(full.row_set(), paper_table_ii().decompress().unwrap().row_set());
+        assert_eq!(
+            full.row_set(),
+            paper_table_ii().decompress().unwrap().row_set()
+        );
     }
 
     #[test]

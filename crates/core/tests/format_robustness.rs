@@ -25,12 +25,7 @@ fn arb_compressed() -> impl Strategy<Value = CompressedTable> {
                 t.push_row(&row);
             }
             t.normalize();
-            provrc::compress(
-                &t,
-                &vec![6; out_arity],
-                &vec![6; in_arity],
-                orientation,
-            )
+            provrc::compress(&t, &vec![6; out_arity], &vec![6; in_arity], orientation)
         })
 }
 

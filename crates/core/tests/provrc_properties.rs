@@ -28,38 +28,29 @@ fn arb_relation() -> impl Strategy<Value = (LineageTable, Vec<usize>, Vec<usize>
 /// Structured relation: a random mix of shifted windows and constant ranges,
 /// exercising the rel/abs combo machinery harder than uniform noise.
 fn arb_structured() -> impl Strategy<Value = (LineageTable, Vec<usize>, Vec<usize>)> {
-    (
-        1i64..20,
-        -2i64..3,
-        0i64..3,
-        prop::bool::ANY,
-    )
-        .prop_map(|(n, shift, width, constant)| {
-            let mut t = LineageTable::new(1, 1);
-            let dim = (n + shift.unsigned_abs() as i64 + width + 4) as usize;
-            for i in 0..n {
-                if constant {
-                    for a in 0..=width {
-                        t.push_row(&[i, a]);
-                    }
-                } else {
-                    let base = i + shift;
-                    for a in base.max(0)..=(base + width).min(dim as i64 - 1) {
-                        t.push_row(&[i, a]);
-                    }
+    (1i64..20, -2i64..3, 0i64..3, prop::bool::ANY).prop_map(|(n, shift, width, constant)| {
+        let mut t = LineageTable::new(1, 1);
+        let dim = (n + shift.unsigned_abs() as i64 + width + 4) as usize;
+        for i in 0..n {
+            if constant {
+                for a in 0..=width {
+                    t.push_row(&[i, a]);
+                }
+            } else {
+                let base = i + shift;
+                for a in base.max(0)..=(base + width).min(dim as i64 - 1) {
+                    t.push_row(&[i, a]);
                 }
             }
-            t.normalize();
-            (t, vec![dim], vec![dim])
-        })
+        }
+        t.normalize();
+        (t, vec![dim], vec![dim])
+    })
 }
 
 fn query_cells_for(t: &LineageTable, seed: usize) -> Vec<Vec<i64>> {
     // Pick a deterministic subset of output cells present in the table.
-    let all: BTreeSet<Vec<i64>> = t
-        .rows()
-        .map(|r| r[..t.out_arity()].to_vec())
-        .collect();
+    let all: BTreeSet<Vec<i64>> = t.rows().map(|r| r[..t.out_arity()].to_vec()).collect();
     all.into_iter()
         .enumerate()
         .filter(|(i, _)| (i + seed) % 3 == 0)

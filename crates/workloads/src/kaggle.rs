@@ -106,11 +106,7 @@ const VALUE_FILTER: &str = "value_filter";
 /// Simulate `n_notebooks` traces for a dataset.
 pub fn simulate(dataset: Dataset, n_notebooks: usize, seed: u64) -> Vec<NotebookTrace> {
     let table = compressibility_table();
-    let compressible_ops: Vec<&str> = table
-        .iter()
-        .filter(|&(_, &c)| c)
-        .map(|(&n, _)| n)
-        .collect();
+    let compressible_ops: Vec<&str> = table.iter().filter(|&(_, &c)| c).map(|(&n, _)| n).collect();
     let incompressible_ops: Vec<&str> = table
         .iter()
         .filter(|&(_, &c)| !c)
@@ -141,7 +137,8 @@ pub fn simulate(dataset: Dataset, n_notebooks: usize, seed: u64) -> Vec<Notebook
             let roll: f64 = rng.gen();
             let (name, extends_chain) = if roll < p_value_filter {
                 (VALUE_FILTER, false)
-            } else if roll < p_value_filter + p_incompressible_array && !incompressible_ops.is_empty()
+            } else if roll < p_value_filter + p_incompressible_array
+                && !incompressible_ops.is_empty()
             {
                 (
                     incompressible_ops[rng.gen_range(0..incompressible_ops.len())],

@@ -126,13 +126,28 @@ pub fn image_workflow(side: usize, seed: u64) -> Pipeline {
     p.push_step("frame", "resized", r1.output.shape(), r1.lineage[0].clone());
 
     let r2 = image::luminosity(&r1.output, 1.2);
-    p.push_step("resized", "bright", r2.output.shape(), r2.lineage[0].clone());
+    p.push_step(
+        "resized",
+        "bright",
+        r2.output.shape(),
+        r2.lineage[0].clone(),
+    );
 
     let r3 = image::rotate90(&r2.output);
-    p.push_step("bright", "rotated", r3.output.shape(), r3.lineage[0].clone());
+    p.push_step(
+        "bright",
+        "rotated",
+        r3.output.shape(),
+        r3.lineage[0].clone(),
+    );
 
     let r4 = image::hflip(&r3.output);
-    p.push_step("rotated", "flipped", r4.output.shape(), r4.lineage[0].clone());
+    p.push_step(
+        "rotated",
+        "flipped",
+        r4.output.shape(),
+        r4.lineage[0].clone(),
+    );
 
     let (detection, lineage) = saliency::lime_capture(&r4.output, 8, seed ^ 0x11ce);
     p.push_step("flipped", "detection", detection.shape(), lineage);
@@ -197,7 +212,12 @@ pub fn resnet_workflow(side: usize, seed: u64) -> Pipeline {
 
     // Residual: add the block input back in.
     let add = nn::residual_add(&b2.output, &fm);
-    p.push_step("bn2", "residual", add.output.shape(), add.lineage[0].clone());
+    p.push_step(
+        "bn2",
+        "residual",
+        add.output.shape(),
+        add.lineage[0].clone(),
+    );
     p.hops.push(Hop {
         in_array: "input".into(),
         out_array: "residual".into(),
@@ -205,7 +225,12 @@ pub fn resnet_workflow(side: usize, seed: u64) -> Pipeline {
     });
 
     let r2 = nn::relu(&add.output);
-    p.push_step("residual", "output", r2.output.shape(), r2.lineage[0].clone());
+    p.push_step(
+        "residual",
+        "output",
+        r2.output.shape(),
+        r2.lineage[0].clone(),
+    );
     p
 }
 
@@ -256,7 +281,10 @@ mod tests {
         let back_path: Vec<&str> = p.main_path.iter().rev().map(String::as_str).collect();
         let det_len = p.shape_of("detection")[0] as i64;
         let rb = db
-            .prov_query(&back_path, &[(0..det_len).map(|i| vec![i]).collect::<Vec<_>>()[0].clone()])
+            .prov_query(
+                &back_path,
+                &[(0..det_len).map(|i| vec![i]).collect::<Vec<_>>()[0].clone()],
+            )
             .unwrap();
         let _ = rb;
     }

@@ -189,6 +189,7 @@ mod tests {
         let r = group_by_sum(&t, 0, 1);
         assert_eq!(r.output.shape(), &[2, 2]);
         assert_eq!(r.output.get(&[0, 1]), 8.0); // group key 1.0
+
         // Sum cell of group 0 reads both value cells of the group.
         assert!(r.lineage[0].rows().any(|row| row == [0, 1, 0, 1]));
         assert!(r.lineage[0].rows().any(|row| row == [0, 1, 2, 1]));
@@ -211,6 +212,7 @@ mod tests {
         assert_eq!(r.output.shape(), &[2, 5]);
         assert_eq!(r.output.get(&[0, 4]), 1.0); // category 2
         assert_eq!(r.output.get(&[1, 2]), 1.0); // category 0
+
         // Indicator cells read the category cell.
         assert!(r.lineage[0].rows().any(|row| row == [0, 4, 0, 1]));
     }

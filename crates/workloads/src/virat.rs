@@ -87,7 +87,10 @@ pub fn detect(frame: &Array) -> Array {
         (w as f64 / 2.0, h as f64 / 2.0)
     };
     let conf = (count / (h * w) as f64).min(1.0);
-    Array::from_vec(&[6], vec![cx, cy, count.sqrt(), count.sqrt(), conf, sum % 80.0])
+    Array::from_vec(
+        &[6],
+        vec![cx, cy, count.sqrt(), count.sqrt(), conf, sum % 80.0],
+    )
 }
 
 #[cfg(test)]

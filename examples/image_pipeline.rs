@@ -87,7 +87,12 @@ fn main() {
     // Backward debugging query: which frame pixels explain detection
     // cell 0? This is the "why did the model see a car here" question.
     // ------------------------------------------------------------------
-    let back_path: Vec<&str> = pipeline.main_path.iter().rev().map(String::as_str).collect();
+    let back_path: Vec<&str> = pipeline
+        .main_path
+        .iter()
+        .rev()
+        .map(String::as_str)
+        .collect();
     let t0 = Instant::now();
     let back = db.prov_query(&back_path, &[vec![0]]).unwrap();
     println!(
@@ -102,6 +107,12 @@ fn main() {
         frame_shape[0], frame_shape[1]
     );
 
-    assert!(!back.cells.is_empty(), "detection must have some provenance");
-    println!("\nok: image pipeline debugged through {} compressed hops", fwd.hops);
+    assert!(
+        !back.cells.is_empty(),
+        "detection must have some provenance"
+    );
+    println!(
+        "\nok: image pipeline debugged through {} compressed hops",
+        fwd.hops
+    );
 }

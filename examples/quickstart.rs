@@ -28,7 +28,10 @@ fn main() {
             lineage.push_row(&[i, i, j]);
         }
     }
-    println!("raw lineage relation R(b1, a1, a2): {} rows", lineage.n_rows());
+    println!(
+        "raw lineage relation R(b1, a1, a2): {} rows",
+        lineage.n_rows()
+    );
     for row in lineage.rows() {
         println!("  b1={}  a1={}  a2={}", row[0], row[1], row[2]);
     }
@@ -41,7 +44,10 @@ fn main() {
     //    Six rows become one.
     // -----------------------------------------------------------------
     let compressed = provrc::compress(&lineage, &[3], &[3, 2], Orientation::Backward);
-    println!("\nProvRC-compressed (backward orientation): {} row(s)", compressed.n_rows());
+    println!(
+        "\nProvRC-compressed (backward orientation): {} row(s)",
+        compressed.n_rows()
+    );
     println!("{compressed}");
     let raw_bytes = lineage.nbytes();
     let comp_bytes = format::serialize(&compressed).len();
@@ -53,7 +59,10 @@ fn main() {
     // The forward orientation (paper Table III) stores the same relation
     // with absolute input attributes instead.
     let forward = provrc::compress(&lineage, &[3], &[3, 2], Orientation::Forward);
-    println!("\nforward orientation (Table III): {} row(s)", forward.n_rows());
+    println!(
+        "\nforward orientation (Table III): {} row(s)",
+        forward.n_rows()
+    );
     println!("{forward}");
 
     // -----------------------------------------------------------------
@@ -77,7 +86,10 @@ fn main() {
     let back = db.prov_query(&["B", "A"], &[vec![0], vec![1]]).unwrap();
     println!("\nbackward query B[0..=1] -> A:");
     for b in back.cells.boxes() {
-        println!("  a1 in [{},{}], a2 in [{},{}]", b[0].lo, b[0].hi, b[1].lo, b[1].hi);
+        println!(
+            "  a1 in [{},{}], a2 in [{},{}]",
+            b[0].lo, b[0].hi, b[1].lo, b[1].hi
+        );
     }
     assert!(back.cells.contains_cell(&[1, 1]));
     assert!(!back.cells.contains_cell(&[2, 0]));

@@ -55,7 +55,12 @@ fn main() {
     // Backward: a QA check flagged final[5, 1] (row 5, second column).
     // Which cells of the joined source tables does it derive from?
     // ------------------------------------------------------------------
-    let back_path: Vec<&str> = pipeline.main_path.iter().rev().map(String::as_str).collect();
+    let back_path: Vec<&str> = pipeline
+        .main_path
+        .iter()
+        .rev()
+        .map(String::as_str)
+        .collect();
     let t0 = Instant::now();
     let back = db.prov_query(&back_path, &[vec![5, 1]]).unwrap();
     println!(
@@ -65,7 +70,10 @@ fn main() {
         t0.elapsed()
     );
     for b in back.cells.boxes().take(5) {
-        println!("  basics rows [{},{}], cols [{},{}]", b[0].lo, b[0].hi, b[1].lo, b[1].hi);
+        println!(
+            "  basics rows [{},{}], cols [{},{}]",
+            b[0].lo, b[0].hi, b[1].lo, b[1].hi
+        );
     }
 
     // The join has two parents; the episode side is queryable too.

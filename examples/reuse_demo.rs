@@ -125,9 +125,16 @@ fn main() {
             let wrong = predicted.decompress().unwrap().row_set() != truth.row_set();
             println!(
                 "  gen_sig from 3-vectors predicts 2-vector lineage correctly: {}",
-                if wrong { "NO (misprediction, as the paper reports)" } else { "yes" }
+                if wrong {
+                    "NO (misprediction, as the paper reports)"
+                } else {
+                    "yes"
+                }
             );
-            assert!(wrong, "cross must mispredict across the 3->2 vector boundary");
+            assert!(
+                wrong,
+                "cross must mispredict across the 3->2 vector boundary"
+            );
         }
         Err(e) => println!("  instantiation rejected: {e} (counts as a non-reusable signature)"),
     }

@@ -46,13 +46,15 @@ fn main() {
     let t0 = Instant::now();
     let db = Dslog::open(&dir).unwrap();
     println!("\nsession 2: reopened in {:?}", t0.elapsed());
-    println!(
-        "           arrays: {:?}",
-        db.storage().array_names()
-    );
+    println!("           arrays: {:?}", db.storage().array_names());
 
     // Backward: which input pixels shaped output[10, 10]?
-    let back_path: Vec<&str> = pipeline.main_path.iter().rev().map(String::as_str).collect();
+    let back_path: Vec<&str> = pipeline
+        .main_path
+        .iter()
+        .rev()
+        .map(String::as_str)
+        .collect();
     let t0 = Instant::now();
     let back = db.prov_query(&back_path, &[vec![10, 10]]).unwrap();
     println!(

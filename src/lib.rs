@@ -1,0 +1,12 @@
+//! # dslog-suite — the workspace umbrella
+//!
+//! A thin package whose `tests/` directory hosts the workspace-level
+//! integration suites (end-to-end, multi-hop queries, baseline parity,
+//! reuse scenarios, pipeline properties) and whose `examples/` directory
+//! hosts the runnable demos. It re-exports the member crates so examples
+//! and downstream experiments can depend on a single package.
+
+pub use dslog;
+pub use dslog_array;
+pub use dslog_baselines;
+pub use dslog_workloads;

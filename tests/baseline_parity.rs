@@ -50,8 +50,18 @@ fn every_format_roundtrips_every_op_lineage() {
                 "format {} on op {op}",
                 format.name()
             );
-            assert_eq!(back.out_arity(), lineage.out_arity(), "{} / {op}", format.name());
-            assert_eq!(back.in_arity(), lineage.in_arity(), "{} / {op}", format.name());
+            assert_eq!(
+                back.out_arity(),
+                lineage.out_arity(),
+                "{} / {op}",
+                format.name()
+            );
+            assert_eq!(
+                back.in_arity(),
+                lineage.in_arity(),
+                "{} / {op}",
+                format.name()
+            );
         }
     }
 }
@@ -199,11 +209,7 @@ fn baselines_must_decompress_but_dslog_does_not() {
         .unwrap();
 
     let q: Vec<Vec<i64>> = (10..20).map(|v| vec![v]).collect();
-    let in_situ = db
-        .prov_query(&["out", "in"], &q)
-        .unwrap()
-        .cells
-        .cell_set();
+    let in_situ = db.prov_query(&["out", "in"], &q).unwrap().cells.cell_set();
 
     for format in all_formats() {
         let decoded = format.decode(&format.encode(&lineage));

@@ -146,7 +146,11 @@ fn materialization_policies_agree() {
     let a = random_array(&[9, 4], 7);
     let r = apply("cumsum", &[&a], &OpArgs::none());
     let mut answers = Vec::new();
-    for policy in [Materialize::Backward, Materialize::Forward, Materialize::Both] {
+    for policy in [
+        Materialize::Backward,
+        Materialize::Forward,
+        Materialize::Both,
+    ] {
         let mut db = Dslog::new();
         db.set_materialize(policy);
         db.define_array("in", a.shape()).unwrap();
@@ -267,9 +271,7 @@ fn queries_after_reuse_hit_match_fresh_capture() {
         .unwrap();
         // Whether captured or reused, answers must match the reference.
         for v in 0..*n as i64 {
-            let got = db
-                .prov_query(&[&out_name, &in_name], &[vec![v]])
-                .unwrap();
+            let got = db.prov_query(&[&out_name, &in_name], &[vec![v]]).unwrap();
             let want = reference::step(
                 &[vec![v]].into_iter().collect(),
                 &r.lineage[0],

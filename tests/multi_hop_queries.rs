@@ -5,10 +5,8 @@
 
 use dslog::api::Dslog;
 use dslog::query::reference::{self, Direction};
-use dslog::table::LineageTable;
-use dslog_workloads::pipelines::{
-    image_workflow, relational_workflow, resnet_workflow, Pipeline,
-};
+use dslog::table::{LineageTable, Orientation};
+use dslog_workloads::pipelines::{image_workflow, relational_workflow, resnet_workflow, Pipeline};
 use dslog_workloads::random_numpy::{generate, RandomPipelineSpec};
 use std::collections::BTreeSet;
 
@@ -212,4 +210,166 @@ fn query_count_matches_path_length() {
     let path: Vec<&str> = p.main_path.iter().map(String::as_str).collect();
     let r = db.prov_query(&path, &[vec![0, 0]]).unwrap();
     assert_eq!(r.hops, p.main_path.len() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Compressed (in-situ) vs decompressed parity
+//
+// The checks above validate `prov_query` against the *originally captured*
+// relations. The tests below close the remaining gap: they pull each hop's
+// table back out of storage in its ProvRC-compressed form, `decompress()`
+// it, and run the brute-force reference over those decompressed tables.
+// In-situ results over the compressed form must match cell-for-cell in both
+// directions — i.e. neither compression, storage, nor lazy orientation
+// derivation may alter query semantics.
+// ---------------------------------------------------------------------------
+
+/// Decompress every stored hop table along the main path, in path order.
+fn decompressed_main_path_tables(db: &Dslog, p: &Pipeline) -> Vec<LineageTable> {
+    p.main_path
+        .windows(2)
+        .map(|w| {
+            db.storage()
+                .stored_table(&w[0], &w[1], Orientation::Backward)
+                .expect("stored edge on main path")
+                .decompress()
+                .expect("stored table decompresses")
+        })
+        .collect()
+}
+
+/// Assert in-situ forward parity against the decompressed reference path.
+fn check_forward_decompressed(db: &Dslog, p: &Pipeline, cells: &[Vec<i64>]) {
+    let path: Vec<&str> = p.main_path.iter().map(String::as_str).collect();
+    let got = db.prov_query(&path, cells).unwrap();
+
+    let stored = decompressed_main_path_tables(db, p);
+    let hops: Vec<(&LineageTable, Direction)> =
+        stored.iter().map(|t| (t, Direction::Forward)).collect();
+    let start: BTreeSet<Vec<i64>> = cells.iter().cloned().collect();
+    let want = reference::chain(&start, &hops);
+    assert_eq!(
+        got.cells.cell_set(),
+        want,
+        "in-situ forward diverges from decompressed reference through {:?} from {cells:?}",
+        p.main_path
+    );
+}
+
+/// Assert in-situ backward parity against the decompressed reference path.
+fn check_backward_decompressed(db: &Dslog, p: &Pipeline, cells: &[Vec<i64>]) {
+    let path: Vec<&str> = p.main_path.iter().rev().map(String::as_str).collect();
+    let got = db.prov_query(&path, cells).unwrap();
+
+    let stored = decompressed_main_path_tables(db, p);
+    let hops: Vec<(&LineageTable, Direction)> = stored
+        .iter()
+        .rev()
+        .map(|t| (t, Direction::Backward))
+        .collect();
+    let start: BTreeSet<Vec<i64>> = cells.iter().cloned().collect();
+    let want = reference::chain(&start, &hops);
+    assert_eq!(
+        got.cells.cell_set(),
+        want,
+        "in-situ backward diverges from decompressed reference through {:?} from {cells:?}",
+        p.main_path
+    );
+}
+
+#[test]
+fn stored_roundtrip_matches_captured_lineage() {
+    // Decompressing what storage holds recovers exactly the captured
+    // relation of every main-path hop (as a row set — ProvRC deduplicates).
+    let p = relational_workflow(60, 0x20);
+    let db = register(&p);
+    for w in p.main_path.windows(2) {
+        let stored = db
+            .storage()
+            .stored_table(&w[0], &w[1], Orientation::Backward)
+            .unwrap()
+            .decompress()
+            .unwrap();
+        let captured = p
+            .hops
+            .iter()
+            .find(|h| h.in_array == w[0] && h.out_array == w[1])
+            .expect("captured hop");
+        assert_eq!(
+            stored.row_set(),
+            captured.lineage.row_set(),
+            "storage roundtrip altered hop {} -> {}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+#[test]
+fn image_workflow_parity_decompressed_both_directions() {
+    let p = image_workflow(12, 0x21);
+    let db = register(&p);
+    let shape = p.shape_of("frame").to_vec();
+    let (h, w) = (shape[0] as i64, shape[1] as i64);
+    let patch: Vec<Vec<i64>> = (0..2)
+        .flat_map(|i| (0..2).map(move |j| vec![h / 2 + i, w / 2 + j]))
+        .collect();
+    check_forward_decompressed(&db, &p, &patch);
+
+    let det = p.shape_of("detection")[0] as i64;
+    for v in 0..det {
+        check_backward_decompressed(&db, &p, &[vec![v]]);
+    }
+}
+
+#[test]
+fn relational_workflow_parity_decompressed_both_directions() {
+    let p = relational_workflow(70, 0x22);
+    let db = register(&p);
+    let n_cols = p.shape_of("basics")[1] as i64;
+    let row_cells: Vec<Vec<i64>> = (0..n_cols).map(|c| vec![11, c]).collect();
+    check_forward_decompressed(&db, &p, &row_cells);
+
+    let out_shape = p.shape_of(p.main_path.last().unwrap()).to_vec();
+    let (r, c) = (out_shape[0] as i64, out_shape[1] as i64);
+    for cell in [vec![0, 0], vec![r - 1, c - 1], vec![r / 3, c / 2]] {
+        check_backward_decompressed(&db, &p, &[cell]);
+    }
+}
+
+#[test]
+fn resnet_workflow_parity_decompressed_both_directions() {
+    let p = resnet_workflow(8, 0x23);
+    let db = register(&p);
+    check_forward_decompressed(&db, &p, &[vec![2, 5], vec![6, 1]]);
+    check_backward_decompressed(&db, &p, &[vec![3, 3], vec![0, 7]]);
+}
+
+#[test]
+fn random_pipelines_parity_decompressed_both_directions() {
+    for seed in 40..44u64 {
+        let p = generate(RandomPipelineSpec {
+            seed,
+            n_ops: 7,
+            initial_cells: 121,
+        });
+        let db = register(&p);
+
+        let shape = p.shape_of("a0").to_vec();
+        let cells: Vec<Vec<i64>> = vec![
+            vec![0; shape.len()],
+            shape.iter().map(|&d| d as i64 / 2).collect(),
+        ];
+        check_forward_decompressed(&db, &p, &cells);
+
+        let last = p.main_path.last().unwrap().clone();
+        let out_shape = p.shape_of(&last).to_vec();
+        let origins: Vec<Vec<i64>> = vec![
+            vec![0; out_shape.len()],
+            out_shape.iter().map(|&d| d as i64 - 1).collect(),
+        ];
+        for origin in origins {
+            check_backward_decompressed(&db, &p, &[origin]);
+        }
+    }
 }

@@ -27,7 +27,12 @@ fn mapping_of(op: &str, inputs: &[&Array], args: &OpArgs) -> Mapping {
         .iter()
         .enumerate()
         .map(|(i, lin)| {
-            provrc::compress(lin, r.output.shape(), inputs[i].shape(), Orientation::Backward)
+            provrc::compress(
+                lin,
+                r.output.shape(),
+                inputs[i].shape(),
+                Orientation::Backward,
+            )
         })
         .collect();
     Mapping {
@@ -46,11 +51,15 @@ fn dim_sig_promoted_after_one_confirmation() {
     let m = mapping_of("negative", &[&a], &OpArgs::none());
     let shapes = (vec![vec![10usize]], vec![vec![10usize]]);
 
-    assert!(mgr.lookup("negative", &[], None, &shapes.0, &shapes.1).is_none());
+    assert!(mgr
+        .lookup("negative", &[], None, &shapes.0, &shapes.1)
+        .is_none());
     mgr.observe("negative", &[], None, &m);
     assert!(!mgr.has_permanent("negative", &[], SigKind::Dim));
 
-    assert!(mgr.lookup("negative", &[], None, &shapes.0, &shapes.1).is_none());
+    assert!(mgr
+        .lookup("negative", &[], None, &shapes.0, &shapes.1)
+        .is_none());
     mgr.observe("negative", &[], None, &m);
     assert!(mgr.has_permanent("negative", &[], SigKind::Dim));
 
@@ -100,7 +109,9 @@ fn mismatched_lineage_demotes_to_not_reusable() {
     }
     mgr.observe("weird", &[], None, &mk(rev));
     assert!(!mgr.has_permanent("weird", &[], SigKind::Dim));
-    assert!(mgr.lookup("weird", &[], None, &[vec![4]], &[vec![4]]).is_none());
+    assert!(mgr
+        .lookup("weird", &[], None, &[vec![4]], &[vec![4]])
+        .is_none());
     assert!(mgr.stats().demotions >= 1);
 }
 
@@ -249,8 +260,7 @@ fn cross_misprediction_reproduced() {
             .iter()
             .zip(truth.tables.iter())
             .all(|(p, t)| {
-                p.decompress().map(|x| x.row_set()).ok()
-                    == t.decompress().map(|x| x.row_set()).ok()
+                p.decompress().map(|x| x.row_set()).ok() == t.decompress().map(|x| x.row_set()).ok()
             });
         assert!(!agree, "cross must mispredict 2-vector lineage");
     }
@@ -290,7 +300,10 @@ fn predictor_with_higher_m_needs_more_confirmations() {
     let m = mapping_of("negative", &[&a], &OpArgs::none());
     mgr.observe("negative", &[], None, &m);
     mgr.observe("negative", &[], None, &m); // 1st confirmation
-    assert!(!mgr.has_permanent("negative", &[], SigKind::Dim), "m=2 needs two");
+    assert!(
+        !mgr.has_permanent("negative", &[], SigKind::Dim),
+        "m=2 needs two"
+    );
     mgr.observe("negative", &[], None, &m); // 2nd confirmation
     assert!(mgr.has_permanent("negative", &[], SigKind::Dim));
 }

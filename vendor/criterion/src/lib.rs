@@ -1,0 +1,466 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of criterion's API the DSLog benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`/`iter_batched`, `Throughput`, and
+//! `BatchSize` — with a simple but honest measurement loop: a warm-up phase
+//! that estimates iterations per sample, then `sample_size` timed samples
+//! from which min / mean / max are reported. No plots, no statistics beyond
+//! that; enough to compare hot paths run-over-run.
+//!
+//! A positional CLI argument acts as a substring filter on benchmark ids,
+//! mirroring `cargo bench <filter>`. Harness flags criterion ignores
+//! (`--bench`, `--test`, …) are accepted and ignored here too.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver; one per `criterion_group!` config.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+/// Harness flags that take no value; anything else starting with `--` is
+/// assumed to consume the following token (criterion's value-taking flags
+/// like `--sample-size 50`), so that value is never mistaken for a filter.
+const VALUELESS_FLAGS: &[&str] = &[
+    "--bench",
+    "--test",
+    "--quiet",
+    "--verbose",
+    "--list",
+    "--noplot",
+    "--exact",
+];
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                a if VALUELESS_FLAGS.contains(&a) || a.starts_with('-') && a.contains('=') => {}
+                a if a.starts_with('-') => {
+                    // Unknown flag: swallow its value if one follows.
+                    if args.peek().is_some_and(|next| !next.starts_with('-')) {
+                        args.next();
+                    }
+                }
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            filter,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let settings = Settings {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            test_mode: self.test_mode,
+        };
+        run_benchmark(&self.filter, &id.full(), settings, None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks (criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.full());
+        let settings = self.settings();
+        run_benchmark(&self.criterion.filter, &full, settings, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+
+    fn settings(&self) -> Settings {
+        Settings {
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            warm_up_time: self.criterion.warm_up_time,
+            measurement_time: self.criterion.measurement_time,
+            test_mode: self.criterion.test_mode,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+/// Identifies one benchmark: a function name plus an optional parameter.
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Throughput annotation: turns per-iteration time into a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost (criterion's `BatchSize`).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to the benchmark closure; collects timed iterations.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+    calibrating: bool,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+            if self.calibrating {
+                return;
+            }
+        }
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_size {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..self.iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                elapsed += start.elapsed();
+            }
+            self.samples.push(elapsed);
+            if self.calibrating {
+                return;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(
+    filter: &Option<String>,
+    id: &str,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if settings.test_mode {
+        // `cargo test --benches` smoke mode: run one iteration, no timing.
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            sample_size: 1,
+            calibrating: true,
+        };
+        f(&mut b);
+        println!("test {id} ... ok");
+        return;
+    }
+
+    // Calibration: time a single iteration to size samples so the whole
+    // benchmark lands near `measurement_time`.
+    let mut calibrator = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        sample_size: 1,
+        calibrating: true,
+    };
+    let warm_up_start = Instant::now();
+    let mut one_iter = Duration::ZERO;
+    let mut calibration_runs = 0u64;
+    while warm_up_start.elapsed() < settings.warm_up_time || calibration_runs == 0 {
+        calibrator.samples.clear();
+        f(&mut calibrator);
+        one_iter = calibrator
+            .samples
+            .first()
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        calibration_runs += 1;
+        if one_iter > settings.warm_up_time {
+            break;
+        }
+    }
+
+    let per_sample = settings.measurement_time.as_secs_f64() / settings.sample_size as f64;
+    let iters = if one_iter.is_zero() {
+        1000
+    } else {
+        (per_sample / one_iter.as_secs_f64()).max(1.0).min(1e9) as u64
+    };
+
+    let mut bencher = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::with_capacity(settings.sample_size),
+        sample_size: settings.sample_size,
+        calibrating: false,
+    };
+    f(&mut bencher);
+
+    let per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / iters as f64)
+        .collect();
+    if per_iter.is_empty() {
+        return;
+    }
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(0.0, f64::max);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  thrpt: {}/s", si(n as f64 / mean, "elem")),
+        Throughput::Bytes(n) => format!("  thrpt: {}/s", si(n as f64 / mean, "B")),
+    });
+    println!(
+        "{id:<50} time: [{} {} {}]{}",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn si(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}")
+    }
+}
+
+impl fmt::Debug for Criterion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Criterion")
+            .field("sample_size", &self.sample_size)
+            .finish()
+    }
+}
+
+/// Defines a named group of benchmark functions, optionally with a shared
+/// `Criterion` configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `fn main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &x| {
+            ran = true;
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

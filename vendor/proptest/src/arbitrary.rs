@@ -1,0 +1,102 @@
+//! `any::<T>()` — the canonical strategy for a type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical "arbitrary value" distribution.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`: full range for integers, unit interval
+/// for floats, fair coin for bools.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64() as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly printable ASCII, occasionally any scalar value.
+        if rng.next_u64() % 8 != 0 {
+            (b' ' + (rng.next_u64() % 95) as u8) as char
+        } else {
+            char::from_u32((rng.next_u64() % 0x11_0000) as u32).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_is_deterministic_per_seed() {
+        let mut a = TestRng::new(5);
+        let mut b = TestRng::new(5);
+        for _ in 0..50 {
+            assert_eq!(u64::arbitrary(&mut a), u64::arbitrary(&mut b));
+        }
+    }
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = TestRng::new(6);
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[bool::arbitrary(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Length specifications accepted by [`vec`]: a fixed count or a range.
+pub trait SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + (rng.next_u64() as usize) % (self.end - self.start)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty size range");
+        lo + (rng.next_u64() as usize) % (hi - lo + 1)
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+/// `vec(element, len)` — a vector whose length is drawn from `len` and
+/// whose elements are drawn independently from `element`.
+pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.pick(rng);
+        (0..n).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = TestRng::new(4);
+        assert_eq!(vec(0u8..10, 25usize).gen_value(&mut rng).len(), 25);
+        for _ in 0..100 {
+            let v = vec(0u8..10, 2usize..5).gen_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let w = vec(0u8..10, 0usize..3).gen_value(&mut rng);
+            assert!(w.len() < 3);
+        }
+    }
+}

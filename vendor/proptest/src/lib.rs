@@ -1,0 +1,177 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's API this workspace uses: the
+//! [`proptest!`] macro, the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_flat_map`, range / tuple / `Just` / union / collection strategies,
+//! `any::<T>()`, `prop_assert*` / `prop_assume!`, and a test runner.
+//!
+//! Two deliberate differences from upstream, both in the service of
+//! reproducible CI (see ISSUE 1):
+//!
+//! 1. **Deterministic by default.** Every run derives its case RNG streams
+//!    from a fixed seed ([`test_runner::DEFAULT_RNG_SEED`], overridable via
+//!    the `PROPTEST_RNG_SEED` env var), so a CI failure is reproducible
+//!    locally by checking out the same commit — no flaky property tests.
+//! 2. **Seed persistence, no shrinking.** Upstream shrinks failures to
+//!    minimal counterexamples and persists them. Here the failing case's
+//!    seed is appended to `proptest-regressions/<test>.txt` under the test
+//!    crate's manifest dir; persisted seeds are replayed *first* on every
+//!    subsequent run, so a once-seen failure keeps failing until fixed.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Mirror of upstream's `proptest::bool` module (`bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy type of [`ANY`]: a fair coin.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// Generates `true` and `false` with equal probability.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Mirror of proptest's `prop` re-export module (`prop::collection::vec`,
+/// `prop::sample::Index`, …).
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let strategy = ($($strat,)+);
+            $crate::test_runner::run(
+                &config,
+                env!("CARGO_MANIFEST_DIR"),
+                concat!(module_path!(), "::", stringify!($name)),
+                strategy,
+                |($($pat,)+)| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr);) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args…)` — fails the
+/// current case without panicking (the runner reports seed + location).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} at {}:{}", format!($($fmt)*), file!(), line!()),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` — equality assertion for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// `prop_assert_ne!(left, right)` — inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// `prop_assume!(cond)` — rejects (skips) the current case when `cond` is
+/// false; rejected cases don't count toward the case budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// `prop_oneof![s1, s2, …]` — picks one of the component strategies
+/// uniformly per generated case. All components must share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
+}

@@ -1,0 +1,38 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// An arbitrary index into a collection of as-yet-unknown length: draw one
+/// with `any::<Index>()`, then project it with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Project onto `0..len`. Panics if `len == 0`, like upstream.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_projects_in_bounds() {
+        let mut rng = TestRng::new(8);
+        for _ in 0..100 {
+            let idx = Index::arbitrary(&mut rng);
+            assert!(idx.index(7) < 7);
+            assert_eq!(idx.index(1), 0);
+        }
+    }
+}

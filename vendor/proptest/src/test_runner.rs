@@ -1,0 +1,375 @@
+//! The test runner: per-case seeding, rejection accounting, and failing-seed
+//! persistence.
+
+use crate::strategy::Strategy;
+use std::io::Write as _;
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+
+/// The workspace-wide pinned RNG seed ("DSLOG" on a phone keypad, roughly).
+/// Every property test derives its case seeds from this unless the
+/// `PROPTEST_RNG_SEED` env var overrides it, so runs are reproducible
+/// across machines and CI.
+pub const DEFAULT_RNG_SEED: u64 = 0xD5_106_2024_1CDE;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful (non-rejected) cases required per test.
+    pub cases: u32,
+    /// Base seed for deriving per-case RNG streams.
+    pub rng_seed: u64,
+    /// Directory (relative to the test crate's manifest dir) where failing
+    /// case seeds are persisted and replayed from; `None` disables.
+    pub failure_persistence: Option<&'static str>,
+    /// Abort with an error after this many `prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        let rng_seed = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_RNG_SEED);
+        Config {
+            cases,
+            rng_seed,
+            failure_persistence: Some("proptest-regressions"),
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl Config {
+    /// Default configuration with a specific case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the input; try another.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// The deterministic RNG handed to strategies (splitmix64 stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        // Avoid the weak all-zero start without losing determinism.
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Derive the seed for case `i` of a test from the base seed and the test
+/// path, so sibling tests in one file explore different streams.
+fn case_seed(base: u64, test_path: &str, case: u64) -> u64 {
+    let mut h = base ^ 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    h.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn persistence_file(config: &Config, manifest_dir: &str, test_path: &str) -> Option<PathBuf> {
+    let dir = config.failure_persistence?;
+    let safe: String = test_path
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '-' })
+        .collect();
+    Some(PathBuf::from(manifest_dir).join(dir).join(safe + ".txt"))
+}
+
+fn load_persisted_seeds(path: &PathBuf) -> Vec<u64> {
+    let Ok(content) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    content
+        .lines()
+        .filter_map(|line| line.strip_prefix("cc "))
+        .filter_map(|rest| rest.split_whitespace().next())
+        .filter_map(|s| s.parse().ok())
+        .collect()
+}
+
+fn persist_seed(path: &Option<PathBuf>, seed: u64, message: &str) {
+    let Some(path) = path else { return };
+    if load_persisted_seeds(path).contains(&seed) {
+        return;
+    }
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let new = !path.exists();
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        if new {
+            let _ = writeln!(
+                file,
+                "# Seeds for failing cases of this property test. Replayed before\n\
+                 # new cases on every run; commit this file to keep regressions\n\
+                 # covered. Format: `cc <seed>`."
+            );
+        }
+        let first_line = message.lines().next().unwrap_or("");
+        let _ = writeln!(file, "cc {seed} # {first_line}");
+    }
+}
+
+enum CaseOutcome {
+    Pass,
+    Reject,
+    Fail(String),
+}
+
+fn run_case<S: Strategy>(
+    strategy: &S,
+    test: &mut impl FnMut(S::Value) -> Result<(), TestCaseError>,
+    seed: u64,
+) -> CaseOutcome {
+    let mut rng = TestRng::new(seed);
+    let value = strategy.gen_value(&mut rng);
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| test(value)));
+    match result {
+        Ok(Ok(())) => CaseOutcome::Pass,
+        Ok(Err(TestCaseError::Reject)) => CaseOutcome::Reject,
+        Ok(Err(TestCaseError::Fail(msg))) => CaseOutcome::Fail(msg),
+        Err(panic) => {
+            let msg = if let Some(s) = panic.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = panic.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "test body panicked".to_string()
+            };
+            CaseOutcome::Fail(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Run one property test: replay persisted failing seeds, then fresh cases.
+pub fn run<S: Strategy>(
+    config: &Config,
+    manifest_dir: &str,
+    test_path: &str,
+    strategy: S,
+    mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+) {
+    let persist = persistence_file(config, manifest_dir, test_path);
+
+    if let Some(path) = &persist {
+        for seed in load_persisted_seeds(path) {
+            match run_case(&strategy, &mut test, seed) {
+                CaseOutcome::Fail(msg) => panic!(
+                    "{test_path}: persisted regression (seed {seed}, from {}) still fails:\n{msg}",
+                    path.display()
+                ),
+                CaseOutcome::Pass | CaseOutcome::Reject => {}
+            }
+        }
+    }
+
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut attempt: u64 = 0;
+    while passed < config.cases {
+        let seed = case_seed(config.rng_seed, test_path, attempt);
+        attempt += 1;
+        match run_case(&strategy, &mut test, seed) {
+            CaseOutcome::Pass => passed += 1,
+            CaseOutcome::Reject => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "{test_path}: too many prop_assume! rejections \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+            }
+            CaseOutcome::Fail(msg) => {
+                persist_seed(&persist, seed, &msg);
+                let persisted = persist
+                    .as_ref()
+                    .map(|p| format!(" (seed persisted to {})", p.display()))
+                    .unwrap_or_default();
+                panic!(
+                    "{test_path}: property failed after {passed} passing case(s), \
+                     seed {seed}{persisted}:\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop_assume;
+
+    fn no_persist() -> Config {
+        Config {
+            failure_persistence: None,
+            ..Config::with_cases(64)
+        }
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        run(&no_persist(), ".", "t::pass", 0u64..100, |v| {
+            count += 1;
+            assert!(v < 100);
+            Ok(())
+        });
+        assert_eq!(count, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics_with_seed() {
+        run(&no_persist(), ".", "t::fail", 0u64..100, |v| {
+            if v >= 50 {
+                return Err(TestCaseError::fail("v too big"));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn panicking_body_is_reported_not_aborted() {
+        run(&no_persist(), ".", "t::panic", 0u64..100, |v| {
+            assert!(v < 10, "nope");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn assume_rejections_do_not_count_as_cases() {
+        let mut passes = 0;
+        run(&no_persist(), ".", "t::assume", 0u64..100, |v| {
+            prop_assume!(v % 2 == 0);
+            passes += 1;
+            Ok(())
+        });
+        assert_eq!(passes, 64);
+    }
+
+    #[test]
+    fn same_seed_same_values() {
+        let mut first: Vec<u64> = Vec::new();
+        run(&no_persist(), ".", "t::det", 0u64..1000, |v| {
+            first.push(v);
+            Ok(())
+        });
+        let mut second: Vec<u64> = Vec::new();
+        run(&no_persist(), ".", "t::det", 0u64..1000, |v| {
+            second.push(v);
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn failing_seed_is_persisted_and_replayed() {
+        let dir = std::env::temp_dir().join(format!("proptest-shim-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.to_str().unwrap().to_string();
+        let config = Config {
+            failure_persistence: Some("regressions"),
+            ..Config::with_cases(64)
+        };
+
+        let manifest_clone = manifest.clone();
+        let config_clone = config.clone();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(move || {
+            run(
+                &config_clone,
+                &manifest_clone,
+                "t::persist",
+                0u64..100,
+                |v| {
+                    if v > 10 {
+                        return Err(TestCaseError::fail("boom"));
+                    }
+                    Ok(())
+                },
+            );
+        }));
+        assert!(result.is_err());
+
+        let file = persistence_file(&config, &manifest, "t::persist").unwrap();
+        let seeds = load_persisted_seeds(&file);
+        assert_eq!(seeds.len(), 1, "exactly one failing seed persisted");
+
+        // A now-passing property still replays the persisted seed first.
+        let mut replayed_values = Vec::new();
+        run(&config, &manifest, "t::persist", 0u64..100, |v| {
+            replayed_values.push(v);
+            Ok(())
+        });
+        let mut rng = TestRng::new(seeds[0]);
+        let expected = (0u64..100).gen_value(&mut rng);
+        assert_eq!(replayed_values[0], expected);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn macro_expansion_end_to_end() {
+        crate::proptest! {
+            #![proptest_config(Config { failure_persistence: None, ..Config::with_cases(16) })]
+
+            #[allow(unused)]
+            fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+                crate::prop_assert_eq!(a + b, b + a);
+            }
+        }
+        addition_commutes();
+    }
+}

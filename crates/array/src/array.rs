@@ -170,7 +170,7 @@ impl Iterator for IndexIter {
     type Item = Vec<usize>;
 
     fn next(&mut self) -> Option<Vec<usize>> {
-        if self.shape.iter().any(|&d| d == 0) {
+        if self.shape.contains(&0) {
             return None;
         }
         let cur = self.next.take()?;

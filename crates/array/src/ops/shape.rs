@@ -67,7 +67,7 @@ fn reshape(inputs: &[&Array], args: &OpArgs) -> OpResult {
     let a = inputs[0];
     // ints = target shape; default: split or collapse to 2 columns.
     let target: Vec<usize> = if args.ints.is_empty() {
-        if a.len() % 2 == 0 {
+        if a.len().is_multiple_of(2) {
             vec![a.len() / 2, 2]
         } else {
             vec![a.len()]
@@ -171,7 +171,7 @@ fn fliplr(inputs: &[&Array], _args: &OpArgs) -> OpResult {
     let a = inputs[0];
     assert!(a.ndim() >= 2, "fliplr needs ndim >= 2");
     let d1 = a.shape()[1];
-    permutation(a, &a.shape().to_vec(), move |out_idx| {
+    permutation(a, a.shape(), move |out_idx| {
         let mut in_idx = out_idx.to_vec();
         in_idx[1] = d1 - 1 - in_idx[1];
         in_idx
@@ -181,7 +181,7 @@ fn fliplr(inputs: &[&Array], _args: &OpArgs) -> OpResult {
 fn flipud(inputs: &[&Array], _args: &OpArgs) -> OpResult {
     let a = inputs[0];
     let d0 = a.shape()[0];
-    permutation(a, &a.shape().to_vec(), move |out_idx| {
+    permutation(a, a.shape(), move |out_idx| {
         let mut in_idx = out_idx.to_vec();
         in_idx[0] = d0 - 1 - in_idx[0];
         in_idx
@@ -208,7 +208,7 @@ fn roll(inputs: &[&Array], args: &OpArgs) -> OpResult {
     let a = inputs[0];
     let n = a.len() as i64;
     let k = args.int(0, 1).rem_euclid(n.max(1));
-    permutation(a, &a.shape().to_vec(), move |out_idx| {
+    permutation(a, a.shape(), move |out_idx| {
         // Roll over the flattened order, like numpy's axis=None.
         let mut linear = 0i64;
         for (v, d) in out_idx.iter().zip(a.shape().iter()) {

@@ -75,7 +75,7 @@ fn all_ops_backward_queries_match_reference() {
                 seen.into_iter().collect()
             };
             let q = BoxTable::from_cells(lineage.out_arity(), &cells);
-            let mut result = query::theta_join(&q, &c);
+            let mut result = query::theta_join(&q, &c).unwrap();
             result.merge();
             let expected = reference::step(
                 &cells.iter().cloned().collect(),

@@ -29,7 +29,7 @@ impl LineageFormat for ArrayStore {
         let mut out = Vec::with_capacity(80 + table.raw().len() * 8);
         out.extend_from_slice(MAGIC);
         let mut header = descr.into_bytes();
-        while (header.len() + MAGIC.len() + 2) % 64 != 0 {
+        while !(header.len() + MAGIC.len() + 2).is_multiple_of(64) {
             header.push(b' ');
         }
         out.extend_from_slice(&(header.len() as u16).to_le_bytes());

@@ -39,7 +39,7 @@ fn main() {
         for hop in p.main_path.windows(2) {
             let (table, _) = db.storage().resolve_hop(&hop[0], &hop[1]).unwrap();
             let t0 = Instant::now();
-            let mut next = theta_join(&cur, &table);
+            let mut next = theta_join(&cur, &table).unwrap();
             let t_join = t0.elapsed();
             let joined_boxes = next.n_boxes();
             let t0 = Instant::now();

@@ -34,12 +34,26 @@ fn main() {
 
         let t0 = Instant::now();
         let merged = db
-            .prov_query_opts(&path, &cells, QueryOptions { merge: true })
+            .prov_query_opts(
+                &path,
+                &cells,
+                QueryOptions {
+                    merge: true,
+                    ..QueryOptions::default()
+                },
+            )
             .unwrap();
         let t_merge = t0.elapsed();
         let t0 = Instant::now();
         let unmerged = db
-            .prov_query_opts(&path, &cells, QueryOptions { merge: false })
+            .prov_query_opts(
+                &path,
+                &cells,
+                QueryOptions {
+                    merge: false,
+                    ..QueryOptions::default()
+                },
+            )
             .unwrap();
         let t_nomerge = t0.elapsed();
         let ops: Vec<&str> = p.hops.iter().map(|h| h.out_array.as_str()).collect();

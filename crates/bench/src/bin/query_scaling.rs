@@ -1,0 +1,133 @@
+//! Query-engine scaling bench: rows vs p50 latency, indexed probe vs the
+//! nested-loop scan ablation, on a worst-case (incompressible scatter)
+//! single-hop edge. Tracks the perf trajectory of the in-situ engine; the
+//! acceptance bar is indexed ≥ 5× scan at 100k rows on a selective query.
+//!
+//! Emits an aligned table on stdout and machine-readable `BENCH_query.json`
+//! in the working directory.
+//!
+//! Run: `cargo run -p dslog-bench --release --bin query_scaling [--scale f]`
+
+use dslog::api::{Dslog, TableCapture};
+use dslog::query::QueryOptions;
+use dslog::table::LineageTable;
+use dslog_bench::{cli_scale_seed, secs, timed, TextTable};
+use std::fmt::Write as _;
+
+/// Scatter lineage `B[i] ← A[h(i)]` with a mixing hash, so ProvRC finds no
+/// ranges to merge and the compressed table keeps ~n rows — the regime
+/// where the access path (probe vs scan) dominates query latency.
+fn scatter_lineage(n: usize) -> LineageTable {
+    let mut t = LineageTable::new(1, 1);
+    for i in 0..n as i64 {
+        let h = (i.wrapping_mul(2654435761) & i64::MAX) % n as i64;
+        t.push_row(&[i, h]);
+    }
+    t
+}
+
+/// Median of a sample of seconds.
+fn p50(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+struct Point {
+    rows: usize,
+    compressed_rows: usize,
+    indexed_p50: f64,
+    scan_p50: f64,
+}
+
+fn measure(rows: usize, reps: usize) -> Point {
+    let mut db = Dslog::new();
+    db.define_array("A", &[rows]).unwrap();
+    db.define_array("B", &[rows]).unwrap();
+    db.add_lineage("A", "B", &TableCapture::new(scatter_lineage(rows)))
+        .unwrap();
+    let compressed_rows = db
+        .storage()
+        .stored_table("A", "B", dslog::table::Orientation::Backward)
+        .unwrap()
+        .n_rows();
+
+    // Selective query: 8 consecutive output cells.
+    let start = (rows / 3) as i64;
+    let cells: Vec<Vec<i64>> = (start..start + 8).map(|v| vec![v]).collect();
+
+    let run = |use_index: bool| {
+        let opts = QueryOptions {
+            use_index,
+            ..QueryOptions::default()
+        };
+        let mut samples: Vec<f64> = (0..reps)
+            .map(|_| timed(|| db.prov_query_opts(&["B", "A"], &cells, opts).unwrap()).1)
+            .collect();
+        p50(&mut samples)
+    };
+
+    // Parity check before timing: both paths must agree.
+    let indexed_cells = db
+        .prov_query_opts(&["B", "A"], &cells, QueryOptions::default())
+        .unwrap()
+        .cells
+        .cell_set();
+    let scan_cells = db
+        .prov_query_opts(
+            &["B", "A"],
+            &cells,
+            QueryOptions {
+                use_index: false,
+                ..QueryOptions::default()
+            },
+        )
+        .unwrap()
+        .cells
+        .cell_set();
+    assert_eq!(indexed_cells, scan_cells, "index/scan disagreement");
+
+    Point {
+        rows,
+        compressed_rows,
+        indexed_p50: run(true),
+        scan_p50: run(false),
+    }
+}
+
+fn main() {
+    let (scale, _seed) = cli_scale_seed();
+    println!("query_scaling — single-hop selective query, indexed vs scan (scale {scale})");
+
+    let sizes = [1_000usize, 10_000, 100_000];
+    let reps = 15;
+    let mut table = TextTable::new(&["rows", "compressed", "indexed p50", "scan p50", "speedup"]);
+    let mut json_rows = String::new();
+    for &base in &sizes {
+        let rows = ((base as f64 * scale) as usize).max(100);
+        let pt = measure(rows, reps);
+        let speedup = pt.scan_p50 / pt.indexed_p50.max(1e-12);
+        table.row(&[
+            pt.rows.to_string(),
+            pt.compressed_rows.to_string(),
+            secs(pt.indexed_p50),
+            secs(pt.scan_p50),
+            format!("{speedup:.1}x"),
+        ]);
+        if !json_rows.is_empty() {
+            json_rows.push(',');
+        }
+        write!(
+            json_rows,
+            "{{\"rows\":{},\"compressed_rows\":{},\"indexed_p50_s\":{:.9},\"scan_p50_s\":{:.9},\"speedup\":{:.2}}}",
+            pt.rows, pt.compressed_rows, pt.indexed_p50, pt.scan_p50, speedup
+        )
+        .unwrap();
+    }
+    println!("{}", table.render());
+
+    let json = format!(
+        "{{\"bench\":\"query_scaling\",\"scale\":{scale},\"hop\":\"backward\",\"query_cells\":8,\"reps\":{reps},\"series\":[{json_rows}]}}\n"
+    );
+    std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");
+    println!("wrote BENCH_query.json");
+}

@@ -10,6 +10,7 @@
 //! | `fig9`    | Fig. 9 — query latency on random numpy pipelines | `… --bin fig9` |
 //! | `table9`  | Table IX — numpy coverage of compression & reuse | `… --bin table9` |
 //! | `table10` | Table X — Kaggle workflow compressibility study | `… --bin table10` |
+//! | `query_scaling` | rows vs p50 latency, indexed vs scan (writes `BENCH_query.json`) | `… --bin query_scaling` |
 //!
 //! Criterion micro-benchmarks live under `benches/` (compression latency,
 //! query latency, ProvRC internals, and the merge/parallel ablations).

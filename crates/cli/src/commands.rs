@@ -18,7 +18,7 @@ dslog — fine-grained array lineage storage, compression, and querying
 USAGE:
   dslog ingest   --db DIR --in NAME:3x2 --out NAME:3 --csv FILE [--op NAME] [--gzip]
   dslog stats    --db DIR
-  dslog query    --db DIR --path B,A --cells \"1;2;0\" [--no-merge]
+  dslog query    --db DIR --path B,A --cells \"1;2;0\" [--no-merge] [--scan] [--stats]
   dslog export   --db DIR --edge IN,OUT [--csv FILE]
   dslog compress --csv FILE --out-arity N
   dslog help
@@ -124,6 +124,8 @@ pub fn query(args: &[String]) -> Result<String, String> {
             &cells,
             dslog::query::QueryOptions {
                 merge: !opts.switch("no-merge"),
+                use_index: !opts.switch("scan"),
+                ..dslog::query::QueryOptions::default()
             },
         )
         .map_err(|e| e.to_string())?;
@@ -137,6 +139,21 @@ pub fn query(args: &[String]) -> Result<String, String> {
         result.hops
     )
     .unwrap();
+    if opts.switch("stats") {
+        for (i, h) in result.stats.hops.iter().enumerate() {
+            writeln!(
+                out,
+                "  hop {i}: {} probed, {} matched, {} boxes, {:.2?} ({}, {} thread(s))",
+                h.rows_probed,
+                h.rows_matched,
+                h.boxes_emitted,
+                h.wall,
+                if h.used_index { "indexed" } else { "scan" },
+                h.threads
+            )
+            .unwrap();
+        }
+    }
     for b in result.cells.boxes() {
         let dims: Vec<String> = b
             .iter()

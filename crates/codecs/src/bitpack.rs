@@ -83,7 +83,7 @@ mod tests {
     fn packed_size_is_tight() {
         let values = vec![5u64; 100];
         let packed = pack(&values, 3);
-        assert_eq!(packed.len(), (100 * 3 + 7) / 8);
+        assert_eq!(packed.len(), (100usize * 3).div_ceil(8));
     }
 
     #[test]

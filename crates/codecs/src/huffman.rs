@@ -310,7 +310,7 @@ pub fn read_lengths(data: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
         if out.len() + run > n {
             return Err(CodecError::InvalidFormat("length run overflow"));
         }
-        out.extend(std::iter::repeat(l).take(run));
+        out.extend(std::iter::repeat_n(l, run));
     }
     Ok(out)
 }

@@ -63,7 +63,7 @@ pub fn encode(values: &[u32], width: u32) -> Vec<u8> {
             write_uvarint(&mut out, (run as u64) << 1);
             out.extend_from_slice(&v.to_le_bytes()[..value_bytes]);
         } else {
-            pending.extend(std::iter::repeat(v).take(run));
+            pending.extend(std::iter::repeat_n(v, run));
         }
         i += run;
     }
@@ -158,7 +158,7 @@ mod tests {
     fn mixed_runs_and_noise() {
         let mut values = Vec::new();
         for block in 0..50u32 {
-            values.extend(std::iter::repeat(block).take(20)); // RLE-able
+            values.extend(std::iter::repeat_n(block, 20)); // RLE-able
             values.extend((0..5).map(|i| (block * 7 + i) % 64)); // packed
         }
         roundtrip(&values, 6);

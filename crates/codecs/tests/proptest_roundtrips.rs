@@ -66,7 +66,7 @@ proptest! {
     ) {
         let values: Vec<u32> = runs
             .iter()
-            .flat_map(|&(v, n)| std::iter::repeat(v).take(n))
+            .flat_map(|&(v, n)| std::iter::repeat_n(v, n))
             .collect();
         let enc = hybrid::encode(&values, 4);
         prop_assert_eq!(hybrid::decode(&enc).unwrap(), values);
@@ -96,7 +96,7 @@ proptest! {
     ) {
         let data: Vec<u8> = runs
             .iter()
-            .flat_map(|&(v, n)| std::iter::repeat(v).take(n))
+            .flat_map(|&(v, n)| std::iter::repeat_n(v, n))
             .collect();
         let comp = deflate::compress(&data);
         prop_assert_eq!(deflate::decompress(&comp).unwrap(), data);

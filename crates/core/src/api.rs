@@ -2,7 +2,7 @@
 //! lineage, registering operations, and issuing `prov_query` calls.
 
 use crate::error::{DslogError, Result};
-use crate::query::{self, QueryOptions};
+use crate::query::{QueryExec, QueryOptions, QueryStats};
 use crate::reuse::{ArgValue, Mapping, ReuseHit, ReuseManager, ReuseStats};
 use crate::storage::{Materialize, StorageManager};
 use crate::table::{BoxTable, LineageTable};
@@ -67,6 +67,9 @@ pub struct QueryResult {
     pub cells: BoxTable,
     /// Number of θ-joins executed.
     pub hops: usize,
+    /// Per-hop execution statistics (rows probed/matched, boxes emitted,
+    /// wall time, index/thread usage).
+    pub stats: QueryStats,
 }
 
 /// Top-level DSLog handle: storage manager + reuse manager + query planner.
@@ -92,6 +95,27 @@ impl Dslog {
     /// Enable/disable the per-hop merge step (the `DSLog-NoMerge` ablation).
     pub fn set_merge(&mut self, merge: bool) {
         self.query_options.merge = merge;
+    }
+
+    /// Enable/disable the sorted interval index on the query path (the
+    /// scan-vs-probe ablation; `false` restores the nested-loop engine).
+    pub fn set_use_index(&mut self, use_index: bool) {
+        self.query_options.use_index = use_index;
+    }
+
+    /// Enable/disable multi-threaded hop execution.
+    pub fn set_parallel(&mut self, parallel: bool) {
+        self.query_options.parallel = parallel;
+    }
+
+    /// Replace the full default query-option set.
+    pub fn set_query_options(&mut self, opts: QueryOptions) {
+        self.query_options = opts;
+    }
+
+    /// The options `prov_query` currently runs with.
+    pub fn query_options(&self) -> QueryOptions {
+        self.query_options
     }
 
     /// Access the underlying storage manager (benchmarking, inspection).
@@ -309,27 +333,35 @@ impl Dslog {
         // relational lineage tables with multi-attribute range encoding").
         // This is part of query encoding, not the inter-hop merge ablation.
         cur.merge();
-        let mut hops = 0;
+        let exec = QueryExec::new(opts);
+        let mut stats = QueryStats::default();
         for hop in path.windows(2) {
             // Validate the arrays exist even if the query went empty.
             self.storage.array(hop[1])?;
             let (table, _direction) = self.storage.resolve_hop(hop[0], hop[1])?;
-            let mut next = query::theta_join(&cur, &table);
+            let (mut next, hop_stats) = exec.hop(&cur, &table)?;
+            stats.hops.push(hop_stats);
             if opts.merge {
                 next.merge();
             }
             cur = next;
-            hops += 1;
             if cur.is_empty() {
                 // Later hops keep the (empty) arity of their target array.
-                let last = self.storage.array(*path.last().unwrap())?;
+                let last = self.storage.array(path.last().unwrap())?;
+                let hops = stats.hops.len();
                 return Ok(QueryResult {
                     cells: BoxTable::new(last.ndim()),
                     hops,
+                    stats,
                 });
             }
         }
-        Ok(QueryResult { cells: cur, hops })
+        let hops = stats.hops.len();
+        Ok(QueryResult {
+            cells: cur,
+            hops,
+            stats,
+        })
     }
 }
 

@@ -27,15 +27,14 @@ use crate::table::{Cell, CompressedTable, Orientation};
 pub fn generalize(table: &CompressedTable) -> CompressedTable {
     let mut out = table.clone();
     let extents = out.extents().to_vec();
-    for i in 0..out.n_rows() {
-        let row = out.row_mut(i);
-        for (k, cell) in row.iter_mut().enumerate() {
+    for (k, &extent) in extents.iter().enumerate() {
+        out.map_column(k, |cell| {
             if let Cell::Abs(ivl) = cell {
-                if ivl.lo == 0 && ivl.hi == extents[k] - 1 {
+                if ivl.lo == 0 && ivl.hi == extent - 1 {
                     *cell = Cell::Sym { attr: k as u8 };
                 }
             }
-        }
+        });
     }
     out
 }
@@ -67,14 +66,13 @@ pub fn instantiate(
 
     let mut out = table.clone();
     *out.extents_mut() = new_extents.clone();
-    for i in 0..out.n_rows() {
-        let row = out.row_mut(i);
-        for cell in row.iter_mut() {
+    for k in 0..out.arity() {
+        out.map_column(k, |cell| {
             if let Cell::Sym { attr } = *cell {
                 let d = new_extents[attr as usize];
                 *cell = Cell::Abs(Interval::new(0, d - 1));
             }
-        }
+        });
     }
     Ok(out)
 }
@@ -85,11 +83,9 @@ pub fn instantiate(
 /// Used by the reuse predictor to report why a mapping was rejected.
 pub fn has_residual_shape_coincidence(table: &CompressedTable) -> bool {
     let extents = table.extents();
-    table.rows().any(|row| {
-        row.iter().any(|cell| match cell {
-            Cell::Abs(ivl) => extents
-                .iter()
-                .any(|&d| (ivl.lo == 0 && ivl.hi == d - 1) || ivl.hi == d - 1),
+    (0..table.arity()).any(|k| {
+        table.column(k).iter().any(|cell| match cell {
+            Cell::Abs(ivl) => extents.iter().any(|&d| ivl.hi == d - 1),
             _ => false,
         })
     })

@@ -1,0 +1,572 @@
+//! The in-situ query executor: indexed, parallel θ-joins (paper §V.B).
+//!
+//! Each hop is the θ-join of §V.B — a range join on the absolute attributes
+//! followed by de-relativization of the relative attributes:
+//!
+//! **Step 1 — range join**: each query box is intersected with each
+//! candidate compressed row's primary intervals; rows with any empty
+//! intersection are dropped. Candidates come from the table's cached
+//! [`TableIndex`](crate::table::TableIndex) (binary search on sorted-by-lo
+//! runs with max-hi fencing) unless [`QueryOptions::use_index`] is off, in
+//! which case every row is scanned — the pre-index nested-loop baseline,
+//! kept as an ablation.
+//!
+//! **Step 2 — de-relativize**: relative cells are turned back into absolute
+//! intervals with `rel_back(x, δ) = [x.lo + δ.lo, x.hi + δ.hi]` over the
+//! *intersected* anchor interval (Fig. 5). When two or more relative cells
+//! share one anchor (e.g. the lineage of `B[i] = A[i,i]`), de-relativizing
+//! each independently and taking the product would over-approximate the true
+//! cell set; we split the shared anchor interval into unit points in exactly
+//! that case, which keeps the result exact (DESIGN.md §3.3).
+//!
+//! Above [`QueryOptions::parallel_threshold`] query boxes the hop fans out
+//! over `std::thread::scope`, partitioning boxes across threads; partial
+//! results are concatenated in box order, so output is deterministic and
+//! identical to the sequential path. Every hop reports a [`HopStats`].
+
+use crate::error::{DslogError, Result};
+use crate::interval::Interval;
+use crate::query::QueryOptions;
+use crate::table::{BoxTable, Cell, CompressedTable, TableIndex};
+use std::time::{Duration, Instant};
+
+/// Execution statistics for one θ-join hop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopStats {
+    /// Compressed rows whose primary intervals were intersected (candidate
+    /// rows under the index; all rows × boxes under the scan ablation).
+    pub rows_probed: usize,
+    /// Rows that survived every primary intersection and were emitted.
+    pub rows_matched: usize,
+    /// Result boxes produced before the inter-hop merge.
+    pub boxes_emitted: usize,
+    /// Wall time of the hop (join only, excluding the merge).
+    pub wall: Duration,
+    /// Whether the index probe path served this hop.
+    pub used_index: bool,
+    /// Worker threads used (1 = sequential).
+    pub threads: usize,
+}
+
+/// Accumulated per-hop statistics for one query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// One entry per executed hop, in path order.
+    pub hops: Vec<HopStats>,
+}
+
+impl QueryStats {
+    /// Total rows probed across hops.
+    pub fn rows_probed(&self) -> usize {
+        self.hops.iter().map(|h| h.rows_probed).sum()
+    }
+
+    /// Total rows matched across hops.
+    pub fn rows_matched(&self) -> usize {
+        self.hops.iter().map(|h| h.rows_matched).sum()
+    }
+
+    /// Total join wall time across hops.
+    pub fn total_wall(&self) -> Duration {
+        self.hops.iter().map(|h| h.wall).sum()
+    }
+}
+
+/// Mutable per-worker join state: output boxes, counters, and a scratch
+/// buffer so the innermost loop never allocates per matched row.
+#[derive(Debug)]
+struct JoinSink {
+    out: BoxTable,
+    rows_probed: usize,
+    rows_matched: usize,
+    sec_buf: Vec<Cell>,
+}
+
+impl JoinSink {
+    fn new(secondary_arity: usize) -> Self {
+        Self {
+            out: BoxTable::new(secondary_arity),
+            rows_probed: 0,
+            rows_matched: 0,
+            sec_buf: Vec::with_capacity(secondary_arity),
+        }
+    }
+}
+
+/// The in-situ query executor. Holds the tuning knobs; all methods are
+/// `&self` and thread-safe.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryExec {
+    opts: QueryOptions,
+}
+
+impl QueryExec {
+    /// Executor with explicit options.
+    pub fn new(opts: QueryOptions) -> Self {
+        Self { opts }
+    }
+
+    /// The options this executor runs with.
+    pub fn options(&self) -> &QueryOptions {
+        &self.opts
+    }
+
+    /// One θ-join hop: join `query` (boxes over the table's primary
+    /// attributes) against `table`, returning covered secondary-side cells
+    /// and the hop's execution statistics.
+    pub fn hop(&self, query: &BoxTable, table: &CompressedTable) -> Result<(BoxTable, HopStats)> {
+        if query.arity() != table.primary_arity() {
+            return Err(DslogError::QueryArityMismatch {
+                expected: table.primary_arity(),
+                got: query.arity(),
+            });
+        }
+        if table.is_generalized() {
+            return Err(DslogError::NotInstantiated);
+        }
+        let index = if self.opts.use_index {
+            table.index()
+        } else {
+            None
+        };
+        // Timed after the index lookup: a cold cache pays the one-time
+        // build there, and `wall` documents the join alone.
+        let start = Instant::now();
+
+        let n_boxes = query.n_boxes();
+        let threads = self.thread_count(n_boxes);
+        let mut sink = JoinSink::new(table.secondary_arity());
+        if threads <= 1 {
+            join_boxes(query, 0..n_boxes, table, index, &mut sink);
+        } else {
+            let chunk = n_boxes.div_ceil(threads);
+            let partials = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(n_boxes);
+                        scope.spawn(move || {
+                            let mut part = JoinSink::new(table.secondary_arity());
+                            join_boxes(query, lo..hi, table, index, &mut part);
+                            part
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("query worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for part in partials {
+                sink.out.append(&part.out);
+                sink.rows_probed += part.rows_probed;
+                sink.rows_matched += part.rows_matched;
+            }
+        }
+
+        let stats = HopStats {
+            rows_probed: sink.rows_probed,
+            rows_matched: sink.rows_matched,
+            boxes_emitted: sink.out.n_boxes(),
+            wall: start.elapsed(),
+            used_index: index.is_some(),
+            threads,
+        };
+        Ok((sink.out, stats))
+    }
+
+    /// Execute a chain of θ-joins left-to-right (§V.B.3's query plan),
+    /// merging between hops per [`QueryOptions::merge`] and short-circuiting
+    /// once the frontier is empty.
+    ///
+    /// `tables[i]`'s primary side must be the space the query currently
+    /// lives in; its secondary side becomes the next space.
+    pub fn chain(
+        &self,
+        query: &BoxTable,
+        tables: &[&CompressedTable],
+    ) -> Result<(BoxTable, QueryStats)> {
+        let mut cur = query.clone();
+        if self.opts.merge {
+            cur.merge();
+        }
+        let mut stats = QueryStats::default();
+        for table in tables {
+            let (mut next, hop) = self.hop(&cur, table)?;
+            stats.hops.push(hop);
+            if self.opts.merge {
+                next.merge();
+            }
+            cur = next;
+            if cur.is_empty() {
+                break;
+            }
+        }
+        Ok((cur, stats))
+    }
+
+    /// Worker threads for a hop over `n_boxes` query boxes. At least two
+    /// once the threshold is met (so the parallel path is exercised even on
+    /// single-core hosts), capped by the box count and a fixed fan-out.
+    fn thread_count(&self, n_boxes: usize) -> usize {
+        if !self.opts.parallel
+            || self.opts.parallel_threshold == 0
+            || n_boxes < self.opts.parallel_threshold
+        {
+            return 1;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(2)
+            .min(n_boxes)
+            .min(16)
+    }
+}
+
+/// Join the query boxes in `range` against `table`, writing results and
+/// counters into `sink`. `index` selects the probe path; `None` scans.
+fn join_boxes(
+    query: &BoxTable,
+    range: std::ops::Range<usize>,
+    table: &CompressedTable,
+    index: Option<&TableIndex>,
+    sink: &mut JoinSink,
+) {
+    let pa = table.primary_arity();
+    let mut isect = vec![Interval::point(0); pa];
+    match index {
+        Some(idx) => {
+            for bi in range {
+                let q = query.row(bi);
+                for &row in idx.probe(q) {
+                    sink.rows_probed += 1;
+                    join_row(q, row as usize, table, &mut isect, sink);
+                }
+            }
+        }
+        None => {
+            let n_rows = table.n_rows();
+            for bi in range {
+                let q = query.row(bi);
+                for row in 0..n_rows {
+                    sink.rows_probed += 1;
+                    join_row(q, row, table, &mut isect, sink);
+                }
+            }
+        }
+    }
+}
+
+/// Intersect one compressed row's primary intervals with query box `q`;
+/// on success de-relativize and emit.
+#[inline]
+fn join_row(
+    q: &[Interval],
+    row: usize,
+    table: &CompressedTable,
+    isect: &mut [Interval],
+    sink: &mut JoinSink,
+) {
+    let pa = table.primary_arity();
+    for k in 0..pa {
+        let Cell::Abs(p) = table.cell(row, k) else {
+            unreachable!("instantiated tables have absolute primary cells")
+        };
+        match p.intersect(&q[k]) {
+            Some(i) => isect[k] = i,
+            None => return,
+        }
+    }
+    sink.rows_matched += 1;
+    let mut sec = std::mem::take(&mut sink.sec_buf);
+    sec.clear();
+    sec.extend((pa..table.arity()).map(|k| table.cell(row, k)));
+    emit_derelativized(isect, &sec, &mut sink.out);
+    sink.sec_buf = sec;
+}
+
+/// De-relativize one joined row and append the resulting box(es) to `out`.
+fn emit_derelativized(isect: &[Interval], sec: &[Cell], out: &mut BoxTable) {
+    // Count relative dependents per anchor.
+    let mut dependents = vec![0u32; isect.len()];
+    for cell in sec {
+        if let Cell::Rel { anchor, .. } = cell {
+            dependents[*anchor as usize] += 1;
+        }
+    }
+    // Anchors that need unit-splitting: ≥ 2 dependents over a non-point
+    // intersected interval.
+    let split: Vec<usize> = (0..isect.len())
+        .filter(|&j| dependents[j] >= 2 && !isect[j].is_point())
+        .collect();
+
+    if split.is_empty() {
+        let bx: Vec<Interval> = sec
+            .iter()
+            .map(|cell| match *cell {
+                Cell::Abs(ivl) => ivl,
+                Cell::Rel { anchor, delta } => isect[anchor as usize].minkowski_sum(&delta),
+                Cell::Sym { .. } => unreachable!("generalized tables rejected by hop()"),
+            })
+            .collect();
+        out.push_box(&bx);
+        return;
+    }
+
+    // Enumerate unit assignments for the split anchors.
+    let mut values: Vec<i64> = split.iter().map(|&j| isect[j].lo).collect();
+    loop {
+        let bx: Vec<Interval> = sec
+            .iter()
+            .map(|cell| match *cell {
+                Cell::Abs(ivl) => ivl,
+                Cell::Rel { anchor, delta } => {
+                    let j = anchor as usize;
+                    match split.iter().position(|&s| s == j) {
+                        Some(si) => Interval::point(values[si]).minkowski_sum(&delta),
+                        None => isect[j].minkowski_sum(&delta),
+                    }
+                }
+                Cell::Sym { .. } => unreachable!("generalized tables rejected by hop()"),
+            })
+            .collect();
+        out.push_box(&bx);
+
+        // Advance the odometer over the split anchors.
+        let mut advanced = false;
+        for k in (0..split.len()).rev() {
+            if values[k] < isect[split[k]].hi {
+                values[k] += 1;
+                for i in k + 1..split.len() {
+                    values[i] = isect[split[i]].lo;
+                }
+                advanced = true;
+                break;
+            }
+            values[k] = isect[split[k]].lo;
+        }
+        if !advanced {
+            return;
+        }
+    }
+}
+
+/// Join a query box table against a compressed lineage table with default
+/// options (indexed, sequential merge handling left to the caller). The
+/// historical free-function entry point, now a thin [`QueryExec`] wrapper.
+pub fn theta_join(query: &BoxTable, table: &CompressedTable) -> Result<BoxTable> {
+    QueryExec::default().hop(query, table).map(|(out, _)| out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provrc::compress;
+    use crate::query::reference;
+    use crate::table::{LineageTable, Orientation};
+
+    fn ivl(lo: i64, hi: i64) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    /// Paper running example: Table II stored, query Table IV (b1 ∈ [1,2]),
+    /// expected result Table VI: a1 = [1,2], a2 = [1,2].
+    #[test]
+    fn paper_tables_iv_to_vi() {
+        let mut t = LineageTable::new(1, 2);
+        for b in 1..=3 {
+            for a2 in 1..=2 {
+                t.push_row(&[b, b, a2]);
+            }
+        }
+        let compressed = compress(&t, &[4], &[4, 3], Orientation::Backward);
+        assert_eq!(compressed.n_rows(), 1);
+
+        let q = BoxTable::from_boxes(1, &[&[ivl(1, 2)]]);
+        let mut result = theta_join(&q, &compressed).unwrap();
+        result.merge();
+        assert_eq!(result.n_boxes(), 1);
+        assert_eq!(result.row(0), &[ivl(1, 2), ivl(1, 2)]);
+    }
+
+    /// Fig. 5: one-to-one lineage [0,1]→[1,3]-style relative interval; the
+    /// de-relativized result must track the intersected anchor.
+    #[test]
+    fn relative_derelativization_tracks_intersection() {
+        let n = 10;
+        let mut t = LineageTable::new(1, 1);
+        for i in 0..n {
+            t.push_row(&[i, i]);
+        }
+        let compressed = compress(&t, &[n as usize], &[n as usize], Orientation::Backward);
+        let q = BoxTable::from_boxes(1, &[&[ivl(3, 5)]]);
+        let result = theta_join(&q, &compressed).unwrap();
+        assert_eq!(result.n_boxes(), 1);
+        assert_eq!(result.row(0), &[ivl(3, 5)]);
+    }
+
+    #[test]
+    fn disjoint_query_returns_empty() {
+        let mut t = LineageTable::new(1, 1);
+        for i in 0..4 {
+            t.push_row(&[i, i]);
+        }
+        let compressed = compress(&t, &[4], &[4], Orientation::Backward);
+        let q = BoxTable::from_boxes(1, &[&[ivl(7, 9)]]);
+        assert!(theta_join(&q, &compressed).unwrap().is_empty());
+    }
+
+    /// The shared-anchor case: B[i] = A[i,i]. Product de-relativization
+    /// would return a square; the correct answer is the diagonal.
+    #[test]
+    fn shared_anchor_splits_exactly() {
+        let n = 8i64;
+        let mut t = LineageTable::new(1, 2);
+        for i in 0..n {
+            t.push_row(&[i, i, i]);
+        }
+        let compressed = compress(
+            &t,
+            &[n as usize],
+            &[n as usize, n as usize],
+            Orientation::Backward,
+        );
+        assert_eq!(compressed.n_rows(), 1, "diag compresses to one row");
+
+        let q = BoxTable::from_boxes(1, &[&[ivl(2, 4)]]);
+        let result = theta_join(&q, &compressed).unwrap();
+        let cells = result.cell_set();
+        let expected: std::collections::BTreeSet<Vec<i64>> = (2..=4).map(|i| vec![i, i]).collect();
+        assert_eq!(cells, expected, "must be the diagonal, not the square");
+    }
+
+    #[test]
+    fn matches_reference_on_aggregate() {
+        let mut t = LineageTable::new(1, 2);
+        for b in 0..5 {
+            for j in 0..3 {
+                t.push_row(&[b, b, j]);
+            }
+        }
+        let compressed = compress(&t, &[5], &[5, 3], Orientation::Backward);
+        let q_cells = vec![vec![1i64], vec![3]];
+        let q = BoxTable::from_cells(1, &q_cells);
+        let result = theta_join(&q, &compressed).unwrap();
+        let expected = reference::step(
+            &q_cells.iter().cloned().collect(),
+            &t,
+            reference::Direction::Backward,
+        );
+        assert_eq!(result.cell_set(), expected);
+    }
+
+    #[test]
+    fn multiple_query_boxes_union() {
+        let mut t = LineageTable::new(1, 1);
+        for i in 0..10 {
+            t.push_row(&[i, 9 - i]);
+        }
+        let compressed = compress(&t, &[10], &[10], Orientation::Backward);
+        let q = BoxTable::from_boxes(1, &[&[ivl(0, 0)], &[ivl(9, 9)]]);
+        let result = theta_join(&q, &compressed).unwrap();
+        let cells = result.cell_set();
+        assert!(cells.contains(&vec![9]));
+        assert!(cells.contains(&vec![0]));
+        assert_eq!(cells.len(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error_not_a_panic() {
+        let mut t = LineageTable::new(1, 1);
+        t.push_row(&[0, 0]);
+        let compressed = compress(&t, &[1], &[1], Orientation::Backward);
+        let q = BoxTable::from_boxes(2, &[&[ivl(0, 0), ivl(0, 0)]]);
+        assert!(matches!(
+            theta_join(&q, &compressed),
+            Err(DslogError::QueryArityMismatch {
+                expected: 1,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn generalized_table_is_an_error_not_a_panic() {
+        let mut t = CompressedTable::new(Orientation::Backward, 1, 1, vec![4, 4]);
+        t.push_row(&[Cell::Sym { attr: 0 }, Cell::point(0)]);
+        let q = BoxTable::from_boxes(1, &[&[ivl(0, 3)]]);
+        assert!(matches!(
+            theta_join(&q, &t),
+            Err(DslogError::NotInstantiated)
+        ));
+    }
+
+    /// A poorly compressible (scatter) table: indexed, scan and parallel
+    /// paths must produce identical results.
+    fn scatter_setup(n: i64) -> (CompressedTable, LineageTable) {
+        let mut t = LineageTable::new(1, 1);
+        for i in 0..n {
+            t.push_row(&[i, (i * 48271) % n]);
+        }
+        let c = compress(&t, &[n as usize], &[n as usize], Orientation::Backward);
+        assert!(c.n_rows() > (n / 2) as usize, "scatter must stay scattered");
+        (c, t)
+    }
+
+    #[test]
+    fn indexed_scan_and_parallel_paths_agree() {
+        let (c, t) = scatter_setup(200);
+        let cells: Vec<Vec<i64>> = (0..200).step_by(3).map(|v| vec![v]).collect();
+        let q = BoxTable::from_cells(1, &cells);
+        assert!(q.n_boxes() > 1);
+
+        let indexed = QueryExec::new(QueryOptions {
+            parallel: false,
+            ..QueryOptions::default()
+        });
+        let scan = QueryExec::new(QueryOptions {
+            use_index: false,
+            parallel: false,
+            ..QueryOptions::default()
+        });
+        let parallel = QueryExec::new(QueryOptions {
+            parallel_threshold: 2,
+            ..QueryOptions::default()
+        });
+
+        let (r_idx, s_idx) = indexed.hop(&q, &c).unwrap();
+        let (r_scan, s_scan) = scan.hop(&q, &c).unwrap();
+        let (r_par, s_par) = parallel.hop(&q, &c).unwrap();
+
+        assert_eq!(r_idx, r_scan, "indexed result must equal the scan");
+        assert_eq!(r_idx, r_par, "parallel result must be deterministic");
+        assert!(s_idx.used_index && !s_scan.used_index);
+        assert!(s_par.threads >= 2, "threshold 2 must fan out");
+        assert_eq!(s_idx.rows_matched, s_scan.rows_matched);
+        assert!(
+            s_idx.rows_probed <= s_scan.rows_probed,
+            "index may not probe more rows than the scan"
+        );
+
+        let expected = reference::step(
+            &cells.iter().cloned().collect(),
+            &t,
+            reference::Direction::Backward,
+        );
+        assert_eq!(r_idx.cell_set(), expected);
+    }
+
+    #[test]
+    fn chain_short_circuits_and_reports_stats() {
+        let mut t = LineageTable::new(1, 1);
+        t.push_row(&[0, 0]); // only cell 0 linked
+        let c = compress(&t, &[4], &[4], Orientation::Backward);
+        let q = BoxTable::from_boxes(1, &[&[ivl(3, 3)]]);
+        let exec = QueryExec::default();
+        let (out, stats) = exec.chain(&q, &[&c, &c, &c]).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(stats.hops.len(), 1, "empty frontier must short-circuit");
+        assert_eq!(stats.hops[0].rows_matched, 0);
+    }
+}

@@ -1,49 +1,65 @@
 //! In-situ query processing over compressed lineage (paper §V).
 //!
 //! A lineage query walks a path `X1 → X2 → … → Xn`; each hop is a θ-join
-//! ([`theta_join`]) between the current cell set (a [`BoxTable`]) and the
-//! compressed lineage table whose *primary* (absolute) side matches the
-//! query side of the hop. Between hops the result is projected onto the
-//! next array's attributes (built into the θ-join) and row-reduced with the
-//! merge step (§V.B.3) — the `DSLog-NoMerge` ablation of Fig. 9 disables
-//! the latter.
+//! between the current cell set (a [`BoxTable`]) and the compressed lineage
+//! table whose *primary* (absolute) side matches the query side of the hop.
+//! Between hops the result is projected onto the next array's attributes
+//! (built into the θ-join) and row-reduced with the merge step (§V.B.3) —
+//! the `DSLog-NoMerge` ablation of Fig. 9 disables the latter.
+//!
+//! Hops are executed by [`QueryExec`]: it probes each table's cached sorted
+//! interval index (binary search + bounded candidate scan) instead of
+//! scanning every compressed row, fans out across query boxes with scoped
+//! threads above a size threshold, short-circuits empty frontiers, and
+//! reports per-hop [`HopStats`]. The pre-index nested-loop scan survives
+//! behind [`QueryOptions::use_index`]` = false` as an ablation, and
+//! [`reference`] holds the brute-force decompressed-join oracle both paths
+//! are tested against.
 
+pub mod exec;
 pub mod reference;
-pub mod theta_join;
 
-pub use theta_join::theta_join;
+pub use exec::{theta_join, HopStats, QueryExec, QueryStats};
 
+use crate::error::Result;
 use crate::table::{BoxTable, CompressedTable};
 
 /// Tuning knobs for query execution.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryOptions {
     /// Run the row-reduction merge after each hop (§V.B.3). Disabling this
     /// reproduces the paper's `DSLog-NoMerge` ablation.
     pub merge: bool,
+    /// Probe the per-table sorted interval index instead of scanning every
+    /// compressed row. Disabling this reproduces the pre-index nested-loop
+    /// engine (the scan-vs-probe ablation).
+    pub use_index: bool,
+    /// Allow fanning a hop out across scoped threads.
+    pub parallel: bool,
+    /// Minimum number of query boxes in a hop before threads are spawned;
+    /// `0` disables parallelism outright.
+    pub parallel_threshold: usize,
 }
 
 impl Default for QueryOptions {
     fn default() -> Self {
-        Self { merge: true }
+        Self {
+            merge: true,
+            use_index: true,
+            parallel: true,
+            parallel_threshold: 64,
+        }
     }
 }
 
-/// Execute a chain of θ-joins left-to-right (§V.B.3's query plan).
-///
-/// `tables[i]`'s primary side must be the space the query currently lives
-/// in; its secondary side becomes the next space.
-pub fn query_chain(query: &BoxTable, tables: &[&CompressedTable], opts: QueryOptions) -> BoxTable {
-    let mut cur = query.clone();
-    if opts.merge {
-        cur.merge();
-    }
-    for table in tables {
-        let mut next = theta_join(&cur, table);
-        if opts.merge {
-            next.merge();
-        }
-        cur = next;
-    }
-    cur
+/// Execute a chain of θ-joins left-to-right (§V.B.3's query plan),
+/// discarding statistics. See [`QueryExec::chain`].
+pub fn query_chain(
+    query: &BoxTable,
+    tables: &[&CompressedTable],
+    opts: QueryOptions,
+) -> Result<BoxTable> {
+    QueryExec::new(opts)
+        .chain(query, tables)
+        .map(|(out, _)| out)
 }

@@ -64,12 +64,13 @@ pub fn serialize(table: &CompressedTable) -> Vec<u8> {
 
     let arity = table.arity();
     for k in 0..arity {
+        let column = table.column(k);
         // Tag RLE stream.
         let mut i = 0;
         while i < n {
-            let tag = cell_tag(&table.row(i)[k]);
+            let tag = cell_tag(&column[i]);
             let mut run = 1;
-            while i + run < n && cell_tag(&table.row(i + run)[k]) == tag {
+            while i + run < n && cell_tag(&column[i + run]) == tag {
                 run += 1;
             }
             out.push(tag);
@@ -83,8 +84,8 @@ pub fn serialize(table: &CompressedTable) -> Vec<u8> {
         // Payload stream with per-column delta coding.
         let mut prev_abs = 0i64;
         let mut prev_rel = 0i64;
-        for i in 0..n {
-            match table.row(i)[k] {
+        for &cell in column {
+            match cell {
                 Cell::Abs(ivl) => {
                     write_ivarint(&mut out, ivl.lo - prev_abs);
                     prev_abs = ivl.lo;
@@ -157,7 +158,7 @@ pub fn deserialize(data: &[u8]) -> Result<CompressedTable> {
             if tags.len() + run > n {
                 return Err(DslogError::Corrupt("tag run overflow"));
             }
-            tags.extend(std::iter::repeat(tag).take(run));
+            tags.extend(std::iter::repeat_n(tag, run));
         }
         // Payloads.
         let mut prev_abs = 0i64;

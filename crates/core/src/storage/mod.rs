@@ -91,6 +91,12 @@ pub struct EdgeStats {
 impl Edge {
     /// Fetch the requested orientation, deriving and caching it from the
     /// other one if missing (decompress → recompress; §IV.C).
+    ///
+    /// The derived table is published with its query index already built, so
+    /// the first forward query after a backward-only ingest pays the
+    /// derive-plus-index cost exactly once; every later call (and any call
+    /// racing with the first — the derivation runs under the slot's write
+    /// lock) gets the cached `Arc` with a warm index.
     fn repr(&self, orientation: Orientation) -> Result<Arc<CompressedTable>> {
         let slot = match orientation {
             Orientation::Backward => &self.backward,
@@ -103,11 +109,19 @@ impl Edge {
             Orientation::Backward => &self.forward,
             Orientation::Forward => &self.backward,
         };
+        // Clone the source Arc before taking the write lock: never hold
+        // both slots' locks at once (two threads deriving opposite
+        // orientations would deadlock otherwise).
         let source = other
             .read()
             .as_ref()
             .map(Arc::clone)
             .ok_or(DslogError::Corrupt("edge with no stored orientation"))?;
+        let mut slot_w = slot.write();
+        if let Some(t) = slot_w.as_ref() {
+            // Another thread derived while we waited for the lock.
+            return Ok(Arc::clone(t));
+        }
         let full = source.decompress()?;
         let derived = Arc::new(provrc::compress(
             &full,
@@ -115,7 +129,8 @@ impl Edge {
             &self.in_shape,
             orientation,
         ));
-        *slot.write() = Some(Arc::clone(&derived));
+        derived.ensure_index();
+        *slot_w = Some(Arc::clone(&derived));
         Ok(derived)
     }
 }
@@ -204,21 +219,27 @@ impl StorageManager {
             });
         }
         let policy = self.materialize_policy();
+        // Indexes are built eagerly alongside each materialized orientation
+        // so the first query over a fresh edge probes instead of scanning.
         let backward = matches!(policy, Materialize::Backward | Materialize::Both).then(|| {
-            Arc::new(provrc::compress(
+            let t = Arc::new(provrc::compress(
                 lineage,
                 &out_shape,
                 &in_shape,
                 Orientation::Backward,
-            ))
+            ));
+            t.ensure_index();
+            t
         });
         let forward = matches!(policy, Materialize::Forward | Materialize::Both).then(|| {
-            Arc::new(provrc::compress(
+            let t = Arc::new(provrc::compress(
                 lineage,
                 &out_shape,
                 &in_shape,
                 Orientation::Forward,
-            ))
+            ));
+            t.ensure_index();
+            t
         });
         self.edges.insert(
             (in_array.to_string(), out_array.to_string()),
@@ -236,9 +257,13 @@ impl StorageManager {
     ) -> Result<()> {
         let in_shape = self.array(in_array)?.shape.clone();
         let out_shape = self.array(out_array)?.shape.clone();
+        let table = Arc::new(table);
+        if !table.is_generalized() {
+            table.ensure_index();
+        }
         let (backward, forward) = match table.orientation() {
-            Orientation::Backward => (Some(Arc::new(table)), None),
-            Orientation::Forward => (None, Some(Arc::new(table))),
+            Orientation::Backward => (Some(table), None),
+            Orientation::Forward => (None, Some(table)),
         };
         self.edges.insert(
             (in_array.to_string(), out_array.to_string()),
@@ -423,6 +448,21 @@ mod tests {
         // Second resolution hits the cache (same Arc).
         let (again, _) = s.resolve_hop("A", "B").unwrap();
         assert!(Arc::ptr_eq(&table, &again));
+    }
+
+    #[test]
+    fn derived_orientation_is_published_with_a_warm_index() {
+        let s = manager_with_edge();
+        // Backward was materialized at ingest: index built eagerly.
+        let (bwd, _) = s.resolve_hop("B", "A").unwrap();
+        assert!(bwd.has_cached_index());
+        // The lazily derived forward table must come back with its index
+        // already cached — table and index are published atomically, so no
+        // later query rebuilds either.
+        let (fwd, _) = s.resolve_hop("A", "B").unwrap();
+        assert!(fwd.has_cached_index());
+        let (again, _) = s.resolve_hop("A", "B").unwrap();
+        assert!(Arc::ptr_eq(&fwd, &again));
     }
 
     #[test]

@@ -10,10 +10,21 @@
 //! the full extent of its attribute may be replaced by the *symbolic* cell
 //! [`Cell::Sym`]; such a table is *generalized* and must be instantiated with
 //! concrete shapes before queries.
+//!
+//! ## Layout
+//!
+//! Storage is **columnar** (struct-of-arrays): one `Vec<Cell>` per
+//! attribute. The query engine probes whole primary columns (and the
+//! serializer writes column-major streams), so keeping each attribute
+//! contiguous is the cache-friendly layout; row views are materialized on
+//! demand. Each table also lazily builds and caches a [`TableIndex`] over
+//! its primary columns — see [`CompressedTable::index`].
 
 use crate::error::{DslogError, Result};
 use crate::interval::Interval;
+use crate::table::index::TableIndex;
 use crate::table::lineage::LineageTable;
+use std::sync::OnceLock;
 
 /// Which side of the relation is kept absolute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,7 +90,7 @@ impl Cell {
 ///
 /// Attribute order within a row is primary attributes first, then secondary
 /// attributes; `attr` indices in [`Cell::Rel`]/[`Cell::Sym`] use this order.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct CompressedTable {
     orientation: Orientation,
     primary_arity: usize,
@@ -87,9 +98,45 @@ pub struct CompressedTable {
     /// Extent (dimension size) of each attribute, primary-then-secondary
     /// order. Needed for reshaping and bounds reasoning.
     extents: Vec<i64>,
-    /// Flat row-major cells; row length is `primary_arity + secondary_arity`.
-    cells: Vec<Cell>,
+    /// Columnar cell storage: `columns[k][i]` is row `i`'s attribute `k`.
+    columns: Vec<Vec<Cell>>,
+    /// Number of symbolic cells, maintained incrementally so
+    /// [`is_generalized`](Self::is_generalized) is O(1) on the query path.
+    sym_count: usize,
+    /// Lazily built primary-column index; `None` inside means the table is
+    /// generalized and cannot be indexed. Reset by any mutation.
+    index: OnceLock<Option<TableIndex>>,
 }
+
+impl Clone for CompressedTable {
+    fn clone(&self) -> Self {
+        // The index cache is intentionally not cloned: clones are usually
+        // mutated (reshaping), which would invalidate it anyway.
+        Self {
+            orientation: self.orientation,
+            primary_arity: self.primary_arity,
+            secondary_arity: self.secondary_arity,
+            extents: self.extents.clone(),
+            columns: self.columns.clone(),
+            sym_count: self.sym_count,
+            index: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for CompressedTable {
+    fn eq(&self, other: &Self) -> bool {
+        // Equality is logical (same relation); the index cache is derived
+        // state and excluded.
+        self.orientation == other.orientation
+            && self.primary_arity == other.primary_arity
+            && self.secondary_arity == other.secondary_arity
+            && self.extents == other.extents
+            && self.columns == other.columns
+    }
+}
+
+impl Eq for CompressedTable {}
 
 impl CompressedTable {
     /// Create an empty compressed table.
@@ -106,7 +153,9 @@ impl CompressedTable {
             primary_arity,
             secondary_arity,
             extents,
-            cells: Vec::new(),
+            columns: vec![Vec::new(); primary_arity + secondary_arity],
+            sym_count: 0,
+            index: OnceLock::new(),
         }
     }
 
@@ -137,45 +186,87 @@ impl CompressedTable {
 
     /// Mutable access for reshaping.
     pub(crate) fn extents_mut(&mut self) -> &mut Vec<i64> {
+        self.index = OnceLock::new();
         &mut self.extents
     }
 
     /// Number of compressed rows.
     pub fn n_rows(&self) -> usize {
-        self.cells.len() / self.arity()
+        self.columns[0].len()
     }
 
     /// Whether the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.columns[0].is_empty()
     }
 
     /// Append a row of cells (primary attributes first).
     pub fn push_row(&mut self, row: &[Cell]) {
         debug_assert_eq!(row.len(), self.arity());
-        self.cells.extend_from_slice(row);
+        for (column, &cell) in self.columns.iter_mut().zip(row) {
+            column.push(cell);
+        }
+        self.sym_count += row.iter().filter(|c| c.is_sym()).count();
+        self.index = OnceLock::new();
     }
 
-    /// Row `i` as a slice of cells.
-    pub fn row(&self, i: usize) -> &[Cell] {
-        let a = self.arity();
-        &self.cells[i * a..(i + 1) * a]
+    /// Attribute `k`'s cell of row `i`.
+    #[inline]
+    pub fn cell(&self, i: usize, k: usize) -> Cell {
+        self.columns[k][i]
     }
 
-    /// Mutable row access (used by reshaping).
-    pub(crate) fn row_mut(&mut self, i: usize) -> &mut [Cell] {
-        let a = self.arity();
-        &mut self.cells[i * a..(i + 1) * a]
+    /// Attribute `k`'s full column, one cell per row.
+    #[inline]
+    pub fn column(&self, k: usize) -> &[Cell] {
+        &self.columns[k]
     }
 
-    /// Iterate rows.
-    pub fn rows(&self) -> impl Iterator<Item = &[Cell]> {
-        self.cells.chunks_exact(self.arity())
+    /// Row `i` materialized as an owned cell vector (primary first).
+    pub fn row(&self, i: usize) -> Vec<Cell> {
+        self.columns.iter().map(|col| col[i]).collect()
+    }
+
+    /// Iterate rows as owned cell vectors. Hot paths should prefer
+    /// [`column`](Self::column) / [`cell`](Self::cell) access.
+    pub fn rows(&self) -> impl Iterator<Item = Vec<Cell>> + '_ {
+        (0..self.n_rows()).map(|i| self.row(i))
+    }
+
+    /// Apply `f` to every cell of attribute `k` (used by reshaping).
+    /// Maintains the symbolic-cell count and invalidates the index cache.
+    pub(crate) fn map_column(&mut self, k: usize, mut f: impl FnMut(&mut Cell)) {
+        for cell in &mut self.columns[k] {
+            self.sym_count -= usize::from(cell.is_sym());
+            f(cell);
+            self.sym_count += usize::from(cell.is_sym());
+        }
+        self.index = OnceLock::new();
     }
 
     /// Whether any cell is symbolic (table is generalized, not queryable).
+    /// O(1): the count is maintained on mutation.
     pub fn is_generalized(&self) -> bool {
-        self.cells.iter().any(Cell::is_sym)
+        self.sym_count > 0
+    }
+
+    /// The sorted interval index over the primary columns, built on first
+    /// use and cached until the table is mutated. `None` for generalized
+    /// tables (symbolic cells cannot be ordered).
+    pub fn index(&self) -> Option<&TableIndex> {
+        self.index.get_or_init(|| TableIndex::build(self)).as_ref()
+    }
+
+    /// Force the index to be built now (storage layer: build alongside each
+    /// materialized orientation so the first query doesn't pay for it).
+    pub fn ensure_index(&self) {
+        let _ = self.index();
+    }
+
+    /// Whether the index cache is already populated (observability: lets the
+    /// storage layer's tests assert a table was published index-first).
+    pub fn has_cached_index(&self) -> bool {
+        matches!(self.index.get(), Some(Some(_)))
     }
 
     /// Resolve a cell to a concrete absolute interval given concrete values
@@ -207,16 +298,15 @@ impl CompressedTable {
         let sa = self.secondary_arity;
         let mut primary_vals = vec![0i64; pa];
         let mut row_buf = vec![0i64; pa + sa];
-        for row in self.rows() {
-            let (prim, sec) = row.split_at(pa);
+        for i in 0..self.n_rows() {
             // Enumerate the Cartesian product of primary intervals.
-            let prim_ivls: Vec<Interval> = prim
-                .iter()
-                .map(|c| match *c {
+            let prim_ivls: Vec<Interval> = (0..pa)
+                .map(|k| match self.columns[k][i] {
                     Cell::Abs(ivl) => ivl,
                     _ => unreachable!("primary cells are absolute in instantiated tables"),
                 })
                 .collect();
+            let sec: Vec<Cell> = (pa..pa + sa).map(|k| self.columns[k][i]).collect();
             for p in prim_ivls.iter().zip(primary_vals.iter_mut()) {
                 *p.1 = p.0.lo;
             }
@@ -270,7 +360,10 @@ impl CompressedTable {
     /// Approximate in-memory footprint in bytes (reporting only; the
     /// measured storage number comes from the serialized format).
     pub fn nbytes_in_memory(&self) -> usize {
-        self.cells.len() * std::mem::size_of::<Cell>()
+        self.columns
+            .iter()
+            .map(|col| col.len() * std::mem::size_of::<Cell>())
+            .sum()
     }
 }
 
@@ -386,5 +479,35 @@ mod tests {
             delta: Interval::new(-1, 1),
         };
         assert_eq!(t.resolve_cell(&rel, &[5]), Interval::new(4, 6));
+    }
+
+    #[test]
+    fn columnar_access_matches_rows() {
+        let t = paper_table_ii();
+        assert_eq!(t.column(0), &[Cell::abs(1, 3)]);
+        assert_eq!(t.cell(0, 2), Cell::abs(1, 2));
+        assert_eq!(t.row(0).len(), 3);
+    }
+
+    #[test]
+    fn sym_count_tracks_mutation() {
+        let mut t = CompressedTable::new(Orientation::Backward, 1, 1, vec![4, 4]);
+        t.push_row(&[Cell::point(0), Cell::abs(0, 3)]);
+        assert!(!t.is_generalized());
+        t.map_column(1, |c| *c = Cell::Sym { attr: 1 });
+        assert!(t.is_generalized());
+        t.map_column(1, |c| *c = Cell::abs(0, 3));
+        assert!(!t.is_generalized());
+    }
+
+    #[test]
+    fn index_cache_resets_on_mutation() {
+        let mut t = CompressedTable::new(Orientation::Backward, 1, 1, vec![10, 10]);
+        t.push_row(&[Cell::point(0), Cell::point(0)]);
+        assert!(t.index().is_some());
+        t.push_row(&[Cell::point(5), Cell::point(5)]);
+        // Rebuilt index must see the new row.
+        let idx = t.index().unwrap();
+        assert_eq!(idx.probe(&[Interval::point(5)]), &[1]);
     }
 }

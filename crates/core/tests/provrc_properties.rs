@@ -53,7 +53,7 @@ fn query_cells_for(t: &LineageTable, seed: usize) -> Vec<Vec<i64>> {
     let all: BTreeSet<Vec<i64>> = t.rows().map(|r| r[..t.out_arity()].to_vec()).collect();
     all.into_iter()
         .enumerate()
-        .filter(|(i, _)| (i + seed) % 3 == 0)
+        .filter(|(i, _)| (i + seed).is_multiple_of(3))
         .map(|(_, c)| c)
         .collect()
 }
@@ -90,7 +90,7 @@ proptest! {
         prop_assume!(!cells.is_empty());
         let c = provrc::compress(&t, &out_shape, &in_shape, Orientation::Backward);
         let q = BoxTable::from_cells(t.out_arity(), &cells);
-        let mut result = query::theta_join(&q, &c);
+        let mut result = query::theta_join(&q, &c).unwrap();
         result.merge();
         let expected = reference::step(
             &cells.iter().cloned().collect(),
@@ -116,7 +116,7 @@ proptest! {
         prop_assume!(!cells.is_empty());
         let c = provrc::compress(&t, &out_shape, &in_shape, Orientation::Forward);
         let q = BoxTable::from_cells(t.in_arity(), &cells);
-        let mut result = query::theta_join(&q, &c);
+        let mut result = query::theta_join(&q, &c).unwrap();
         result.merge();
         let expected = reference::step(
             &cells.iter().cloned().collect(),

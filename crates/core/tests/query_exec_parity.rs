@@ -1,0 +1,233 @@
+//! Property-based parity suite for the indexed query engine: over
+//! randomized compressed tables (both orientations, 1–3 hops, merge on and
+//! off), [`QueryExec`] must agree exactly with the brute-force
+//! `query::reference` oracle, the nested-loop scan ablation, and the
+//! parallel execution path.
+
+use dslog::provrc;
+use dslog::query::{reference, QueryExec, QueryOptions};
+use dslog::table::{BoxTable, CompressedTable, LineageTable, Orientation};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Grid dimension for every attribute (values are drawn from `0..DIM`).
+const DIM: i64 = 5;
+
+/// One randomized query scenario: a path of 2–4 spaces, one relation per
+/// hop, a per-hop direction, and a seed choosing the query cells.
+#[derive(Debug, Clone)]
+struct Case {
+    /// Attribute count of each space along the path.
+    arities: Vec<usize>,
+    /// `true` = backward hop (space i is the relation's out side).
+    backward: Vec<bool>,
+    /// One relation per hop, rows already truncated to the hop's arity.
+    relations: Vec<Vec<Vec<i64>>>,
+    /// Selects which space-0 cells are queried.
+    seed: usize,
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (1usize..=3).prop_flat_map(|hops| {
+        (
+            prop::collection::vec(1usize..=2, hops + 1),
+            prop::collection::vec(prop::bool::ANY, hops),
+            // Rows are generated at the maximum arity (2 + 2) and truncated
+            // per hop, so one homogeneous strategy serves every hop.
+            prop::collection::vec(
+                prop::collection::vec(prop::collection::vec(0i64..DIM, 4), 0..40),
+                hops,
+            ),
+            0usize..3,
+        )
+            .prop_map(|(arities, backward, raw_rows, seed)| {
+                let relations = raw_rows
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, rows)| {
+                        let (out_a, in_a) = hop_arities(&arities, &backward, i);
+                        rows.into_iter()
+                            .map(|r| r[..out_a + in_a].to_vec())
+                            .collect()
+                    })
+                    .collect();
+                Case {
+                    arities,
+                    backward,
+                    relations,
+                    seed,
+                }
+            })
+    })
+}
+
+/// (out_arity, in_arity) of hop `i`'s relation. A backward hop stores
+/// `R(space_i, space_{i+1})`; a forward hop stores `R(space_{i+1}, space_i)`.
+fn hop_arities(arities: &[usize], backward: &[bool], i: usize) -> (usize, usize) {
+    if backward[i] {
+        (arities[i], arities[i + 1])
+    } else {
+        (arities[i + 1], arities[i])
+    }
+}
+
+/// Build the uncompressed tables, the compressed tables (oriented so each
+/// hop's primary side is its query side), and the reference hop list.
+fn build(case: &Case) -> (Vec<LineageTable>, Vec<CompressedTable>) {
+    let mut fulls = Vec::new();
+    let mut compressed = Vec::new();
+    for (i, rows) in case.relations.iter().enumerate() {
+        let (out_a, in_a) = hop_arities(&case.arities, &case.backward, i);
+        let mut t = LineageTable::new(out_a, in_a);
+        for r in rows {
+            t.push_row(r);
+        }
+        t.normalize();
+        let orientation = if case.backward[i] {
+            Orientation::Backward
+        } else {
+            Orientation::Forward
+        };
+        let c = provrc::compress(
+            &t,
+            &vec![DIM as usize; out_a],
+            &vec![DIM as usize; in_a],
+            orientation,
+        );
+        fulls.push(t);
+        compressed.push(c);
+    }
+    (fulls, compressed)
+}
+
+/// Query cells: a deterministic subset of the space-0 cells that appear in
+/// the first relation (so queries usually hit something).
+fn query_cells(case: &Case, fulls: &[LineageTable]) -> Vec<Vec<i64>> {
+    let t = &fulls[0];
+    let side: BTreeSet<Vec<i64>> = t
+        .rows()
+        .map(|r| {
+            if case.backward[0] {
+                r[..t.out_arity()].to_vec()
+            } else {
+                r[t.out_arity()..].to_vec()
+            }
+        })
+        .collect();
+    side.into_iter()
+        .enumerate()
+        .filter(|(i, _)| (i + case.seed).is_multiple_of(3))
+        .map(|(_, c)| c)
+        .collect()
+}
+
+fn reference_result(case: &Case, fulls: &[LineageTable], cells: &[Vec<i64>]) -> BTreeSet<Vec<i64>> {
+    let hops: Vec<(&LineageTable, reference::Direction)> = fulls
+        .iter()
+        .zip(&case.backward)
+        .map(|(t, &b)| {
+            (
+                t,
+                if b {
+                    reference::Direction::Backward
+                } else {
+                    reference::Direction::Forward
+                },
+            )
+        })
+        .collect();
+    reference::chain(&cells.iter().cloned().collect(), &hops)
+}
+
+fn run_chain(opts: QueryOptions, q: &BoxTable, tables: &[CompressedTable]) -> BoxTable {
+    let refs: Vec<&CompressedTable> = tables.iter().collect();
+    QueryExec::new(opts).chain(q, &refs).unwrap().0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Indexed, merged execution equals the decompressed reference join.
+    #[test]
+    fn indexed_chain_matches_reference(case in arb_case()) {
+        let (fulls, tables) = build(&case);
+        let cells = query_cells(&case, &fulls);
+        prop_assume!(!cells.is_empty());
+        let q = BoxTable::from_cells(case.arities[0], &cells);
+        let expected = reference_result(&case, &fulls, &cells);
+
+        let got = run_chain(QueryOptions::default(), &q, &tables);
+        prop_assert_eq!(got.cell_set(), expected);
+    }
+
+    /// The merge step is an optimization, not a semantics change: the
+    /// indexed engine without inter-hop merging covers the same cell set.
+    #[test]
+    fn indexed_no_merge_matches_reference(case in arb_case()) {
+        let (fulls, tables) = build(&case);
+        let cells = query_cells(&case, &fulls);
+        prop_assume!(!cells.is_empty());
+        let q = BoxTable::from_cells(case.arities[0], &cells);
+        let expected = reference_result(&case, &fulls, &cells);
+
+        let got = run_chain(
+            QueryOptions { merge: false, ..QueryOptions::default() },
+            &q,
+            &tables,
+        );
+        prop_assert_eq!(got.cell_set(), expected);
+    }
+
+    /// The index is a pure access-path change: with merging on, the probe
+    /// path and the nested-loop scan produce bit-identical box tables.
+    #[test]
+    fn indexed_equals_scan_exactly(case in arb_case()) {
+        let (fulls, tables) = build(&case);
+        let cells = query_cells(&case, &fulls);
+        prop_assume!(!cells.is_empty());
+        let q = BoxTable::from_cells(case.arities[0], &cells);
+
+        let indexed = run_chain(QueryOptions::default(), &q, &tables);
+        let scan = run_chain(
+            QueryOptions { use_index: false, ..QueryOptions::default() },
+            &q,
+            &tables,
+        );
+        prop_assert_eq!(indexed, scan);
+        prop_assert_eq!(
+            run_chain(
+                QueryOptions { merge: false, ..QueryOptions::default() },
+                &q,
+                &tables,
+            ).cell_set(),
+            run_chain(
+                QueryOptions { merge: false, use_index: false, ..QueryOptions::default() },
+                &q,
+                &tables,
+            ).cell_set()
+        );
+    }
+
+    /// Fanning a hop out over threads must be invisible: partial results
+    /// are concatenated in box order, so even the un-merged box table is
+    /// bit-identical to sequential execution.
+    #[test]
+    fn parallel_equals_sequential_exactly(case in arb_case()) {
+        let (fulls, tables) = build(&case);
+        let cells = query_cells(&case, &fulls);
+        prop_assume!(!cells.is_empty());
+        let q = BoxTable::from_cells(case.arities[0], &cells);
+
+        let sequential = run_chain(
+            QueryOptions { merge: false, parallel: false, ..QueryOptions::default() },
+            &q,
+            &tables,
+        );
+        let parallel = run_chain(
+            QueryOptions { merge: false, parallel_threshold: 1, ..QueryOptions::default() },
+            &q,
+            &tables,
+        );
+        prop_assert_eq!(sequential, parallel);
+    }
+}

@@ -144,7 +144,7 @@ fn in_situ_matches_baselines_on_random_pipelines() {
         let cells: Vec<Vec<i64>> = (0..shape[0].min(4) as i64)
             .map(|i| {
                 let mut c = vec![i];
-                c.extend(std::iter::repeat(0).take(shape.len() - 1));
+                c.extend(std::iter::repeat_n(0, shape.len() - 1));
                 c
             })
             .collect();

@@ -32,7 +32,9 @@ fn register(db: &mut Dslog, op: &str, a: &Array, args: &OpArgs) -> (LineageTable
 /// Every backward query over every output cell must match the reference.
 fn check_all_backward(db: &Dslog, lineage: &LineageTable, out_shape: &[usize]) {
     for cell in enumerate_cells(out_shape) {
-        let got = db.prov_query(&["out", "in"], &[cell.clone()]).unwrap();
+        let got = db
+            .prov_query(&["out", "in"], std::slice::from_ref(&cell))
+            .unwrap();
         let want = reference::step(
             &[cell.clone()].into_iter().collect(),
             lineage,
@@ -186,10 +188,24 @@ fn merge_ablation_preserves_answers() {
 
     let q: Vec<Vec<i64>> = (5..25).map(|v| vec![v]).collect();
     let merged = db
-        .prov_query_opts(&["out", "in"], &q, QueryOptions { merge: true })
+        .prov_query_opts(
+            &["out", "in"],
+            &q,
+            QueryOptions {
+                merge: true,
+                ..QueryOptions::default()
+            },
+        )
         .unwrap();
     let unmerged = db
-        .prov_query_opts(&["out", "in"], &q, QueryOptions { merge: false })
+        .prov_query_opts(
+            &["out", "in"],
+            &q,
+            QueryOptions {
+                merge: false,
+                ..QueryOptions::default()
+            },
+        )
         .unwrap();
     assert_eq!(merged.cells.cell_set(), unmerged.cells.cell_set());
     assert!(merged.cells.n_boxes() <= unmerged.cells.n_boxes());

@@ -113,7 +113,7 @@ fn relational_workflow_episode_branch() {
 
     let out_shape = p.shape_of(p.main_path.last().unwrap()).to_vec();
     let cell = vec![out_shape[0] as i64 / 2, 1];
-    let got = db.prov_query(&path, &[cell.clone()]).unwrap();
+    let got = db.prov_query(&path, std::slice::from_ref(&cell)).unwrap();
 
     // Reference: backward along main hops until `joined`, then one hop
     // through the episode-side table.
@@ -192,7 +192,9 @@ fn roundtrip_forward_then_backward_contains_origin() {
     let bwd_path: Vec<&str> = p.main_path.iter().rev().map(String::as_str).collect();
 
     let origin = vec![2i64, 2];
-    let fwd = db.prov_query(&fwd_path, &[origin.clone()]).unwrap();
+    let fwd = db
+        .prov_query(&fwd_path, std::slice::from_ref(&origin))
+        .unwrap();
     if !fwd.cells.is_empty() {
         let reached: Vec<Vec<i64>> = fwd.cells.cell_set().into_iter().collect();
         let back = db.prov_query(&bwd_path, &reached).unwrap();

@@ -122,10 +122,10 @@ proptest! {
         db.add_lineage("in", "out", &TableCapture::new(t)).unwrap();
         let cells = enumerate(&os);
         let merged = db
-            .prov_query_opts(&["out", "in"], &cells, QueryOptions { merge: true })
+            .prov_query_opts(&["out", "in"], &cells, QueryOptions { merge: true, ..QueryOptions::default() })
             .unwrap();
         let unmerged = db
-            .prov_query_opts(&["out", "in"], &cells, QueryOptions { merge: false })
+            .prov_query_opts(&["out", "in"], &cells, QueryOptions { merge: false, ..QueryOptions::default() })
             .unwrap();
         prop_assert_eq!(merged.cells.cell_set(), unmerged.cells.cell_set());
         prop_assert!(merged.cells.n_boxes() <= unmerged.cells.n_boxes());
@@ -162,7 +162,7 @@ proptest! {
         db.add_lineage("in", "out", &TableCapture::new(t.clone())).unwrap();
 
         let origin = t.row(0)[..t.out_arity()].to_vec();
-        let r = db.prov_query(&["out", "in", "out"], &[origin.clone()]).unwrap();
+        let r = db.prov_query(&["out", "in", "out"], std::slice::from_ref(&origin)).unwrap();
         prop_assert!(r.cells.contains_cell(&origin));
     }
 }

@@ -335,7 +335,7 @@ fn run_benchmark<F>(
     let iters = if one_iter.is_zero() {
         1000
     } else {
-        (per_sample / one_iter.as_secs_f64()).max(1.0).min(1e9) as u64
+        (per_sample / one_iter.as_secs_f64()).clamp(1.0, 1e9) as u64
     };
 
     let mut bencher = Bencher {

@@ -69,7 +69,7 @@ impl Arbitrary for f32 {
 impl Arbitrary for char {
     fn arbitrary(rng: &mut TestRng) -> Self {
         // Mostly printable ASCII, occasionally any scalar value.
-        if rng.next_u64() % 8 != 0 {
+        if !rng.next_u64().is_multiple_of(8) {
             (b' ' + (rng.next_u64() % 95) as u8) as char
         } else {
             char::from_u32((rng.next_u64() % 0x11_0000) as u32).unwrap_or('\u{FFFD}')

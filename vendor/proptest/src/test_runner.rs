@@ -10,7 +10,7 @@ use std::path::PathBuf;
 /// Every property test derives its case seeds from this unless the
 /// `PROPTEST_RNG_SEED` env var overrides it, so runs are reproducible
 /// across machines and CI.
-pub const DEFAULT_RNG_SEED: u64 = 0xD5_106_2024_1CDE;
+pub const DEFAULT_RNG_SEED: u64 = 0x000D_5106_2024_1CDE;
 
 /// Runner configuration (`ProptestConfig` in the prelude).
 #[derive(Debug, Clone)]

@@ -1,0 +1,137 @@
+//! Persistence scaling bench: save / eager-open / lazy-open timings on an
+//! incompressible (scatter) edge, plain vs gzip disk format.
+//!
+//! Tracks the cost model of the durable layer: `save` pays serialization +
+//! checksums + atomic renames, eager `open` pays read + crc verify + decode
+//! for every table, lazy `open` pays O(catalog) up front and defers each
+//! table's read/verify/decode to its first query hop (also timed).
+//!
+//! Emits an aligned table on stdout and machine-readable
+//! `BENCH_persist.json` in the working directory.
+//!
+//! Run: `cargo run -p dslog-bench --release --bin persist_scaling [--scale f]`
+
+use dslog::api::{Dslog, TableCapture};
+use dslog::table::LineageTable;
+use dslog_bench::{cli_scale_seed, secs, timed, TextTable};
+use std::fmt::Write as _;
+
+/// Scatter lineage `B[i] ← A[h(i)]` with a mixing hash: ProvRC finds no
+/// ranges to merge, so the table file grows with the row count — the
+/// regime where persistence costs dominate.
+fn scatter_lineage(n: usize) -> LineageTable {
+    let mut t = LineageTable::new(1, 1);
+    for i in 0..n as i64 {
+        let h = (i.wrapping_mul(2654435761) & i64::MAX) % n as i64;
+        t.push_row(&[i, h]);
+    }
+    t
+}
+
+struct Point {
+    rows: usize,
+    gzip: bool,
+    db_bytes: u64,
+    save_s: f64,
+    open_eager_s: f64,
+    open_lazy_s: f64,
+    lazy_first_query_s: f64,
+}
+
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum()
+}
+
+fn measure(rows: usize, gzip: bool) -> Point {
+    let dir = std::env::temp_dir().join(format!(
+        "dslog-persist-bench-{rows}-{gzip}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut db = Dslog::new();
+    db.define_array("A", &[rows]).unwrap();
+    db.define_array("B", &[rows]).unwrap();
+    db.add_lineage("A", "B", &TableCapture::new(scatter_lineage(rows)))
+        .unwrap();
+
+    let (_, save_s) = timed(|| db.save(&dir, gzip).unwrap());
+    let db_bytes = dir_bytes(&dir);
+    let (_, open_eager_s) = timed(|| Dslog::open(&dir).unwrap());
+    let (lazy, open_lazy_s) = timed(|| Dslog::open_lazy(&dir).unwrap());
+    // First hop through a lazily opened database: read + verify + decode +
+    // index build for that one edge.
+    let cell = vec![(rows / 2) as i64];
+    let (_, lazy_first_query_s) = timed(|| lazy.prov_query(&["B", "A"], &[cell]).unwrap());
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Point {
+        rows,
+        gzip,
+        db_bytes,
+        save_s,
+        open_eager_s,
+        open_lazy_s,
+        lazy_first_query_s,
+    }
+}
+
+fn main() {
+    let (scale, _seed) = cli_scale_seed();
+    println!("persist_scaling — save/open costs on a scatter edge (scale {scale})");
+
+    let sizes = [10_000usize, 100_000];
+    let mut table = TextTable::new(&[
+        "rows",
+        "format",
+        "db bytes",
+        "save",
+        "open eager",
+        "open lazy",
+        "lazy 1st query",
+    ]);
+    let mut json_rows = String::new();
+    for &base in &sizes {
+        let rows = ((base as f64 * scale) as usize).max(100);
+        for gzip in [false, true] {
+            let pt = measure(rows, gzip);
+            table.row(&[
+                pt.rows.to_string(),
+                if pt.gzip { "gzip" } else { "plain" }.to_string(),
+                pt.db_bytes.to_string(),
+                secs(pt.save_s),
+                secs(pt.open_eager_s),
+                secs(pt.open_lazy_s),
+                secs(pt.lazy_first_query_s),
+            ]);
+            if !json_rows.is_empty() {
+                json_rows.push(',');
+            }
+            write!(
+                json_rows,
+                "{{\"rows\":{},\"gzip\":{},\"db_bytes\":{},\"save_s\":{:.9},\
+                 \"open_eager_s\":{:.9},\"open_lazy_s\":{:.9},\"lazy_first_query_s\":{:.9}}}",
+                pt.rows,
+                pt.gzip,
+                pt.db_bytes,
+                pt.save_s,
+                pt.open_eager_s,
+                pt.open_lazy_s,
+                pt.lazy_first_query_s
+            )
+            .unwrap();
+        }
+    }
+    println!("{}", table.render());
+
+    let json = format!(
+        "{{\"bench\":\"persist_scaling\",\"scale\":{scale},\"edge\":\"scatter\",\"series\":[{json_rows}]}}\n"
+    );
+    std::fs::write("BENCH_persist.json", &json).expect("write BENCH_persist.json");
+    println!("wrote BENCH_persist.json");
+}

@@ -11,6 +11,7 @@
 //! | `table9`  | Table IX — numpy coverage of compression & reuse | `… --bin table9` |
 //! | `table10` | Table X — Kaggle workflow compressibility study | `… --bin table10` |
 //! | `query_scaling` | rows vs p50 latency, indexed vs scan (writes `BENCH_query.json`) | `… --bin query_scaling` |
+//! | `persist_scaling` | save / eager-open / lazy-open timings, plain vs gzip (writes `BENCH_persist.json`) | `… --bin persist_scaling` |
 //!
 //! Criterion micro-benchmarks live under `benches/` (compression latency,
 //! query latency, ProvRC internals, and the merge/parallel ablations).

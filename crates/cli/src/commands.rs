@@ -16,11 +16,12 @@ pub fn help() -> String {
 dslog — fine-grained array lineage storage, compression, and querying
 
 USAGE:
-  dslog ingest   --db DIR --in NAME:3x2 --out NAME:3 --csv FILE [--op NAME] [--gzip]
-  dslog stats    --db DIR
-  dslog query    --db DIR --path B,A --cells \"1;2;0\" [--no-merge] [--scan] [--stats]
-  dslog export   --db DIR --edge IN,OUT [--csv FILE]
-  dslog compress --csv FILE --out-arity N
+  dslog ingest    --db DIR --in NAME:3x2 --out NAME:3 --csv FILE [--op NAME] [--gzip]
+  dslog stats     --db DIR [--lazy]
+  dslog query     --db DIR --path B,A --cells \"1;2;0\" [--no-merge] [--scan] [--stats] [--lazy]
+  dslog export    --db DIR --edge IN,OUT [--csv FILE]
+  dslog db verify DIR
+  dslog compress  --csv FILE --out-arity N
   dslog help
 
 A database is a directory of ProvRC-compressed lineage tables plus a
@@ -30,13 +31,23 @@ first, then input-cell indices (Figure 1B of the DSLog paper).
 Query cells are `;`-separated, each a `,`-separated index tuple of the
 first array on --path. The answer lists interval boxes over the last
 array's axes.
+
+Saves are atomic (temp-file + rename, catalog-last commit) and table
+files are crc32-checksummed. `db verify` walks a database and exits
+non-zero on any damage. `--lazy` opens in O(catalog), loading and
+verifying each edge table on first use.
 "
     .to_string()
 }
 
 fn open_db(opts: &Opts) -> Result<Dslog, String> {
     let dir = opts.required("db")?;
-    Dslog::open(dir).map_err(|e| format!("open {dir}: {e}"))
+    let result = if opts.switch("lazy") {
+        Dslog::open_lazy(dir)
+    } else {
+        Dslog::open(dir)
+    };
+    result.map_err(|e| format!("open {dir}: {e}"))
 }
 
 /// `dslog ingest`: add one CSV relation as an edge, creating or extending
@@ -189,6 +200,49 @@ pub fn export(args: &[String]) -> Result<String, String> {
         Ok(format!("wrote {} rows to {path}\n", table.n_rows()))
     } else {
         Ok(rendered)
+    }
+}
+
+/// `dslog db <subcommand>`: database maintenance. Currently:
+/// `dslog db verify <dir>` — walk the catalog, re-read every referenced
+/// table file, and check byte length, crc32, structural decode, and
+/// orientation agreement. Errors (non-zero exit) on any damage.
+pub fn db(args: &[String]) -> Result<String, String> {
+    let Some(sub) = args.first() else {
+        return Err("usage: dslog db verify <dir>".to_string());
+    };
+    match sub.as_str() {
+        "verify" => {
+            let dir = args
+                .get(1)
+                .ok_or_else(|| "usage: dslog db verify <dir>".to_string())?;
+            if args.len() > 2 {
+                return Err("db verify takes exactly one directory".to_string());
+            }
+            let report = dslog::storage::persist::verify(std::path::Path::new(dir))
+                .map_err(|e| format!("verify {dir}: {e}"))?;
+            let mut out = String::new();
+            writeln!(
+                out,
+                "database OK: {} array(s), {} edge(s), {} table file(s) verified \
+                 (catalog v{}, {})",
+                report.n_arrays,
+                report.n_edges,
+                report.files_verified,
+                report.catalog_version,
+                if report.gzip { "gzip" } else { "plain" }
+            )
+            .unwrap();
+            for name in &report.stale_files {
+                writeln!(
+                    out,
+                    "warning: stale file {name} (crashed-save debris; next save sweeps it)"
+                )
+                .unwrap();
+            }
+            Ok(out)
+        }
+        other => Err(format!("unknown db subcommand `{other}`; see `dslog help`")),
     }
 }
 

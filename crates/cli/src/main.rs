@@ -7,9 +7,10 @@
 //!
 //! ```text
 //! dslog ingest  --db DIR --in A:3x2 --out B:3 --csv lineage.csv [--gzip]
-//! dslog stats   --db DIR
-//! dslog query   --db DIR --path B,A --cells "1;2"
+//! dslog stats   --db DIR [--lazy]
+//! dslog query   --db DIR --path B,A --cells "1;2" [--lazy]
 //! dslog export  --db DIR --edge A,B [--csv out.csv]
+//! dslog db verify DIR
 //! dslog compress --csv lineage.csv --out-arity 1
 //! dslog help
 //! ```
@@ -46,6 +47,7 @@ pub(crate) fn run(args: &[String]) -> Result<String, String> {
         "stats" => commands::stats(rest),
         "query" => commands::query(rest),
         "export" => commands::export(rest),
+        "db" => commands::db(rest),
         "compress" => commands::compress(rest),
         "help" | "--help" | "-h" => Ok(commands::help()),
         other => Err(format!("unknown command `{other}`; see `dslog help`")),
@@ -81,7 +83,14 @@ mod tests {
     #[test]
     fn help_lists_commands() {
         let out = run(&[]).unwrap();
-        for cmd in ["ingest", "stats", "query", "export", "compress"] {
+        for cmd in [
+            "ingest",
+            "stats",
+            "query",
+            "export",
+            "db verify",
+            "compress",
+        ] {
             assert!(out.contains(cmd), "help should mention {cmd}");
         }
     }
@@ -126,6 +135,68 @@ mod tests {
         for fmt in ["Raw", "Parquet", "Turbo-RC", "ProvRC"] {
             assert!(out.contains(fmt), "missing {fmt} in:\n{out}");
         }
+        let _ = std::fs::remove_file(&csv);
+    }
+
+    #[test]
+    fn db_verify_passes_then_catches_corruption() {
+        for gzip in [false, true] {
+            let db = temp_db(if gzip { "verify-gz" } else { "verify" });
+            let csv = write_sum_csv(if gzip { "verify-gz" } else { "verify" });
+            let mut ingest = s(&[
+                "ingest", "--db", &db, "--in", "A:3x2", "--out", "B:3", "--csv", &csv,
+            ]);
+            if gzip {
+                ingest.push("--gzip".to_string());
+            }
+            run(&ingest).unwrap();
+
+            let out = run(&s(&["db", "verify", &db])).unwrap();
+            assert!(out.contains("database OK"), "{out}");
+            assert!(out.contains("catalog v2"), "{out}");
+
+            // Corrupt one edge table file: verify must now error.
+            let edge = std::fs::read_dir(&db)
+                .unwrap()
+                .flatten()
+                .find(|e| e.file_name().to_string_lossy().starts_with("edge-"))
+                .unwrap();
+            let mut bytes = std::fs::read(edge.path()).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x10;
+            std::fs::write(edge.path(), &bytes).unwrap();
+            assert!(run(&s(&["db", "verify", &db])).is_err());
+
+            let _ = std::fs::remove_dir_all(&db);
+            let _ = std::fs::remove_file(&csv);
+        }
+    }
+
+    #[test]
+    fn db_verify_usage_errors() {
+        assert!(run(&s(&["db"])).is_err());
+        assert!(run(&s(&["db", "frob"])).is_err());
+        assert!(run(&s(&["db", "verify"])).is_err());
+        assert!(run(&s(&["db", "verify", "/nonexistent/dslog-db"])).is_err());
+    }
+
+    #[test]
+    fn lazy_query_matches_eager() {
+        let db = temp_db("lazy");
+        let csv = write_sum_csv("lazy");
+        run(&s(&[
+            "ingest", "--db", &db, "--in", "A:3x2", "--out", "B:3", "--csv", &csv,
+        ]))
+        .unwrap();
+        let eager = run(&s(&["query", "--db", &db, "--path", "B,A", "--cells", "1"])).unwrap();
+        let lazy = run(&s(&[
+            "query", "--db", &db, "--path", "B,A", "--cells", "1", "--lazy",
+        ]))
+        .unwrap();
+        assert_eq!(eager, lazy);
+        let stats = run(&s(&["stats", "--db", &db, "--lazy"])).unwrap();
+        assert!(stats.contains("1 edge"), "{stats}");
+        let _ = std::fs::remove_dir_all(&db);
         let _ = std::fs::remove_file(&csv);
     }
 

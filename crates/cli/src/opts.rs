@@ -11,7 +11,7 @@ pub struct Opts {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["gzip", "no-merge", "forward-store", "scan", "stats"];
+const SWITCHES: &[&str] = &["gzip", "no-merge", "forward-store", "scan", "stats", "lazy"];
 
 impl Opts {
     /// Parse `--key value` / `--switch` arguments; rejects positionals.

@@ -181,10 +181,12 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
     match tag {
         BLOCK_STORED => {
             let n = read_uvarint(data, &mut pos)? as usize;
-            let end = pos + n;
-            if end > data.len() {
-                return Err(CodecError::UnexpectedEof);
-            }
+            // Checked add: a hostile length near usize::MAX must not wrap
+            // `pos + n` around to a small (seemingly valid) end offset.
+            let end = pos
+                .checked_add(n)
+                .filter(|&e| e <= data.len())
+                .ok_or(CodecError::UnexpectedEof)?;
             Ok(data[pos..end].to_vec())
         }
         BLOCK_HUFFMAN => {
@@ -198,6 +200,11 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
             let dist_dec = Decoder::from_lengths(&dist_lengths);
             let mut r = BitReader::new(&data[pos..]);
             let mut tokens = Vec::new();
+            // Running output size, bounded by the declared `n` as tokens
+            // stream in: a hostile stream of maximum-length matches must
+            // bail here, not after materializing an arbitrarily large
+            // buffer only to fail the final size comparison.
+            let mut out_len = 0usize;
             loop {
                 let sym = lit_dec.read_symbol(&mut r)? as usize;
                 if sym == EOB {
@@ -205,6 +212,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
                 }
                 if sym < 256 {
                     tokens.push(Token::Literal(sym as u8));
+                    out_len += 1;
                 } else {
                     let idx = sym - 257;
                     if idx >= LENGTH_TABLE.len() {
@@ -219,6 +227,12 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
                     let (dbase, dextra) = DIST_TABLE[dsym];
                     let dist = dbase + r.read_bits(dextra)? as u32;
                     tokens.push(Token::Match { len, dist });
+                    out_len += len as usize;
+                }
+                if out_len > n {
+                    return Err(CodecError::InvalidFormat(
+                        "deflate output exceeds declared size",
+                    ));
                 }
             }
             let out = try_detokenize(&tokens)?;
@@ -274,6 +288,26 @@ mod tests {
         let comp = compress(&data);
         assert_eq!(decompress(&comp).unwrap(), data);
         assert!(comp.len() <= data.len() + 16);
+    }
+
+    #[test]
+    fn declared_size_caps_output_early() {
+        // Forge a Huffman block whose header claims a tiny output while the
+        // token stream produces 64 KiB: decoding must bail as soon as the
+        // running output passes the claim, not after materializing it all.
+        let comp = compress(&vec![0u8; 1 << 16]);
+        assert_eq!(comp[0], BLOCK_HUFFMAN);
+        let mut pos = 1usize;
+        read_uvarint(&comp, &mut pos).unwrap(); // skip the honest size
+        let mut forged = vec![BLOCK_HUFFMAN];
+        write_uvarint(&mut forged, 10);
+        forged.extend_from_slice(&comp[pos..]);
+        assert_eq!(
+            decompress(&forged),
+            Err(CodecError::InvalidFormat(
+                "deflate output exceeds declared size"
+            ))
+        );
     }
 
     #[test]

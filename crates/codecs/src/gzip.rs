@@ -23,6 +23,18 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     out
 }
 
+/// The uncompressed size a container claims, without decompressing it.
+/// Lets callers that know the expected size (e.g. from a catalog record)
+/// reject a mismatching container before paying for — or being bombed
+/// by — the decompression itself.
+pub fn declared_len(data: &[u8]) -> Result<u64> {
+    if data.len() < 8 || &data[..4] != MAGIC {
+        return Err(CodecError::InvalidFormat("bad gzip magic"));
+    }
+    let mut pos = 8;
+    read_uvarint(data, &mut pos)
+}
+
 /// Decompress and verify a container produced by [`compress`].
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
     if data.len() < 8 || &data[..4] != MAGIC {

@@ -155,16 +155,39 @@ impl Dslog {
     /// database directory. With `gzip` the table files use the ProvRC-GZip
     /// disk format (the paper's recommended long-term configuration).
     ///
-    /// The reuse predictor's signature tables are not persisted; they are
-    /// re-learned per process (§VI.C re-validates mappings anyway).
+    /// The write is atomic: every file goes through temp-file + rename, the
+    /// catalog rename is the commit point, and files from older snapshots
+    /// are swept afterwards — a crash mid-save leaves the previous snapshot
+    /// intact, and re-saving over an existing directory (even with a
+    /// different edge set or `gzip` flag) can never leave stale tables.
+    ///
+    /// Every orientation materialized in memory — including orientations a
+    /// query lazily derived — is written. The reuse predictor's signature
+    /// tables are not persisted; they are re-learned per process (§VI.C
+    /// re-validates mappings anyway).
     pub fn save(&self, dir: impl AsRef<std::path::Path>, gzip: bool) -> Result<()> {
         crate::storage::persist::save(&self.storage, dir.as_ref(), gzip)
     }
 
-    /// Open a database directory previously written by [`save`](Self::save).
+    /// Open a database directory previously written by [`save`](Self::save),
+    /// eagerly decoding (and checksum-verifying) every table file.
     pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Self> {
         Ok(Self {
             storage: crate::storage::persist::open(dir.as_ref())?,
+            reuse: ReuseManager::default(),
+            query_options: QueryOptions::default(),
+        })
+    }
+
+    /// Open a database directory in O(catalog) time: table files are only
+    /// stat'd now and read, verified against the catalog's recorded
+    /// length + crc32, and decoded on the first query hop that needs them.
+    /// Ideal when a large database serves queries that touch few edges.
+    /// (Legacy v1 directories carry no checksums and fall back to an eager
+    /// open.)
+    pub fn open_lazy(dir: impl AsRef<std::path::Path>) -> Result<Self> {
+        Ok(Self {
+            storage: crate::storage::persist::open_lazy(dir.as_ref())?,
             reuse: ReuseManager::default(),
             query_options: QueryOptions::default(),
         })

@@ -1,7 +1,7 @@
 //! Binary serialization of compressed lineage tables.
 //!
 //! This is the on-disk ProvRC format whose byte size Table VII measures.
-//! Layout (all integers varint/zig-zag unless noted):
+//! Version 2 layout (all integers varint/zig-zag unless noted):
 //!
 //! ```text
 //! magic "DSPC" | version u8 | orientation u8
@@ -14,7 +14,17 @@
 //!     2 Rel point     : anchor, Δdelta (delta vs previous Rel delta.lo)
 //!     3 Rel interval  : anchor, Δdelta, width
 //!     4 Sym           : attr
+//! crc32 u32 LE        (over every preceding byte)
 //! ```
+//!
+//! Version 1 files (identical body, no checksum trailer) remain readable;
+//! [`serialize`] always writes version 2.
+//!
+//! The decoder is hostile-input proof: the checksum is verified before the
+//! body is parsed (v2), every wire-supplied count is validated against the
+//! remaining byte budget before allocation (a cell costs at least one
+//! payload byte, so `n_rows * arity` may never exceed the bytes left), and
+//! columns are built directly in the table's columnar layout.
 //!
 //! Column-major layout plus per-column delta coding keeps the incompressible
 //! worst case (e.g. `Sort`) a few bytes per row, mirroring the paper's
@@ -24,10 +34,11 @@
 use crate::error::{DslogError, Result};
 use crate::interval::Interval;
 use crate::table::{Cell, CompressedTable, Orientation};
+use dslog_codecs::crc32::crc32;
 use dslog_codecs::varint::{read_ivarint, read_uvarint, write_ivarint, write_uvarint};
 
 const MAGIC: &[u8; 4] = b"DSPC";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
 
 const TAG_ABS_POINT: u8 = 0;
 const TAG_ABS_IVL: u8 = 1;
@@ -45,11 +56,10 @@ fn cell_tag(cell: &Cell) -> u8 {
     }
 }
 
-/// Serialize a compressed table.
-pub fn serialize(table: &CompressedTable) -> Vec<u8> {
+fn serialize_body(table: &CompressedTable, version: u8) -> Vec<u8> {
     let mut out = Vec::with_capacity(64 + table.n_rows() * 2);
     out.extend_from_slice(MAGIC);
-    out.push(VERSION);
+    out.push(version);
     out.push(match table.orientation() {
         Orientation::Backward => 0,
         Orientation::Forward => 1,
@@ -110,52 +120,96 @@ pub fn serialize(table: &CompressedTable) -> Vec<u8> {
     out
 }
 
-/// Deserialize a table produced by [`serialize`].
+/// Serialize a compressed table (current version: 2, with crc32 trailer).
+pub fn serialize(table: &CompressedTable) -> Vec<u8> {
+    let mut out = serialize_body(table, VERSION);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Legacy version-1 writer (no checksum trailer). Kept so backward-
+/// compatibility tests and migration tooling can produce the exact bytes
+/// earlier releases wrote; new code should use [`serialize`].
+pub fn serialize_v1(table: &CompressedTable) -> Vec<u8> {
+    serialize_body(table, 1)
+}
+
+/// Deserialize a table produced by [`serialize`] (v2) or by the legacy v1
+/// writer. The v2 checksum is verified before any parsing; all counts are
+/// validated against the remaining input before allocation, so hostile
+/// bytes can never demand more than a small constant factor of the input
+/// length in memory.
 pub fn deserialize(data: &[u8]) -> Result<CompressedTable> {
     if data.len() < 6 || &data[..4] != MAGIC {
         return Err(DslogError::Corrupt("bad magic"));
     }
-    if data[4] != VERSION {
-        return Err(DslogError::Corrupt("unsupported version"));
-    }
-    let orientation = match data[5] {
+    let body = match data[4] {
+        1 => data,
+        2 => {
+            // Trailer: 4-byte little-endian crc32 over everything before it.
+            if data.len() < 10 {
+                return Err(DslogError::Corrupt("truncated v2 table"));
+            }
+            let (body, trailer) = data.split_at(data.len() - 4);
+            let stored = u32::from_le_bytes(trailer.try_into().unwrap());
+            if crc32(body) != stored {
+                return Err(DslogError::Corrupt("table checksum mismatch"));
+            }
+            body
+        }
+        _ => return Err(DslogError::Corrupt("unsupported version")),
+    };
+    let orientation = match body[5] {
         0 => Orientation::Backward,
         1 => Orientation::Forward,
         _ => return Err(DslogError::Corrupt("bad orientation")),
     };
     let mut pos = 6;
-    let prim_arity = read_uvarint(data, &mut pos)? as usize;
-    let sec_arity = read_uvarint(data, &mut pos)? as usize;
+    let prim_arity = read_uvarint(body, &mut pos)? as usize;
+    let sec_arity = read_uvarint(body, &mut pos)? as usize;
     if prim_arity == 0 || sec_arity == 0 || prim_arity + sec_arity > 256 {
         return Err(DslogError::Corrupt("bad arity"));
     }
     let arity = prim_arity + sec_arity;
     let mut extents = Vec::with_capacity(arity);
     for _ in 0..arity {
-        extents.push(read_ivarint(data, &mut pos)?);
+        let e = read_ivarint(body, &mut pos)?;
+        if e < 0 {
+            return Err(DslogError::Corrupt("negative extent"));
+        }
+        extents.push(e);
     }
-    let n = read_uvarint(data, &mut pos)? as usize;
+    let n = read_uvarint(body, &mut pos)? as usize;
+    // Byte-budget validation before any size-`n` allocation: every cell
+    // encodes to at least one payload byte, so a file claiming more cells
+    // than it has bytes left is corrupt no matter what follows.
+    let remaining = body.len() - pos;
+    match n.checked_mul(arity) {
+        Some(cells) if cells <= remaining => {}
+        _ => return Err(DslogError::Corrupt("row count exceeds input size")),
+    }
 
-    // Read per-column, assemble row-major.
-    let mut cells = vec![Cell::point(0); n * arity];
-    for k in 0..arity {
+    // Read per-column directly into the table's columnar layout.
+    let mut columns: Vec<Vec<Cell>> = (0..arity).map(|_| Vec::with_capacity(n)).collect();
+    for (k, column) in columns.iter_mut().enumerate() {
         // Tags.
         let mut tags = Vec::with_capacity(n);
         if n == 0 {
-            let &marker = data.get(pos).ok_or(DslogError::Corrupt("truncated"))?;
+            let &marker = body.get(pos).ok_or(DslogError::Corrupt("truncated"))?;
             if marker != 0xff {
                 return Err(DslogError::Corrupt("missing empty-column marker"));
             }
             pos += 1;
         }
         while tags.len() < n {
-            let &tag = data.get(pos).ok_or(DslogError::Corrupt("truncated tags"))?;
+            let &tag = body.get(pos).ok_or(DslogError::Corrupt("truncated tags"))?;
             pos += 1;
             if tag > TAG_SYM {
                 return Err(DslogError::Corrupt("bad cell tag"));
             }
-            let run = read_uvarint(data, &mut pos)? as usize;
-            if tags.len() + run > n {
+            let run = read_uvarint(body, &mut pos)? as usize;
+            if run == 0 || tags.len().checked_add(run).is_none_or(|t| t > n) {
                 return Err(DslogError::Corrupt("tag run overflow"));
             }
             tags.extend(std::iter::repeat_n(tag, run));
@@ -163,25 +217,34 @@ pub fn deserialize(data: &[u8]) -> Result<CompressedTable> {
         // Payloads.
         let mut prev_abs = 0i64;
         let mut prev_rel = 0i64;
-        for (i, &tag) in tags.iter().enumerate() {
+        for &tag in &tags {
             let cell = match tag {
                 TAG_ABS_POINT => {
-                    let lo = prev_abs + read_ivarint(data, &mut pos)?;
+                    let lo = prev_abs
+                        .checked_add(read_ivarint(body, &mut pos)?)
+                        .ok_or(DslogError::Corrupt("delta overflow"))?;
                     prev_abs = lo;
                     Cell::Abs(Interval::point(lo))
                 }
                 TAG_ABS_IVL => {
-                    let lo = prev_abs + read_ivarint(data, &mut pos)?;
+                    let lo = prev_abs
+                        .checked_add(read_ivarint(body, &mut pos)?)
+                        .ok_or(DslogError::Corrupt("delta overflow"))?;
                     prev_abs = lo;
-                    let width = read_uvarint(data, &mut pos)? as i64;
+                    let width = read_uvarint(body, &mut pos)? as i64;
+                    if width < 0 || lo.checked_add(width).is_none() {
+                        return Err(DslogError::Corrupt("interval width overflow"));
+                    }
                     Cell::Abs(Interval::new(lo, lo + width))
                 }
                 TAG_REL_POINT => {
-                    let anchor = read_uvarint(data, &mut pos)? as u8;
+                    let anchor = read_uvarint(body, &mut pos)? as u8;
                     if usize::from(anchor) >= prim_arity || k < prim_arity {
                         return Err(DslogError::Corrupt("rel anchor out of range"));
                     }
-                    let lo = prev_rel + read_ivarint(data, &mut pos)?;
+                    let lo = prev_rel
+                        .checked_add(read_ivarint(body, &mut pos)?)
+                        .ok_or(DslogError::Corrupt("delta overflow"))?;
                     prev_rel = lo;
                     Cell::Rel {
                         anchor,
@@ -189,20 +252,25 @@ pub fn deserialize(data: &[u8]) -> Result<CompressedTable> {
                     }
                 }
                 TAG_REL_IVL => {
-                    let anchor = read_uvarint(data, &mut pos)? as u8;
+                    let anchor = read_uvarint(body, &mut pos)? as u8;
                     if usize::from(anchor) >= prim_arity || k < prim_arity {
                         return Err(DslogError::Corrupt("rel anchor out of range"));
                     }
-                    let lo = prev_rel + read_ivarint(data, &mut pos)?;
+                    let lo = prev_rel
+                        .checked_add(read_ivarint(body, &mut pos)?)
+                        .ok_or(DslogError::Corrupt("delta overflow"))?;
                     prev_rel = lo;
-                    let width = read_uvarint(data, &mut pos)? as i64;
+                    let width = read_uvarint(body, &mut pos)? as i64;
+                    if width < 0 || lo.checked_add(width).is_none() {
+                        return Err(DslogError::Corrupt("interval width overflow"));
+                    }
                     Cell::Rel {
                         anchor,
                         delta: Interval::new(lo, lo + width),
                     }
                 }
                 TAG_SYM => {
-                    let attr = read_uvarint(data, &mut pos)? as u8;
+                    let attr = read_uvarint(body, &mut pos)? as u8;
                     if usize::from(attr) >= arity {
                         return Err(DslogError::Corrupt("sym attr out of range"));
                     }
@@ -210,16 +278,17 @@ pub fn deserialize(data: &[u8]) -> Result<CompressedTable> {
                 }
                 _ => unreachable!(),
             };
-            cells[i * arity + k] = cell;
+            column.push(cell);
         }
     }
 
-    let mut table = CompressedTable::new(orientation, prim_arity, sec_arity, extents);
-    for i in 0..n {
-        let row: Vec<Cell> = cells[i * arity..(i + 1) * arity].to_vec();
-        table.push_row(&row);
-    }
-    Ok(table)
+    Ok(CompressedTable::from_columns(
+        orientation,
+        prim_arity,
+        sec_arity,
+        extents,
+        columns,
+    ))
 }
 
 /// Serialize with the gzip stage on top (the paper's ProvRC-GZip).
@@ -244,6 +313,9 @@ mod tests {
         assert_eq!(&back, t);
         let gz = serialize_gzip(t);
         assert_eq!(&deserialize_gzip(&gz).unwrap(), t);
+        // The legacy v1 bytes parse to the same table.
+        let v1 = serialize_v1(t);
+        assert_eq!(&deserialize(&v1).unwrap(), t);
     }
 
     #[test]
@@ -314,5 +386,57 @@ mod tests {
         assert!(deserialize(&bytes).is_err());
         let bytes2 = serialize(&c);
         assert!(deserialize(&bytes2[..bytes2.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn v2_checksum_detects_payload_flip() {
+        let mut t = LineageTable::new(1, 1);
+        for i in 0..40i64 {
+            t.push_row(&[i, (i * 17 + 3) % 40]);
+        }
+        let c = compress(&t, &[40], &[40], Orientation::Backward);
+        let clean = serialize(&c);
+        // Flip one bit in every position: the crc32 trailer must reject all.
+        for i in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0x01;
+            assert!(deserialize(&bytes).is_err(), "flip at byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn hostile_row_count_rejected_without_allocation() {
+        // Hand-build a header that claims ~u62 rows with a 2-attribute
+        // schema: the byte-budget check must reject it up front instead of
+        // attempting a multi-GiB allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(1); // v1: no checksum to forge, exercises raw validation
+        bytes.push(0); // backward
+        write_uvarint(&mut bytes, 1); // prim arity
+        write_uvarint(&mut bytes, 1); // sec arity
+        write_ivarint(&mut bytes, 4); // extents
+        write_ivarint(&mut bytes, 4);
+        write_uvarint(&mut bytes, u64::MAX >> 2); // hostile n_rows
+        bytes.push(0); // a little trailing garbage
+        assert!(matches!(
+            deserialize(&bytes),
+            Err(DslogError::Corrupt("row count exceeds input size"))
+        ));
+    }
+
+    #[test]
+    fn hostile_arity_times_rows_overflow_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(1);
+        bytes.push(0);
+        write_uvarint(&mut bytes, 128); // prim arity
+        write_uvarint(&mut bytes, 128); // sec arity → arity 256
+        for _ in 0..256 {
+            write_ivarint(&mut bytes, 2);
+        }
+        write_uvarint(&mut bytes, u64::MAX >> 1); // n * arity overflows
+        assert!(deserialize(&bytes).is_err());
     }
 }

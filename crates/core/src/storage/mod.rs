@@ -43,11 +43,77 @@ pub enum Materialize {
     Both,
 }
 
+/// A not-yet-loaded table file referenced by a v2 catalog: everything
+/// needed to read, verify, and decode it on first use.
+#[derive(Debug, Clone)]
+pub(crate) struct DiskTable {
+    /// Absolute path of the `edge-*.tbl[.gz]` file.
+    pub(crate) path: std::path::PathBuf,
+    /// Whether the file uses the ProvRC-GZip disk format.
+    pub(crate) gzip: bool,
+    /// Expected byte length, from the catalog.
+    pub(crate) len: u64,
+    /// Expected crc32 of the raw file bytes, from the catalog.
+    pub(crate) crc: u32,
+    /// Byte length of the plain (un-gzipped) serialized table, from the
+    /// catalog; equals `len` when `gzip` is off. Lets `storage_bytes`
+    /// report the same number for lazy and loaded slots.
+    pub(crate) raw_len: u64,
+    /// Orientation the catalog says this file stores.
+    pub(crate) orientation: Orientation,
+}
+
+impl DiskTable {
+    /// Read the file, verify it against the catalog record, and decode it
+    /// (same path as an eager open — see `persist::load_table_file`). Any
+    /// mismatch is a hard error: a lazily opened database must fail
+    /// exactly where an eager open would have.
+    pub(crate) fn load(&self) -> Result<CompressedTable> {
+        persist::load_table_file(
+            &self.path,
+            self.gzip,
+            self.orientation,
+            Some((self.len, self.crc, self.raw_len)),
+        )
+    }
+
+    /// Read + verify the file and return its plain (un-gzipped) serialized
+    /// bytes without decoding a table — the save path re-writes tables
+    /// verbatim this way instead of decode + re-encode.
+    pub(crate) fn read_plain_bytes(&self) -> Result<Vec<u8>> {
+        let bytes = persist::read_verified_bytes(
+            &self.path,
+            self.gzip,
+            Some((self.len, self.crc, self.raw_len)),
+        )?;
+        let plain = if self.gzip {
+            dslog_codecs::gzip::decompress(&bytes)?
+        } else {
+            bytes
+        };
+        if plain.len() as u64 != self.raw_len {
+            return Err(DslogError::Corrupt("edge file declared size mismatch"));
+        }
+        Ok(plain)
+    }
+}
+
+/// Where one orientation of an edge currently lives: decoded in memory, or
+/// still on disk (lazy open) with its catalog-recorded length + checksum.
+#[derive(Debug, Clone)]
+pub(crate) enum TableSource {
+    /// Decoded and resident.
+    Loaded(Arc<CompressedTable>),
+    /// Referenced by the catalog but not yet read; swapped for `Loaded` on
+    /// the first `resolve_hop` that needs it.
+    OnDisk(DiskTable),
+}
+
 /// One stored lineage edge (input array → output array).
 #[derive(Debug)]
 struct Edge {
-    backward: RwLock<Option<Arc<CompressedTable>>>,
-    forward: RwLock<Option<Arc<CompressedTable>>>,
+    backward: RwLock<Option<TableSource>>,
+    forward: RwLock<Option<TableSource>>,
     out_shape: Vec<usize>,
     in_shape: Vec<usize>,
     /// Query-direction counters feeding the §IV.C materialization decision
@@ -59,8 +125,8 @@ struct Edge {
 
 impl Edge {
     fn new(
-        backward: Option<Arc<CompressedTable>>,
-        forward: Option<Arc<CompressedTable>>,
+        backward: Option<TableSource>,
+        forward: Option<TableSource>,
         out_shape: Vec<usize>,
         in_shape: Vec<usize>,
     ) -> Self {
@@ -71,6 +137,78 @@ impl Edge {
             in_shape,
             backward_hits: AtomicU64::new(0),
             forward_hits: AtomicU64::new(0),
+        }
+    }
+
+    fn from_tables(
+        backward: Option<Arc<CompressedTable>>,
+        forward: Option<Arc<CompressedTable>>,
+        out_shape: Vec<usize>,
+        in_shape: Vec<usize>,
+    ) -> Self {
+        Self::new(
+            backward.map(TableSource::Loaded),
+            forward.map(TableSource::Loaded),
+            out_shape,
+            in_shape,
+        )
+    }
+
+    fn slot(&self, orientation: Orientation) -> &RwLock<Option<TableSource>> {
+        match orientation {
+            Orientation::Backward => &self.backward,
+            Orientation::Forward => &self.forward,
+        }
+    }
+
+    /// The table stored for `orientation`, loading it from disk if the slot
+    /// holds a lazy reference. Returns `Ok(None)` if the orientation is not
+    /// stored at all (no derivation happens here). `warm_index` builds the
+    /// query index under the slot lock before publishing — the query path
+    /// wants that, but e.g. `persist::save` loads tables only to serialize
+    /// them and skips the O(n log n) build.
+    fn stored(
+        &self,
+        orientation: Orientation,
+        warm_index: bool,
+    ) -> Result<Option<Arc<CompressedTable>>> {
+        let slot = self.slot(orientation);
+        match &*slot.read() {
+            Some(TableSource::Loaded(t)) => return Ok(Some(Arc::clone(t))),
+            None => return Ok(None),
+            Some(TableSource::OnDisk(_)) => {}
+        }
+        let mut slot_w = slot.write();
+        match &*slot_w {
+            Some(TableSource::Loaded(t)) => Ok(Some(Arc::clone(t))),
+            None => Ok(None),
+            Some(TableSource::OnDisk(disk)) => {
+                let table = Arc::new(disk.load()?);
+                // On the query path, publish with a warm index like every
+                // other slot fill.
+                if warm_index && !table.is_generalized() {
+                    table.ensure_index();
+                }
+                *slot_w = Some(TableSource::Loaded(Arc::clone(&table)));
+                Ok(Some(table))
+            }
+        }
+    }
+}
+
+impl Edge {
+    /// Plain (un-gzipped) serialized bytes of the stored orientation, for
+    /// the save path: loaded tables serialize, OnDisk slots stream their
+    /// verified file bytes without decoding or caching a table (so saving
+    /// a lazily opened database stays O(bytes), not O(decode), and pins
+    /// nothing in memory). `Ok(None)` if the orientation is not stored.
+    fn plain_bytes(&self, orientation: Orientation) -> Result<Option<Vec<u8>>> {
+        // Clone the source out of the lock: file IO must not run under it.
+        let source = self.slot(orientation).read().clone();
+        match source {
+            None => Ok(None),
+            Some(TableSource::Loaded(t)) => Ok(Some(format::serialize(&t))),
+            Some(TableSource::OnDisk(d)) => Ok(Some(d.read_plain_bytes()?)),
         }
     }
 }
@@ -98,27 +236,18 @@ impl Edge {
     /// racing with the first — the derivation runs under the slot's write
     /// lock) gets the cached `Arc` with a warm index.
     fn repr(&self, orientation: Orientation) -> Result<Arc<CompressedTable>> {
-        let slot = match orientation {
-            Orientation::Backward => &self.backward,
-            Orientation::Forward => &self.forward,
-        };
-        if let Some(t) = slot.read().as_ref() {
-            return Ok(Arc::clone(t));
+        if let Some(t) = self.stored(orientation, true)? {
+            return Ok(t);
         }
-        let other = match orientation {
-            Orientation::Backward => &self.forward,
-            Orientation::Forward => &self.backward,
-        };
-        // Clone the source Arc before taking the write lock: never hold
-        // both slots' locks at once (two threads deriving opposite
-        // orientations would deadlock otherwise).
-        let source = other
-            .read()
-            .as_ref()
-            .map(Arc::clone)
+        // Resolve the source table before taking the target's write lock:
+        // `stored` only ever holds one slot's lock at a time, so two threads
+        // deriving opposite orientations cannot deadlock.
+        let source = self
+            .stored(orientation.flip(), true)?
             .ok_or(DslogError::Corrupt("edge with no stored orientation"))?;
+        let slot = self.slot(orientation);
         let mut slot_w = slot.write();
-        if let Some(t) = slot_w.as_ref() {
+        if let Some(TableSource::Loaded(t)) = slot_w.as_ref() {
             // Another thread derived while we waited for the lock.
             return Ok(Arc::clone(t));
         }
@@ -130,7 +259,7 @@ impl Edge {
             orientation,
         ));
         derived.ensure_index();
-        *slot_w = Some(Arc::clone(&derived));
+        *slot_w = Some(TableSource::Loaded(Arc::clone(&derived)));
         Ok(derived)
     }
 }
@@ -243,7 +372,7 @@ impl StorageManager {
         });
         self.edges.insert(
             (in_array.to_string(), out_array.to_string()),
-            Edge::new(backward, forward, out_shape, in_shape),
+            Edge::from_tables(backward, forward, out_shape, in_shape),
         );
         Ok(())
     }
@@ -267,7 +396,7 @@ impl StorageManager {
         };
         self.edges.insert(
             (in_array.to_string(), out_array.to_string()),
-            Edge::new(backward, forward, out_shape, in_shape),
+            Edge::from_tables(backward, forward, out_shape, in_shape),
         );
         Ok(())
     }
@@ -332,11 +461,7 @@ impl StorageManager {
             // Materialize the kept orientation first (may derive), then
             // drop the other.
             edge.repr(keep)?;
-            let drop_slot = match keep {
-                Orientation::Backward => &edge.forward,
-                Orientation::Forward => &edge.backward,
-            };
-            *drop_slot.write() = None;
+            *edge.slot(keep.flip()).write() = None;
         }
         Ok(())
     }
@@ -365,21 +490,21 @@ impl StorageManager {
     }
 
     /// Serialized size in bytes of all stored tables (one orientation each),
-    /// the quantity the paper's storage experiments measure.
+    /// the quantity the paper's storage experiments measure. For tables a
+    /// lazy open has not touched yet, the catalog-recorded plain serialized
+    /// length is reported instead of re-serializing (no load is triggered,
+    /// and the number matches what a loaded slot would report).
     pub fn storage_bytes(&self) -> usize {
+        fn slot_bytes(slot: &RwLock<Option<TableSource>>) -> Option<usize> {
+            match &*slot.read() {
+                Some(TableSource::Loaded(t)) => Some(format::serialize(t).len()),
+                Some(TableSource::OnDisk(d)) => Some(d.raw_len as usize),
+                None => None,
+            }
+        }
         self.edges
             .values()
-            .filter_map(|e| {
-                let b = e.backward.read();
-                if let Some(t) = b.as_ref() {
-                    return Some(format::serialize(t).len());
-                }
-                drop(b);
-                e.forward
-                    .read()
-                    .as_ref()
-                    .map(|t| format::serialize(t).len())
-            })
+            .filter_map(|e| slot_bytes(&e.backward).or_else(|| slot_bytes(&e.forward)))
             .sum()
     }
 

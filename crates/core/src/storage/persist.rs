@@ -8,26 +8,55 @@
 //!
 //! ```text
 //! <dir>/
-//!   catalog.dsl          catalog: arrays + edges (hand-rolled binary)
-//!   edge-<i>-b.tbl[.gz]  backward table of edge i (ProvRC disk format)
-//!   edge-<i>-f.tbl[.gz]  forward  table of edge i
+//!   catalog.dsl               catalog v2: arrays + edges + per-file byte
+//!                             length, crc32, and plain serialized length,
+//!                             with its own crc32 trailer (hand-rolled
+//!                             binary)
+//!   edge-<i>-b.g<g>.tbl[.gz]  backward table of edge i, snapshot gen g
+//!   edge-<i>-f.g<g>.tbl[.gz]  forward  table of edge i, snapshot gen g
 //! ```
 //!
-//! Only *materialized* orientations are written; lazily derived ones are
-//! re-derived after open, so a save/open cycle never grows the database.
-//! The reuse predictor's signature tables are deliberately not persisted —
-//! they are a cache whose correctness is re-validated per process anyway
-//! (§VI.C re-confirms mappings after `m` calls).
+//! ## Atomicity
+//!
+//! [`save`] is crash-safe: every file is written to a `.tmp` sibling,
+//! fsynced, and `rename`d into place, edge files carry a fresh generation
+//! number so they never overwrite files the live catalog references, and
+//! the catalog rename is the single commit point (the directory is fsynced
+//! before the commit so edge renames cannot reorder after it, and again
+//! after it before old files are swept) — a crash at any earlier step
+//! leaves the previous snapshot fully intact (plus harmless debris that
+//! the next successful save sweeps). After the commit, every `edge-*` file the new
+//! catalog does not reference is deleted, so shrinking the edge set,
+//! renumbering, or flipping the `gzip` flag cannot leave stale tables for a
+//! later `open` to trip over.
+//!
+//! ## What is persisted
+//!
+//! Every orientation *currently materialized in a slot* is written — both
+//! the orientations stored at ingest and any orientation that was lazily
+//! derived (and therefore cached) by an earlier query. A save/open cycle
+//! consequently never loses derivation work, and never re-derives what a
+//! previous process already paid for. Orientations never queried (hence
+//! never derived) are not invented at save time. The reuse predictor's
+//! signature tables are deliberately not persisted — they are a cache whose
+//! correctness is re-validated per process anyway (§VI.C re-confirms
+//! mappings after `m` calls).
+//!
+//! Version-1 directories (catalog magic `DSLGDB1`, un-checksummed v1 table
+//! files named `edge-<i>-<o>.tbl[.gz]`) remain fully readable; saving over
+//! one upgrades it to v2 in place.
 
-use super::{format, ArrayMeta, Edge, StorageManager};
+use super::{format, ArrayMeta, DiskTable, Edge, StorageManager, TableSource};
 use crate::error::{DslogError, Result};
-use crate::table::{CompressedTable, Orientation};
+use crate::table::Orientation;
+use dslog_codecs::crc32::crc32;
 use dslog_codecs::varint::{read_uvarint, write_uvarint};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::Arc;
 
-const CATALOG_MAGIC: &[u8; 8] = b"DSLGDB1\0";
+const CATALOG_MAGIC_V1: &[u8; 8] = b"DSLGDB1\0";
+const CATALOG_MAGIC_V2: &[u8; 8] = b"DSLGDB2\0";
 const CATALOG_FILE: &str = "catalog.dsl";
 
 fn write_string(buf: &mut Vec<u8>, s: &str) {
@@ -37,7 +66,9 @@ fn write_string(buf: &mut Vec<u8>, s: &str) {
 
 fn read_string(data: &[u8], pos: &mut usize) -> Result<String> {
     let len = read_uvarint(data, pos)? as usize;
-    if *pos + len > data.len() {
+    // Compare against the bytes actually left (`*pos + len` could wrap on a
+    // hostile varint; this form cannot overflow).
+    if *pos > data.len() || len > data.len() - *pos {
         return Err(DslogError::Corrupt("string runs past end of catalog"));
     }
     let s = std::str::from_utf8(&data[*pos..*pos + len])
@@ -47,27 +78,118 @@ fn read_string(data: &[u8], pos: &mut usize) -> Result<String> {
     Ok(s)
 }
 
-fn edge_file_name(idx: usize, orientation: Orientation, gzip: bool) -> String {
-    let o = match orientation {
+fn read_u32_le(data: &[u8], pos: &mut usize) -> Result<u32> {
+    let bytes = data
+        .get(*pos..*pos + 4)
+        .ok_or(DslogError::Corrupt("catalog truncated at checksum"))?;
+    *pos += 4;
+    Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+fn orientation_char(orientation: Orientation) -> char {
+    match orientation {
         Orientation::Backward => 'b',
         Orientation::Forward => 'f',
-    };
-    if gzip {
-        format!("edge-{idx}-{o}.tbl.gz")
-    } else {
-        format!("edge-{idx}-{o}.tbl")
     }
+}
+
+/// Legacy (v1 catalog) table file name.
+fn edge_file_name_v1(idx: usize, orientation: Orientation, gzip: bool) -> String {
+    let o = orientation_char(orientation);
+    let ext = if gzip { "tbl.gz" } else { "tbl" };
+    format!("edge-{idx}-{o}.{ext}")
+}
+
+/// Generation-qualified table file name (v2 catalogs). The generation makes
+/// the name unique per save, so an in-progress save can never clobber a
+/// file the committed catalog still references.
+fn edge_file_name(idx: usize, orientation: Orientation, gzip: bool, gen: u64) -> String {
+    let o = orientation_char(orientation);
+    let ext = if gzip { "tbl.gz" } else { "tbl" };
+    format!("edge-{idx}-{o}.g{gen}.{ext}")
+}
+
+/// Extract the generation from a `edge-<i>-<o>.g<gen>.…` file name (also
+/// matches leftover `.tmp` siblings). `None` for v1-style names.
+fn parse_generation(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("edge-")?;
+    let gpos = rest.find(".g")?;
+    let tail = &rest[gpos + 2..];
+    let digits = &tail[..tail.find('.').unwrap_or(tail.len())];
+    digits.parse().ok()
+}
+
+/// One generation past anything present in the directory — both the
+/// committed catalog's recorded generation and every generation visible in
+/// file names (leftover higher-generation debris from a crashed save must
+/// not be reused while a concurrent reader might still stat it).
+fn next_generation(dir: &Path) -> u64 {
+    let mut max_gen = 0;
+    if let Ok(bytes) = std::fs::read(dir.join(CATALOG_FILE)) {
+        if let Ok(catalog) = parse_catalog(&bytes) {
+            max_gen = catalog.generation;
+        }
+    }
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if let Some(name) = entry.file_name().to_str() {
+                if let Some(g) = parse_generation(name) {
+                    max_gen = max_gen.max(g);
+                }
+            }
+        }
+    }
+    max_gen.saturating_add(1)
+}
+
+/// Flush directory metadata so preceding renames/unlinks in `dir` are
+/// durable. Without this, a power loss can persist the catalog rename but
+/// not the edge-file renames it depends on. No-op error-wise on platforms
+/// where directories cannot be opened for sync.
+fn sync_dir(dir: &Path) -> Result<()> {
+    #[cfg(unix)]
+    {
+        let d = std::fs::File::open(dir).map_err(|e| DslogError::io("open database dir", e))?;
+        d.sync_all()
+            .map_err(|e| DslogError::io("sync database dir", e))?;
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
+/// Write `bytes` to `<path>.tmp`, flush, then rename over `path`.
+fn write_atomic(path: &Path, bytes: &[u8], what: &str) -> Result<()> {
+    let tmp = path.with_extension(match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{ext}.tmp"),
+        None => "tmp".to_string(),
+    });
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp).map_err(|e| DslogError::io(what, e))?;
+        f.write_all(bytes).map_err(|e| DslogError::io(what, e))?;
+        f.sync_all().map_err(|e| DslogError::io(what, e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| DslogError::io(what, e))
 }
 
 /// Persist a storage manager into `dir` (created if missing). With `gzip`
 /// the table files use the ProvRC-GZip disk format — the configuration the
 /// paper recommends for long-term storage.
+///
+/// The write is atomic (see the module docs): temp-file + rename for every
+/// file, catalog last as the commit point, stale files swept afterwards.
+/// Saving into a directory that holds an older snapshot — even one with a
+/// different edge set, numbering, or `gzip` flag — is safe and replaces it
+/// completely.
 pub fn save(storage: &StorageManager, dir: &Path, gzip: bool) -> Result<()> {
     std::fs::create_dir_all(dir).map_err(|e| DslogError::io("create database dir", e))?;
+    let gen = next_generation(dir);
 
     let mut catalog = Vec::new();
-    catalog.extend_from_slice(CATALOG_MAGIC);
+    catalog.extend_from_slice(CATALOG_MAGIC_V2);
     catalog.push(gzip as u8);
+    write_uvarint(&mut catalog, gen);
 
     // Arrays, sorted for deterministic bytes.
     let names = storage.array_names();
@@ -81,7 +203,10 @@ pub fn save(storage: &StorageManager, dir: &Path, gzip: bool) -> Result<()> {
         }
     }
 
-    // Edges, sorted by (in, out) for determinism.
+    // Edges, sorted by (in, out) for determinism. Edge files are fully
+    // written (and renamed into their generation-unique names) before the
+    // catalog that references them.
+    let mut referenced: HashSet<String> = HashSet::new();
     let mut keys: Vec<&(String, String)> = storage.edges.keys().collect();
     keys.sort();
     write_uvarint(&mut catalog, keys.len() as u64);
@@ -89,113 +214,397 @@ pub fn save(storage: &StorageManager, dir: &Path, gzip: bool) -> Result<()> {
         let edge = &storage.edges[*key];
         write_string(&mut catalog, &key.0);
         write_string(&mut catalog, &key.1);
-        let backward = edge.backward.read().clone();
-        let forward = edge.forward.read().clone();
+        // `plain_bytes` serializes loaded slots and streams lazily opened
+        // (OnDisk) slots as verified bytes — a save must not silently drop
+        // an edge no query touched, but it also must not decode and pin a
+        // whole lazily opened database just to re-write it. Nothing is
+        // derived here.
+        let backward = edge.plain_bytes(Orientation::Backward)?;
+        let forward = edge.plain_bytes(Orientation::Forward)?;
         let mask = (backward.is_some() as u8) | ((forward.is_some() as u8) << 1);
         if mask == 0 {
             return Err(DslogError::Corrupt("edge with no stored orientation"));
         }
         catalog.push(mask);
-        for (table, orientation) in [
+        for (plain, orientation) in [
             (backward, Orientation::Backward),
             (forward, Orientation::Forward),
         ] {
-            if let Some(table) = table {
+            if let Some(plain) = plain {
+                let raw_len = plain.len() as u64;
                 let bytes = if gzip {
-                    format::serialize_gzip(&table)
+                    dslog_codecs::gzip::compress(&plain)
                 } else {
-                    format::serialize(&table)
+                    plain
                 };
-                let path = dir.join(edge_file_name(idx, orientation, gzip));
-                std::fs::write(&path, bytes).map_err(|e| DslogError::io("write edge table", e))?;
+                let name = edge_file_name(idx, orientation, gzip, gen);
+                write_atomic(&dir.join(&name), &bytes, "write edge table")?;
+                write_string(&mut catalog, &name);
+                write_uvarint(&mut catalog, bytes.len() as u64);
+                catalog.extend_from_slice(&crc32(&bytes).to_le_bytes());
+                write_uvarint(&mut catalog, raw_len);
+                referenced.insert(name);
             }
         }
     }
 
-    std::fs::write(dir.join(CATALOG_FILE), catalog)
-        .map_err(|e| DslogError::io("write catalog", e))?;
+    // Self-checksum so catalog corruption is always detected at open.
+    let catalog_crc = crc32(&catalog);
+    catalog.extend_from_slice(&catalog_crc.to_le_bytes());
+
+    // Make the edge-file renames durable BEFORE the catalog can commit:
+    // directory entries have no ordering guarantee on power loss otherwise.
+    sync_dir(dir)?;
+
+    // Commit point: once this rename lands, the new snapshot is live.
+    write_atomic(&dir.join(CATALOG_FILE), &catalog, "write catalog")?;
+
+    // And make the commit itself durable before destroying old state.
+    sync_dir(dir)?;
+
+    // Sweep every edge file the committed catalog does not reference:
+    // previous generations, v1-style names, opposite-compression leftovers,
+    // and `.tmp` debris from crashed saves.
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale =
+                (name.starts_with("edge-") && !referenced.contains(name)) || name.ends_with(".tmp");
+            if stale {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
     Ok(())
 }
 
-/// Open a database directory written by [`save`].
-pub fn open(dir: &Path) -> Result<StorageManager> {
-    let catalog =
-        std::fs::read(dir.join(CATALOG_FILE)).map_err(|e| DslogError::io("read catalog", e))?;
-    if catalog.len() < CATALOG_MAGIC.len() + 1 || &catalog[..8] != CATALOG_MAGIC {
-        return Err(DslogError::Corrupt("bad catalog magic"));
+/// One table file referenced by a parsed catalog.
+struct FileRef {
+    name: String,
+    orientation: Orientation,
+    /// `(file byte length, crc32, plain serialized length)` — recorded by
+    /// v2 catalogs, absent in v1.
+    check: Option<(u64, u32, u64)>,
+}
+
+/// One edge entry of a parsed catalog.
+struct CatalogEdge {
+    in_name: String,
+    out_name: String,
+    files: Vec<FileRef>,
+}
+
+/// A parsed (and structurally validated) catalog.
+struct Catalog {
+    version: u8,
+    gzip: bool,
+    /// Snapshot generation (0 for v1 catalogs); the next save uses a
+    /// strictly larger one.
+    generation: u64,
+    arrays: HashMap<String, ArrayMeta>,
+    edges: Vec<CatalogEdge>,
+}
+
+fn parse_catalog(data: &[u8]) -> Result<Catalog> {
+    if data.len() < 9 {
+        return Err(DslogError::Corrupt("catalog too short"));
     }
-    let gzip = catalog[8] != 0;
+    let version = match &data[..8] {
+        m if m == CATALOG_MAGIC_V1 => 1,
+        m if m == CATALOG_MAGIC_V2 => 2,
+        _ => return Err(DslogError::Corrupt("bad catalog magic")),
+    };
+    let data = if version == 2 {
+        // v2 catalogs end in a crc32 trailer over everything before it;
+        // verify before parsing so any corruption is caught up front.
+        if data.len() < 13 {
+            return Err(DslogError::Corrupt("catalog too short"));
+        }
+        let (body, trailer) = data.split_at(data.len() - 4);
+        let stored = u32::from_le_bytes(trailer.try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(DslogError::Corrupt("catalog checksum mismatch"));
+        }
+        body
+    } else {
+        data
+    };
+    let gzip = data[8] != 0;
     let mut pos = 9usize;
+    let generation = if version == 2 {
+        read_uvarint(data, &mut pos)?
+    } else {
+        0
+    };
 
     let mut arrays = HashMap::new();
-    let n_arrays = read_uvarint(&catalog, &mut pos)? as usize;
+    let n_arrays = read_uvarint(data, &mut pos)? as usize;
     for _ in 0..n_arrays {
-        let name = read_string(&catalog, &mut pos)?;
-        let ndim = read_uvarint(&catalog, &mut pos)? as usize;
+        let name = read_string(data, &mut pos)?;
+        let ndim = read_uvarint(data, &mut pos)? as usize;
+        // Each dimension needs at least one byte; bound the pre-allocation
+        // by what the input could possibly still encode.
+        if ndim > data.len() - pos {
+            return Err(DslogError::Corrupt("array rank exceeds catalog size"));
+        }
         let mut shape = Vec::with_capacity(ndim);
         for _ in 0..ndim {
-            shape.push(read_uvarint(&catalog, &mut pos)? as usize);
+            shape.push(read_uvarint(data, &mut pos)? as usize);
         }
         arrays.insert(name, ArrayMeta { shape });
     }
 
-    let mut edges = HashMap::new();
-    let n_edges = read_uvarint(&catalog, &mut pos)? as usize;
+    let mut edges = Vec::new();
+    let n_edges = read_uvarint(data, &mut pos)? as usize;
     for idx in 0..n_edges {
-        let in_name = read_string(&catalog, &mut pos)?;
-        let out_name = read_string(&catalog, &mut pos)?;
-        if pos >= catalog.len() {
-            return Err(DslogError::Corrupt("catalog truncated at edge mask"));
+        let in_name = read_string(data, &mut pos)?;
+        let out_name = read_string(data, &mut pos)?;
+        if !arrays.contains_key(&out_name) {
+            return Err(DslogError::Corrupt("edge references unknown output array"));
         }
-        let mask = catalog[pos];
+        if !arrays.contains_key(&in_name) {
+            return Err(DslogError::Corrupt("edge references unknown input array"));
+        }
+        let &mask = data
+            .get(pos)
+            .ok_or(DslogError::Corrupt("catalog truncated at edge mask"))?;
         pos += 1;
         if mask == 0 || mask > 3 {
             return Err(DslogError::Corrupt("bad edge orientation mask"));
         }
-        let load = |orientation: Orientation| -> Result<Option<Arc<CompressedTable>>> {
-            let path = dir.join(edge_file_name(idx, orientation, gzip));
-            let bytes = std::fs::read(&path).map_err(|e| DslogError::io("read edge table", e))?;
-            let table = if gzip {
-                format::deserialize_gzip(&bytes)?
-            } else {
-                format::deserialize(&bytes)?
-            };
-            if table.orientation() != orientation {
-                return Err(DslogError::Corrupt("edge file orientation mismatch"));
+        let mut files = Vec::new();
+        for (bit, orientation) in [(1, Orientation::Backward), (2, Orientation::Forward)] {
+            if mask & bit == 0 {
+                continue;
             }
-            Ok(Some(Arc::new(table)))
-        };
-        let backward = if mask & 1 != 0 {
-            load(Orientation::Backward)?
-        } else {
-            None
-        };
-        let forward = if mask & 2 != 0 {
-            load(Orientation::Forward)?
-        } else {
-            None
-        };
+            let (name, check) = if version == 2 {
+                let name = read_string(data, &mut pos)?;
+                // Catalogs are untrusted input: a table reference must be
+                // a bare `edge-*` file name inside the database directory
+                // (no separators, so it can never escape it), and not a
+                // `.tmp` name the sweep would reclaim.
+                if !name.starts_with("edge-")
+                    || name.contains('/')
+                    || name.contains('\\')
+                    || name.ends_with(".tmp")
+                {
+                    return Err(DslogError::Corrupt(
+                        "catalog references an illegal file name",
+                    ));
+                }
+                let len = read_uvarint(data, &mut pos)?;
+                let crc = read_u32_le(data, &mut pos)?;
+                let raw_len = read_uvarint(data, &mut pos)?;
+                (name, Some((len, crc, raw_len)))
+            } else {
+                (edge_file_name_v1(idx, orientation, gzip), None)
+            };
+            files.push(FileRef {
+                name,
+                orientation,
+                check,
+            });
+        }
+        edges.push(CatalogEdge {
+            in_name,
+            out_name,
+            files,
+        });
+    }
+    Ok(Catalog {
+        version,
+        gzip,
+        generation,
+        arrays,
+        edges,
+    })
+}
 
-        let out_shape = arrays
-            .get(&out_name)
-            .ok_or(DslogError::Corrupt("edge references unknown output array"))?
-            .shape
-            .clone();
-        let in_shape = arrays
-            .get(&in_name)
-            .ok_or(DslogError::Corrupt("edge references unknown input array"))?
-            .shape
-            .clone();
+/// Read one table file and verify it against its catalog record when one
+/// exists: byte length, crc32, and — for gzip — the container's claimed
+/// uncompressed size vs the recorded plain length (so a later decompress
+/// is bounded by the catalog, not by whatever the file body claims).
+/// Returns the raw file bytes.
+pub(crate) fn read_verified_bytes(
+    path: &Path,
+    gzip: bool,
+    check: Option<(u64, u32, u64)>,
+) -> Result<Vec<u8>> {
+    let bytes = std::fs::read(path).map_err(|e| DslogError::io("read edge table", e))?;
+    if let Some((len, crc, raw_len)) = check {
+        if bytes.len() as u64 != len {
+            return Err(DslogError::Corrupt("edge file length mismatch"));
+        }
+        if crc32(&bytes) != crc {
+            return Err(DslogError::Corrupt("edge file checksum mismatch"));
+        }
+        if gzip && dslog_codecs::gzip::declared_len(&bytes)? != raw_len {
+            return Err(DslogError::Corrupt("edge file declared size mismatch"));
+        }
+    }
+    Ok(bytes)
+}
+
+/// Read + fully validate one table file (length/crc when recorded, then
+/// structural decode, then orientation agreement with the catalog). Both
+/// eager open and the lazy `DiskTable::load` path go through here, so
+/// verification can never diverge between the two.
+pub(crate) fn load_table_file(
+    path: &Path,
+    gzip: bool,
+    orientation: Orientation,
+    check: Option<(u64, u32, u64)>,
+) -> Result<crate::table::CompressedTable> {
+    let bytes = read_verified_bytes(path, gzip, check)?;
+    let table = if gzip {
+        format::deserialize_gzip(&bytes)?
+    } else {
+        format::deserialize(&bytes)?
+    };
+    if table.orientation() != orientation {
+        return Err(DslogError::Corrupt("edge file orientation mismatch"));
+    }
+    Ok(table)
+}
+
+fn open_impl(dir: &Path, lazy: bool) -> Result<StorageManager> {
+    let bytes =
+        std::fs::read(dir.join(CATALOG_FILE)).map_err(|e| DslogError::io("read catalog", e))?;
+    let catalog = parse_catalog(&bytes)?;
+
+    let mut edges = HashMap::new();
+    for entry in catalog.edges {
+        let mut backward = None;
+        let mut forward = None;
+        for fref in entry.files {
+            let path = dir.join(&fref.name);
+            let source = match (lazy, fref.check) {
+                // Lazy open needs the catalog-recorded checksum to defer
+                // verification; v1 catalogs have none, so they always load
+                // eagerly. The O(1) existence + length check here catches
+                // missing or truncated files at open time.
+                (true, Some((len, crc, raw_len))) => {
+                    let meta = std::fs::metadata(&path)
+                        .map_err(|e| DslogError::io("stat edge table", e))?;
+                    if meta.len() != len {
+                        return Err(DslogError::Corrupt("edge file length mismatch"));
+                    }
+                    TableSource::OnDisk(DiskTable {
+                        path,
+                        gzip: catalog.gzip,
+                        len,
+                        crc,
+                        raw_len,
+                        orientation: fref.orientation,
+                    })
+                }
+                _ => TableSource::Loaded(Arc::new(load_table_file(
+                    &path,
+                    catalog.gzip,
+                    fref.orientation,
+                    fref.check,
+                )?)),
+            };
+            match fref.orientation {
+                Orientation::Backward => backward = Some(source),
+                Orientation::Forward => forward = Some(source),
+            }
+        }
+
+        let out_shape = catalog.arrays[&entry.out_name].shape.clone();
+        let in_shape = catalog.arrays[&entry.in_name].shape.clone();
         edges.insert(
-            (in_name, out_name),
+            (entry.in_name, entry.out_name),
             Edge::new(backward, forward, out_shape, in_shape),
         );
     }
 
     Ok(StorageManager {
-        arrays,
+        arrays: catalog.arrays,
         edges,
         materialize: None,
+    })
+}
+
+/// Open a database directory written by [`save`], eagerly decoding every
+/// table file (and verifying each against its catalog checksum).
+pub fn open(dir: &Path) -> Result<StorageManager> {
+    open_impl(dir, false)
+}
+
+/// Open a database directory in O(catalog): table files are only stat'd
+/// (existence + length) now and read, checksum-verified, and decoded on
+/// the first `resolve_hop` that needs them. Directories written by the v1
+/// code (no recorded checksums) fall back to an eager open.
+pub fn open_lazy(dir: &Path) -> Result<StorageManager> {
+    open_impl(dir, true)
+}
+
+/// What [`verify`] found in a healthy database directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Catalog format version (1 or 2).
+    pub catalog_version: u8,
+    /// Whether table files use the gzip disk format.
+    pub gzip: bool,
+    /// Arrays declared by the catalog.
+    pub n_arrays: usize,
+    /// Edges declared by the catalog.
+    pub n_edges: usize,
+    /// Table files read, checksum-verified, and structurally decoded.
+    pub files_verified: usize,
+    /// `edge-*` / `*.tmp` files present but not referenced by the catalog
+    /// (debris from a crashed save — harmless, swept by the next save).
+    pub stale_files: Vec<String>,
+}
+
+/// Walk a database directory and validate everything the catalog claims:
+/// every referenced table file exists, matches its recorded byte length and
+/// crc32 (v2), decodes structurally, and stores the orientation the catalog
+/// says. Returns a report on success; any damage is an `Err`. Unreferenced
+/// `edge-*`/`*.tmp` debris is reported, not treated as damage.
+pub fn verify(dir: &Path) -> Result<VerifyReport> {
+    let bytes =
+        std::fs::read(dir.join(CATALOG_FILE)).map_err(|e| DslogError::io("read catalog", e))?;
+    let catalog = parse_catalog(&bytes)?;
+
+    let mut referenced: HashSet<&str> = HashSet::new();
+    let mut files_verified = 0usize;
+    for entry in &catalog.edges {
+        for fref in &entry.files {
+            load_table_file(
+                &dir.join(&fref.name),
+                catalog.gzip,
+                fref.orientation,
+                fref.check,
+            )?;
+            referenced.insert(&fref.name);
+            files_verified += 1;
+        }
+    }
+
+    let mut stale_files = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if let Some(name) = entry.file_name().to_str() {
+                let is_debris = (name.starts_with("edge-") && !referenced.contains(name))
+                    || name.ends_with(".tmp");
+                if is_debris {
+                    stale_files.push(name.to_string());
+                }
+            }
+        }
+    }
+    stale_files.sort();
+
+    Ok(VerifyReport {
+        catalog_version: catalog.version,
+        gzip: catalog.gzip,
+        n_arrays: catalog.arrays.len(),
+        n_edges: catalog.edges.len(),
+        files_verified,
+        stale_files,
     })
 }
 
@@ -231,6 +640,19 @@ mod tests {
         s
     }
 
+    /// Edge table files currently referenced by the committed catalog.
+    fn referenced_edge_files(dir: &Path) -> Vec<String> {
+        let report = verify(dir).unwrap();
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .flatten()
+            .filter_map(|e| e.file_name().to_str().map(str::to_string))
+            .filter(|n| n.starts_with("edge-") && !report.stale_files.contains(n))
+            .collect();
+        names.sort();
+        names
+    }
+
     #[test]
     fn save_open_roundtrip_plain_and_gzip() {
         for gzip in [false, true] {
@@ -251,14 +673,74 @@ mod tests {
     }
 
     #[test]
-    fn derived_orientations_are_not_persisted() {
+    fn lazy_open_matches_eager_open() {
+        for gzip in [false, true] {
+            let dir = temp_dir(if gzip { "lazy-gz" } else { "lazy" });
+            let original = sample_manager();
+            save(&original, &dir, gzip).unwrap();
+            let lazy = open_lazy(&dir).unwrap();
+            let eager = open(&dir).unwrap();
+            assert_eq!(lazy.array_names(), eager.array_names());
+            // Reported storage size must not depend on open mode (the
+            // catalog records the plain serialized length for this).
+            assert_eq!(lazy.storage_bytes(), eager.storage_bytes(), "gzip={gzip}");
+            // First touch loads + verifies; result identical to eager.
+            for (a, b) in [("A", "B"), ("B", "C")] {
+                let t1 = lazy.stored_table(a, b, Orientation::Backward).unwrap();
+                let t2 = eager.stored_table(a, b, Orientation::Backward).unwrap();
+                assert_eq!(*t1, *t2, "edge {a}->{b}, gzip={gzip}");
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn lazy_open_detects_corruption_on_first_touch() {
+        let dir = temp_dir("lazy-corrupt");
+        let s = sample_manager();
+        save(&s, &dir, false).unwrap();
+        // Flip payload bytes in one edge file without changing its length:
+        // the O(catalog) open succeeds, the first resolve must fail.
+        let name = referenced_edge_files(&dir).remove(0);
+        let path = dir.join(&name);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xAA;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let lazy = open_lazy(&dir).unwrap();
+        assert!(matches!(
+            lazy.resolve_hop("B", "A"),
+            Err(DslogError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lazy_open_rejects_truncated_file_up_front() {
+        let dir = temp_dir("lazy-trunc");
+        let s = sample_manager();
+        save(&s, &dir, false).unwrap();
+        let name = referenced_edge_files(&dir).remove(0);
+        let path = dir.join(&name);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        // Length recorded in the catalog no longer matches: even the lazy
+        // open refuses immediately.
+        assert!(matches!(open_lazy(&dir), Err(DslogError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn derived_orientations_are_persisted_once_cached() {
         let dir = temp_dir("derived");
         let s = sample_manager();
-        // Force forward derivation (cached in memory only at this point).
+        // Force forward derivation (cached in the slot from here on).
         s.resolve_hop("A", "B").unwrap();
         save(&s, &dir, false).unwrap();
-        // The derived forward table IS saved (it was materialized in the
-        // slot), so re-opening resolves it without deriving again.
+        // The derived forward table IS saved — any orientation cached in a
+        // slot at save time is written — so re-opening resolves it without
+        // deriving again.
         let reopened = open(&dir).unwrap();
         let (t, _) = reopened.resolve_hop("A", "B").unwrap();
         assert_eq!(t.orientation(), Orientation::Forward);
@@ -310,6 +792,7 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         assert!(open(&dir).is_err());
+        assert!(verify(&dir).is_err());
 
         // Bad magic.
         let mut bad = bytes.clone();
@@ -325,14 +808,16 @@ mod tests {
         let dir = temp_dir("edgecorrupt");
         let s = sample_manager();
         save(&s, &dir, false).unwrap();
-        // Flip bytes in the first edge file.
-        let edge_path = dir.join(edge_file_name(0, Orientation::Backward, false));
+        // Flip bytes in the first referenced edge file.
+        let name = referenced_edge_files(&dir).remove(0);
+        let edge_path = dir.join(&name);
         let mut bytes = std::fs::read(&edge_path).unwrap();
         for b in bytes.iter_mut().take(8) {
             *b ^= 0xAA;
         }
         std::fs::write(&edge_path, bytes).unwrap();
         assert!(open(&dir).is_err());
+        assert!(verify(&dir).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -341,8 +826,249 @@ mod tests {
         let dir = temp_dir("missingedge");
         let s = sample_manager();
         save(&s, &dir, false).unwrap();
-        std::fs::remove_file(dir.join(edge_file_name(0, Orientation::Backward, false))).unwrap();
+        let name = referenced_edge_files(&dir).remove(0);
+        std::fs::remove_file(dir.join(&name)).unwrap();
         assert!(matches!(open(&dir), Err(DslogError::Io(_))));
+        assert!(verify(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resave_sweeps_stale_edge_files() {
+        let dir = temp_dir("sweep");
+        // Snapshot 1: two edges.
+        let s = sample_manager();
+        save(&s, &dir, false).unwrap();
+        let before = referenced_edge_files(&dir);
+        assert_eq!(before.len(), 2);
+
+        // Snapshot 2 into the same directory: ONE edge, different key — the
+        // old files must be gone afterwards and open must see only the new
+        // edge set.
+        let mut small = StorageManager::new();
+        small.define_array("X", &[2]).unwrap();
+        small.define_array("Y", &[2]).unwrap();
+        let mut t = LineageTable::new(1, 1);
+        t.push_row(&[0, 1]);
+        t.push_row(&[1, 0]);
+        small.ingest_lineage("X", "Y", &t).unwrap();
+        save(&small, &dir, false).unwrap();
+
+        let reopened = open(&dir).unwrap();
+        assert_eq!(reopened.n_edges(), 1);
+        assert!(reopened.has_edge("X", "Y"));
+        assert!(!reopened.has_edge("A", "B"));
+        for old in &before {
+            assert!(!dir.join(old).exists(), "stale file {old} survived");
+        }
+        assert!(verify(&dir).unwrap().stale_files.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gzip_plain_transitions_leave_no_leftovers() {
+        let dir = temp_dir("gzflip");
+        let s = sample_manager();
+        for gzip in [true, false, true] {
+            save(&s, &dir, gzip).unwrap();
+            let report = verify(&dir).unwrap();
+            assert_eq!(report.gzip, gzip);
+            assert!(report.stale_files.is_empty(), "{:?}", report.stale_files);
+            let reopened = open(&dir).unwrap();
+            assert_eq!(reopened.n_edges(), 2);
+            // Every edge file on disk matches the active compression mode.
+            for name in referenced_edge_files(&dir) {
+                assert_eq!(name.ends_with(".gz"), gzip, "{name}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_edge_write_and_catalog_commit_keeps_old_snapshot() {
+        let dir = temp_dir("crash");
+        let s = sample_manager();
+        save(&s, &dir, false).unwrap();
+
+        // Simulate a save that died after writing new-generation edge files
+        // and a catalog temp file, but before the catalog rename (the
+        // commit point): the debris must not affect the live snapshot.
+        std::fs::write(dir.join("edge-0-b.g99.tbl"), b"partial garbage").unwrap();
+        std::fs::write(dir.join("edge-1-b.g99.tbl.tmp"), b"more garbage").unwrap();
+        std::fs::write(dir.join("catalog.dsl.tmp"), b"uncommitted catalog").unwrap();
+
+        let reopened = open(&dir).unwrap();
+        assert_eq!(reopened.n_edges(), 2);
+        let (t, _) = reopened.resolve_hop("B", "A").unwrap();
+        assert_eq!(t.orientation(), Orientation::Backward);
+        let report = verify(&dir).unwrap();
+        assert_eq!(report.files_verified, 2);
+        assert!(!report.stale_files.is_empty());
+
+        // The next successful save reclaims the debris.
+        save(&s, &dir, false).unwrap();
+        assert!(verify(&dir).unwrap().stale_files.is_empty());
+        assert!(!dir.join("edge-0-b.g99.tbl").exists());
+        assert!(!dir.join("catalog.dsl.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_directory_still_opens() {
+        // Hand-write a v1 database (old catalog magic, un-checksummed v1
+        // table bytes, legacy file names) and check both open paths and
+        // verify still accept it.
+        let dir = temp_dir("v1compat");
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = sample_manager();
+
+        let mut catalog = Vec::new();
+        catalog.extend_from_slice(CATALOG_MAGIC_V1);
+        catalog.push(0); // plain
+        let names = s.array_names();
+        write_uvarint(&mut catalog, names.len() as u64);
+        for name in &names {
+            let meta = s.array(name).unwrap();
+            write_string(&mut catalog, name);
+            write_uvarint(&mut catalog, meta.shape.len() as u64);
+            for &d in &meta.shape {
+                write_uvarint(&mut catalog, d as u64);
+            }
+        }
+        let mut keys: Vec<&(String, String)> = s.edges.keys().collect();
+        keys.sort();
+        write_uvarint(&mut catalog, keys.len() as u64);
+        for (idx, key) in keys.iter().enumerate() {
+            let edge = &s.edges[*key];
+            write_string(&mut catalog, &key.0);
+            write_string(&mut catalog, &key.1);
+            catalog.push(1); // backward only
+            let table = edge.stored(Orientation::Backward, false).unwrap().unwrap();
+            std::fs::write(
+                dir.join(edge_file_name_v1(idx, Orientation::Backward, false)),
+                format::serialize_v1(&table),
+            )
+            .unwrap();
+        }
+        std::fs::write(dir.join(CATALOG_FILE), catalog).unwrap();
+
+        for opened in [open(&dir).unwrap(), open_lazy(&dir).unwrap()] {
+            assert_eq!(opened.n_edges(), 2);
+            let t = opened
+                .stored_table("A", "B", Orientation::Backward)
+                .unwrap();
+            let orig = s.stored_table("A", "B", Orientation::Backward).unwrap();
+            assert_eq!(*t, *orig);
+        }
+        let report = verify(&dir).unwrap();
+        assert_eq!(report.catalog_version, 1);
+        assert_eq!(report.files_verified, 2);
+
+        // Saving over the v1 directory upgrades it to v2 and sweeps the
+        // legacy file names.
+        save(&s, &dir, false).unwrap();
+        let report = verify(&dir).unwrap();
+        assert_eq!(report.catalog_version, 2);
+        assert!(report.stale_files.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn catalog_with_path_escaping_file_name_rejected() {
+        let dir = temp_dir("escape");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Plant a perfectly decodable table file OUTSIDE the database dir.
+        let s = sample_manager();
+        let table = s.stored_table("A", "B", Orientation::Backward).unwrap();
+        let bytes = format::serialize(&table);
+        let outside = std::env::temp_dir().join(format!("dslog-escape-{}.tbl", std::process::id()));
+        std::fs::write(&outside, &bytes).unwrap();
+
+        // Hand-build an otherwise-valid v2 catalog (correct crc trailer)
+        // whose edge file reference tries to traverse out of the dir.
+        let mut catalog = Vec::new();
+        catalog.extend_from_slice(CATALOG_MAGIC_V2);
+        catalog.push(0); // plain
+        write_uvarint(&mut catalog, 1); // generation
+        write_uvarint(&mut catalog, 2); // arrays
+        for (name, shape) in [("A", vec![3usize, 2]), ("B", vec![3])] {
+            write_string(&mut catalog, name);
+            write_uvarint(&mut catalog, shape.len() as u64);
+            for d in shape {
+                write_uvarint(&mut catalog, d as u64);
+            }
+        }
+        write_uvarint(&mut catalog, 1); // one edge
+        write_string(&mut catalog, "A");
+        write_string(&mut catalog, "B");
+        catalog.push(1); // backward only
+        let evil = format!("../{}", outside.file_name().unwrap().to_str().unwrap());
+        write_string(&mut catalog, &evil);
+        write_uvarint(&mut catalog, bytes.len() as u64);
+        catalog.extend_from_slice(&crc32(&bytes).to_le_bytes());
+        write_uvarint(&mut catalog, bytes.len() as u64);
+        let trailer = crc32(&catalog);
+        catalog.extend_from_slice(&trailer.to_le_bytes());
+        std::fs::write(dir.join(CATALOG_FILE), &catalog).unwrap();
+
+        for result in [
+            open(&dir).map(drop),
+            open_lazy(&dir).map(drop),
+            verify(&dir).map(drop),
+        ] {
+            assert!(
+                matches!(
+                    result,
+                    Err(DslogError::Corrupt(
+                        "catalog references an illegal file name"
+                    ))
+                ),
+                "{result:?}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_file(&outside).unwrap();
+    }
+
+    #[test]
+    fn saving_a_lazily_opened_database_streams_bytes() {
+        for (save_gzip, resave_gzip) in [(false, false), (false, true), (true, false)] {
+            let dir = temp_dir(&format!("lazysave-{save_gzip}-{resave_gzip}"));
+            let dir2 = temp_dir(&format!("lazysave2-{save_gzip}-{resave_gzip}"));
+            save(&sample_manager(), &dir, save_gzip).unwrap();
+
+            // Re-save a lazily opened database without touching any edge:
+            // contents must roundtrip bit-exactly at the table level, in
+            // both same-compression and flipped-compression modes.
+            let lazy = open_lazy(&dir).unwrap();
+            save(&lazy, &dir2, resave_gzip).unwrap();
+            assert!(verify(&dir2).unwrap().stale_files.is_empty());
+            let reopened = open(&dir2).unwrap();
+            let original = open(&dir).unwrap();
+            for (a, b) in [("A", "B"), ("B", "C")] {
+                assert_eq!(
+                    *original.stored_table(a, b, Orientation::Backward).unwrap(),
+                    *reopened.stored_table(a, b, Orientation::Backward).unwrap(),
+                );
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+            std::fs::remove_dir_all(&dir2).unwrap();
+        }
+    }
+
+    #[test]
+    fn verify_reports_healthy_database() {
+        let dir = temp_dir("verify");
+        let s = sample_manager();
+        s.resolve_hop("A", "B").unwrap(); // cache a derived forward table
+        save(&s, &dir, true).unwrap();
+        let report = verify(&dir).unwrap();
+        assert_eq!(report.catalog_version, 2);
+        assert!(report.gzip);
+        assert_eq!(report.n_arrays, 3);
+        assert_eq!(report.n_edges, 2);
+        assert_eq!(report.files_verified, 3); // A->B both + B->C backward
+        assert!(report.stale_files.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -159,6 +159,37 @@ impl CompressedTable {
         }
     }
 
+    /// Assemble a table directly from columnar cell storage (the
+    /// deserializer's fast path: no per-row `Vec<Cell>` temporaries).
+    /// All columns must have equal length; the symbolic-cell count is
+    /// recomputed here.
+    pub(crate) fn from_columns(
+        orientation: Orientation,
+        primary_arity: usize,
+        secondary_arity: usize,
+        extents: Vec<i64>,
+        columns: Vec<Vec<Cell>>,
+    ) -> Self {
+        assert!(primary_arity > 0 && secondary_arity > 0);
+        assert_eq!(extents.len(), primary_arity + secondary_arity);
+        assert_eq!(columns.len(), primary_arity + secondary_arity);
+        debug_assert!(columns.iter().all(|c| c.len() == columns[0].len()));
+        let sym_count = columns
+            .iter()
+            .flat_map(|c| c.iter())
+            .filter(|c| c.is_sym())
+            .count();
+        Self {
+            orientation,
+            primary_arity,
+            secondary_arity,
+            extents,
+            columns,
+            sym_count,
+            index: OnceLock::new(),
+        }
+    }
+
     /// The stored orientation.
     pub fn orientation(&self) -> Orientation {
         self.orientation

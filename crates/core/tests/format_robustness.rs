@@ -40,13 +40,16 @@ fn symbolic_table() -> CompressedTable {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
-    /// Plain and gzip serialization roundtrip exactly.
+    /// Plain and gzip serialization roundtrip exactly, and legacy v1 bytes
+    /// (no checksum trailer) still parse to the same table.
     #[test]
     fn roundtrip_exact(table in arb_compressed()) {
         let bytes = format::serialize(&table);
         prop_assert_eq!(&format::deserialize(&bytes).unwrap(), &table);
         let gz = format::serialize_gzip(&table);
         prop_assert_eq!(&format::deserialize_gzip(&gz).unwrap(), &table);
+        let v1 = format::serialize_v1(&table);
+        prop_assert_eq!(&format::deserialize(&v1).unwrap(), &table);
     }
 
     /// Truncation at any point errors, never panics.
@@ -59,12 +62,26 @@ proptest! {
         }
     }
 
-    /// A single flipped byte anywhere either errors or yields a table that
-    /// still satisfies basic invariants (the header CRC-free format cannot
-    /// detect every payload flip; it must never panic or mis-shape).
+    /// A single flipped bit anywhere in a v2 file is ALWAYS rejected: the
+    /// crc32 trailer detects every single-bit error by construction, and
+    /// rejection must be an `Err`, never a panic.
     #[test]
-    fn bitflip_never_panics(table in arb_compressed(), pos in any::<prop::sample::Index>(), bit in 0u8..8) {
+    fn v2_bitflip_always_rejected(table in arb_compressed(), pos in any::<prop::sample::Index>(), bit in 0u8..8) {
         let mut bytes = format::serialize(&table);
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let i = pos.index(bytes.len());
+        bytes[i] ^= 1 << bit;
+        prop_assert!(format::deserialize(&bytes).is_err(), "flip at {i} accepted");
+    }
+
+    /// Legacy v1 files have no checksum: a flipped byte there either errors
+    /// or yields a structurally sane table (never a panic, never a
+    /// mis-shaped one).
+    #[test]
+    fn v1_bitflip_never_panics(table in arb_compressed(), pos in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let mut bytes = format::serialize_v1(&table);
         if bytes.is_empty() {
             return Ok(());
         }

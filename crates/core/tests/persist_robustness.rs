@@ -1,0 +1,225 @@
+//! Hostile-input and crash-safety properties of the persistence layer.
+//!
+//! The contract under test: **no byte sequence** fed to
+//! `format::deserialize`, `format::deserialize_gzip`, or `persist::open`
+//! may panic or allocate more than a small constant factor of the input
+//! length — corrupt input always surfaces as `Err`. And a save that dies
+//! anywhere before the catalog rename leaves the previous snapshot fully
+//! openable.
+
+use dslog::api::{Dslog, TableCapture};
+use dslog::storage::format;
+use dslog::storage::persist;
+use dslog::table::LineageTable;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dslog-persist-prop-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sample_db() -> Dslog {
+    let mut db = Dslog::new();
+    db.define_array("A", &[6, 2]).unwrap();
+    db.define_array("B", &[6]).unwrap();
+    let mut t = LineageTable::new(1, 2);
+    for i in 0..6 {
+        for j in 0..2 {
+            t.push_row(&[i, i, j]);
+        }
+    }
+    db.add_lineage("A", "B", &TableCapture::new(t)).unwrap();
+    db
+}
+
+/// A saved database directory's files, as (name, bytes) pairs.
+fn dir_files(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .map(|e| {
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    files
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Entirely random bytes never panic the table decoders. A random
+    /// buffer passing 4-byte magic + checksum validation is beyond
+    /// vanishing, so an `Err` is also asserted outright.
+    #[test]
+    fn random_bytes_into_deserialize(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert!(format::deserialize(&bytes).is_err());
+        prop_assert!(format::deserialize_gzip(&bytes).is_err());
+    }
+
+    /// Random bytes with a valid magic prefix stapled on still never
+    /// panic (this drives execution past the cheap header checks into the
+    /// count/budget validation paths).
+    #[test]
+    fn magic_prefixed_garbage_never_panics(
+        version in prop_oneof![Just(1u8), Just(2u8), any::<u8>()],
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut data = b"DSPC".to_vec();
+        data.push(version);
+        data.extend_from_slice(&bytes);
+        let _ = format::deserialize(&data); // must return, not panic
+        let mut gz = b"DSGZ".to_vec();
+        gz.extend_from_slice(&bytes);
+        let _ = format::deserialize_gzip(&gz);
+    }
+
+    /// Truncating a valid v2 file anywhere is always rejected.
+    #[test]
+    fn truncated_table_rejected(cut_frac in 0.0f64..1.0) {
+        let db = sample_db();
+        let table = db
+            .storage()
+            .stored_table("A", "B", dslog::table::Orientation::Backward)
+            .unwrap();
+        let bytes = format::serialize(&table);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(format::deserialize(&bytes[..cut]).is_err());
+        }
+        let gz = format::serialize_gzip(&table);
+        let cut = ((gz.len() as f64) * cut_frac) as usize;
+        if cut < gz.len() {
+            prop_assert!(format::deserialize_gzip(&gz[..cut]).is_err());
+        }
+    }
+
+    /// Flipping any single bit of any file in a saved database directory
+    /// must make `open` fail — both catalog and table files carry crc32s,
+    /// and a lazy open must fail no later than first touch.
+    #[test]
+    fn any_bitflip_in_database_dir_fails_open(
+        file_pick in any::<prop::sample::Index>(),
+        byte_pick in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+        gzip in any::<bool>(),
+    ) {
+        let dir = temp_dir(if gzip { "flip-gz" } else { "flip" });
+        sample_db().save(&dir, gzip).unwrap();
+        let files = dir_files(&dir);
+        let (name, bytes) = &files[file_pick.index(files.len())];
+        let mut corrupted = bytes.clone();
+        let i = byte_pick.index(corrupted.len());
+        corrupted[i] ^= 1 << bit;
+        std::fs::write(dir.join(name), &corrupted).unwrap();
+
+        prop_assert!(Dslog::open(&dir).is_err(), "{name} byte {i} accepted");
+        let lazily = Dslog::open_lazy(&dir)
+            .and_then(|db| db.prov_query(&["B", "A"], &[vec![1]]).map(drop));
+        prop_assert!(lazily.is_err(), "{name} byte {i} accepted lazily");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Crash-mid-save: starting from a committed snapshot, overlay any
+    /// prefix of a later (different) save's file writes WITHOUT the catalog
+    /// commit — the old snapshot must still open and answer queries.
+    #[test]
+    fn crash_before_catalog_commit_preserves_old_snapshot(keep_frac in 0.0f64..1.0) {
+        let dir = temp_dir("crashprop");
+        let db = sample_db();
+        db.save(&dir, false).unwrap();
+        let committed = dir_files(&dir);
+
+        // Produce the would-be next snapshot in a scratch dir (an extra
+        // edge, so file sets differ), then replay a prefix of its files
+        // into the live dir as an aborted save would have left them.
+        let scratch = temp_dir("crashprop-scratch");
+        let mut bigger = sample_db();
+        bigger.define_array("C", &[6]).unwrap();
+        let mut t = LineageTable::new(1, 1);
+        for i in 0..6 {
+            t.push_row(&[i, 5 - i]);
+        }
+        bigger.add_lineage("B", "C", &TableCapture::new(t)).unwrap();
+        bigger.save(&scratch, true).unwrap();
+        let next_files = dir_files(&scratch);
+
+        let keep = ((next_files.len() as f64) * keep_frac) as usize;
+        for (name, bytes) in next_files.iter().take(keep) {
+            if name == "catalog.dsl" {
+                // The aborted save never reached the commit rename; its
+                // catalog exists only as the temp sibling.
+                std::fs::write(dir.join("catalog.dsl.tmp"), bytes).unwrap();
+            } else {
+                std::fs::write(dir.join(name), bytes).unwrap();
+            }
+        }
+
+        // Old snapshot intact: catalog untouched, every referenced file
+        // untouched (generation naming ⇒ no collisions with the overlay).
+        for (name, bytes) in &committed {
+            prop_assert_eq!(&std::fs::read(dir.join(name)).unwrap(), bytes, "{} clobbered", name);
+        }
+        let reopened = Dslog::open(&dir).unwrap();
+        let r = reopened.prov_query(&["B", "A"], &[vec![1]]).unwrap();
+        prop_assert!(r.cells.contains_cell(&[1, 0]));
+        prop_assert!(r.cells.contains_cell(&[1, 1]));
+        prop_assert!(persist::verify(&dir).is_ok());
+
+        // And a subsequent successful save sweeps the debris.
+        reopened.save(&dir, false).unwrap();
+        prop_assert!(persist::verify(&dir).unwrap().stale_files.is_empty());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&scratch).unwrap();
+    }
+}
+
+#[test]
+fn open_on_random_catalog_bytes_errors() {
+    let dir = temp_dir("randcat");
+    std::fs::create_dir_all(&dir).unwrap();
+    // A few adversarial catalogs: random, huge claimed counts, valid magic.
+    for bytes in [
+        b"totally not a catalog".to_vec(),
+        {
+            let mut b = b"DSLGDB2\0".to_vec();
+            b.push(0);
+            b.extend_from_slice(&[0xff; 64]); // huge varints everywhere
+            b
+        },
+        {
+            let mut b = b"DSLGDB1\0".to_vec();
+            b.push(0);
+            b.extend_from_slice(&[0xff; 64]);
+            b
+        },
+        Vec::new(),
+    ] {
+        std::fs::write(dir.join("catalog.dsl"), &bytes).unwrap();
+        assert!(Dslog::open(&dir).is_err());
+        assert!(Dslog::open_lazy(&dir).is_err());
+        assert!(persist::verify(&dir).is_err());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn verify_passes_on_fresh_saves_in_both_modes() {
+    for (tag, gzip) in [("vplain", false), ("vgz", true)] {
+        let dir = temp_dir(tag);
+        let db = sample_db();
+        db.save(&dir, gzip).unwrap();
+        let report = persist::verify(&dir).unwrap();
+        assert_eq!(report.catalog_version, 2);
+        assert_eq!(report.gzip, gzip);
+        assert_eq!(report.n_edges, 1);
+        assert!(report.stale_files.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,163 @@
+//! Compression-pipeline scaling bench: rows vs p50 compress latency, fast
+//! columnar pipeline vs the row-of-structs ablation, across the three
+//! canonical edge regimes (one-to-one, convolution window, incompressible
+//! scatter — `dslog_workloads::edges`). Tracks the perf trajectory of the
+//! capture path; the acceptance bar is fast ≥ 5× ablation at 100k rows on
+//! at least one workload, with identical output on every edge.
+//!
+//! Emits an aligned table on stdout and machine-readable
+//! `BENCH_compress.json` in the working directory. Every measured pair is
+//! asserted bit-identical (fast ≡ ablation), so running this binary at any
+//! scale doubles as a parity smoke gate (CI runs `--scale 0.01`).
+//!
+//! Run: `cargo run -p dslog-bench --release --bin compress_scaling [--scale f]`
+
+use dslog::provrc::{self, CompressOptions};
+use dslog::storage::format;
+use dslog::table::{LineageTable, Orientation};
+use dslog_bench::{cli_scale_seed, secs, timed, TextTable};
+use std::fmt::Write as _;
+
+/// Median of a sample of seconds.
+fn p50(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+struct Point {
+    edge: &'static str,
+    rows: usize,
+    compressed_rows: usize,
+    fast_p50: f64,
+    ablation_p50: f64,
+    /// Serialized ProvRC bytes as a percentage of raw bytes.
+    ratio_pct: f64,
+    /// Fast-pipeline ingest throughput.
+    rows_per_s: f64,
+    mb_per_s: f64,
+}
+
+fn measure(
+    edge: &'static str,
+    table: &LineageTable,
+    out_shape: &[usize],
+    in_shape: &[usize],
+    reps: usize,
+) -> Point {
+    let fast_opts = CompressOptions::default();
+    let ablation_opts = CompressOptions {
+        fast: false,
+        ..CompressOptions::default()
+    };
+
+    // Parity check before timing: the pipelines must agree bit-for-bit.
+    let fast = provrc::compress_opts(table, out_shape, in_shape, Orientation::Backward, fast_opts);
+    let ablation = provrc::compress_opts(
+        table,
+        out_shape,
+        in_shape,
+        Orientation::Backward,
+        ablation_opts,
+    );
+    assert_eq!(
+        fast.n_rows(),
+        ablation.n_rows(),
+        "fast/ablation row-count disagreement on {edge}"
+    );
+    assert_eq!(fast, ablation, "fast/ablation disagreement on {edge}");
+
+    let run = |opts: CompressOptions| {
+        let mut samples: Vec<f64> = (0..reps)
+            .map(|_| {
+                timed(|| {
+                    provrc::compress_opts(table, out_shape, in_shape, Orientation::Backward, opts)
+                })
+                .1
+            })
+            .collect();
+        p50(&mut samples)
+    };
+
+    let fast_p50 = run(fast_opts);
+    let ablation_p50 = run(ablation_opts);
+    let raw_bytes = table.nbytes();
+    let compressed_bytes = format::serialize(&fast).len();
+    Point {
+        edge,
+        rows: table.n_rows(),
+        compressed_rows: fast.n_rows(),
+        fast_p50,
+        ablation_p50,
+        ratio_pct: 100.0 * compressed_bytes as f64 / raw_bytes.max(1) as f64,
+        rows_per_s: table.n_rows() as f64 / fast_p50.max(1e-12),
+        mb_per_s: raw_bytes as f64 / 1_048_576.0 / fast_p50.max(1e-12),
+    }
+}
+
+fn main() {
+    let (scale, _seed) = cli_scale_seed();
+    println!("compress_scaling — ProvRC fast columnar pipeline vs ablation (scale {scale})");
+
+    let sizes = [1_000usize, 10_000, 100_000];
+    let mut table = TextTable::new(&[
+        "edge",
+        "rows",
+        "compressed",
+        "fast p50",
+        "ablation p50",
+        "speedup",
+        "ratio %",
+        "rows/s",
+        "MB/s raw",
+    ]);
+    let mut json_rows = String::new();
+    let mut reps_used = 0usize;
+    for &base in &sizes {
+        let rows = ((base as f64 * scale) as usize).max(100);
+        // Fewer reps at the largest scale keeps the ablation side bounded.
+        let reps = if rows >= 100_000 { 5 } else { 9 };
+        reps_used = reps;
+        for (edge, lineage, out_shape, in_shape) in dslog_workloads::edges::all(rows) {
+            let pt = measure(edge, &lineage, &out_shape, &in_shape, reps);
+            let speedup = pt.ablation_p50 / pt.fast_p50.max(1e-12);
+            table.row(&[
+                pt.edge.to_string(),
+                pt.rows.to_string(),
+                pt.compressed_rows.to_string(),
+                secs(pt.fast_p50),
+                secs(pt.ablation_p50),
+                format!("{speedup:.1}x"),
+                format!("{:.4}", pt.ratio_pct),
+                format!("{:.2e}", pt.rows_per_s),
+                format!("{:.1}", pt.mb_per_s),
+            ]);
+            if !json_rows.is_empty() {
+                json_rows.push(',');
+            }
+            write!(
+                json_rows,
+                "{{\"edge\":\"{}\",\"rows\":{},\"compressed_rows\":{},\"fast_p50_s\":{:.9},\
+                 \"ablation_p50_s\":{:.9},\"speedup\":{:.2},\"ratio_pct\":{:.4},\
+                 \"rows_per_s\":{:.0},\"mb_per_s_raw\":{:.2}}}",
+                pt.edge,
+                pt.rows,
+                pt.compressed_rows,
+                pt.fast_p50,
+                pt.ablation_p50,
+                speedup,
+                pt.ratio_pct,
+                pt.rows_per_s,
+                pt.mb_per_s
+            )
+            .unwrap();
+        }
+    }
+    println!("{}", table.render());
+
+    let json = format!(
+        "{{\"bench\":\"compress_scaling\",\"scale\":{scale},\"reps\":{reps_used},\
+         \"orientation\":\"backward\",\"series\":[{json_rows}]}}\n"
+    );
+    std::fs::write("BENCH_compress.json", &json).expect("write BENCH_compress.json");
+    println!("wrote BENCH_compress.json");
+}

@@ -12,21 +12,9 @@
 //! Run: `cargo run -p dslog-bench --release --bin persist_scaling [--scale f]`
 
 use dslog::api::{Dslog, TableCapture};
-use dslog::table::LineageTable;
 use dslog_bench::{cli_scale_seed, secs, timed, TextTable};
+use dslog_workloads::edges;
 use std::fmt::Write as _;
-
-/// Scatter lineage `B[i] ← A[h(i)]` with a mixing hash: ProvRC finds no
-/// ranges to merge, so the table file grows with the row count — the
-/// regime where persistence costs dominate.
-fn scatter_lineage(n: usize) -> LineageTable {
-    let mut t = LineageTable::new(1, 1);
-    for i in 0..n as i64 {
-        let h = (i.wrapping_mul(2654435761) & i64::MAX) % n as i64;
-        t.push_row(&[i, h]);
-    }
-    t
-}
 
 struct Point {
     rows: usize,
@@ -57,7 +45,11 @@ fn measure(rows: usize, gzip: bool) -> Point {
     let mut db = Dslog::new();
     db.define_array("A", &[rows]).unwrap();
     db.define_array("B", &[rows]).unwrap();
-    db.add_lineage("A", "B", &TableCapture::new(scatter_lineage(rows)))
+    // Incompressible scatter edge (`edges::scatter`): ProvRC finds no
+    // ranges to merge, so the table file grows with the row count — the
+    // regime where persistence costs dominate.
+    let (lineage, _, _) = edges::scatter(rows);
+    db.add_lineage("A", "B", &TableCapture::new(lineage))
         .unwrap();
 
     let (_, save_s) = timed(|| db.save(&dir, gzip).unwrap());

@@ -10,21 +10,9 @@
 
 use dslog::api::{Dslog, TableCapture};
 use dslog::query::QueryOptions;
-use dslog::table::LineageTable;
 use dslog_bench::{cli_scale_seed, secs, timed, TextTable};
+use dslog_workloads::edges;
 use std::fmt::Write as _;
-
-/// Scatter lineage `B[i] ← A[h(i)]` with a mixing hash, so ProvRC finds no
-/// ranges to merge and the compressed table keeps ~n rows — the regime
-/// where the access path (probe vs scan) dominates query latency.
-fn scatter_lineage(n: usize) -> LineageTable {
-    let mut t = LineageTable::new(1, 1);
-    for i in 0..n as i64 {
-        let h = (i.wrapping_mul(2654435761) & i64::MAX) % n as i64;
-        t.push_row(&[i, h]);
-    }
-    t
-}
 
 /// Median of a sample of seconds.
 fn p50(samples: &mut [f64]) -> f64 {
@@ -43,7 +31,11 @@ fn measure(rows: usize, reps: usize) -> Point {
     let mut db = Dslog::new();
     db.define_array("A", &[rows]).unwrap();
     db.define_array("B", &[rows]).unwrap();
-    db.add_lineage("A", "B", &TableCapture::new(scatter_lineage(rows)))
+    // Incompressible scatter edge (`edges::scatter`): the compressed table
+    // keeps ~n rows — the regime where the access path (probe vs scan)
+    // dominates query latency.
+    let (lineage, _, _) = edges::scatter(rows);
+    db.add_lineage("A", "B", &TableCapture::new(lineage))
         .unwrap();
     let compressed_rows = db
         .storage()

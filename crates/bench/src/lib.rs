@@ -12,6 +12,7 @@
 //! | `table10` | Table X — Kaggle workflow compressibility study | `… --bin table10` |
 //! | `query_scaling` | rows vs p50 latency, indexed vs scan (writes `BENCH_query.json`) | `… --bin query_scaling` |
 //! | `persist_scaling` | save / eager-open / lazy-open timings, plain vs gzip (writes `BENCH_persist.json`) | `… --bin persist_scaling` |
+//! | `compress_scaling` | rows vs p50 compress latency, fast columnar pipeline vs ablation (writes `BENCH_compress.json`; doubles as the fast ≡ ablation smoke gate) | `… --bin compress_scaling` |
 //!
 //! Criterion micro-benchmarks live under `benches/` (compression latency,
 //! query latency, ProvRC internals, and the merge/parallel ablations).

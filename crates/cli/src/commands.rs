@@ -21,7 +21,7 @@ USAGE:
   dslog query     --db DIR --path B,A --cells \"1;2;0\" [--no-merge] [--scan] [--stats] [--lazy]
   dslog export    --db DIR --edge IN,OUT [--csv FILE]
   dslog db verify DIR
-  dslog compress  --csv FILE --out-arity N
+  dslog compress  --csv FILE --out-arity N [--no-fast]
   dslog help
 
 A database is a directory of ProvRC-compressed lineage tables plus a
@@ -36,6 +36,10 @@ Saves are atomic (temp-file + rename, catalog-last commit) and table
 files are crc32-checksummed. `db verify` walks a database and exits
 non-zero on any damage. `--lazy` opens in O(catalog), loading and
 verifying each edge table on first use.
+
+`compress` reports per-format sizes plus ProvRC throughput (rows/s and
+raw MB/s); `--no-fast` swaps the columnar fast pipeline for the
+row-of-structs ablation (bit-identical output, for benchmarking).
 "
     .to_string()
 }
@@ -246,11 +250,15 @@ pub fn db(args: &[String]) -> Result<String, String> {
     }
 }
 
-/// `dslog compress`: compare every storage format on a CSV relation.
+/// `dslog compress`: compare every storage format on a CSV relation and
+/// report ProvRC compression throughput. `--no-fast` selects the
+/// row-of-structs ablation pipeline (bit-identical output, for
+/// benchmarking the columnar pipeline against its reference).
 pub fn compress(args: &[String]) -> Result<String, String> {
     let opts = Opts::parse(args)?;
     let csv_path = opts.required("csv")?;
     let out_arity = opts.required_usize("out-arity")?;
+    let no_fast = opts.switch("no-fast");
     let text = std::fs::read_to_string(csv_path).map_err(|e| format!("read {csv_path}: {e}"))?;
 
     // Infer total arity from the first data row.
@@ -283,7 +291,19 @@ pub fn compress(args: &[String]) -> Result<String, String> {
         .iter()
         .map(|f| (f.name().to_string(), f.encode(&table).len()))
         .collect();
-    let provrc_table = provrc::compress(&table, &out_shape, &in_shape, Orientation::Backward);
+    let compress_opts = provrc::CompressOptions {
+        fast: !no_fast,
+        ..provrc::CompressOptions::default()
+    };
+    let start = std::time::Instant::now();
+    let provrc_table = provrc::compress_opts(
+        &table,
+        &out_shape,
+        &in_shape,
+        Orientation::Backward,
+        compress_opts,
+    );
+    let compress_secs = start.elapsed().as_secs_f64().max(1e-9);
     rows.push((
         "ProvRC".to_string(),
         provrc_format::serialize(&provrc_table).len(),
@@ -296,10 +316,21 @@ pub fn compress(args: &[String]) -> Result<String, String> {
     let mut out = String::new();
     writeln!(
         out,
-        "{} rows, {} output + {} input attributes, {raw_bytes} B raw\n",
+        "{} rows, {} output + {} input attributes, {raw_bytes} B raw",
         table.n_rows(),
         out_arity,
         arity - out_arity
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "ProvRC ({} pipeline): {} -> {} rows in {:.3}ms ({:.3e} rows/s, {:.1} MB/s raw)\n",
+        if no_fast { "ablation" } else { "fast" },
+        table.n_rows(),
+        provrc_table.n_rows(),
+        compress_secs * 1e3,
+        table.n_rows() as f64 / compress_secs,
+        raw_bytes as f64 / 1_048_576.0 / compress_secs,
     )
     .unwrap();
     writeln!(out, "{:<14} {:>12} {:>10}", "format", "bytes", "% of raw").unwrap();

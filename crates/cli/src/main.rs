@@ -135,6 +135,34 @@ mod tests {
         for fmt in ["Raw", "Parquet", "Turbo-RC", "ProvRC"] {
             assert!(out.contains(fmt), "missing {fmt} in:\n{out}");
         }
+        assert!(out.contains("rows/s"), "missing throughput in:\n{out}");
+        assert!(out.contains("fast pipeline"), "{out}");
+        let _ = std::fs::remove_file(&csv);
+    }
+
+    #[test]
+    fn compress_no_fast_selects_ablation_with_identical_sizes() {
+        let csv = write_sum_csv("compress-ablation");
+        let fast = run(&s(&["compress", "--csv", &csv, "--out-arity", "1"])).unwrap();
+        let slow = run(&s(&[
+            "compress",
+            "--csv",
+            &csv,
+            "--out-arity",
+            "1",
+            "--no-fast",
+        ]))
+        .unwrap();
+        assert!(slow.contains("ablation pipeline"), "{slow}");
+        // The pipelines are bit-identical, so every reported size line
+        // matches; only the throughput line may differ.
+        let sizes = |text: &str| -> Vec<String> {
+            text.lines()
+                .filter(|l| l.contains("ProvRC") && !l.contains("pipeline"))
+                .map(|l| l.to_string())
+                .collect()
+        };
+        assert_eq!(sizes(&fast), sizes(&slow));
         let _ = std::fs::remove_file(&csv);
     }
 

@@ -11,7 +11,15 @@ pub struct Opts {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["gzip", "no-merge", "forward-store", "scan", "stats", "lazy"];
+const SWITCHES: &[&str] = &[
+    "gzip",
+    "no-merge",
+    "forward-store",
+    "scan",
+    "stats",
+    "lazy",
+    "no-fast",
+];
 
 impl Opts {
     /// Parse `--key value` / `--switch` arguments; rejects positionals.

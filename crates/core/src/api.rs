@@ -92,6 +92,19 @@ impl Dslog {
         self.storage.set_materialize(m);
     }
 
+    /// Override the compression options used by every capture-path
+    /// compress: `add_lineage` / `register_operation` ingest and on-demand
+    /// orientation derivation. `fast = false` selects the row-of-structs
+    /// ablation pipeline (bit-identical output, for benchmarking).
+    pub fn set_compress_options(&mut self, opts: crate::provrc::CompressOptions) {
+        self.storage.set_compress_options(opts);
+    }
+
+    /// The compression options the capture path currently runs with.
+    pub fn compress_options(&self) -> crate::provrc::CompressOptions {
+        self.storage.compress_options()
+    }
+
     /// Enable/disable the per-hop merge step (the `DSLog-NoMerge` ablation).
     pub fn set_merge(&mut self, merge: bool) {
         self.query_options.merge = merge;

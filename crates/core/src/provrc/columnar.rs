@@ -1,0 +1,1422 @@
+//! The high-throughput columnar ProvRC pipeline (`CompressOptions::fast`).
+//!
+//! Same pass structure — and pass-for-pass *identical output* — as the
+//! row-of-structs reference implementation in [`super::range_encode`] /
+//! [`super::relative`] (the `fast = false` ablation; parity is pinned by
+//! the `provrc_fast_parity` property suite), but engineered for ingest
+//! throughput:
+//!
+//! * **Columnar arena.** The working set lives struct-of-arrays: one
+//!   `Vec<Interval>` per primary attribute, one `Vec<WCell>` per secondary
+//!   attribute, double-buffered so a pass writes merged rows into reusable
+//!   scratch columns. No per-row heap allocations (`WRow` carries two) and
+//!   no pointer chasing inside comparators.
+//! * **Bit-packed sort keys.** Every pass's conceptual sort key is a fixed
+//!   vector of order-preserving `u64` words (sign-flipped `i64`s). A
+//!   column-major stats sweep finds the words that actually vary (constant
+//!   words and words row-wise equal to their predecessor — e.g. `hi == lo`
+//!   for point intervals — are dropped; both eliminations provably
+//!   preserve the comparator), then the surviving words are range-reduced
+//!   and bit-packed. Real passes almost always fit 64 or 128 bits, so a
+//!   comparison never touches a key buffer, let alone calls `cell_key` /
+//!   `sec_key`.
+//! * **Radix sort + sorted fast path.** Keys packed into a `u64` sort with
+//!   a linear LSD radix sort (`(key, row id)` pairs, stable, hence
+//!   deterministic); an O(n) pre-check skips sorting entirely when the
+//!   pass order is already sorted — the common case for structured
+//!   lineage, where each pass's output order nearly matches the next
+//!   pass's key. Wider keys fall back to comparison sorts (parallel merge
+//!   sort above `CompressOptions::parallel_threshold`).
+//! * **Mask pruning.** A rel-mask bit is *live* only if some active row has
+//!   a still-absolute cell in that column *and* a singleton target
+//!   attribute — otherwise toggling it provably cannot change the pass's
+//!   comparator or its conversions. Masks are projected onto the live bits
+//!   and a projection that already ran on the current row set (no merges
+//!   since) is skipped: the skipped pass is guaranteed to be a no-op, so
+//!   the output stays exactly the ablation's.
+//! * **Zero-copy no-op passes.** A pass that merges nothing does not
+//!   rewrite the arena: row order is irrelevant to later passes (each
+//!   re-sorts, and distinct rows never compare equal), so only the final
+//!   pass's permutation is remembered and applied when the table is
+//!   materialized.
+//! * **Scoped-thread parallelism.** Above the size threshold, wide-key
+//!   sorts run as a parallel merge sort and the merge scan is chunked on
+//!   run boundaries across `std::thread::scope` workers. Both are
+//!   deterministic: the key order is total on distinct rows, and scan
+//!   chunks are aligned to group starts, so threaded results equal serial
+//!   ones bit-for-bit.
+
+use super::relative::{masks_for, WCell};
+use super::CompressOptions;
+use crate::interval::Interval;
+use crate::table::{Cell, CompressedTable, LineageTable, Orientation};
+use std::cmp::Ordering;
+
+/// Order-preserving `i64 → u64` map: flips the sign bit so unsigned
+/// comparison of the images matches signed comparison of the preimages.
+#[inline]
+fn ord64(v: i64) -> u64 {
+    (v as u64) ^ (1 << 63)
+}
+
+/// Comparison-sort pairs below this row count; radix-sort at or above it.
+const RADIX_MIN: usize = 1 << 13;
+
+/// An in-progress merge run over the sorted permutation: `first` is the row
+/// whose cells seed the output row, `hi` the accumulated end of the target
+/// interval, `merged` whether ≥ 2 rows were absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Run {
+    first: u32,
+    hi: i64,
+    merged: bool,
+}
+
+/// Compress with the columnar pipeline. Output is identical to the
+/// reference implementation (`CompressOptions { fast: false, .. }`).
+pub(super) fn compress(
+    table: &LineageTable,
+    out_shape: &[usize],
+    in_shape: &[usize],
+    orientation: Orientation,
+    opts: CompressOptions,
+) -> CompressedTable {
+    let (prim_arity, sec_arity) = match orientation {
+        Orientation::Backward => (table.out_arity(), table.in_arity()),
+        Orientation::Forward => (table.in_arity(), table.out_arity()),
+    };
+    let mut arena = Arena::build(table, orientation, prim_arity, sec_arity, opts);
+    // Step 1: multi-attribute range encoding over secondary attributes,
+    // last attribute first (paper: a_m, …, a_1).
+    for k in (0..sec_arity).rev() {
+        arena.secondary_pass(k);
+    }
+    // Step 2: relative transformation + range encoding over primary
+    // attributes, last attribute first (paper: b_l, …, b_1). Attribute 0
+    // runs last: its final pass fixes the output row order.
+    for j in (0..prim_arity).rev() {
+        arena.primary_passes(j, j == 0);
+    }
+    arena.into_table(orientation, out_shape, in_shape)
+}
+
+/// Running min/max of one key word plus whether it equals the previous
+/// word of the same cell on every row (in which case it carries no extra
+/// ordering information and is dropped from the packed key).
+#[derive(Debug, Clone, Copy)]
+struct WordStat {
+    min: u64,
+    max: u64,
+    eq_prev: bool,
+}
+
+impl WordStat {
+    const EMPTY: WordStat = WordStat {
+        min: u64::MAX,
+        max: 0,
+        eq_prev: false,
+    };
+
+    #[inline]
+    fn update(&mut self, v: u64) {
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+/// One surviving key word in the packed representation.
+#[derive(Debug, Clone, Copy)]
+struct KeptWord {
+    /// Index in the pass's conceptual word vector.
+    word: usize,
+    /// Bit width of `max − min`.
+    width: u32,
+    /// Subtracted before packing.
+    min: u64,
+}
+
+/// How the current pass's keys are represented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KeyMode {
+    /// All surviving words fit 64 packed bits.
+    Packed64,
+    /// All surviving words fit 128 packed bits.
+    Packed128,
+    /// Wider: full word vectors with prefix-accelerated comparisons.
+    Wide,
+}
+
+/// Pack layout decided from the word stats.
+struct Plan {
+    mode: KeyMode,
+    /// Packed bits of the surviving *target* words (they pack last, i.e.
+    /// into the low bits, so the group prefix is a right shift away).
+    target_bits: u32,
+    /// Total packed bits (`Packed64` / `Packed128` only).
+    total_bits: u32,
+}
+
+/// The four packed `cell_key` words of step 1 (see `range_encode`).
+#[inline]
+fn cell_key_words(cell: WCell) -> [u64; 4] {
+    match cell {
+        WCell::Abs(ivl) => [0, ord64(ivl.lo), ord64(ivl.hi), 0],
+        WCell::Rel { anchor, delta } => [1, u64::from(anchor), ord64(delta.lo), ord64(delta.hi)],
+    }
+}
+
+/// The four packed `sec_key` words of step 2 (see `relative`): tag 0 abs,
+/// 1 abs-by-delta (point target), 2 abs kept absolute under an interval
+/// target, 3 already relative.
+#[inline]
+fn sec_key_words(cell: WCell, want_rel: bool, prim_j: Interval) -> [u64; 4] {
+    match cell {
+        WCell::Abs(ivl) => {
+            if want_rel {
+                if prim_j.is_point() {
+                    [1, ord64(ivl.lo - prim_j.lo), ord64(ivl.hi - prim_j.lo), 0]
+                } else {
+                    [2, ord64(ivl.lo), ord64(ivl.hi), 0]
+                }
+            } else {
+                [0, ord64(ivl.lo), ord64(ivl.hi), 0]
+            }
+        }
+        WCell::Rel { anchor, delta } => [3, u64::from(anchor), ord64(delta.lo), ord64(delta.hi)],
+    }
+}
+
+/// The double-buffered columnar working set plus every pass's scratch
+/// buffers, allocated once and reused across all `O(64 × prim_arity)`
+/// mask passes of a compression.
+struct Arena {
+    prim_arity: usize,
+    sec_arity: usize,
+    /// Active row count; all column vectors have this length.
+    n: usize,
+    /// `prim[k][r]` is row `r`'s primary attribute `k`.
+    prim: Vec<Vec<Interval>>,
+    /// `sec[k][r]` is row `r`'s secondary attribute `k`.
+    sec: Vec<Vec<WCell>>,
+    prim_next: Vec<Vec<Interval>>,
+    sec_next: Vec<Vec<WCell>>,
+    /// Per-word stats of the current pass.
+    stats: Vec<WordStat>,
+    /// Surviving words of the current pass, in word order.
+    kept: Vec<KeptWord>,
+    /// `(packed key, row id)` pairs for the `Packed64` mode.
+    pairs64: Vec<(u64, u32)>,
+    pairs64_tmp: Vec<(u64, u32)>,
+    /// `(packed key, row id)` pairs for the `Packed128` mode.
+    pairs128: Vec<(u128, u32)>,
+    pairs128_tmp: Vec<(u128, u32)>,
+    /// Radix-sort bucket counters.
+    counts: Vec<u32>,
+    /// Full key words (`Wide` mode only), `w` per row.
+    wide_keys: Vec<u64>,
+    wide_sort: Vec<(u128, u32)>,
+    wide_tmp: Vec<(u128, u32)>,
+    runs: Vec<Run>,
+    /// Sorted order of the most recent pass when that pass skipped
+    /// materialization (zero merges); the arena columns are then still in
+    /// the previous order and the final table emission applies this.
+    last_perm: Vec<u32>,
+    last_perm_valid: bool,
+    /// Worker count for in-pass parallelism (1 = serial).
+    threads: usize,
+    /// Minimum active rows before a pass uses threads.
+    par_threshold: usize,
+}
+
+impl Arena {
+    /// Build the columnar working set directly from the raw relation:
+    /// rows are visited through the sorted-unique permutation, folding
+    /// normalization (set semantics) into the column build without
+    /// materializing a normalized copy.
+    fn build(
+        table: &LineageTable,
+        orientation: Orientation,
+        prim_arity: usize,
+        sec_arity: usize,
+        opts: CompressOptions,
+    ) -> Arena {
+        let (prim_off, sec_off) = match orientation {
+            Orientation::Backward => (0, table.out_arity()),
+            Orientation::Forward => (table.out_arity(), 0),
+        };
+        // Normalization (sorted set semantics) folds into the column build.
+        // Capture paths usually emit rows already strictly sorted — one
+        // linear pre-check then skips the permutation sort entirely.
+        let arity = table.arity();
+        let raw = table.raw();
+        let already_sorted_unique = raw
+            .chunks_exact(arity)
+            .zip(raw.chunks_exact(arity).skip(1))
+            .all(|(x, y)| x < y);
+        let fill = |rows: &mut dyn Iterator<Item = &[i64]>,
+                    prim: &mut [Vec<Interval>],
+                    sec: &mut [Vec<WCell>]| {
+            for row in rows {
+                for (k, col) in prim.iter_mut().enumerate() {
+                    col.push(Interval::point(row[prim_off + k]));
+                }
+                for (k, col) in sec.iter_mut().enumerate() {
+                    col.push(WCell::Abs(Interval::point(row[sec_off + k])));
+                }
+            }
+        };
+        let n;
+        let mut prim;
+        let mut sec;
+        if already_sorted_unique {
+            n = table.n_rows();
+            prim = vec![Vec::with_capacity(n); prim_arity];
+            sec = vec![Vec::with_capacity(n); sec_arity];
+            fill(&mut table.rows(), &mut prim, &mut sec);
+        } else {
+            let order = table.sorted_unique_row_perm();
+            n = order.len();
+            prim = vec![Vec::with_capacity(n); prim_arity];
+            sec = vec![Vec::with_capacity(n); sec_arity];
+            fill(
+                &mut order.iter().map(|&r| table.row(r as usize)),
+                &mut prim,
+                &mut sec,
+            );
+        }
+        let threads = if opts.parallel {
+            std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1)
+        } else {
+            1
+        };
+        Arena {
+            prim_arity,
+            sec_arity,
+            n,
+            prim,
+            sec,
+            prim_next: (0..prim_arity).map(|_| Vec::with_capacity(n)).collect(),
+            sec_next: (0..sec_arity).map(|_| Vec::with_capacity(n)).collect(),
+            stats: Vec::new(),
+            kept: Vec::new(),
+            pairs64: Vec::new(),
+            pairs64_tmp: Vec::new(),
+            pairs128: Vec::new(),
+            pairs128_tmp: Vec::new(),
+            counts: Vec::new(),
+            wide_keys: Vec::new(),
+            wide_sort: Vec::new(),
+            wide_tmp: Vec::new(),
+            runs: Vec::new(),
+            last_perm: Vec::new(),
+            last_perm_valid: false,
+            threads,
+            par_threshold: opts.parallel_threshold.max(1),
+        }
+    }
+
+    /// Worker count for the current pass (1 below the size threshold).
+    fn pass_chunks(&self) -> usize {
+        if self.threads > 1 && self.n >= self.par_threshold {
+            self.threads
+        } else {
+            1
+        }
+    }
+
+    /// Decide the key representation from `self.stats`. Words are dropped
+    /// when constant (`min == max`) or row-wise equal to their predecessor;
+    /// neither can change any comparison: the first word on which two rows
+    /// differ is always kept (a dropped word's value is determined by an
+    /// earlier word). Survivors are range-reduced to `max − min` and
+    /// packed most-significant-first, so packed-integer order equals
+    /// word-vector order.
+    fn build_plan(&mut self, w: usize, target_words: usize) -> Plan {
+        self.kept.clear();
+        let mut total: u32 = 0;
+        let mut target: u32 = 0;
+        for (i, s) in self.stats.iter().enumerate() {
+            if s.max <= s.min || s.eq_prev {
+                continue;
+            }
+            let width = 64 - (s.max - s.min).leading_zeros();
+            self.kept.push(KeptWord {
+                word: i,
+                width,
+                min: s.min,
+            });
+            total = total.saturating_add(width);
+            if i >= w - target_words {
+                target += width;
+            }
+        }
+        let mode = if total <= 64 {
+            KeyMode::Packed64
+        } else if total <= 128 {
+            KeyMode::Packed128
+        } else {
+            KeyMode::Wide
+        };
+        Plan {
+            mode,
+            target_bits: target,
+            total_bits: total,
+        }
+    }
+
+    /// Step-1 pass on secondary attribute `k`: sort by (all primary
+    /// attributes, all secondary attributes except `k`, then `k`) and merge
+    /// exactly-concatenating absolute runs on `k`.
+    fn secondary_pass(&mut self, k: usize) {
+        if self.n <= 1 {
+            return;
+        }
+        let w = 2 * self.prim_arity + 4 * self.sec_arity;
+
+        // Column-major stats sweep in pass word order.
+        self.stats.clear();
+        for col in &self.prim {
+            push_prim_stats(&mut self.stats, col);
+        }
+        for i in sec_order(self.sec_arity, k) {
+            push_cell_stats(&mut self.stats, &self.sec[i]);
+        }
+        let plan = self.build_plan(w, 4);
+
+        let n = self.n;
+        let (prim_arity, sec_arity) = (self.prim_arity, self.sec_arity);
+        let chunks = self.pass_chunks();
+        {
+            let Self {
+                prim,
+                sec,
+                kept,
+                pairs64,
+                pairs64_tmp,
+                pairs128,
+                pairs128_tmp,
+                counts,
+                wide_keys,
+                wide_sort,
+                wide_tmp,
+                ..
+            } = self;
+            let source =
+                |word: usize| word_source_secondary(prim, sec, prim_arity, sec_arity, word, k);
+            match plan.mode {
+                KeyMode::Packed64 => {
+                    pack_columns_u64(pairs64, n, kept, plan.total_bits, source);
+                    sort_pairs_u64(pairs64, pairs64_tmp, counts, plan.total_bits);
+                }
+                KeyMode::Packed128 => {
+                    pack_columns_u128(pairs128, n, kept, plan.total_bits, source);
+                    sort_pairs_u128(pairs128, pairs128_tmp, chunks);
+                }
+                KeyMode::Wide => {
+                    wide_keys.clear();
+                    wide_keys.reserve(n * w);
+                    for r in 0..n {
+                        for col in prim.iter() {
+                            let ivl = col[r];
+                            wide_keys.push(ord64(ivl.lo));
+                            wide_keys.push(ord64(ivl.hi));
+                        }
+                        for i in sec_order(sec_arity, k) {
+                            wide_keys.extend_from_slice(&cell_key_words(sec[i][r]));
+                        }
+                    }
+                    sort_wide(wide_sort, wide_tmp, wide_keys, w, n, chunks);
+                }
+            }
+        }
+
+        let sec_k = &self.sec[k];
+        let init_hi = |first: u32| match sec_k[first as usize] {
+            WCell::Abs(ivl) => ivl.hi,
+            // A relative cell never extends; the accumulator is unused.
+            WCell::Rel { .. } => i64::MIN,
+        };
+        let extend =
+            |first: u32, hi: i64, cur: u32| match (sec_k[first as usize], sec_k[cur as usize]) {
+                (WCell::Abs(_), WCell::Abs(c)) if hi + 1 == c.lo => Some(c.hi),
+                _ => None,
+            };
+        scan_by_mode(
+            plan.mode,
+            &self.pairs64,
+            &self.pairs128,
+            &self.wide_sort,
+            &self.wide_keys,
+            w,
+            w - 4,
+            plan.target_bits,
+            &mut self.runs,
+            chunks,
+            init_hi,
+            extend,
+        );
+
+        if self.runs.len() == self.n {
+            // Zero merges: keep the arena untouched (order is irrelevant to
+            // later passes) and remember the sorted order for emission.
+            self.record_perm(plan.mode);
+            return;
+        }
+
+        // Materialize the runs column-major into the scratch columns.
+        let runs = &self.runs;
+        for (col, next) in self.prim.iter().zip(self.prim_next.iter_mut()) {
+            next.clear();
+            next.extend(runs.iter().map(|run| col[run.first as usize]));
+        }
+        for (i, (col, next)) in self.sec.iter().zip(self.sec_next.iter_mut()).enumerate() {
+            next.clear();
+            if i == k {
+                next.extend(runs.iter().map(|run| {
+                    let cell = col[run.first as usize];
+                    match cell {
+                        WCell::Abs(ivl) if run.merged => WCell::Abs(Interval::new(ivl.lo, run.hi)),
+                        _ => cell,
+                    }
+                }));
+            } else {
+                next.extend(runs.iter().map(|run| col[run.first as usize]));
+            }
+        }
+        self.n = self.runs.len();
+        std::mem::swap(&mut self.prim, &mut self.prim_next);
+        std::mem::swap(&mut self.sec, &mut self.sec_next);
+        self.last_perm_valid = false;
+    }
+
+    /// Bit `i` of the result is set iff toggling rel-mask bit `i` can
+    /// change a pass on primary attribute `j`: some active row must hold a
+    /// still-absolute cell in secondary column `i` *and* a singleton target
+    /// attribute (otherwise the toggle flips key tags `0 ↔ 2` uniformly,
+    /// which alters no comparison outcome and enables no conversion).
+    fn live_mask(&self, j: usize) -> u64 {
+        let pj = &self.prim[j];
+        let mut live = 0u64;
+        for (i, col) in self.sec.iter().enumerate().take(64) {
+            let bit = col
+                .iter()
+                .zip(pj.iter())
+                .any(|(c, p)| matches!(c, WCell::Abs(_)) && p.is_point());
+            if bit {
+                live |= 1u64 << i;
+            }
+        }
+        live
+    }
+
+    /// Run the combo passes for primary attribute `j`, skipping masks whose
+    /// live-bit projection already ran on the current row set with zero
+    /// merges (a guaranteed no-op; see [`Self::live_mask`]).
+    ///
+    /// With `finalize_order` (the last primary attribute), the ablation's
+    /// trailing all-absolute pass (mask 0) — whose sort fixes the output
+    /// row order — is re-run if the last executed pass used a different
+    /// comparator class. With the full ≤ 2^6 mask enumeration, projection
+    /// 0 is provably the last *new* projection, so this never fires; it
+    /// defends the row-order invariant against the > 6-attribute heuristic
+    /// list, where singleton masks enumerate after the first all-absolute
+    /// projection.
+    fn primary_passes(&mut self, j: usize, finalize_order: bool) {
+        let masks = masks_for(self.sec_arity);
+        let mut live = self.live_mask(j);
+        let mut tried: Vec<u64> = Vec::new();
+        let mut last_proj: Option<u64> = None;
+        for &mask in masks {
+            if self.n <= 1 {
+                break;
+            }
+            let proj = mask & live;
+            if tried.contains(&proj) {
+                continue;
+            }
+            let before = self.n;
+            self.primary_pass(j, proj);
+            last_proj = Some(proj);
+            if self.n < before {
+                // Merges (and their abs → rel conversions) changed the row
+                // set: previously no-op projections may be productive now.
+                tried.clear();
+                live = self.live_mask(j);
+            } else {
+                tried.push(proj);
+            }
+        }
+        if finalize_order && self.n > 1 && last_proj != Some(0) {
+            // Merge-wise a guaranteed no-op (projection 0 is in `tried`),
+            // but it re-establishes the ablation's final row order.
+            self.primary_pass(j, 0);
+        }
+    }
+
+    /// Step-2 pass on primary attribute `j` under rel-mask `mask`: sort by
+    /// (other primary attributes, masked secondary keys, then `j`) and
+    /// merge exactly-concatenating runs, converting masked absolute cells
+    /// of point-anchored runs into relative ones.
+    fn primary_pass(&mut self, j: usize, mask: u64) {
+        if self.n <= 1 {
+            return;
+        }
+        let w = 2 * (self.prim_arity - 1) + 4 * self.sec_arity + 2;
+
+        self.stats.clear();
+        for (p, col) in self.prim.iter().enumerate() {
+            if p != j {
+                push_prim_stats(&mut self.stats, col);
+            }
+        }
+        {
+            let pj = &self.prim[j];
+            for (i, col) in self.sec.iter().enumerate() {
+                let want_rel = mask & (1 << i) != 0;
+                push_sec_stats(&mut self.stats, col, pj, want_rel);
+            }
+            push_prim_stats(&mut self.stats, pj);
+        }
+        let plan = self.build_plan(w, 2);
+
+        let n = self.n;
+        let prim_arity = self.prim_arity;
+        let chunks = self.pass_chunks();
+        {
+            let Self {
+                prim,
+                sec,
+                kept,
+                pairs64,
+                pairs64_tmp,
+                pairs128,
+                pairs128_tmp,
+                counts,
+                wide_keys,
+                wide_sort,
+                wide_tmp,
+                ..
+            } = self;
+            let source = |word: usize| word_source_primary(prim, sec, prim_arity, word, j, mask);
+            match plan.mode {
+                KeyMode::Packed64 => {
+                    pack_columns_u64(pairs64, n, kept, plan.total_bits, source);
+                    sort_pairs_u64(pairs64, pairs64_tmp, counts, plan.total_bits);
+                }
+                KeyMode::Packed128 => {
+                    pack_columns_u128(pairs128, n, kept, plan.total_bits, source);
+                    sort_pairs_u128(pairs128, pairs128_tmp, chunks);
+                }
+                KeyMode::Wide => {
+                    let pj_col = &prim[j];
+                    wide_keys.clear();
+                    wide_keys.reserve(n * w);
+                    for r in 0..n {
+                        for (p, col) in prim.iter().enumerate() {
+                            if p != j {
+                                let ivl = col[r];
+                                wide_keys.push(ord64(ivl.lo));
+                                wide_keys.push(ord64(ivl.hi));
+                            }
+                        }
+                        let pj = pj_col[r];
+                        for (i, col) in sec.iter().enumerate() {
+                            let want_rel = mask & (1 << i) != 0;
+                            wide_keys.extend_from_slice(&sec_key_words(col[r], want_rel, pj));
+                        }
+                        wide_keys.push(ord64(pj.lo));
+                        wide_keys.push(ord64(pj.hi));
+                    }
+                    sort_wide(wide_sort, wide_tmp, wide_keys, w, n, chunks);
+                }
+            }
+        }
+
+        let prim_j = &self.prim[j];
+        let init_hi = |first: u32| prim_j[first as usize].hi;
+        let extend = |_first: u32, hi: i64, cur: u32| {
+            let p = prim_j[cur as usize];
+            (hi + 1 == p.lo).then_some(p.hi)
+        };
+        scan_by_mode(
+            plan.mode,
+            &self.pairs64,
+            &self.pairs128,
+            &self.wide_sort,
+            &self.wide_keys,
+            w,
+            w - 2,
+            plan.target_bits,
+            &mut self.runs,
+            chunks,
+            init_hi,
+            extend,
+        );
+
+        if self.runs.len() == self.n {
+            self.record_perm(plan.mode);
+            return;
+        }
+
+        let runs = &self.runs;
+        for (p, (col, next)) in self.prim.iter().zip(self.prim_next.iter_mut()).enumerate() {
+            next.clear();
+            if p == j {
+                next.extend(
+                    runs.iter()
+                        .map(|run| Interval::new(col[run.first as usize].lo, run.hi)),
+                );
+            } else {
+                next.extend(runs.iter().map(|run| col[run.first as usize]));
+            }
+        }
+        // Masked cells compared by delta only when the run's first target
+        // attribute was a point; interval-anchored runs compared absolutely
+        // and must stay absolute.
+        let pj_col = &self.prim[j];
+        for (i, (col, next)) in self.sec.iter().zip(self.sec_next.iter_mut()).enumerate() {
+            next.clear();
+            if mask & (1 << i) != 0 {
+                next.extend(runs.iter().map(|run| {
+                    let r = run.first as usize;
+                    let cell = col[r];
+                    let pj = pj_col[r];
+                    match cell {
+                        WCell::Abs(ivl) if run.merged && pj.is_point() => WCell::Rel {
+                            anchor: j as u8,
+                            delta: ivl.sub_point(pj.lo),
+                        },
+                        _ => cell,
+                    }
+                }));
+            } else {
+                next.extend(runs.iter().map(|run| col[run.first as usize]));
+            }
+        }
+        self.n = self.runs.len();
+        std::mem::swap(&mut self.prim, &mut self.prim_next);
+        std::mem::swap(&mut self.sec, &mut self.sec_next);
+        self.last_perm_valid = false;
+    }
+
+    /// Remember the most recent sort order after a zero-merge pass.
+    fn record_perm(&mut self, mode: KeyMode) {
+        self.last_perm.clear();
+        match mode {
+            KeyMode::Packed64 => self.last_perm.extend(self.pairs64.iter().map(|p| p.1)),
+            KeyMode::Packed128 => self.last_perm.extend(self.pairs128.iter().map(|p| p.1)),
+            KeyMode::Wide => self.last_perm.extend(self.wide_sort.iter().map(|p| p.1)),
+        }
+        self.last_perm_valid = true;
+    }
+
+    /// Materialize the final columns as a [`CompressedTable`], applying the
+    /// pending permutation of a trailing zero-merge pass if any.
+    fn into_table(
+        self,
+        orientation: Orientation,
+        out_shape: &[usize],
+        in_shape: &[usize],
+    ) -> CompressedTable {
+        let extents = super::extents_for(out_shape, in_shape, orientation);
+        let perm: Option<&[u32]> = self.last_perm_valid.then_some(&self.last_perm[..]);
+        let mut columns: Vec<Vec<Cell>> = Vec::with_capacity(self.prim_arity + self.sec_arity);
+        for col in &self.prim {
+            columns.push(match perm {
+                Some(p) => p.iter().map(|&r| Cell::Abs(col[r as usize])).collect(),
+                None => col.iter().map(|&ivl| Cell::Abs(ivl)).collect(),
+            });
+        }
+        let to_cell = |c: WCell| match c {
+            WCell::Abs(ivl) => Cell::Abs(ivl),
+            WCell::Rel { anchor, delta } => Cell::Rel { anchor, delta },
+        };
+        for col in &self.sec {
+            columns.push(match perm {
+                Some(p) => p.iter().map(|&r| to_cell(col[r as usize])).collect(),
+                None => col.iter().map(|&c| to_cell(c)).collect(),
+            });
+        }
+        CompressedTable::from_columns(
+            orientation,
+            self.prim_arity,
+            self.sec_arity,
+            extents,
+            columns,
+        )
+    }
+}
+
+/// Secondary-pass column order: every attribute except `k`, then `k`.
+fn sec_order(sec_arity: usize, k: usize) -> impl Iterator<Item = usize> {
+    (0..sec_arity).filter(move |&i| i != k).chain([k])
+}
+
+/// The per-row values of conceptual word `word` for the secondary pass
+/// on `k` (word order: primary `(lo, hi)` pairs, then `cell_key` words of
+/// every secondary attribute except `k`, then `k`'s).
+fn word_source_secondary<'a>(
+    prim: &'a [Vec<Interval>],
+    sec: &'a [Vec<WCell>],
+    prim_arity: usize,
+    sec_arity: usize,
+    word: usize,
+    k: usize,
+) -> WordFill<'a> {
+    let pa2 = 2 * prim_arity;
+    if word < pa2 {
+        WordFill::Prim {
+            col: &prim[word / 2],
+            hi: word % 2 == 1,
+        }
+    } else {
+        let slot = (word - pa2) / 4;
+        let sub = (word - pa2) % 4;
+        let col_idx = sec_order(sec_arity, k).nth(slot).expect("sec slot");
+        WordFill::CellKey {
+            col: &sec[col_idx],
+            sub,
+        }
+    }
+}
+
+/// The per-row values of conceptual word `word` for the primary pass on
+/// `j` under `mask` (word order: other primary `(lo, hi)` pairs, then
+/// masked `sec_key` words of every secondary attribute, then `j`'s pair).
+fn word_source_primary<'a>(
+    prim: &'a [Vec<Interval>],
+    sec: &'a [Vec<WCell>],
+    prim_arity: usize,
+    word: usize,
+    j: usize,
+    mask: u64,
+) -> WordFill<'a> {
+    let other = 2 * (prim_arity - 1);
+    if word < other {
+        let slot = word / 2;
+        let col_idx = (0..prim_arity)
+            .filter(|&p| p != j)
+            .nth(slot)
+            .expect("prim slot");
+        WordFill::Prim {
+            col: &prim[col_idx],
+            hi: word % 2 == 1,
+        }
+    } else if word < other + 4 * sec.len() {
+        let slot = (word - other) / 4;
+        let sub = (word - other) % 4;
+        WordFill::SecKey {
+            col: &sec[slot],
+            prim_j: &prim[j],
+            want_rel: mask & (1 << slot) != 0,
+            sub,
+        }
+    } else {
+        WordFill::Prim {
+            col: &prim[j],
+            hi: (word - other - 4 * sec.len()) == 1,
+        }
+    }
+}
+
+/// Where a conceptual key word's per-row values come from.
+enum WordFill<'a> {
+    Prim {
+        col: &'a [Interval],
+        hi: bool,
+    },
+    /// Step-1 `cell_key` word `sub` of a secondary column.
+    CellKey {
+        col: &'a [WCell],
+        sub: usize,
+    },
+    /// Step-2 `sec_key` word `sub` of a secondary column.
+    SecKey {
+        col: &'a [WCell],
+        prim_j: &'a [Interval],
+        want_rel: bool,
+        sub: usize,
+    },
+}
+
+impl WordFill<'_> {
+    /// Feed each row's word value, in row order, to `f(row, value)`.
+    #[inline]
+    fn for_each(&self, mut f: impl FnMut(usize, u64)) {
+        match self {
+            WordFill::Prim { col, hi } => {
+                if *hi {
+                    for (r, ivl) in col.iter().enumerate() {
+                        f(r, ord64(ivl.hi));
+                    }
+                } else {
+                    for (r, ivl) in col.iter().enumerate() {
+                        f(r, ord64(ivl.lo));
+                    }
+                }
+            }
+            WordFill::CellKey { col, sub } => {
+                for (r, &cell) in col.iter().enumerate() {
+                    f(r, cell_key_words(cell)[*sub]);
+                }
+            }
+            WordFill::SecKey {
+                col,
+                prim_j,
+                want_rel,
+                sub,
+            } => {
+                for (r, (&cell, &pj)) in col.iter().zip(prim_j.iter()).enumerate() {
+                    f(r, sec_key_words(cell, *want_rel, pj)[*sub]);
+                }
+            }
+        }
+    }
+}
+
+/// Stats for one primary column's `(lo, hi)` word pair.
+fn push_prim_stats(stats: &mut Vec<WordStat>, col: &[Interval]) {
+    let mut lo = WordStat::EMPTY;
+    let mut hi = WordStat::EMPTY;
+    let mut eq = true;
+    for ivl in col {
+        let a = ord64(ivl.lo);
+        let b = ord64(ivl.hi);
+        lo.update(a);
+        hi.update(b);
+        eq &= a == b;
+    }
+    hi.eq_prev = eq;
+    stats.push(lo);
+    stats.push(hi);
+}
+
+/// Stats for one secondary column's four key words (step-1 `cell_key`).
+fn push_cell_stats(stats: &mut Vec<WordStat>, col: &[WCell]) {
+    let mut s = [WordStat::EMPTY; 4];
+    let mut eq21 = true;
+    let mut eq32 = true;
+    for &cell in col {
+        let wds = cell_key_words(cell);
+        for (st, v) in s.iter_mut().zip(wds) {
+            st.update(v);
+        }
+        eq21 &= wds[2] == wds[1];
+        eq32 &= wds[3] == wds[2];
+    }
+    s[2].eq_prev = eq21;
+    s[3].eq_prev = eq32;
+    stats.extend_from_slice(&s);
+}
+
+/// Stats for one secondary column's four masked key words (step-2
+/// `sec_key`, which also reads the target attribute).
+fn push_sec_stats(stats: &mut Vec<WordStat>, col: &[WCell], pj: &[Interval], want_rel: bool) {
+    let mut s = [WordStat::EMPTY; 4];
+    let mut eq21 = true;
+    let mut eq32 = true;
+    for (&cell, &p) in col.iter().zip(pj.iter()) {
+        let wds = sec_key_words(cell, want_rel, p);
+        for (st, v) in s.iter_mut().zip(wds) {
+            st.update(v);
+        }
+        eq21 &= wds[2] == wds[1];
+        eq32 &= wds[3] == wds[2];
+    }
+    s[2].eq_prev = eq21;
+    s[3].eq_prev = eq32;
+    stats.extend_from_slice(&s);
+}
+
+/// Build `(packed u64 key, row id)` pairs by OR-folding each kept word's
+/// range-reduced value at its fixed bit offset, column-major.
+fn pack_columns_u64<'a>(
+    pairs: &mut Vec<(u64, u32)>,
+    n: usize,
+    kept: &[KeptWord],
+    total_bits: u32,
+    source: impl Fn(usize) -> WordFill<'a>,
+) {
+    pairs.clear();
+    pairs.extend((0..n).map(|r| (0u64, r as u32)));
+    let mut off = total_bits;
+    for kw in kept {
+        off -= kw.width;
+        let min = kw.min;
+        source(kw.word).for_each(|r, v| {
+            pairs[r].0 |= (v - min) << off;
+        });
+    }
+}
+
+/// `u128` variant of [`pack_columns_u64`].
+fn pack_columns_u128<'a>(
+    pairs: &mut Vec<(u128, u32)>,
+    n: usize,
+    kept: &[KeptWord],
+    total_bits: u32,
+    source: impl Fn(usize) -> WordFill<'a>,
+) {
+    pairs.clear();
+    pairs.extend((0..n).map(|r| (0u128, r as u32)));
+    let mut off = total_bits;
+    for kw in kept {
+        off -= kw.width;
+        let min = kw.min;
+        source(kw.word).for_each(|r, v| {
+            pairs[r].0 |= u128::from(v - min) << off;
+        });
+    }
+}
+
+/// Sort `(u64 key, row id)` pairs: O(n) sorted pre-check, then a stable
+/// LSD radix sort over the used bits (or a comparison sort for small
+/// inputs). Keys are distinct across distinct rows, so every strategy
+/// yields the same order.
+fn sort_pairs_u64(
+    pairs: &mut Vec<(u64, u32)>,
+    tmp: &mut Vec<(u64, u32)>,
+    counts: &mut Vec<u32>,
+    total_bits: u32,
+) {
+    if pairs.windows(2).all(|w| w[0].0 <= w[1].0) {
+        return;
+    }
+    if pairs.len() < RADIX_MIN {
+        pairs.sort_unstable_by_key(|p| p.0);
+        return;
+    }
+    // Digit size chosen to minimize passes with ≤ 2^18 buckets.
+    let passes = total_bits.div_ceil(18).max(1);
+    let digit = total_bits.div_ceil(passes);
+    let buckets = 1usize << digit;
+    let mask = (buckets - 1) as u64;
+    counts.clear();
+    counts.resize(buckets, 0);
+    tmp.clear();
+    tmp.resize(pairs.len(), (0, 0));
+    let mut shift = 0u32;
+    while shift < total_bits {
+        counts.fill(0);
+        for &(k, _) in pairs.iter() {
+            counts[((k >> shift) & mask) as usize] += 1;
+        }
+        let mut sum = 0u32;
+        for c in counts.iter_mut() {
+            let v = *c;
+            *c = sum;
+            sum += v;
+        }
+        for &p in pairs.iter() {
+            let b = ((p.0 >> shift) & mask) as usize;
+            tmp[counts[b] as usize] = p;
+            counts[b] += 1;
+        }
+        std::mem::swap(pairs, tmp);
+        shift += digit;
+    }
+}
+
+/// Sort `(u128 key, row id)` pairs: sorted pre-check, then a comparison
+/// sort (parallel merge sort when `n_chunks > 1`).
+fn sort_pairs_u128(pairs: &mut [(u128, u32)], scratch: &mut Vec<(u128, u32)>, n_chunks: usize) {
+    if pairs.windows(2).all(|w| w[0].0 <= w[1].0) {
+        return;
+    }
+    par_merge_sort(pairs, scratch, n_chunks, |a, b| a.0.cmp(&b.0));
+}
+
+/// Build and sort the `(u128 prefix, row id)` entries of the `Wide` mode:
+/// the first two key words ride inline, remaining words break prefix ties
+/// via one contiguous slice compare.
+fn sort_wide(
+    sort: &mut Vec<(u128, u32)>,
+    scratch: &mut Vec<(u128, u32)>,
+    keys: &[u64],
+    w: usize,
+    n: usize,
+    n_chunks: usize,
+) {
+    sort.clear();
+    sort.reserve(n);
+    for r in 0..n {
+        let base = r * w;
+        let prefix = (u128::from(keys[base]) << 64) | u128::from(keys[base + 1]);
+        sort.push((prefix, r as u32));
+    }
+    let cmp = |a: &(u128, u32), b: &(u128, u32)| wide_cmp(a, b, keys, w);
+    if sort
+        .windows(2)
+        .all(|s| cmp(&s[0], &s[1]) != Ordering::Greater)
+    {
+        return;
+    }
+    par_merge_sort(sort, scratch, n_chunks, cmp);
+}
+
+/// Full wide-key comparison: inline `u128` prefix first, remaining words
+/// via one contiguous slice compare.
+#[inline]
+fn wide_cmp(a: &(u128, u32), b: &(u128, u32), keys: &[u64], w: usize) -> Ordering {
+    a.0.cmp(&b.0).then_with(|| {
+        let ia = a.1 as usize * w;
+        let ib = b.1 as usize * w;
+        keys[ia + 2..ia + w].cmp(&keys[ib + 2..ib + w])
+    })
+}
+
+/// Comparison sort with optional scoped-thread parallel merge rounds.
+/// With `n_chunks > 1`, chunks sort concurrently and merge in rounds of
+/// pairwise (also concurrent) merges. Deterministic for total orders.
+fn par_merge_sort<T: Copy + Send + Sync + Default>(
+    items: &mut [T],
+    scratch: &mut Vec<T>,
+    n_chunks: usize,
+    cmp: impl Fn(&T, &T) -> Ordering + Send + Sync + Copy,
+) {
+    let n = items.len();
+    if n_chunks <= 1 || n < 2 * n_chunks {
+        items.sort_unstable_by(cmp);
+        return;
+    }
+    let chunk = n.div_ceil(n_chunks);
+    std::thread::scope(|s| {
+        for part in items.chunks_mut(chunk) {
+            s.spawn(move || part.sort_unstable_by(cmp));
+        }
+    });
+    scratch.clear();
+    scratch.resize(n, T::default());
+    let mut width = chunk;
+    let mut in_items = true;
+    while width < n {
+        if in_items {
+            merge_round(items, scratch, width, cmp);
+        } else {
+            merge_round(scratch, items, width, cmp);
+        }
+        in_items = !in_items;
+        width *= 2;
+    }
+    if !in_items {
+        items.copy_from_slice(scratch);
+    }
+}
+
+/// One merge-sort round: merge each adjacent pair of width-`width` sorted
+/// runs of `src` into `dst`, pairs in parallel.
+fn merge_round<T: Copy + Send + Sync>(
+    src: &[T],
+    dst: &mut [T],
+    width: usize,
+    cmp: impl Fn(&T, &T) -> Ordering + Send + Sync + Copy,
+) {
+    let n = src.len();
+    std::thread::scope(|s| {
+        let mut dst_rest = dst;
+        let mut start = 0;
+        while start < n {
+            let end = (start + 2 * width).min(n);
+            let (d, rest) = dst_rest.split_at_mut(end - start);
+            dst_rest = rest;
+            let seg = &src[start..end];
+            s.spawn(move || {
+                let mid = width.min(seg.len());
+                merge_into(&seg[..mid], &seg[mid..], d, cmp);
+            });
+            start = end;
+        }
+    });
+}
+
+/// Standard two-way merge of sorted `a` and `b` into `dst`.
+fn merge_into<T: Copy>(a: &[T], b: &[T], dst: &mut [T], cmp: impl Fn(&T, &T) -> Ordering) {
+    debug_assert_eq!(a.len() + b.len(), dst.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in dst.iter_mut() {
+        let take_a = j >= b.len() || (i < a.len() && cmp(&a[i], &b[j]) != Ordering::Greater);
+        if take_a {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+/// Dispatch the merge scan over the sorted representation of the pass.
+#[allow(clippy::too_many_arguments)]
+fn scan_by_mode<I, E>(
+    mode: KeyMode,
+    pairs64: &[(u64, u32)],
+    pairs128: &[(u128, u32)],
+    wide_sort: &[(u128, u32)],
+    wide_keys: &[u64],
+    w: usize,
+    group_w: usize,
+    target_bits: u32,
+    runs: &mut Vec<Run>,
+    n_chunks: usize,
+    init_hi: I,
+    extend: E,
+) where
+    I: Fn(u32) -> i64 + Sync,
+    E: Fn(u32, i64, u32) -> Option<i64> + Sync,
+{
+    match mode {
+        KeyMode::Packed64 => {
+            let tb = target_bits;
+            let same = |t: usize| tb >= 64 || pairs64[t - 1].0 >> tb == pairs64[t].0 >> tb;
+            let id = |t: usize| pairs64[t].1;
+            scan_runs(pairs64.len(), &id, &same, runs, n_chunks, &init_hi, &extend);
+        }
+        KeyMode::Packed128 => {
+            let tb = target_bits;
+            let same = |t: usize| tb >= 128 || pairs128[t - 1].0 >> tb == pairs128[t].0 >> tb;
+            let id = |t: usize| pairs128[t].1;
+            scan_runs(
+                pairs128.len(),
+                &id,
+                &same,
+                runs,
+                n_chunks,
+                &init_hi,
+                &extend,
+            );
+        }
+        KeyMode::Wide => {
+            // Group prefix: the leading `group_w` words (always ≥ 2, so the
+            // inline prefix is entirely group words).
+            let same = |t: usize| {
+                let (pa, ra) = wide_sort[t - 1];
+                let (pb, rb) = wide_sort[t];
+                pa == pb && {
+                    let ia = ra as usize * w;
+                    let ib = rb as usize * w;
+                    wide_keys[ia + 2..ia + group_w] == wide_keys[ib + 2..ib + group_w]
+                }
+            };
+            let id = |t: usize| wide_sort[t].1;
+            scan_runs(
+                wide_sort.len(),
+                &id,
+                &same,
+                runs,
+                n_chunks,
+                &init_hi,
+                &extend,
+            );
+        }
+    }
+}
+
+/// Detect merge runs over the sorted permutation.
+///
+/// `id(t)` is the row at sorted position `t`; `same_group(t)` whether
+/// positions `t - 1` and `t` share a group prefix. A run extends while the
+/// group holds and `extend(first, hi, cur)` grants a new accumulated `hi`;
+/// `init_hi` seeds the accumulator from a run's first row.
+///
+/// With `n_chunks > 1` the scan splits at *group boundaries* (a run can
+/// never cross one), each worker emitting its local runs; concatenated in
+/// order they equal the serial scan exactly.
+fn scan_runs<S, G, I, E>(
+    n: usize,
+    id: &S,
+    same_group: &G,
+    runs: &mut Vec<Run>,
+    n_chunks: usize,
+    init_hi: &I,
+    extend: &E,
+) where
+    S: Fn(usize) -> u32 + Sync,
+    G: Fn(usize) -> bool + Sync,
+    I: Fn(u32) -> i64 + Sync,
+    E: Fn(u32, i64, u32) -> Option<i64> + Sync,
+{
+    runs.clear();
+    if n == 0 {
+        return;
+    }
+    let scan_range = |lo: usize, hi: usize, out: &mut Vec<Run>| {
+        let mut run = Run {
+            first: id(lo),
+            hi: init_hi(id(lo)),
+            merged: false,
+        };
+        for t in lo + 1..hi {
+            let row = id(t);
+            let extended = if same_group(t) {
+                extend(run.first, run.hi, row)
+            } else {
+                None
+            };
+            match extended {
+                Some(new_hi) => {
+                    run.hi = new_hi;
+                    run.merged = true;
+                }
+                None => {
+                    out.push(run);
+                    run = Run {
+                        first: row,
+                        hi: init_hi(row),
+                        merged: false,
+                    };
+                }
+            }
+        }
+        out.push(run);
+    };
+
+    if n_chunks <= 1 || n < 4 * n_chunks {
+        scan_range(0, n, runs);
+        return;
+    }
+    // Chunk boundaries advanced to the next group start.
+    let target = n.div_ceil(n_chunks);
+    let mut bounds = vec![0usize];
+    let mut b = target;
+    while b < n {
+        while b < n && same_group(b) {
+            b += 1;
+        }
+        if b >= n {
+            break;
+        }
+        bounds.push(b);
+        b += target;
+    }
+    bounds.push(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = bounds
+            .windows(2)
+            .map(|win| {
+                let (lo, hi) = (win[0], win[1]);
+                let scan_range = &scan_range;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    scan_range(lo, hi, &mut local);
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            runs.extend(h.join().expect("scan worker"));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random values.
+    fn lcg(n: usize, modulus: u64) -> Vec<u64> {
+        let mut state = 0x2545F4914F6CDD1Du64;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) % modulus
+            })
+            .collect()
+    }
+
+    #[test]
+    fn radix_sort_matches_comparison_sort() {
+        for n in [1usize, 5, 300, 9000] {
+            for bits in [13u32, 34, 63] {
+                let modulus = 1u64 << bits;
+                let vals = lcg(n, modulus);
+                let mut pairs: Vec<(u64, u32)> = vals
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, i as u32))
+                    .collect();
+                let mut expect = pairs.clone();
+                // Stable radix keeps index order for equal keys, matching
+                // the (key, index) comparison.
+                expect.sort_unstable_by_key(|p| (p.0, p.1));
+                sort_pairs_u64(&mut pairs, &mut Vec::new(), &mut Vec::new(), bits);
+                if n >= RADIX_MIN {
+                    assert_eq!(pairs, expect, "n={n} bits={bits}");
+                } else {
+                    // Comparison path: only key order is guaranteed (key
+                    // ties cannot occur in the real pipeline).
+                    let keys: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+                    let expect_keys: Vec<u64> = expect.iter().map(|p| p.0).collect();
+                    assert_eq!(keys, expect_keys, "n={n} bits={bits}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_input_short_circuits() {
+        let mut pairs: Vec<(u64, u32)> = (0..100u32).map(|i| (u64::from(i) * 3, i)).collect();
+        let expect = pairs.clone();
+        sort_pairs_u64(&mut pairs, &mut Vec::new(), &mut Vec::new(), 9);
+        assert_eq!(pairs, expect);
+    }
+
+    #[test]
+    fn parallel_merge_sort_matches_serial() {
+        for modulus in [4u64, 1 << 40] {
+            let n = 257;
+            let vals = lcg(n, modulus);
+            // Unique keys (pipeline invariant): tie-break by index.
+            let build = || -> Vec<(u128, u32)> {
+                vals.iter()
+                    .enumerate()
+                    .map(|(i, &v)| ((u128::from(v) << 32) | i as u128, i as u32))
+                    .collect()
+            };
+            let mut expect = build();
+            expect.sort_unstable_by_key(|a| a.0);
+            for chunks in [1, 2, 3, 4, 7] {
+                let mut items = build();
+                par_merge_sort(&mut items, &mut Vec::new(), chunks, |a, b| a.0.cmp(&b.0));
+                assert_eq!(items, expect, "chunks = {chunks}, modulus = {modulus}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_scan_matches_serial() {
+        // 5 groups of 40 consecutive values each: one run per group.
+        let n = 200usize;
+        let pairs: Vec<(u64, u32)> = (0..n as u64)
+            .map(|r| (((r / 40) << 8) | (r % 40), r as u32))
+            .collect();
+        let tb = 8u32;
+        let same = |t: usize| pairs[t - 1].0 >> tb == pairs[t].0 >> tb;
+        let id = |t: usize| pairs[t].1;
+        let los: Vec<i64> = (0..n as i64).map(|r| r % 40).collect();
+        let init = |first: u32| los[first as usize];
+        let extend = |_first: u32, hi: i64, cur: u32| {
+            (hi + 1 == los[cur as usize]).then_some(los[cur as usize])
+        };
+        let mut serial = Vec::new();
+        scan_runs(n, &id, &same, &mut serial, 1, &init, &extend);
+        assert_eq!(serial.len(), 5, "one run per group");
+        assert!(serial.iter().all(|r| r.merged));
+        for chunks in [2, 3, 5, 16] {
+            let mut par = Vec::new();
+            scan_runs(n, &id, &same, &mut par, chunks, &init, &extend);
+            assert_eq!(par, serial, "chunks = {chunks}");
+        }
+    }
+
+    #[test]
+    fn ord64_preserves_order() {
+        let vals = [i64::MIN, -5, -1, 0, 1, 7, i64::MAX];
+        for pair in vals.windows(2) {
+            assert!(ord64(pair[0]) < ord64(pair[1]));
+        }
+    }
+}

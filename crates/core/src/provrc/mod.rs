@@ -25,7 +25,16 @@
 //!   primary attributes are fixed inside a candidate run. We enumerate the
 //!   abs/rel choice per still-absolute secondary attribute (≤ 2^m combos,
 //!   capped heuristically for very wide relations).
+//!
+//! Two pipelines implement the same pass sequence and produce identical
+//! output. The **fast** columnar pipeline ([`columnar`], the
+//! [`CompressOptions::fast`] default) sorts packed key permutations over a
+//! struct-of-arrays arena; the row-of-structs reference implementation
+//! ([`range_encode`] + [`relative`]) survives as the `fast = false`
+//! ablation, mirroring the query engine's scan-vs-probe switch. Parity is
+//! property-tested in `provrc_fast_parity.rs`.
 
+mod columnar;
 mod range_encode;
 mod relative;
 pub mod reshape;
@@ -36,7 +45,34 @@ use relative::primary_passes;
 
 pub(crate) use relative::{WCell, WRow};
 
-/// Compress `table` (an uncompressed lineage relation) with ProvRC.
+/// Tuning knobs for ProvRC compression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressOptions {
+    /// Use the columnar fast pipeline (packed sort keys over a
+    /// struct-of-arrays arena, mask pruning, reusable scratch). Disabling
+    /// this selects the row-of-structs reference implementation — the
+    /// ablation — whose output is bit-identical.
+    pub fast: bool,
+    /// Allow multi-threading: scoped-thread parallel sort and run-chunked
+    /// merge scans inside a pass (fast pipeline only), and worker fan-out
+    /// across batch jobs in [`compress_batch_parallel_opts`].
+    pub parallel: bool,
+    /// Minimum active rows in a pass before threads are spawned.
+    pub parallel_threshold: usize,
+}
+
+impl Default for CompressOptions {
+    fn default() -> Self {
+        Self {
+            fast: true,
+            parallel: true,
+            parallel_threshold: 1 << 14,
+        }
+    }
+}
+
+/// Compress `table` (an uncompressed lineage relation) with ProvRC, using
+/// the default [`CompressOptions`] (fast columnar pipeline).
 ///
 /// `out_shape` / `in_shape` are the shapes of the output and input arrays;
 /// they are recorded as attribute extents (used by index reshaping and for
@@ -47,9 +83,60 @@ pub fn compress(
     in_shape: &[usize],
     orientation: Orientation,
 ) -> CompressedTable {
+    compress_opts(
+        table,
+        out_shape,
+        in_shape,
+        orientation,
+        CompressOptions::default(),
+    )
+}
+
+/// [`compress`] with explicit options (pipeline selection, threading).
+pub fn compress_opts(
+    table: &LineageTable,
+    out_shape: &[usize],
+    in_shape: &[usize],
+    orientation: Orientation,
+    opts: CompressOptions,
+) -> CompressedTable {
     assert_eq!(table.out_arity(), out_shape.len(), "out shape arity");
     assert_eq!(table.in_arity(), in_shape.len(), "in shape arity");
+    if opts.fast {
+        columnar::compress(table, out_shape, in_shape, orientation, opts)
+    } else {
+        compress_reference(table, out_shape, in_shape, orientation)
+    }
+}
 
+/// The attribute extents (primary-then-secondary order) for a compressed
+/// table over the given array shapes.
+pub(crate) fn extents_for(
+    out_shape: &[usize],
+    in_shape: &[usize],
+    orientation: Orientation,
+) -> Vec<i64> {
+    match orientation {
+        Orientation::Backward => out_shape
+            .iter()
+            .chain(in_shape.iter())
+            .map(|&d| d as i64)
+            .collect(),
+        Orientation::Forward => in_shape
+            .iter()
+            .chain(out_shape.iter())
+            .map(|&d| d as i64)
+            .collect(),
+    }
+}
+
+/// The row-of-structs reference implementation (`fast = false`).
+fn compress_reference(
+    table: &LineageTable,
+    out_shape: &[usize],
+    in_shape: &[usize],
+    orientation: Orientation,
+) -> CompressedTable {
     let normalized = table.normalized();
     let (prim_arity, sec_arity) = match orientation {
         Orientation::Backward => (table.out_arity(), table.in_arity()),
@@ -89,18 +176,7 @@ pub fn compress(
     }
 
     // Materialize.
-    let extents: Vec<i64> = match orientation {
-        Orientation::Backward => out_shape
-            .iter()
-            .chain(in_shape.iter())
-            .map(|&d| d as i64)
-            .collect(),
-        Orientation::Forward => in_shape
-            .iter()
-            .chain(out_shape.iter())
-            .map(|&d| d as i64)
-            .collect(),
-    };
+    let extents = extents_for(out_shape, in_shape, orientation);
     let mut out = CompressedTable::new(orientation, prim_arity, sec_arity, extents);
     let mut row_buf: Vec<Cell> = Vec::with_capacity(prim_arity + sec_arity);
     for wrow in rows {
@@ -123,35 +199,98 @@ pub fn compress_both(
     out_shape: &[usize],
     in_shape: &[usize],
 ) -> (CompressedTable, CompressedTable) {
-    (
-        compress(table, out_shape, in_shape, Orientation::Backward),
-        compress(table, out_shape, in_shape, Orientation::Forward),
-    )
+    compress_both_opts(table, out_shape, in_shape, CompressOptions::default())
+}
+
+/// [`compress_both`] with explicit options. With `parallel` enabled and
+/// more than one hardware thread, the two orientations compress on
+/// concurrent scoped threads.
+pub fn compress_both_opts(
+    table: &LineageTable,
+    out_shape: &[usize],
+    in_shape: &[usize],
+    opts: CompressOptions,
+) -> (CompressedTable, CompressedTable) {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if opts.parallel && hw > 1 {
+        // Each orientation keeps its own in-pass parallelism budget; the OS
+        // schedules the (bounded) oversubscription.
+        let mut pair: (Option<CompressedTable>, Option<CompressedTable>) = (None, None);
+        std::thread::scope(|scope| {
+            let (b, f) = (&mut pair.0, &mut pair.1);
+            scope.spawn(|| {
+                *b = Some(compress_opts(
+                    table,
+                    out_shape,
+                    in_shape,
+                    Orientation::Backward,
+                    opts,
+                ));
+            });
+            *f = Some(compress_opts(
+                table,
+                out_shape,
+                in_shape,
+                Orientation::Forward,
+                opts,
+            ));
+        });
+        (pair.0.expect("backward job"), pair.1.expect("forward job"))
+    } else {
+        (
+            compress_opts(table, out_shape, in_shape, Orientation::Backward, opts),
+            compress_opts(table, out_shape, in_shape, Orientation::Forward, opts),
+        )
+    }
 }
 
 /// One batch-compression job: a relation plus its array shapes.
 pub type CompressJob<'a> = (&'a LineageTable, &'a [usize], &'a [usize]);
+
+/// Compress several relations in parallel with scoped worker threads,
+/// using the default [`CompressOptions`].
+pub fn compress_batch_parallel(
+    jobs: &[CompressJob<'_>],
+    orientation: Orientation,
+) -> Vec<CompressedTable> {
+    compress_batch_parallel_opts(jobs, orientation, CompressOptions::default())
+}
 
 /// Compress several relations in parallel with scoped worker threads.
 ///
 /// The paper notes "ProvRC is also highly parallelizable, so we expect
 /// significant performance gains from a multi-threaded implementation" —
 /// this parallelizes across tables (one per operation/array pair), which is
-/// the granularity `register_operation` produces. Results keep job order.
-pub fn compress_batch_parallel(
+/// the granularity `register_operation` produces: workers steal the next
+/// job off a shared atomic counter, so skewed job sizes stay balanced.
+/// When several jobs run concurrently, in-pass parallelism is disabled
+/// (the hardware threads are already saturated by job-level fan-out).
+/// Results keep job order.
+pub fn compress_batch_parallel_opts(
     jobs: &[CompressJob<'_>],
     orientation: Orientation,
+    opts: CompressOptions,
 ) -> Vec<CompressedTable> {
-    if jobs.len() <= 1 {
+    if jobs.len() <= 1 || !opts.parallel {
         return jobs
             .iter()
-            .map(|(t, o, i)| compress(t, o, i, orientation))
+            .map(|(t, o, i)| compress_opts(t, o, i, orientation, opts))
             .collect();
     }
     let n_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(jobs.len());
+    let job_opts = if n_threads > 1 {
+        CompressOptions {
+            parallel: false,
+            ..opts
+        }
+    } else {
+        opts
+    };
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut results: Vec<Option<CompressedTable>> = (0..jobs.len()).map(|_| None).collect();
     let slots: Vec<parking_lot::Mutex<&mut Option<CompressedTable>>> =
@@ -164,7 +303,7 @@ pub fn compress_batch_parallel(
                     break;
                 }
                 let (t, o, i) = jobs[idx];
-                let compressed = compress(t, o, i, orientation);
+                let compressed = compress_opts(t, o, i, orientation, job_opts);
                 **slots[idx].lock() = Some(compressed);
             });
         }
@@ -436,6 +575,80 @@ mod tests {
             let serial = compress(t, &shape, &shape, Orientation::Backward);
             assert_eq!(c, &serial);
         }
+    }
+
+    #[test]
+    fn fast_and_ablation_agree_on_canonical_patterns() {
+        // Every canonical lineage shape, both orientations, forced-threaded
+        // and serial: the fast pipeline must be bit-identical to the
+        // reference implementation.
+        let mut tables: Vec<(LineageTable, Vec<usize>, Vec<usize>)> = Vec::new();
+        tables.push((paper_sum_table(), vec![4], vec![4, 3]));
+        let mut conv = LineageTable::new(1, 1);
+        for i in 1..40 {
+            for d in -1..=1 {
+                conv.push_row(&[i, i + d]);
+            }
+        }
+        tables.push((conv, vec![48], vec![48]));
+        let mut scatter = LineageTable::new(1, 1);
+        for i in 0..64 {
+            scatter.push_row(&[i, (i * 37 + 11) % 64]);
+        }
+        tables.push((scatter, vec![64], vec![64]));
+        let mut diag = LineageTable::new(1, 2);
+        for i in 0..10 {
+            diag.push_row(&[i, i, i]);
+        }
+        tables.push((diag, vec![10], vec![10, 10]));
+        for (t, out_shape, in_shape) in &tables {
+            for orientation in [Orientation::Backward, Orientation::Forward] {
+                let ablation = compress_opts(
+                    t,
+                    out_shape,
+                    in_shape,
+                    orientation,
+                    CompressOptions {
+                        fast: false,
+                        ..CompressOptions::default()
+                    },
+                );
+                for threshold in [usize::MAX, 1] {
+                    let fast = compress_opts(
+                        t,
+                        out_shape,
+                        in_shape,
+                        orientation,
+                        CompressOptions {
+                            fast: true,
+                            parallel: true,
+                            parallel_threshold: threshold,
+                        },
+                    );
+                    assert_eq!(fast, ablation, "threshold {threshold}, {orientation:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_parallel_opts_honors_ablation() {
+        let mut t = LineageTable::new(1, 1);
+        for i in 0..30 {
+            t.push_row(&[i, i]);
+        }
+        let shape = [30usize];
+        let jobs: Vec<CompressJob<'_>> = vec![(&t, &shape[..], &shape[..]); 3];
+        let fast = compress_batch_parallel(&jobs, Orientation::Backward);
+        let slow = compress_batch_parallel_opts(
+            &jobs,
+            Orientation::Backward,
+            CompressOptions {
+                fast: false,
+                ..CompressOptions::default()
+            },
+        );
+        assert_eq!(fast, slow);
     }
 
     #[test]

@@ -37,11 +37,24 @@ pub(crate) struct WRow {
     pub sec: Vec<WCell>,
 }
 
-/// Enumerate the rel-choice bitmasks to try for `n_abs` absolute secondary
+/// The rel-choice bitmasks to try for `n_abs` absolute secondary
 /// attributes. Full enumeration up to 2^6; beyond that, a heuristic subset
 /// (all-rel, all-abs, single-attr masks and their complements) keeps the
 /// pass count linear while covering the patterns arising in practice.
-fn masks_for(n_abs: usize) -> Vec<u64> {
+///
+/// The mask lists are built once per process and cached per `n_abs` —
+/// `primary_passes` runs once per primary attribute of every compressed
+/// relation, and re-allocating and popcount-sorting up to 64 masks on each
+/// call showed up in capture-path profiles.
+pub(super) fn masks_for(n_abs: usize) -> &'static [u64] {
+    static CACHE: std::sync::OnceLock<Vec<Vec<u64>>> = std::sync::OnceLock::new();
+    let cache = CACHE.get_or_init(|| (0..=63).map(build_masks).collect());
+    // Masks are single `u64`s, so ≥ 64 still-absolute attributes clamp to
+    // the widest representable heuristic list.
+    &cache[n_abs.min(63)]
+}
+
+fn build_masks(n_abs: usize) -> Vec<u64> {
     if n_abs == 0 {
         return vec![0];
     }
@@ -67,7 +80,7 @@ fn masks_for(n_abs: usize) -> Vec<u64> {
 
 /// Run all combo passes for primary attribute `j`.
 pub(crate) fn primary_passes(rows: &mut Vec<WRow>, j: usize, sec_arity: usize) {
-    for mask in masks_for(sec_arity) {
+    for &mask in masks_for(sec_arity) {
         primary_pass(rows, j, mask);
         if rows.len() <= 1 {
             break;

@@ -64,8 +64,10 @@ pub fn instantiate(
         return Err(DslogError::BadInstantiation("zero-sized dimension"));
     }
 
+    // Substitute symbolic cells first, then move the extent vector into the
+    // table — the extents are only read by the substitution closure, so no
+    // second copy of them is needed.
     let mut out = table.clone();
-    *out.extents_mut() = new_extents.clone();
     for k in 0..out.arity() {
         out.map_column(k, |cell| {
             if let Cell::Sym { attr } = *cell {
@@ -74,6 +76,7 @@ pub fn instantiate(
             }
         });
     }
+    *out.extents_mut() = new_extents;
     Ok(out)
 }
 

@@ -11,7 +11,7 @@ pub mod format;
 pub mod persist;
 
 use crate::error::{DslogError, Result};
-use crate::provrc;
+use crate::provrc::{self, CompressOptions};
 use crate::table::{CompressedTable, LineageTable, Orientation};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -235,7 +235,11 @@ impl Edge {
     /// derive-plus-index cost exactly once; every later call (and any call
     /// racing with the first — the derivation runs under the slot's write
     /// lock) gets the cached `Arc` with a warm index.
-    fn repr(&self, orientation: Orientation) -> Result<Arc<CompressedTable>> {
+    fn repr(
+        &self,
+        orientation: Orientation,
+        compress: CompressOptions,
+    ) -> Result<Arc<CompressedTable>> {
         if let Some(t) = self.stored(orientation, true)? {
             return Ok(t);
         }
@@ -252,11 +256,12 @@ impl Edge {
             return Ok(Arc::clone(t));
         }
         let full = source.decompress()?;
-        let derived = Arc::new(provrc::compress(
+        let derived = Arc::new(provrc::compress_opts(
             &full,
             &self.out_shape,
             &self.in_shape,
             orientation,
+            compress,
         ));
         derived.ensure_index();
         *slot_w = Some(TableSource::Loaded(Arc::clone(&derived)));
@@ -280,6 +285,9 @@ pub struct StorageManager {
     /// Keyed by (input array, output array).
     edges: HashMap<(String, String), Edge>,
     materialize: Option<Materialize>,
+    /// Compression options for every capture-path compress (ingest and
+    /// on-demand orientation derivation).
+    compress: Option<CompressOptions>,
 }
 
 impl StorageManager {
@@ -295,6 +303,17 @@ impl StorageManager {
 
     fn materialize_policy(&self) -> Materialize {
         self.materialize.unwrap_or(Materialize::Backward)
+    }
+
+    /// Override the compression options (pipeline selection, threading)
+    /// used on the capture path.
+    pub fn set_compress_options(&mut self, opts: CompressOptions) {
+        self.compress = Some(opts);
+    }
+
+    /// The compression options the capture path currently runs with.
+    pub fn compress_options(&self) -> CompressOptions {
+        self.compress.unwrap_or_default()
     }
 
     /// Define (or re-define identically) a named array.
@@ -348,24 +367,27 @@ impl StorageManager {
             });
         }
         let policy = self.materialize_policy();
+        let opts = self.compress_options();
         // Indexes are built eagerly alongside each materialized orientation
         // so the first query over a fresh edge probes instead of scanning.
         let backward = matches!(policy, Materialize::Backward | Materialize::Both).then(|| {
-            let t = Arc::new(provrc::compress(
+            let t = Arc::new(provrc::compress_opts(
                 lineage,
                 &out_shape,
                 &in_shape,
                 Orientation::Backward,
+                opts,
             ));
             t.ensure_index();
             t
         });
         let forward = matches!(policy, Materialize::Forward | Materialize::Both).then(|| {
-            let t = Arc::new(provrc::compress(
+            let t = Arc::new(provrc::compress_opts(
                 lineage,
                 &out_shape,
                 &in_shape,
                 Orientation::Forward,
+                opts,
             ));
             t.ensure_index();
             t
@@ -408,15 +430,22 @@ impl StorageManager {
         from: &str,
         to: &str,
     ) -> Result<(Arc<CompressedTable>, HopDirection)> {
+        let opts = self.compress_options();
         // Edge stored as (input=to, output=from) ⇒ hop is backward.
         if let Some(edge) = self.edges.get(&(to.to_string(), from.to_string())) {
             edge.backward_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((edge.repr(Orientation::Backward)?, HopDirection::Backward));
+            return Ok((
+                edge.repr(Orientation::Backward, opts)?,
+                HopDirection::Backward,
+            ));
         }
         // Edge stored as (input=from, output=to) ⇒ hop is forward.
         if let Some(edge) = self.edges.get(&(from.to_string(), to.to_string())) {
             edge.forward_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((edge.repr(Orientation::Forward)?, HopDirection::Forward));
+            return Ok((
+                edge.repr(Orientation::Forward, opts)?,
+                HopDirection::Forward,
+            ));
         }
         Err(DslogError::NoLineagePath {
             from: from.to_string(),
@@ -450,6 +479,7 @@ impl StorageManager {
     /// backward default. Queries after a rebalance stay correct — a
     /// dropped orientation is simply re-derived on demand.
     pub fn rebalance_materialization(&mut self) -> Result<()> {
+        let opts = self.compress_options();
         for edge in self.edges.values() {
             let bwd = edge.backward_hits.load(Ordering::Relaxed);
             let fwd = edge.forward_hits.load(Ordering::Relaxed);
@@ -460,7 +490,7 @@ impl StorageManager {
             };
             // Materialize the kept orientation first (may derive), then
             // drop the other.
-            edge.repr(keep)?;
+            edge.repr(keep, opts)?;
             *edge.slot(keep.flip()).write() = None;
         }
         Ok(())
@@ -486,7 +516,7 @@ impl StorageManager {
                 from: in_array.to_string(),
                 to: out_array.to_string(),
             })?;
-        edge.repr(orientation)
+        edge.repr(orientation, self.compress_options())
     }
 
     /// Serialized size in bytes of all stored tables (one orientation each),
@@ -667,6 +697,29 @@ mod tests {
         let edge = s.edges.get(&("A".to_string(), "B".to_string())).unwrap();
         assert!(edge.backward.read().is_some());
         assert!(edge.forward.read().is_none());
+    }
+
+    #[test]
+    fn ablation_compress_options_produce_identical_storage() {
+        let mut fast = manager_with_edge();
+        let mut slow = StorageManager::new();
+        slow.set_compress_options(CompressOptions {
+            fast: false,
+            ..CompressOptions::default()
+        });
+        slow.define_array("A", &[3, 2]).unwrap();
+        slow.define_array("B", &[3]).unwrap();
+        slow.ingest_lineage("A", "B", &sum_lineage()).unwrap();
+        assert!(!slow.compress_options().fast);
+        // Stored and lazily derived orientations agree bit-for-bit.
+        for orientation in [Orientation::Backward, Orientation::Forward] {
+            let a = fast.stored_table("A", "B", orientation).unwrap();
+            let b = slow.stored_table("A", "B", orientation).unwrap();
+            assert_eq!(*a, *b);
+        }
+        assert_eq!(fast.storage_bytes(), slow.storage_bytes());
+        fast.rebalance_materialization().unwrap();
+        slow.rebalance_materialization().unwrap();
     }
 
     #[test]

@@ -524,6 +524,7 @@ fn open_impl(dir: &Path, lazy: bool) -> Result<StorageManager> {
         arrays: catalog.arrays,
         edges,
         materialize: None,
+        compress: None,
     })
 }
 

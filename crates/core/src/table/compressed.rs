@@ -159,10 +159,11 @@ impl CompressedTable {
         }
     }
 
-    /// Assemble a table directly from columnar cell storage (the
-    /// deserializer's fast path: no per-row `Vec<Cell>` temporaries).
-    /// All columns must have equal length; the symbolic-cell count is
-    /// recomputed here.
+    /// Assemble a table directly from columnar cell storage — the fast path
+    /// shared by the deserializer and the columnar compression pipeline,
+    /// both of which already hold whole columns (no per-row `Vec<Cell>`
+    /// temporaries). All columns must have equal length; the symbolic-cell
+    /// count is recomputed here.
     pub(crate) fn from_columns(
         orientation: Orientation,
         primary_arity: usize,

@@ -114,6 +114,25 @@ impl LineageTable {
         self.rows().map(|r| r[k]).collect()
     }
 
+    /// Indices of the lexicographically sorted, de-duplicated rows: the
+    /// normalization permutation without materializing a normalized copy.
+    /// The compression pipeline builds its columnar working set straight
+    /// through this, folding set-semantics enforcement into the column
+    /// build instead of cloning the relation first.
+    pub(crate) fn sorted_unique_row_perm(&self) -> Vec<u32> {
+        let a = self.arity();
+        if a == 0 {
+            return Vec::new();
+        }
+        let n = self.n_rows();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let data = &self.data;
+        let row_at = |i: u32| &data[i as usize * a..i as usize * a + a];
+        order.sort_unstable_by(|&x, &y| row_at(x).cmp(row_at(y)));
+        order.dedup_by(|cur, prev| row_at(*cur) == row_at(*prev));
+        order
+    }
+
     /// Sort rows lexicographically and remove duplicates (set semantics,
     /// required for ProvRC's losslessness argument in §IV.B).
     pub fn normalize(&mut self) {
@@ -122,20 +141,10 @@ impl LineageTable {
             return;
         }
         // Sort indices, then rebuild; avoids a Vec<Vec<i64>> blowup.
-        let n = self.n_rows();
-        let mut order: Vec<u32> = (0..n as u32).collect();
-        let data = &self.data;
-        order.sort_unstable_by(|&x, &y| {
-            data[x as usize * a..x as usize * a + a].cmp(&data[y as usize * a..y as usize * a + a])
-        });
-        let mut out = Vec::with_capacity(self.data.len());
-        let mut prev: Option<&[i64]> = None;
+        let order = self.sorted_unique_row_perm();
+        let mut out = Vec::with_capacity(order.len() * a);
         for &idx in &order {
-            let row = &data[idx as usize * a..idx as usize * a + a];
-            if prev != Some(row) {
-                out.extend_from_slice(row);
-            }
-            prev = Some(row);
+            out.extend_from_slice(&self.data[idx as usize * a..idx as usize * a + a]);
         }
         self.data = out;
     }
@@ -211,6 +220,18 @@ mod tests {
         assert_eq!(t.row(0), &[1, 2]);
         assert_eq!(t.row(1), &[1, 3]);
         assert_eq!(t.row(2), &[2, 5]);
+    }
+
+    #[test]
+    fn sorted_unique_row_perm_matches_normalize() {
+        let t = LineageTable::from_rows(1, 1, &[&[2, 5], &[1, 3], &[2, 5], &[1, 2], &[0, 9]]);
+        let perm = t.sorted_unique_row_perm();
+        let via_perm: Vec<Vec<i64>> = perm.iter().map(|&i| t.row(i as usize).to_vec()).collect();
+        let normalized = t.normalized();
+        let direct: Vec<Vec<i64>> = normalized.rows().map(|r| r.to_vec()).collect();
+        assert_eq!(via_perm, direct);
+        // Keeps the first occurrence of each duplicate.
+        assert_eq!(perm.len(), 4);
     }
 
     #[test]

@@ -12,12 +12,15 @@
 //!   simulators (bipartite weighted contributions, thresholded).
 //! * [`relops`] — relational operations (inner join, group-by, column
 //!   filters, one-hot encoding) with custom cell-level lineage capture.
+//! * [`edges`] — canonical single-edge lineage generators (one-to-one,
+//!   convolution window, incompressible scatter) for scaling benchmarks.
 //! * [`pipelines`] — the paper's image / relational / ResNet workflows
 //!   (Table VIII, Fig. 8).
 //! * [`random_numpy`] — seeded random numpy pipelines (Fig. 9).
 //! * [`kaggle`] — the Table X notebook-trace study, with compressibility
 //!   classified by actually compressing each op's lineage.
 
+pub mod edges;
 pub mod imdb;
 pub mod kaggle;
 pub mod pipelines;

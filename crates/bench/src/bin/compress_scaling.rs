@@ -15,14 +15,8 @@
 use dslog::provrc::{self, CompressOptions};
 use dslog::storage::format;
 use dslog::table::{LineageTable, Orientation};
-use dslog_bench::{cli_scale_seed, secs, timed, TextTable};
+use dslog_bench::{cli_scale_seed, p50, secs, timed, TextTable};
 use std::fmt::Write as _;
-
-/// Median of a sample of seconds.
-fn p50(samples: &mut [f64]) -> f64 {
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    samples[samples.len() / 2]
-}
 
 struct Point {
     edge: &'static str,

@@ -1,10 +1,20 @@
-//! Persistence scaling bench: save / eager-open / lazy-open timings on an
-//! incompressible (scatter) edge, plain vs gzip disk format.
+//! Persistence scaling bench: save / eager-open / lazy-open timings plus
+//! the incremental-commit series (append one edge + commit vs full save)
+//! on a database of incompressible (scatter) edges, plain vs gzip disk
+//! format. The database is a 32-edge chain totalling `rows` lineage rows
+//! — the paper's workload shape (many registered operations), and the
+//! regime where full-save cost is O(edges), not one big file.
 //!
-//! Tracks the cost model of the durable layer: `save` pays serialization +
-//! checksums + atomic renames, eager `open` pays read + crc verify + decode
-//! for every table, lazy `open` pays O(catalog) up front and defers each
-//! table's read/verify/decode to its first query hop (also timed).
+//! Tracks the cost model of the durable layer: a full `save` pays
+//! serialization + checksums + atomic renames for every table, eager
+//! `open` pays read + crc verify + decode for every table, lazy `open`
+//! pays O(catalog) up front and defers each table's read/verify/decode to
+//! its first query hop (also timed). An **incremental commit** after
+//! appending one tiny edge must pay only O(new edge) + O(catalog) — the
+//! `commit_speedup` column tracks how much cheaper that is than a full
+//! save of the same database. Scale-independent invariants are asserted
+//! on every run: each commit reuses all clean files, `verify` passes on
+//! the mixed-generation snapshot, and a reopen sees every appended edge.
 //!
 //! Emits an aligned table on stdout and machine-readable
 //! `BENCH_persist.json` in the working directory.
@@ -12,7 +22,8 @@
 //! Run: `cargo run -p dslog-bench --release --bin persist_scaling [--scale f]`
 
 use dslog::api::{Dslog, TableCapture};
-use dslog_bench::{cli_scale_seed, secs, timed, TextTable};
+use dslog::table::LineageTable;
+use dslog_bench::{cli_scale_seed, p50, secs, timed, TextTable};
 use dslog_workloads::edges;
 use std::fmt::Write as _;
 
@@ -24,6 +35,15 @@ struct Point {
     open_eager_s: f64,
     open_lazy_s: f64,
     lazy_first_query_s: f64,
+    append_p50_s: f64,
+    commit_p50_s: f64,
+    full_save_p50_s: f64,
+}
+
+impl Point {
+    fn commit_speedup(&self) -> f64 {
+        self.full_save_p50_s / self.commit_p50_s.max(1e-12)
+    }
 }
 
 fn dir_bytes(dir: &std::path::Path) -> u64 {
@@ -35,49 +55,116 @@ fn dir_bytes(dir: &std::path::Path) -> u64 {
         .sum()
 }
 
-fn measure(rows: usize, gzip: bool) -> Point {
+/// A tiny (8-row) edge between two fresh arrays, the unit of "append".
+fn small_edge(tag: usize) -> (String, String, LineageTable) {
+    let mut t = LineageTable::new(1, 1);
+    for i in 0..8 {
+        t.push_row(&[i, (i + 1 + tag as i64) % 8]);
+    }
+    (format!("X{tag}"), format!("Y{tag}"), t)
+}
+
+/// Edges in the measured database chain.
+const CHAIN_EDGES: usize = 32;
+
+fn measure(rows: usize, gzip: bool, reps: usize) -> Point {
     let dir = std::env::temp_dir().join(format!(
         "dslog-persist-bench-{rows}-{gzip}-{}",
         std::process::id()
     ));
     let _ = std::fs::remove_dir_all(&dir);
 
+    // A 32-edge chain N0 -> N1 -> … -> N32 of incompressible scatter
+    // edges (`edges::scatter`): ProvRC finds no ranges to merge, so the
+    // table files grow with the row count — the regime where persistence
+    // costs dominate. `rows` is the database total.
+    let per_edge = (rows / CHAIN_EDGES).max(64);
+    let names: Vec<String> = (0..=CHAIN_EDGES).map(|i| format!("N{i}")).collect();
     let mut db = Dslog::new();
-    db.define_array("A", &[rows]).unwrap();
-    db.define_array("B", &[rows]).unwrap();
-    // Incompressible scatter edge (`edges::scatter`): ProvRC finds no
-    // ranges to merge, so the table file grows with the row count — the
-    // regime where persistence costs dominate.
-    let (lineage, _, _) = edges::scatter(rows);
-    db.add_lineage("A", "B", &TableCapture::new(lineage))
-        .unwrap();
+    for name in &names {
+        db.define_array(name, &[per_edge]).unwrap();
+    }
+    for hop in 0..CHAIN_EDGES {
+        let (lineage, _, _) = edges::scatter(per_edge);
+        db.add_lineage(&names[hop], &names[hop + 1], &TableCapture::new(lineage))
+            .unwrap();
+    }
 
     let (_, save_s) = timed(|| db.save(&dir, gzip).unwrap());
     let db_bytes = dir_bytes(&dir);
     let (_, open_eager_s) = timed(|| Dslog::open(&dir).unwrap());
     let (lazy, open_lazy_s) = timed(|| Dslog::open_lazy(&dir).unwrap());
     // First hop through a lazily opened database: read + verify + decode +
-    // index build for that one edge.
-    let cell = vec![(rows / 2) as i64];
-    let (_, lazy_first_query_s) = timed(|| lazy.prov_query(&["B", "A"], &[cell]).unwrap());
+    // index build for that one edge (of 32 — the rest stay on disk).
+    let cell = vec![(per_edge / 2) as i64];
+    let (_, lazy_first_query_s) = timed(|| lazy.prov_query(&["N1", "N0"], &[cell]).unwrap());
+
+    // Incremental series: append one tiny edge, commit, repeat. Each
+    // commit may rewrite only the new edge; every earlier file must be
+    // reused (asserted — this is the O(changed edges) contract).
+    let mut append_samples = Vec::with_capacity(reps);
+    let mut commit_samples = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let (x, y, t) = small_edge(rep);
+        let (_, append_s) = timed(|| {
+            db.define_array(&x, &[8]).unwrap();
+            db.define_array(&y, &[8]).unwrap();
+            db.add_lineage(&x, &y, &TableCapture::new(t)).unwrap();
+        });
+        let (report, commit_s) = timed(|| db.commit().unwrap());
+        assert!(report.incremental, "commit into bound dir not incremental");
+        assert_eq!(
+            (report.files_written, report.files_reused),
+            (1, CHAIN_EDGES + rep),
+            "incremental commit rewrote clean files"
+        );
+        append_samples.push(append_s);
+        commit_samples.push(commit_s);
+    }
+    // Invariants (scale-independent): the mixed-generation snapshot
+    // verifies clean and a reopen sees every appended edge.
+    let report = dslog::storage::persist::verify(&dir).unwrap();
+    assert_eq!(report.n_edges, CHAIN_EDGES + reps, "edge count mismatch");
+    assert!(report.stale_files.is_empty(), "{:?}", report.stale_files);
+    assert_eq!(
+        Dslog::open(&dir).unwrap().storage().n_edges(),
+        CHAIN_EDGES + reps
+    );
+
+    // Full-save baseline on the SAME database state: save into a fresh
+    // (unbound) directory, which rewrites every table.
+    let mut full_samples = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let full_dir = dir.with_extension(format!("full{rep}"));
+        let _ = std::fs::remove_dir_all(&full_dir);
+        let (_, full_s) = timed(|| db.save(&full_dir, gzip).unwrap());
+        full_samples.push(full_s);
+        let _ = std::fs::remove_dir_all(&full_dir);
+    }
+    // The full saves re-bound the database elsewhere; no commits follow.
 
     let _ = std::fs::remove_dir_all(&dir);
     Point {
-        rows,
+        // Actual total (per-edge row counts are floored at small scales).
+        rows: per_edge * CHAIN_EDGES,
         gzip,
         db_bytes,
         save_s,
         open_eager_s,
         open_lazy_s,
         lazy_first_query_s,
+        append_p50_s: p50(&mut append_samples),
+        commit_p50_s: p50(&mut commit_samples),
+        full_save_p50_s: p50(&mut full_samples),
     }
 }
 
 fn main() {
     let (scale, _seed) = cli_scale_seed();
-    println!("persist_scaling — save/open costs on a scatter edge (scale {scale})");
+    println!("persist_scaling — save/open/commit costs on a scatter edge (scale {scale})");
 
     let sizes = [10_000usize, 100_000];
+    let reps = 7;
     let mut table = TextTable::new(&[
         "rows",
         "format",
@@ -86,12 +173,16 @@ fn main() {
         "open eager",
         "open lazy",
         "lazy 1st query",
+        "append p50",
+        "commit p50",
+        "full save p50",
+        "commit speedup",
     ]);
     let mut json_rows = String::new();
     for &base in &sizes {
         let rows = ((base as f64 * scale) as usize).max(100);
         for gzip in [false, true] {
-            let pt = measure(rows, gzip);
+            let pt = measure(rows, gzip, reps);
             table.row(&[
                 pt.rows.to_string(),
                 if pt.gzip { "gzip" } else { "plain" }.to_string(),
@@ -100,6 +191,10 @@ fn main() {
                 secs(pt.open_eager_s),
                 secs(pt.open_lazy_s),
                 secs(pt.lazy_first_query_s),
+                secs(pt.append_p50_s),
+                secs(pt.commit_p50_s),
+                secs(pt.full_save_p50_s),
+                format!("{:.1}x", pt.commit_speedup()),
             ]);
             if !json_rows.is_empty() {
                 json_rows.push(',');
@@ -107,14 +202,20 @@ fn main() {
             write!(
                 json_rows,
                 "{{\"rows\":{},\"gzip\":{},\"db_bytes\":{},\"save_s\":{:.9},\
-                 \"open_eager_s\":{:.9},\"open_lazy_s\":{:.9},\"lazy_first_query_s\":{:.9}}}",
+                 \"open_eager_s\":{:.9},\"open_lazy_s\":{:.9},\"lazy_first_query_s\":{:.9},\
+                 \"append_p50_s\":{:.9},\"commit_p50_s\":{:.9},\"full_save_p50_s\":{:.9},\
+                 \"commit_speedup\":{:.2}}}",
                 pt.rows,
                 pt.gzip,
                 pt.db_bytes,
                 pt.save_s,
                 pt.open_eager_s,
                 pt.open_lazy_s,
-                pt.lazy_first_query_s
+                pt.lazy_first_query_s,
+                pt.append_p50_s,
+                pt.commit_p50_s,
+                pt.full_save_p50_s,
+                pt.commit_speedup()
             )
             .unwrap();
         }
@@ -122,7 +223,7 @@ fn main() {
     println!("{}", table.render());
 
     let json = format!(
-        "{{\"bench\":\"persist_scaling\",\"scale\":{scale},\"edge\":\"scatter\",\"series\":[{json_rows}]}}\n"
+        "{{\"bench\":\"persist_scaling\",\"scale\":{scale},\"edge\":\"scatter\",\"commit_reps\":{reps},\"series\":[{json_rows}]}}\n"
     );
     std::fs::write("BENCH_persist.json", &json).expect("write BENCH_persist.json");
     println!("wrote BENCH_persist.json");

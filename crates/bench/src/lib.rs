@@ -35,6 +35,13 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
+/// Median of a non-empty sample of seconds (sorts in place).
+pub fn p50(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty(), "p50 of an empty sample");
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
 /// Format a byte count as MB with sensible precision.
 pub fn mb(bytes: usize) -> String {
     let v = bytes as f64 / 1_048_576.0;

@@ -5,10 +5,12 @@ use crate::csv;
 use crate::opts::{parse_array_spec, parse_cells, Opts};
 use dslog::api::{Dslog, TableCapture};
 use dslog::provrc;
+use dslog::service::{AutoCommitPolicy, DslogService, IngestJob};
 use dslog::storage::format as provrc_format;
 use dslog::table::Orientation;
 use dslog_baselines::all_formats;
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// `dslog help`
 pub fn help() -> String {
@@ -22,6 +24,8 @@ USAGE:
   dslog export    --db DIR --edge IN,OUT [--csv FILE]
   dslog db verify DIR
   dslog compress  --csv FILE --out-arity N [--no-fast]
+  dslog serve     --db DIR [--gzip] [--lazy] [--auto-commit-edges N]
+                  [--auto-commit-ms MS] [--script FILE]
   dslog help
 
 A database is a directory of ProvRC-compressed lineage tables plus a
@@ -40,6 +44,23 @@ verifying each edge table on first use.
 `compress` reports per-format sizes plus ProvRC throughput (rows/s and
 raw MB/s); `--no-fast` swaps the columnar fast pipeline for the
 row-of-structs ablation (bit-identical output, for benchmarking).
+
+`serve` runs the concurrent ingest-while-query service on a command
+stream (one command per line, from --script FILE or stdin):
+
+  define NAME:3x2             define an array
+  ingest IN OUT FILE.csv      compress + install one edge
+  query  B,A 1;2              prov_query along a path
+  commit                      incremental commit to the database dir
+  stats                       service counters
+  quit                        stop (implied at end of stream)
+
+Commits are incremental: only edges added or re-derived since the last
+commit are written; everything else is re-referenced by the new
+catalog generation. --auto-commit-edges N commits whenever N edges are
+pending; --auto-commit-ms MS commits on a timer. Pending edges are
+committed on shutdown even when a command fails. --gzip converts an
+existing plain database to the gzip disk format on open.
 "
     .to_string()
 }
@@ -69,11 +90,14 @@ pub fn ingest(args: &[String]) -> Result<String, String> {
     let n_rows = table.n_rows();
     let raw_bytes = table.nbytes();
 
-    // Extend an existing database or start a fresh one.
-    let mut db = match Dslog::open(db_dir) {
-        Ok(db) => db,
-        Err(dslog::DslogError::Io(_)) => Dslog::new(),
-        Err(e) => return Err(format!("open {db_dir}: {e}")),
+    // Extend an existing database or start a fresh one. Fresh only when
+    // no catalog exists — an IO error on an existing database must
+    // propagate, not be shadowed by a new empty database whose save would
+    // sweep the old snapshot's edge files.
+    let mut db = if database_exists(db_dir) {
+        Dslog::open(db_dir).map_err(|e| format!("open {db_dir}: {e}"))?
+    } else {
+        Dslog::new()
     };
     db.define_array(&in_name, &in_shape)
         .map_err(|e| e.to_string())?;
@@ -169,7 +193,13 @@ pub fn query(args: &[String]) -> Result<String, String> {
             .unwrap();
         }
     }
-    for b in result.cells.boxes() {
+    render_boxes(&mut out, &result.cells);
+    Ok(out)
+}
+
+/// Append one `  (a, [b, c])` line per interval box.
+fn render_boxes(out: &mut String, cells: &dslog::table::BoxTable) {
+    for b in cells.boxes() {
         let dims: Vec<String> = b
             .iter()
             .map(|ivl| {
@@ -182,7 +212,6 @@ pub fn query(args: &[String]) -> Result<String, String> {
             .collect();
         writeln!(out, "  ({})", dims.join(", ")).unwrap();
     }
-    Ok(out)
 }
 
 /// `dslog export`: decompress one edge back to CSV (stdout or --csv FILE).
@@ -248,6 +277,238 @@ pub fn db(args: &[String]) -> Result<String, String> {
         }
         other => Err(format!("unknown db subcommand `{other}`; see `dslog help`")),
     }
+}
+
+/// `dslog serve`: run the concurrent ingest-while-query service over a
+/// command stream (one command per line; `--script FILE` or stdin). See
+/// [`help`] for the command grammar. Ingest batches compress outside the
+/// exclusive lock, queries run concurrently, and commits are incremental
+/// against the database directory's current generation.
+pub fn serve(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let db_dir = opts.required("db")?;
+    let gzip = opts.switch("gzip");
+    let lazy = opts.switch("lazy");
+    let parse_u64 = |key: &str| -> Result<Option<u64>, String> {
+        opts.optional(key)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("flag --{key} must be an integer"))
+            })
+            .transpose()
+    };
+    let policy = AutoCommitPolicy {
+        edge_threshold: parse_u64("auto-commit-edges")?,
+        interval: parse_u64("auto-commit-ms")?.map(Duration::from_millis),
+    };
+
+    // Open an existing database, or initialize (and bind) an empty one so
+    // commits have a target from the start. Fresh-init happens ONLY when
+    // no catalog exists: an IO error reading an existing database must
+    // propagate, never be shadowed by an empty save (whose sweep would
+    // delete the surviving edge files).
+    let db = if database_exists(db_dir) {
+        let open = if lazy { Dslog::open_lazy } else { Dslog::open };
+        let db = open(db_dir).map_err(|e| format!("open {db_dir}: {e}"))?;
+        // An existing plain database with an explicit --gzip is converted
+        // (full re-save in the gzip format) so later commits honor the
+        // requested mode; without the flag the catalog's mode wins.
+        if gzip
+            && db
+                .bound_database()
+                .is_some_and(|(_, bound_gzip, _)| !bound_gzip)
+        {
+            db.save(db_dir, true)
+                .map_err(|e| format!("convert {db_dir} to gzip: {e}"))?;
+        }
+        db
+    } else {
+        let db = Dslog::new();
+        db.save(db_dir, gzip)
+            .map_err(|e| format!("initialize {db_dir}: {e}"))?;
+        db
+    };
+
+    let service = DslogService::new(db, policy);
+    let mut out = String::new();
+    let stream_result = match opts.optional("script") {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => drive_serve(
+                &service,
+                text.lines().map(|l| Ok(l.to_string())),
+                &mut out,
+                false,
+            ),
+            Err(e) => Err(format!("read script {path}: {e}")),
+        },
+        None => {
+            // Live mode: commands are executed as each stdin line arrives
+            // (a long-lived pipe gets its responses immediately — the
+            // stream is NOT buffered to EOF first), and each command's
+            // output is printed and flushed on the spot.
+            use std::io::BufRead as _;
+            let stdin = std::io::stdin();
+            drive_serve(&service, stdin.lock().lines(), &mut out, true)
+        }
+    };
+    // Final commit of anything pending — even after a failed command, so
+    // successfully ingested edges are never discarded — then report.
+    let (db, final_commit) = service.shutdown();
+    stream_result?;
+    final_commit.map_err(|e| format!("final commit: {e}"))?;
+    let generation = db
+        .bound_database()
+        .map_or(0, |(_, _, generation)| generation);
+    writeln!(
+        out,
+        "serve done: {} array(s), {} edge(s) at generation {generation}",
+        db.storage().array_names().len(),
+        db.storage().n_edges()
+    )
+    .unwrap();
+    Ok(out)
+}
+
+/// Whether `db_dir` already holds a committed DSLog database (catalog
+/// present). Used to decide between opening and fresh-initializing.
+fn database_exists(db_dir: &str) -> bool {
+    std::path::Path::new(db_dir).join("catalog.dsl").exists()
+}
+
+/// Feed a command stream to the service, one line at a time. In `live`
+/// mode (stdin) each command's output is printed and flushed immediately
+/// instead of being accumulated, so a long-lived session stays bounded
+/// and responsive; script mode accumulates into `out` for the caller.
+fn drive_serve(
+    service: &DslogService,
+    lines: impl Iterator<Item = std::io::Result<String>>,
+    out: &mut String,
+    live: bool,
+) -> Result<(), String> {
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| format!("read command stream: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match serve_command(service, line) {
+            Ok(Some(text)) if live => {
+                use std::io::Write as _;
+                print!("{text}");
+                let _ = std::io::stdout().flush();
+            }
+            Ok(Some(text)) => out.push_str(&text),
+            Ok(None) => break,
+            Err(e) => return Err(format!("serve line {}: {e}", lineno + 1)),
+        }
+    }
+    Ok(())
+}
+
+/// Execute one `serve` stream command. `Ok(None)` means quit.
+fn serve_command(service: &DslogService, line: &str) -> Result<Option<String>, String> {
+    let mut parts = line.split_whitespace();
+    let cmd = parts.next().expect("caller skips blank lines");
+    let args: Vec<&str> = parts.collect();
+    let mut out = String::new();
+    match (cmd, args.as_slice()) {
+        ("define", [spec]) => {
+            let (name, shape) = parse_array_spec(spec)?;
+            service
+                .define_array(&name, &shape)
+                .map_err(|e| e.to_string())?;
+            writeln!(out, "defined {name} shape {shape:?}").unwrap();
+        }
+        ("ingest", [in_name, out_name, csv_path]) => {
+            let (in_shape, out_shape) = service
+                .with_db(|db| {
+                    Ok::<_, dslog::DslogError>((
+                        db.storage().array(in_name)?.shape.clone(),
+                        db.storage().array(out_name)?.shape.clone(),
+                    ))
+                })
+                .map_err(|e| e.to_string())?;
+            let text =
+                std::fs::read_to_string(csv_path).map_err(|e| format!("read {csv_path}: {e}"))?;
+            let table = csv::parse(&text, out_shape.len(), in_shape.len())?;
+            let report = service
+                .ingest_batch(vec![IngestJob::new(*in_name, *out_name, table)])
+                .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "ingested {} row(s) as edge {in_name} -> {out_name} ({} pending)",
+                report.rows, report.pending_edges
+            )
+            .unwrap();
+            match report.auto_commit {
+                Some(Ok(commit)) => writeln!(
+                    out,
+                    "auto-committed generation {} ({} written, {} reused)",
+                    commit.generation, commit.files_written, commit.files_reused
+                )
+                .unwrap(),
+                Some(Err(e)) => {
+                    writeln!(out, "warning: auto-commit failed ({e}); edges stay pending").unwrap()
+                }
+                None => {}
+            }
+        }
+        ("query", [path_spec, cells_spec]) => {
+            let path: Vec<&str> = path_spec.split(',').map(str::trim).collect();
+            let cells = parse_cells(cells_spec)?;
+            if cells.is_empty() {
+                return Err("no query cells given".to_string());
+            }
+            let result = service.query(&path, &cells).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "{} box(es), {} cell(s), {} hop(s):",
+                result.cells.n_boxes(),
+                result.cells.volume(),
+                result.hops
+            )
+            .unwrap();
+            render_boxes(&mut out, &result.cells);
+        }
+        ("commit", []) => {
+            let report = service.commit().map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "committed generation {} ({}: {} written, {} reused, {} B)",
+                report.generation,
+                if report.incremental {
+                    "incremental"
+                } else {
+                    "full"
+                },
+                report.files_written,
+                report.files_reused,
+                report.bytes_written
+            )
+            .unwrap();
+        }
+        ("stats", []) => {
+            let s = service.stats();
+            writeln!(
+                out,
+                "{} array(s), {} edge(s), {} pending; {} ingested, {} query(ies), \
+                 {} commit(s) ({} auto), generation {}",
+                s.arrays,
+                s.edges,
+                s.pending_edges,
+                s.edges_ingested,
+                s.queries,
+                s.commits,
+                s.auto_commits,
+                s.generation
+                    .map_or("unbound".to_string(), |g| g.to_string())
+            )
+            .unwrap();
+        }
+        ("quit" | "exit", []) => return Ok(None),
+        _ => return Err(format!("bad serve command `{line}`; see `dslog help`")),
+    }
+    Ok(Some(out))
 }
 
 /// `dslog compress`: compare every storage format on a CSV relation and

@@ -12,6 +12,7 @@
 //! dslog export  --db DIR --edge A,B [--csv out.csv]
 //! dslog db verify DIR
 //! dslog compress --csv lineage.csv --out-arity 1
+//! dslog serve   --db DIR --script commands.txt
 //! dslog help
 //! ```
 
@@ -49,6 +50,7 @@ pub(crate) fn run(args: &[String]) -> Result<String, String> {
         "export" => commands::export(rest),
         "db" => commands::db(rest),
         "compress" => commands::compress(rest),
+        "serve" => commands::serve(rest),
         "help" | "--help" | "-h" => Ok(commands::help()),
         other => Err(format!("unknown command `{other}`; see `dslog help`")),
     }
@@ -90,9 +92,207 @@ mod tests {
             "export",
             "db verify",
             "compress",
+            "serve",
         ] {
             assert!(out.contains(cmd), "help should mention {cmd}");
         }
+    }
+
+    #[test]
+    fn serve_script_drives_full_session() {
+        let db = temp_db("serve");
+        let csv = write_sum_csv("serve");
+        let script = std::env::temp_dir().join(format!("dslog-serve-{}.txt", std::process::id()));
+        std::fs::write(
+            &script,
+            format!(
+                "# serve session\n\
+                 define A:3x2\n\
+                 define B:3\n\
+                 ingest A B {csv}\n\
+                 stats\n\
+                 query B,A 1\n\
+                 commit\n\
+                 quit\n\
+                 ingest never reached\n"
+            ),
+        )
+        .unwrap();
+        let out = run(&s(&[
+            "serve",
+            "--db",
+            &db,
+            "--script",
+            script.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("defined A shape [3, 2]"), "{out}");
+        assert!(
+            out.contains("ingested 6 row(s) as edge A -> B (1 pending)"),
+            "{out}"
+        );
+        assert!(out.contains("1 pending"), "{out}");
+        assert!(out.contains("(1, [0, 1])"), "{out}");
+        assert!(
+            out.contains("committed generation 2 (incremental: 1 written"),
+            "{out}"
+        );
+        assert!(
+            out.contains("serve done: 2 array(s), 1 edge(s) at generation 2"),
+            "{out}"
+        );
+        // The committed database is a normal dslog db.
+        let v = run(&s(&["db", "verify", &db])).unwrap();
+        assert!(v.contains("database OK"), "{v}");
+        let q = run(&s(&["query", "--db", &db, "--path", "B,A", "--cells", "1"])).unwrap();
+        assert!(q.contains("(1, [0, 1])"), "{q}");
+        let _ = std::fs::remove_dir_all(&db);
+        let _ = std::fs::remove_file(&csv);
+        let _ = std::fs::remove_file(&script);
+    }
+
+    #[test]
+    fn serve_auto_commit_threshold_persists_without_commit_command() {
+        let db = temp_db("serve-auto");
+        let csv = write_sum_csv("serve-auto");
+        let script =
+            std::env::temp_dir().join(format!("dslog-serve-auto-{}.txt", std::process::id()));
+        std::fs::write(
+            &script,
+            format!("define A:3x2\ndefine B:3\ningest A B {csv}\n"),
+        )
+        .unwrap();
+        let out = run(&s(&[
+            "serve",
+            "--db",
+            &db,
+            "--script",
+            script.to_str().unwrap(),
+            "--auto-commit-edges",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("auto-committed generation 2"), "{out}");
+        let stats = run(&s(&["stats", "--db", &db])).unwrap();
+        assert!(stats.contains("1 edge"), "{stats}");
+        let _ = std::fs::remove_dir_all(&db);
+        let _ = std::fs::remove_file(&csv);
+        let _ = std::fs::remove_file(&script);
+    }
+
+    #[test]
+    fn damaged_database_is_never_silently_replaced() {
+        let db = temp_db("nowipe");
+        let csv = write_sum_csv("nowipe");
+        run(&s(&[
+            "ingest", "--db", &db, "--in", "A:3x2", "--out", "B:3", "--csv", &csv,
+        ]))
+        .unwrap();
+        // Corrupt the catalog: a later ingest or serve must refuse (not
+        // fresh-init an empty database whose save would sweep the old
+        // snapshot's edge files).
+        let catalog = std::path::Path::new(&db).join("catalog.dsl");
+        std::fs::write(&catalog, b"garbage").unwrap();
+        assert!(run(&s(&[
+            "ingest", "--db", &db, "--in", "A:3x2", "--out", "B:3", "--csv", &csv,
+        ]))
+        .is_err());
+        let script = std::env::temp_dir().join(format!("dslog-nowipe-{}.txt", std::process::id()));
+        std::fs::write(&script, "stats\n").unwrap();
+        assert!(run(&s(&[
+            "serve",
+            "--db",
+            &db,
+            "--script",
+            script.to_str().unwrap(),
+        ]))
+        .is_err());
+        // The edge file survived both refusals.
+        let edges = std::fs::read_dir(&db)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with("edge-"))
+            .count();
+        assert_eq!(edges, 1);
+        let _ = std::fs::remove_dir_all(&db);
+        let _ = std::fs::remove_file(&csv);
+        let _ = std::fs::remove_file(&script);
+    }
+
+    #[test]
+    fn serve_gzip_flag_converts_plain_database() {
+        let db = temp_db("serve-gzconv");
+        let csv = write_sum_csv("serve-gzconv");
+        run(&s(&[
+            "ingest", "--db", &db, "--in", "A:3x2", "--out", "B:3", "--csv", &csv,
+        ]))
+        .unwrap();
+        assert!(run(&s(&["db", "verify", &db])).unwrap().contains("plain"));
+        let script = std::env::temp_dir().join(format!("dslog-gzconv-{}.txt", std::process::id()));
+        std::fs::write(&script, "stats\n").unwrap();
+        run(&s(&[
+            "serve",
+            "--db",
+            &db,
+            "--gzip",
+            "--script",
+            script.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let v = run(&s(&["db", "verify", &db])).unwrap();
+        assert!(v.contains("gzip"), "{v}");
+        let q = run(&s(&["query", "--db", &db, "--path", "B,A", "--cells", "1"])).unwrap();
+        assert!(q.contains("(1, [0, 1])"), "{q}");
+        let _ = std::fs::remove_dir_all(&db);
+        let _ = std::fs::remove_file(&csv);
+        let _ = std::fs::remove_file(&script);
+    }
+
+    #[test]
+    fn serve_commits_pending_edges_even_when_a_command_fails() {
+        let db = temp_db("serve-errcommit");
+        let csv = write_sum_csv("serve-errcommit");
+        let script =
+            std::env::temp_dir().join(format!("dslog-errcommit-{}.txt", std::process::id()));
+        std::fs::write(
+            &script,
+            format!("define A:3x2\ndefine B:3\ningest A B {csv}\nfrobnicate\n"),
+        )
+        .unwrap();
+        let err = run(&s(&[
+            "serve",
+            "--db",
+            &db,
+            "--script",
+            script.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("serve line 4"), "{err}");
+        // The successfully ingested edge was committed before exit.
+        let stats = run(&s(&["stats", "--db", &db])).unwrap();
+        assert!(stats.contains("1 edge"), "{stats}");
+        let _ = std::fs::remove_dir_all(&db);
+        let _ = std::fs::remove_file(&csv);
+        let _ = std::fs::remove_file(&script);
+    }
+
+    #[test]
+    fn serve_rejects_bad_commands() {
+        let db = temp_db("serve-bad");
+        let script =
+            std::env::temp_dir().join(format!("dslog-serve-bad-{}.txt", std::process::id()));
+        std::fs::write(&script, "frobnicate the database\n").unwrap();
+        let err = run(&s(&[
+            "serve",
+            "--db",
+            &db,
+            "--script",
+            script.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("serve line 1"), "{err}");
+        let _ = std::fs::remove_dir_all(&db);
+        let _ = std::fs::remove_file(&script);
     }
 
     #[test]

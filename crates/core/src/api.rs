@@ -174,12 +174,43 @@ impl Dslog {
     /// intact, and re-saving over an existing directory (even with a
     /// different edge set or `gzip` flag) can never leave stale tables.
     ///
+    /// Saving into the *bound* directory — the one this database was
+    /// opened from or last saved into, with the same `gzip` mode — is
+    /// **incremental**: only edges added, re-derived, or rebalanced since
+    /// the last commit are rewritten; everything else is re-referenced in
+    /// place (see [`commit`](Self::commit) for the detailed report).
+    ///
     /// Every orientation materialized in memory — including orientations a
     /// query lazily derived — is written. The reuse predictor's signature
     /// tables are not persisted; they are re-learned per process (§VI.C
     /// re-validates mappings anyway).
     pub fn save(&self, dir: impl AsRef<std::path::Path>, gzip: bool) -> Result<()> {
         crate::storage::persist::save(&self.storage, dir.as_ref(), gzip)
+    }
+
+    /// Incrementally commit to the bound database directory: write only
+    /// the edge tables added or re-derived since the last commit, reuse
+    /// every clean table file in the new catalog, and bump the snapshot
+    /// generation with the catalog rename as the single atomic commit
+    /// point. Appending one edge to a 100k-row database costs O(new
+    /// edge), not O(database).
+    ///
+    /// The binding is established by [`save`](Self::save),
+    /// [`open`](Self::open), or [`open_lazy`](Self::open_lazy); calling
+    /// `commit` on a never-persisted database returns
+    /// [`DslogError::NotBound`]. Callers running commits concurrently
+    /// with saves on the same handle should serialize them (the
+    /// [`crate::service`] layer does).
+    pub fn commit(&self) -> Result<crate::storage::persist::CommitReport> {
+        let (dir, gzip, _) = self.storage.persist_binding().ok_or(DslogError::NotBound)?;
+        crate::storage::persist::commit(&self.storage, &dir, gzip)
+    }
+
+    /// The database directory this handle is bound to for incremental
+    /// commits, with its gzip mode and last committed generation —
+    /// `None` until the first [`save`](Self::save)/open.
+    pub fn bound_database(&self) -> Option<(std::path::PathBuf, bool, u64)> {
+        self.storage.persist_binding()
     }
 
     /// Open a database directory previously written by [`save`](Self::save),

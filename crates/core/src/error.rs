@@ -31,6 +31,9 @@ pub enum DslogError {
     /// Carries the operation description and the OS error text (the error
     /// type stays `Clone + PartialEq` this way).
     Io(String),
+    /// `commit` was called on a database that is not bound to a directory
+    /// (it was never saved to nor opened from disk).
+    NotBound,
 }
 
 impl std::fmt::Display for DslogError {
@@ -63,6 +66,10 @@ impl std::fmt::Display for DslogError {
             DslogError::Codec(e) => write!(f, "codec error: {e}"),
             DslogError::Corrupt(what) => write!(f, "corrupt storage: {what}"),
             DslogError::Io(what) => write!(f, "io error: {what}"),
+            DslogError::NotBound => write!(
+                f,
+                "database is not bound to a directory; save(dir, gzip) or open one first"
+            ),
         }
     }
 }

@@ -51,6 +51,7 @@ pub mod interval;
 pub mod provrc;
 pub mod query;
 pub mod reuse;
+pub mod service;
 pub mod storage;
 pub mod table;
 

@@ -27,10 +27,10 @@
 //!   capped heuristically for very wide relations).
 //!
 //! Two pipelines implement the same pass sequence and produce identical
-//! output. The **fast** columnar pipeline ([`columnar`], the
+//! output. The **fast** columnar pipeline (`columnar`, the
 //! [`CompressOptions::fast`] default) sorts packed key permutations over a
 //! struct-of-arrays arena; the row-of-structs reference implementation
-//! ([`range_encode`] + [`relative`]) survives as the `fast = false`
+//! (`range_encode` + `relative`) survives as the `fast = false`
 //! ablation, mirroring the query engine's scan-vs-probe switch. Parity is
 //! property-tested in `provrc_fast_parity.rs`.
 

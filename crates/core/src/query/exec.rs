@@ -6,7 +6,7 @@
 //! **Step 1 — range join**: each query box is intersected with each
 //! candidate compressed row's primary intervals; rows with any empty
 //! intersection are dropped. Candidates come from the table's cached
-//! [`TableIndex`](crate::table::TableIndex) (binary search on sorted-by-lo
+//! [`crate::table::TableIndex`] (binary search on sorted-by-lo
 //! runs with max-hi fencing) unless [`QueryOptions::use_index`] is off, in
 //! which case every row is scanned — the pre-index nested-loop baseline,
 //! kept as an ablation.

@@ -13,8 +13,8 @@
 //! threads above a size threshold, short-circuits empty frontiers, and
 //! reports per-hop [`HopStats`]. The pre-index nested-loop scan survives
 //! behind [`QueryOptions::use_index`]` = false` as an ablation, and
-//! [`reference`] holds the brute-force decompressed-join oracle both paths
-//! are tested against.
+//! [`reference`](mod@reference) holds the brute-force decompressed-join
+//! oracle both paths are tested against.
 
 pub mod exec;
 pub mod reference;

@@ -1,0 +1,666 @@
+//! Concurrent ingest-while-query service layer.
+//!
+//! The paper's workload is a long-lived pipeline: operations keep
+//! registering lineage while analysts issue `prov_query` calls against
+//! what is already stored. [`DslogService`] wraps a [`Dslog`] for exactly
+//! that shape of traffic:
+//!
+//! - **Queries run concurrently** — with each other, with the expensive
+//!   half of ingest, and with commits. The service holds the database in
+//!   a reader-writer lock; queries and commits only ever take the shared
+//!   side.
+//! - **Ingest is two-phase.** [`ingest_batch`](DslogService::ingest_batch)
+//!   validates shapes under a shared lock, compresses the whole batch
+//!   *outside any lock* via [`provrc::compress_batch_parallel_opts`], and
+//!   then takes the exclusive lock only for the O(edges) install. Queries
+//!   are never blocked by compression, and always see a
+//!   snapshot-consistent edge set: all of a batch or none of it.
+//! - **Commits are incremental and non-blocking for readers.**
+//!   [`commit`](DslogService::commit) drives [`Dslog::commit`] under the
+//!   shared lock (the storage layer's own slot locks and binding lock
+//!   make that safe), so serving continues while the snapshot is written.
+//!   An [`AutoCommitPolicy`] can trigger commits automatically after a
+//!   threshold of ingested edges and/or on a periodic timer thread.
+//!
+//! ```
+//! use dslog::service::{AutoCommitPolicy, DslogService, IngestJob};
+//! use dslog::table::LineageTable;
+//!
+//! let dir = std::env::temp_dir().join(format!("svc-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let mut db = dslog::api::Dslog::new();
+//! db.define_array("A", &[2]).unwrap();
+//! db.define_array("B", &[2]).unwrap();
+//! db.save(&dir, false).unwrap(); // bind for commits
+//!
+//! let service = DslogService::new(db, AutoCommitPolicy::every_edges(64));
+//! let mut t = LineageTable::new(1, 1);
+//! t.push_row(&[0, 1]);
+//! t.push_row(&[1, 0]);
+//! service
+//!     .ingest_batch(vec![IngestJob::new("A", "B", t)])
+//!     .unwrap();
+//! let r = service.query(&["B", "A"], &[vec![0]]).unwrap();
+//! assert!(r.cells.contains_cell(&[1]));
+//! let (db, commit) = service.shutdown(); // final commit, teardown
+//! commit.unwrap();
+//! assert_eq!(db.storage().n_edges(), 1);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use crate::api::{Dslog, QueryResult};
+use crate::error::{DslogError, Result};
+use crate::provrc::{self, CompressJob};
+use crate::storage::persist::CommitReport;
+use crate::storage::Materialize;
+use crate::table::{LineageTable, Orientation};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Duration;
+
+/// When the service commits on its own.
+///
+/// Both triggers may be combined; [`AutoCommitPolicy::manual`] disables
+/// both (only explicit [`DslogService::commit`] calls persist anything).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AutoCommitPolicy {
+    /// Commit as soon as at least this many edges were ingested since the
+    /// last commit (checked after every batch).
+    pub edge_threshold: Option<u64>,
+    /// Commit on this period from a background timer thread, skipping
+    /// ticks with nothing pending.
+    pub interval: Option<Duration>,
+}
+
+impl AutoCommitPolicy {
+    /// No automatic commits.
+    pub fn manual() -> Self {
+        Self::default()
+    }
+
+    /// Commit whenever `n` or more edges are pending.
+    pub fn every_edges(n: u64) -> Self {
+        Self {
+            edge_threshold: Some(n),
+            ..Self::default()
+        }
+    }
+
+    /// Commit every `interval` (if anything is pending).
+    pub fn every(interval: Duration) -> Self {
+        Self {
+            interval: Some(interval),
+            ..Self::default()
+        }
+    }
+}
+
+/// One edge of an ingest batch: the uncompressed lineage relation for
+/// `in_array → out_array` (both must already be defined).
+#[derive(Debug, Clone)]
+pub struct IngestJob {
+    /// Input (source-of-contributions) array.
+    pub in_array: String,
+    /// Output (result) array.
+    pub out_array: String,
+    /// The raw lineage relation, output attributes first.
+    pub lineage: LineageTable,
+}
+
+impl IngestJob {
+    /// Convenience constructor.
+    pub fn new(
+        in_array: impl Into<String>,
+        out_array: impl Into<String>,
+        lineage: LineageTable,
+    ) -> Self {
+        Self {
+            in_array: in_array.into(),
+            out_array: out_array.into(),
+            lineage,
+        }
+    }
+}
+
+/// What one [`DslogService::ingest_batch`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Edges installed by this batch.
+    pub edges: usize,
+    /// Raw lineage rows across the batch.
+    pub rows: usize,
+    /// Edges pending (ingested but not yet committed) after this batch.
+    pub pending_edges: u64,
+    /// Outcome of the auto-commit this batch triggered, if the edge
+    /// threshold fired. `Some(Err(_))` means the batch installed fine but
+    /// the commit failed (e.g. [`DslogError::NotBound`]); the edges stay
+    /// pending for a later commit.
+    pub auto_commit: Option<Result<CommitReport>>,
+}
+
+/// Monotonic service counters (see [`DslogService::stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Arrays currently defined.
+    pub arrays: usize,
+    /// Edges currently stored.
+    pub edges: usize,
+    /// Edges ingested since the last commit.
+    pub pending_edges: u64,
+    /// Total edges ingested through the service.
+    pub edges_ingested: u64,
+    /// Queries served.
+    pub queries: u64,
+    /// Commits driven through the service (manual + automatic).
+    pub commits: u64,
+    /// Commits triggered by the auto-commit policy.
+    pub auto_commits: u64,
+    /// Last committed generation of the bound directory (`None` if the
+    /// wrapped database is unbound).
+    pub generation: Option<u64>,
+}
+
+struct Shared {
+    db: RwLock<Dslog>,
+    /// Serializes service-level commits so the pending-edge accounting
+    /// stays exact (the storage layer would serialize the file writes
+    /// anyway, on its binding lock).
+    commit_lock: Mutex<()>,
+    policy: AutoCommitPolicy,
+    pending_edges: AtomicU64,
+    edges_ingested: AtomicU64,
+    queries: AtomicU64,
+    commits: AtomicU64,
+    auto_commits: AtomicU64,
+    /// Ticker shutdown flag + wakeup, `std::sync` because the vendored
+    /// parking_lot shim has no condvar.
+    stop: StdMutex<bool>,
+    stop_cv: Condvar,
+}
+
+impl Shared {
+    /// Commit under the shared DB lock. Exact pending accounting: while
+    /// the read guard is held, installs (which need the write side) are
+    /// excluded, so `pending_edges` counts exactly the edges the commit
+    /// snapshot contains.
+    fn commit(&self, auto: bool) -> Result<CommitReport> {
+        let _serialize = self.commit_lock.lock();
+        let db = self.db.read();
+        let pending = self.pending_edges.load(Ordering::Acquire);
+        let report = db.commit()?;
+        drop(db);
+        self.pending_edges.fetch_sub(pending, Ordering::AcqRel);
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        if auto {
+            self.auto_commits.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(report)
+    }
+}
+
+/// A concurrency-safe DSLog server: shared queries, two-phase batched
+/// ingest, incremental auto-commits. See the module docs for the locking
+/// story. Cheap to share by reference across threads
+/// (`&DslogService: Send + Sync`); every method takes `&self`.
+pub struct DslogService {
+    shared: Arc<Shared>,
+    ticker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for DslogService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DslogService")
+            .field("policy", &self.shared.policy)
+            .field(
+                "pending_edges",
+                &self.shared.pending_edges.load(Ordering::Relaxed),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl DslogService {
+    /// Wrap a database for concurrent serving. For the commit triggers of
+    /// `policy` to work the database must be bound to a directory
+    /// (saved/opened at least once); an unbound database still serves
+    /// ingest + queries, but commits fail with [`DslogError::NotBound`]
+    /// (auto-commit ticks drop the error and retry next time).
+    pub fn new(db: Dslog, policy: AutoCommitPolicy) -> Self {
+        let shared = Arc::new(Shared {
+            db: RwLock::new(db),
+            commit_lock: Mutex::new(()),
+            policy,
+            pending_edges: AtomicU64::new(0),
+            edges_ingested: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            auto_commits: AtomicU64::new(0),
+            stop: StdMutex::new(false),
+            stop_cv: Condvar::new(),
+        });
+        let ticker = policy.interval.map(|interval| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || loop {
+                let mut stop = shared.stop.lock().unwrap_or_else(|e| e.into_inner());
+                if *stop {
+                    break;
+                }
+                let (guard, _) = shared
+                    .stop_cv
+                    .wait_timeout(stop, interval)
+                    .unwrap_or_else(|e| e.into_inner());
+                stop = guard;
+                if *stop {
+                    break;
+                }
+                drop(stop);
+                if shared.pending_edges.load(Ordering::Acquire) > 0 {
+                    // Unbound databases (NotBound) and transient IO errors
+                    // just leave the edges pending for the next tick or an
+                    // explicit commit.
+                    let _ = shared.commit(true);
+                }
+            })
+        });
+        Self { shared, ticker }
+    }
+
+    /// Open a database directory and serve it. `lazy` defers table loads
+    /// to first use (ideal when a large database serves queries touching
+    /// few edges).
+    pub fn open(
+        dir: impl AsRef<std::path::Path>,
+        lazy: bool,
+        policy: AutoCommitPolicy,
+    ) -> Result<Self> {
+        let db = if lazy {
+            Dslog::open_lazy(dir)?
+        } else {
+            Dslog::open(dir)?
+        };
+        Ok(Self::new(db, policy))
+    }
+
+    /// Define (or idempotently re-define) a named array.
+    pub fn define_array(&self, name: &str, shape: &[usize]) -> Result<()> {
+        self.shared.db.write().define_array(name, shape)
+    }
+
+    /// Ingest a batch of edges.
+    ///
+    /// Phase 1 (shared lock): validate every job's arrays and arities.
+    /// Phase 2 (no lock): ProvRC-compress the whole batch with
+    /// work-stealing worker threads. Phase 3 (exclusive lock): install
+    /// the compressed tables, O(1) per edge. Concurrent queries never
+    /// wait on compression and see either none or all of the batch. If
+    /// the auto-commit edge threshold fires, the triggered commit's
+    /// report is returned in the [`BatchReport`].
+    pub fn ingest_batch(&self, jobs: Vec<IngestJob>) -> Result<BatchReport> {
+        if jobs.is_empty() {
+            return Ok(BatchReport {
+                edges: 0,
+                rows: 0,
+                pending_edges: self.shared.pending_edges.load(Ordering::Acquire),
+                auto_commit: None,
+            });
+        }
+        // Phase 1: resolve shapes + options under the shared lock. Shapes
+        // are stable once defined (re-definition with a different shape
+        // is rejected), so they cannot drift before phase 3.
+        let (shapes, opts, policy) = {
+            let db = self.shared.db.read();
+            let storage = db.storage();
+            let shapes = jobs
+                .iter()
+                .map(|job| {
+                    let in_shape = storage.array(&job.in_array)?.shape.clone();
+                    let out_shape = storage.array(&job.out_array)?.shape.clone();
+                    if job.lineage.out_arity() != out_shape.len()
+                        || job.lineage.in_arity() != in_shape.len()
+                    {
+                        return Err(DslogError::ArityMismatch {
+                            expected: out_shape.len() + in_shape.len(),
+                            got: job.lineage.arity(),
+                        });
+                    }
+                    Ok((out_shape, in_shape))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            (shapes, db.compress_options(), storage.materialize_policy())
+        };
+
+        // Phase 2: compress outside any lock.
+        let compress_jobs: Vec<CompressJob<'_>> = jobs
+            .iter()
+            .zip(&shapes)
+            .map(|(job, (out_shape, in_shape))| {
+                (&job.lineage, out_shape.as_slice(), in_shape.as_slice())
+            })
+            .collect();
+        let backward = matches!(policy, Materialize::Backward | Materialize::Both).then(|| {
+            provrc::compress_batch_parallel_opts(&compress_jobs, Orientation::Backward, opts)
+        });
+        let forward = matches!(policy, Materialize::Forward | Materialize::Both).then(|| {
+            provrc::compress_batch_parallel_opts(&compress_jobs, Orientation::Forward, opts)
+        });
+
+        // Phase 3: install under the exclusive lock (results keep job
+        // order; each iterator yields one table per job). `pending_edges`
+        // is bumped while the write guard is still held so a commit —
+        // which snapshots the counter under the read lock — can never see
+        // these edges without also counting them.
+        let rows: usize = jobs.iter().map(|j| j.lineage.n_rows()).sum();
+        let n_edges = jobs.len();
+        let pending = {
+            let mut backward = backward.map(Vec::into_iter);
+            let mut forward = forward.map(Vec::into_iter);
+            let mut db = self.shared.db.write();
+            let storage = db.storage_mut();
+            for job in &jobs {
+                storage.ingest_prepared(
+                    &job.in_array,
+                    &job.out_array,
+                    backward.as_mut().and_then(Iterator::next),
+                    forward.as_mut().and_then(Iterator::next),
+                )?;
+            }
+            self.shared
+                .edges_ingested
+                .fetch_add(n_edges as u64, Ordering::Relaxed);
+            self.shared
+                .pending_edges
+                .fetch_add(n_edges as u64, Ordering::AcqRel)
+                + n_edges as u64
+        };
+
+        // Edge-threshold auto-commit. The batch itself already succeeded:
+        // a commit failure (unbound database, transient IO error) is
+        // reported in the `auto_commit` field, not as the batch's result —
+        // the edges stay installed and pending for a later commit.
+        let auto_commit = match self.shared.policy.edge_threshold {
+            Some(threshold) if pending >= threshold => Some(self.shared.commit(true)),
+            _ => None,
+        };
+        Ok(BatchReport {
+            edges: n_edges,
+            rows,
+            pending_edges: self.shared.pending_edges.load(Ordering::Acquire),
+            auto_commit,
+        })
+    }
+
+    /// Run a `prov_query` against the current snapshot (shared lock:
+    /// concurrent with other queries, batch compression, and commits).
+    pub fn query(&self, path: &[&str], query_cells: &[Vec<i64>]) -> Result<QueryResult> {
+        self.shared.queries.fetch_add(1, Ordering::Relaxed);
+        self.shared.db.read().prov_query(path, query_cells)
+    }
+
+    /// Commit pending work to the bound directory now (incremental:
+    /// O(changed edges)). Queries keep being served while the snapshot is
+    /// written.
+    pub fn commit(&self) -> Result<CommitReport> {
+        self.shared.commit(false)
+    }
+
+    /// Current counters and sizes.
+    pub fn stats(&self) -> ServiceStats {
+        let db = self.shared.db.read();
+        let generation = db.bound_database().map(|(_, _, generation)| generation);
+        ServiceStats {
+            arrays: db.storage().array_names().len(),
+            edges: db.storage().n_edges(),
+            pending_edges: self.shared.pending_edges.load(Ordering::Acquire),
+            edges_ingested: self.shared.edges_ingested.load(Ordering::Relaxed),
+            queries: self.shared.queries.load(Ordering::Relaxed),
+            commits: self.shared.commits.load(Ordering::Relaxed),
+            auto_commits: self.shared.auto_commits.load(Ordering::Relaxed),
+            generation,
+        }
+    }
+
+    /// Run a closure with shared access to the wrapped database
+    /// (inspection beyond what [`stats`](Self::stats) exposes).
+    pub fn with_db<T>(&self, f: impl FnOnce(&Dslog) -> T) -> T {
+        f(&self.shared.db.read())
+    }
+
+    fn stop_ticker(&mut self) {
+        if let Some(handle) = self.ticker.take() {
+            *self.shared.stop.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            self.shared.stop_cv.notify_all();
+            let _ = handle.join();
+        }
+    }
+
+    /// Stop the timer thread, run a final commit if anything is pending
+    /// (and the database is bound), and hand the database back.
+    ///
+    /// The database is returned **even when the final commit fails**
+    /// (disk full, directory gone): the uncommitted edges are still in
+    /// it, so the caller can retry `commit` or `save` elsewhere. The
+    /// commit outcome rides alongside.
+    pub fn shutdown(mut self) -> (Dslog, Result<()>) {
+        self.stop_ticker();
+        let final_commit = if self.shared.pending_edges.load(Ordering::Acquire) > 0
+            && self.shared.db.read().bound_database().is_some()
+        {
+            self.shared.commit(false).map(drop)
+        } else {
+            Ok(())
+        };
+        let shared = Arc::clone(&self.shared);
+        drop(self); // Drop sees ticker == None: nothing left to stop.
+        let shared = Arc::try_unwrap(shared)
+            .ok()
+            .expect("ticker joined; no other service references remain");
+        (shared.db.into_inner(), final_commit)
+    }
+}
+
+impl Drop for DslogService {
+    fn drop(&mut self) {
+        self.stop_ticker();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::TableCapture;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dslog-service-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_lineage(n: i64, shift: i64) -> LineageTable {
+        let mut t = LineageTable::new(1, 1);
+        for i in 0..n {
+            t.push_row(&[i, (i + shift) % n]);
+        }
+        t
+    }
+
+    fn bound_service(dir: &std::path::Path, policy: AutoCommitPolicy) -> DslogService {
+        let mut db = Dslog::new();
+        db.define_array("A", &[8]).unwrap();
+        db.define_array("B", &[8]).unwrap();
+        db.add_lineage("A", "B", &TableCapture::new(small_lineage(8, 0)))
+            .unwrap();
+        db.save(dir, false).unwrap();
+        DslogService::new(db, policy)
+    }
+
+    #[test]
+    fn batch_ingest_then_query_roundtrip() {
+        let dir = temp_dir("batch");
+        let service = bound_service(&dir, AutoCommitPolicy::manual());
+        service.define_array("C", &[8]).unwrap();
+        service.define_array("D", &[8]).unwrap();
+        let report = service
+            .ingest_batch(vec![
+                IngestJob::new("B", "C", small_lineage(8, 1)),
+                IngestJob::new("C", "D", small_lineage(8, 2)),
+            ])
+            .unwrap();
+        assert_eq!(report.edges, 2);
+        assert_eq!(report.pending_edges, 2);
+        assert!(report.auto_commit.is_none());
+        // Multi-hop query across pre-existing and batch-ingested edges.
+        let r = service.query(&["D", "C", "B", "A"], &[vec![3]]).unwrap();
+        assert_eq!(r.hops, 3);
+        assert!(!r.cells.is_empty());
+        // Nothing committed yet: reopening shows only the seeded edge.
+        assert_eq!(Dslog::open(&dir).unwrap().storage().n_edges(), 1);
+        let report = service.commit().unwrap();
+        assert!(report.incremental);
+        assert_eq!(report.files_written, 2);
+        assert_eq!(Dslog::open(&dir).unwrap().storage().n_edges(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_ingest_matches_sequential_ingest() {
+        let dir = temp_dir("parity");
+        let service = bound_service(&dir, AutoCommitPolicy::manual());
+        service.define_array("C", &[8]).unwrap();
+        service
+            .ingest_batch(vec![IngestJob::new("B", "C", small_lineage(8, 3))])
+            .unwrap();
+
+        let mut reference = Dslog::new();
+        reference.define_array("B", &[8]).unwrap();
+        reference.define_array("C", &[8]).unwrap();
+        reference
+            .add_lineage("B", "C", &TableCapture::new(small_lineage(8, 3)))
+            .unwrap();
+
+        let via_service = service.with_db(|db| {
+            (*db.storage()
+                .stored_table("B", "C", Orientation::Backward)
+                .unwrap())
+            .clone()
+        });
+        let via_api = reference
+            .storage()
+            .stored_table("B", "C", Orientation::Backward)
+            .unwrap();
+        assert_eq!(via_service, *via_api);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn edge_threshold_auto_commits() {
+        let dir = temp_dir("threshold");
+        let service = bound_service(&dir, AutoCommitPolicy::every_edges(2));
+        service.define_array("C", &[8]).unwrap();
+        service.define_array("D", &[8]).unwrap();
+        let r1 = service
+            .ingest_batch(vec![IngestJob::new("B", "C", small_lineage(8, 1))])
+            .unwrap();
+        assert!(r1.auto_commit.is_none());
+        assert_eq!(r1.pending_edges, 1);
+        let r2 = service
+            .ingest_batch(vec![IngestJob::new("C", "D", small_lineage(8, 2))])
+            .unwrap();
+        let commit = r2.auto_commit.expect("threshold reached").unwrap();
+        assert!(commit.incremental);
+        assert_eq!(r2.pending_edges, 0);
+        assert_eq!(Dslog::open(&dir).unwrap().storage().n_edges(), 3);
+        let stats = service.stats();
+        assert_eq!(stats.auto_commits, 1);
+        assert_eq!(stats.commits, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interval_policy_commits_in_background() {
+        let dir = temp_dir("interval");
+        let service = bound_service(&dir, AutoCommitPolicy::every(Duration::from_millis(25)));
+        service.define_array("C", &[8]).unwrap();
+        service
+            .ingest_batch(vec![IngestJob::new("B", "C", small_lineage(8, 1))])
+            .unwrap();
+        // The ticker must pick the pending edge up without any explicit
+        // commit call.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while Dslog::open(&dir).unwrap().storage().n_edges() != 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "ticker never committed"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(service.stats().auto_commits >= 1);
+        drop(service); // joins the ticker without hanging
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shutdown_commits_pending_and_returns_db() {
+        let dir = temp_dir("shutdown");
+        let service = bound_service(&dir, AutoCommitPolicy::manual());
+        service.define_array("C", &[8]).unwrap();
+        service
+            .ingest_batch(vec![IngestJob::new("B", "C", small_lineage(8, 5))])
+            .unwrap();
+        let (db, commit) = service.shutdown();
+        commit.unwrap();
+        assert_eq!(db.storage().n_edges(), 2);
+        // The final commit made it to disk.
+        assert_eq!(Dslog::open(&dir).unwrap().storage().n_edges(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unbound_service_serves_but_cannot_commit() {
+        let mut db = Dslog::new();
+        db.define_array("A", &[4]).unwrap();
+        db.define_array("B", &[4]).unwrap();
+        // Threshold policy on an unbound database: the batch must still
+        // succeed, with the commit failure reported alongside it.
+        let service = DslogService::new(db, AutoCommitPolicy::every_edges(1));
+        let report = service
+            .ingest_batch(vec![IngestJob::new("A", "B", small_lineage(4, 1))])
+            .unwrap();
+        assert!(matches!(
+            report.auto_commit,
+            Some(Err(DslogError::NotBound))
+        ));
+        assert_eq!(report.pending_edges, 1);
+        assert!(service.query(&["B", "A"], &[vec![0]]).is_ok());
+        assert!(matches!(service.commit(), Err(DslogError::NotBound)));
+        // Shutdown skips the final commit and still returns the database
+        // — the ingested edge survives in memory for the caller to save.
+        let (db, commit) = service.shutdown();
+        commit.unwrap();
+        assert_eq!(db.storage().n_edges(), 1);
+        let dir = temp_dir("unbound-rescue");
+        db.save(&dir, false).unwrap();
+        assert_eq!(Dslog::open(&dir).unwrap().storage().n_edges(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_errors_are_atomic_enough() {
+        let dir = temp_dir("badbatch");
+        let service = bound_service(&dir, AutoCommitPolicy::manual());
+        // Unknown array: rejected in phase 1, nothing installed.
+        let err = service
+            .ingest_batch(vec![IngestJob::new("B", "NOPE", small_lineage(8, 1))])
+            .unwrap_err();
+        assert!(matches!(err, DslogError::UnknownArray(_)));
+        assert_eq!(service.stats().edges, 1);
+        assert_eq!(service.stats().pending_edges, 0);
+        // Arity mismatch: also phase-1 rejected.
+        service.define_array("C", &[4, 2]).unwrap();
+        let err = service
+            .ingest_batch(vec![IngestJob::new("B", "C", small_lineage(8, 1))])
+            .unwrap_err();
+        assert!(matches!(err, DslogError::ArityMismatch { .. }));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -13,8 +13,9 @@ pub mod persist;
 use crate::error::{DslogError, Result};
 use crate::provrc::{self, CompressOptions};
 use crate::table::{CompressedTable, LineageTable, Orientation};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -109,11 +110,60 @@ pub(crate) enum TableSource {
     OnDisk(DiskTable),
 }
 
+/// Catalog record of the committed file that holds one slot's table,
+/// relative to the bound database directory (see [`PersistBinding`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct FileRecord {
+    /// Bare file name inside the database directory.
+    pub(crate) name: String,
+    /// On-disk byte length of the file.
+    pub(crate) len: u64,
+    /// crc32 of the raw file bytes.
+    pub(crate) crc: u32,
+    /// Byte length of the plain (un-gzipped) serialized table.
+    pub(crate) raw_len: u64,
+}
+
+/// One orientation slot of an edge: the table (if stored) plus its
+/// incremental-persistence state. `persisted` is `Some` exactly when the
+/// bound database directory already holds a committed file with this
+/// slot's content — such slots are *clean* and an incremental commit
+/// reuses the recorded file instead of rewriting it. Anything that
+/// changes the slot's content (fresh ingest, on-demand derivation,
+/// rebalancing) clears the record, marking the slot *dirty*.
+#[derive(Debug, Default)]
+pub(crate) struct Slot {
+    pub(crate) source: Option<TableSource>,
+    pub(crate) persisted: Option<FileRecord>,
+}
+
+impl Slot {
+    fn dirty(source: Option<TableSource>) -> Self {
+        Self {
+            source,
+            persisted: None,
+        }
+    }
+}
+
+/// The database directory the manager is bound to for incremental
+/// commits: set by `persist::open`/`open_lazy` and by every successful
+/// `persist::commit`. A commit into the bound directory with the same
+/// `gzip` mode is incremental (clean slots reuse their committed files);
+/// any other target gets a full save.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PersistBinding {
+    pub(crate) dir: PathBuf,
+    pub(crate) gzip: bool,
+    /// Generation of the last committed catalog.
+    pub(crate) generation: u64,
+}
+
 /// One stored lineage edge (input array → output array).
 #[derive(Debug)]
 struct Edge {
-    backward: RwLock<Option<TableSource>>,
-    forward: RwLock<Option<TableSource>>,
+    backward: RwLock<Slot>,
+    forward: RwLock<Slot>,
     out_shape: Vec<usize>,
     in_shape: Vec<usize>,
     /// Query-direction counters feeding the §IV.C materialization decision
@@ -124,12 +174,7 @@ struct Edge {
 }
 
 impl Edge {
-    fn new(
-        backward: Option<TableSource>,
-        forward: Option<TableSource>,
-        out_shape: Vec<usize>,
-        in_shape: Vec<usize>,
-    ) -> Self {
+    fn new(backward: Slot, forward: Slot, out_shape: Vec<usize>, in_shape: Vec<usize>) -> Self {
         Self {
             backward: RwLock::new(backward),
             forward: RwLock::new(forward),
@@ -140,6 +185,7 @@ impl Edge {
         }
     }
 
+    /// A freshly ingested edge: both slots dirty (nothing committed yet).
     fn from_tables(
         backward: Option<Arc<CompressedTable>>,
         forward: Option<Arc<CompressedTable>>,
@@ -147,14 +193,14 @@ impl Edge {
         in_shape: Vec<usize>,
     ) -> Self {
         Self::new(
-            backward.map(TableSource::Loaded),
-            forward.map(TableSource::Loaded),
+            Slot::dirty(backward.map(TableSource::Loaded)),
+            Slot::dirty(forward.map(TableSource::Loaded)),
             out_shape,
             in_shape,
         )
     }
 
-    fn slot(&self, orientation: Orientation) -> &RwLock<Option<TableSource>> {
+    fn slot(&self, orientation: Orientation) -> &RwLock<Slot> {
         match orientation {
             Orientation::Backward => &self.backward,
             Orientation::Forward => &self.forward,
@@ -173,13 +219,13 @@ impl Edge {
         warm_index: bool,
     ) -> Result<Option<Arc<CompressedTable>>> {
         let slot = self.slot(orientation);
-        match &*slot.read() {
+        match &slot.read().source {
             Some(TableSource::Loaded(t)) => return Ok(Some(Arc::clone(t))),
             None => return Ok(None),
             Some(TableSource::OnDisk(_)) => {}
         }
         let mut slot_w = slot.write();
-        match &*slot_w {
+        match &slot_w.source {
             Some(TableSource::Loaded(t)) => Ok(Some(Arc::clone(t))),
             None => Ok(None),
             Some(TableSource::OnDisk(disk)) => {
@@ -189,7 +235,9 @@ impl Edge {
                 if warm_index && !table.is_generalized() {
                     table.ensure_index();
                 }
-                *slot_w = Some(TableSource::Loaded(Arc::clone(&table)));
+                // Loading does not change content: the slot stays clean
+                // (its `persisted` record remains valid).
+                slot_w.source = Some(TableSource::Loaded(Arc::clone(&table)));
                 Ok(Some(table))
             }
         }
@@ -197,19 +245,42 @@ impl Edge {
 }
 
 impl Edge {
-    /// Plain (un-gzipped) serialized bytes of the stored orientation, for
-    /// the save path: loaded tables serialize, OnDisk slots stream their
-    /// verified file bytes without decoding or caching a table (so saving
-    /// a lazily opened database stays O(bytes), not O(decode), and pins
-    /// nothing in memory). `Ok(None)` if the orientation is not stored.
-    fn plain_bytes(&self, orientation: Orientation) -> Result<Option<Vec<u8>>> {
-        // Clone the source out of the lock: file IO must not run under it.
-        let source = self.slot(orientation).read().clone();
-        match source {
-            None => Ok(None),
-            Some(TableSource::Loaded(t)) => Ok(Some(format::serialize(&t))),
-            Some(TableSource::OnDisk(d)) => Ok(Some(d.read_plain_bytes()?)),
+    /// Clone one slot's state out of its lock, for the commit planner
+    /// (file IO must never run under a slot lock).
+    fn snapshot(&self, orientation: Orientation) -> (Option<TableSource>, Option<FileRecord>) {
+        let slot = self.slot(orientation).read();
+        (slot.source.clone(), slot.persisted.clone())
+    }
+
+    /// Mark a slot clean after a commit wrote it: record the committed
+    /// file now holding its content, and — if the slot is still a lazy
+    /// `OnDisk` reference — repoint it at that file. The old path may
+    /// have just been swept (same-directory rewrite, e.g. a gzip
+    /// conversion), so a stale source would make every later load fail.
+    /// Called only after the catalog rename landed. Safe against
+    /// concurrent readers: under `&StorageManager` a non-empty slot's
+    /// content can only transition `OnDisk → Loaded` (identical bytes),
+    /// so both the record and the repointed source still describe what
+    /// the slot holds.
+    fn publish_committed(
+        &self,
+        orientation: Orientation,
+        record: FileRecord,
+        dir: &std::path::Path,
+        gzip: bool,
+    ) {
+        let mut slot = self.slot(orientation).write();
+        if let Some(TableSource::OnDisk(_)) = &slot.source {
+            slot.source = Some(TableSource::OnDisk(DiskTable {
+                path: dir.join(&record.name),
+                gzip,
+                len: record.len,
+                crc: record.crc,
+                raw_len: record.raw_len,
+                orientation,
+            }));
         }
+        slot.persisted = Some(record);
     }
 }
 
@@ -251,7 +322,7 @@ impl Edge {
             .ok_or(DslogError::Corrupt("edge with no stored orientation"))?;
         let slot = self.slot(orientation);
         let mut slot_w = slot.write();
-        if let Some(TableSource::Loaded(t)) = slot_w.as_ref() {
+        if let Some(TableSource::Loaded(t)) = slot_w.source.as_ref() {
             // Another thread derived while we waited for the lock.
             return Ok(Arc::clone(t));
         }
@@ -264,7 +335,9 @@ impl Edge {
             compress,
         ));
         derived.ensure_index();
-        *slot_w = Some(TableSource::Loaded(Arc::clone(&derived)));
+        // A derived orientation is new content: dirty until the next
+        // commit writes it.
+        *slot_w = Slot::dirty(Some(TableSource::Loaded(Arc::clone(&derived))));
         Ok(derived)
     }
 }
@@ -288,6 +361,17 @@ pub struct StorageManager {
     /// Compression options for every capture-path compress (ingest and
     /// on-demand orientation derivation).
     compress: Option<CompressOptions>,
+    /// Incremental-commit binding (directory, gzip mode, last committed
+    /// generation). Behind a mutex so `persist::commit` — which takes
+    /// `&StorageManager` and may run concurrently with queries — can
+    /// update it. Held only for brief reads/publishes, so
+    /// [`persist_binding`](Self::persist_binding) (service stats) never
+    /// blocks behind commit IO.
+    binding: Mutex<Option<PersistBinding>>,
+    /// Held across each whole `persist::commit`: two concurrent commits
+    /// on one manager serialize instead of racing for the same
+    /// generation number and each other's sweeps.
+    commit_lock: Mutex<()>,
 }
 
 impl StorageManager {
@@ -301,7 +385,8 @@ impl StorageManager {
         self.materialize = Some(m);
     }
 
-    fn materialize_policy(&self) -> Materialize {
+    /// The active materialization policy (paper default: backward).
+    pub(crate) fn materialize_policy(&self) -> Materialize {
         self.materialize.unwrap_or(Materialize::Backward)
     }
 
@@ -423,6 +508,74 @@ impl StorageManager {
         Ok(())
     }
 
+    /// Ingest an edge from already-compressed orientation tables.
+    ///
+    /// This is the install half of the concurrent service's two-phase
+    /// ingest: [`crate::service::DslogService`] compresses batches
+    /// *outside* any exclusive lock (via
+    /// [`provrc::compress_batch_parallel_opts`]) and then installs the
+    /// results here in O(1) per edge, so queries are only excluded for the
+    /// HashMap insert, never for the compression work.
+    pub fn ingest_prepared(
+        &mut self,
+        in_array: &str,
+        out_array: &str,
+        backward: Option<CompressedTable>,
+        forward: Option<CompressedTable>,
+    ) -> Result<()> {
+        let in_shape = self.array(in_array)?.shape.clone();
+        let out_shape = self.array(out_array)?.shape.clone();
+        if backward.is_none() && forward.is_none() {
+            return Err(DslogError::Corrupt("edge with no stored orientation"));
+        }
+        let prepare = |table: Option<CompressedTable>,
+                       orientation: Orientation|
+         -> Result<Option<Arc<CompressedTable>>> {
+            let Some(table) = table else { return Ok(None) };
+            // Primary side is the query side: output attrs for backward
+            // tables, input attrs for forward ones.
+            let (primary, secondary) = match orientation {
+                Orientation::Backward => (out_shape.len(), in_shape.len()),
+                Orientation::Forward => (in_shape.len(), out_shape.len()),
+            };
+            if table.orientation() != orientation {
+                // Not an arity problem: the caller put a table in the
+                // wrong slot. Report it as such.
+                return Err(DslogError::Corrupt(
+                    "prepared table orientation disagrees with its slot",
+                ));
+            }
+            if table.primary_arity() != primary || table.secondary_arity() != secondary {
+                return Err(DslogError::ArityMismatch {
+                    expected: out_shape.len() + in_shape.len(),
+                    got: table.arity(),
+                });
+            }
+            let table = Arc::new(table);
+            if !table.is_generalized() {
+                table.ensure_index();
+            }
+            Ok(Some(table))
+        };
+        let backward = prepare(backward, Orientation::Backward)?;
+        let forward = prepare(forward, Orientation::Forward)?;
+        self.edges.insert(
+            (in_array.to_string(), out_array.to_string()),
+            Edge::from_tables(backward, forward, out_shape, in_shape),
+        );
+        Ok(())
+    }
+
+    /// The incremental-commit binding, if any: the database directory the
+    /// manager was opened from or last committed to, its gzip mode, and
+    /// the last committed generation.
+    pub fn persist_binding(&self) -> Option<(PathBuf, bool, u64)> {
+        self.binding
+            .lock()
+            .as_ref()
+            .map(|b| (b.dir.clone(), b.gzip, b.generation))
+    }
+
     /// Resolve one query hop `from → to`: returns the compressed table whose
     /// primary side is `from`'s attribute space, plus the hop direction.
     pub fn resolve_hop(
@@ -489,9 +642,10 @@ impl StorageManager {
                 Orientation::Backward
             };
             // Materialize the kept orientation first (may derive), then
-            // drop the other.
+            // drop the other (content AND persistence record: the next
+            // commit must stop referencing the dropped orientation's file).
             edge.repr(keep, opts)?;
-            *edge.slot(keep.flip()).write() = None;
+            *edge.slot(keep.flip()).write() = Slot::default();
         }
         Ok(())
     }
@@ -525,8 +679,8 @@ impl StorageManager {
     /// length is reported instead of re-serializing (no load is triggered,
     /// and the number matches what a loaded slot would report).
     pub fn storage_bytes(&self) -> usize {
-        fn slot_bytes(slot: &RwLock<Option<TableSource>>) -> Option<usize> {
-            match &*slot.read() {
+        fn slot_bytes(slot: &RwLock<Slot>) -> Option<usize> {
+            match &slot.read().source {
                 Some(TableSource::Loaded(t)) => Some(format::serialize(t).len()),
                 Some(TableSource::OnDisk(d)) => Some(d.raw_len as usize),
                 None => None,
@@ -682,8 +836,8 @@ mod tests {
         // stay correct.
         {
             let edge = s.edges.get(&("A".to_string(), "B".to_string())).unwrap();
-            assert!(edge.forward.read().is_some());
-            assert!(edge.backward.read().is_none());
+            assert!(edge.forward.read().source.is_some());
+            assert!(edge.backward.read().source.is_none());
         }
         let (t, dir) = s.resolve_hop("B", "A").unwrap();
         assert_eq!(dir, HopDirection::Backward);
@@ -695,8 +849,8 @@ mod tests {
         let mut s = manager_with_edge();
         s.rebalance_materialization().unwrap();
         let edge = s.edges.get(&("A".to_string(), "B".to_string())).unwrap();
-        assert!(edge.backward.read().is_some());
-        assert!(edge.forward.read().is_none());
+        assert!(edge.backward.read().source.is_some());
+        assert!(edge.forward.read().source.is_none());
     }
 
     #[test]

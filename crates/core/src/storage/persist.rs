@@ -18,17 +18,43 @@
 //!
 //! ## Atomicity
 //!
-//! [`save`] is crash-safe: every file is written to a `.tmp` sibling,
-//! fsynced, and `rename`d into place, edge files carry a fresh generation
-//! number so they never overwrite files the live catalog references, and
-//! the catalog rename is the single commit point (the directory is fsynced
-//! before the commit so edge renames cannot reorder after it, and again
-//! after it before old files are swept) — a crash at any earlier step
-//! leaves the previous snapshot fully intact (plus harmless debris that
-//! the next successful save sweeps). After the commit, every `edge-*` file the new
-//! catalog does not reference is deleted, so shrinking the edge set,
-//! renumbering, or flipping the `gzip` flag cannot leave stale tables for a
-//! later `open` to trip over.
+//! [`commit`] (and its thin wrapper [`save`]) is crash-safe: every file is
+//! written to a `.tmp` sibling, fsynced, and `rename`d into place, edge
+//! files carry a fresh generation number so they never overwrite files the
+//! live catalog references, and the catalog rename is the single commit
+//! point (the directory is fsynced before the commit so edge renames
+//! cannot reorder after it, and again after it before old files are
+//! swept) — a crash at any earlier step leaves the previous snapshot fully
+//! intact (plus harmless debris that the next successful commit — or the
+//! next [`open`]/[`open_lazy`] — sweeps). After the commit, every `edge-*`
+//! file the new catalog does not reference is deleted, so shrinking the
+//! edge set, renumbering, or flipping the `gzip` flag cannot leave stale
+//! tables for a later `open` to trip over.
+//!
+//! ## Incremental commits
+//!
+//! Committing into the directory the manager is *bound* to (the one it was
+//! opened from, or last committed into, with the same `gzip` mode) is
+//! incremental: only slots whose content changed since the last commit —
+//! freshly ingested edges, lazily derived orientations, rebalanced slots —
+//! are serialized and written. Clean slots' files are left in place and
+//! the new catalog re-references them by their recorded name, byte length,
+//! and crc32 (older-generation file names stay valid precisely because
+//! names are generation-qualified and the catalog stores them verbatim).
+//! The catalog itself — O(edges), tiny — is always rewritten, and its
+//! rename remains the single commit point, so appending one edge to a
+//! 100k-edge-row database costs O(new edge), not O(database). A commit
+//! into any *other* directory (or with a flipped `gzip` flag) is a full
+//! save that then re-binds the manager to that target.
+//!
+//! Concurrent commits on one manager serialize on its commit lock.
+//! Across *processes*, a database directory supports one live process at
+//! a time: [`open`]/[`open_lazy`] sweep unreferenced `edge-*`/`*.tmp`
+//! files (crashed-process debris), so an open racing another process's
+//! in-flight commit could delete files that commit is about to
+//! reference, and the generation scan likewise assumes no other live
+//! writer. Concurrent ingest/query/commit within one process is the
+//! supported mode — see [`crate::service`].
 //!
 //! ## What is persisted
 //!
@@ -46,7 +72,7 @@
 //! files named `edge-<i>-<o>.tbl[.gz]`) remain fully readable; saving over
 //! one upgrades it to v2 in place.
 
-use super::{format, ArrayMeta, DiskTable, Edge, StorageManager, TableSource};
+use super::{format, ArrayMeta, DiskTable, Edge, FileRecord, Slot, StorageManager, TableSource};
 use crate::error::{DslogError, Result};
 use crate::table::Orientation;
 use dslog_codecs::crc32::crc32;
@@ -168,23 +194,148 @@ fn write_atomic(path: &Path, bytes: &[u8], what: &str) -> Result<()> {
         use std::io::Write as _;
         let mut f = std::fs::File::create(&tmp).map_err(|e| DslogError::io(what, e))?;
         f.write_all(bytes).map_err(|e| DslogError::io(what, e))?;
-        f.sync_all().map_err(|e| DslogError::io(what, e))?;
+        // fdatasync, not fsync: for a freshly created temp file the data
+        // and size are what crash recovery needs; the rename only becomes
+        // durable at the later directory sync either way. Saves one
+        // metadata journal flush per file on the commit hot path.
+        f.sync_data().map_err(|e| DslogError::io(what, e))?;
     }
     std::fs::rename(&tmp, path).map_err(|e| DslogError::io(what, e))
 }
 
-/// Persist a storage manager into `dir` (created if missing). With `gzip`
+/// What one [`commit`] did: generation it committed, and how much of the
+/// database it actually had to rewrite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitReport {
+    /// Generation of the newly committed catalog.
+    pub generation: u64,
+    /// Whether clean slots could reuse their committed files (`false` for
+    /// a full save into an unbound directory or with a flipped `gzip`
+    /// mode).
+    pub incremental: bool,
+    /// Edge table files serialized and written by this commit.
+    pub files_written: usize,
+    /// Edge table files reused from earlier generations (clean slots).
+    pub files_reused: usize,
+    /// Total edge-file bytes written (excludes the catalog).
+    pub bytes_written: u64,
+}
+
+/// Deterministic crash injection for the crash-consistency gate: with the
+/// `DSLOG_PERSIST_CRASH_AFTER_WRITES` environment variable set to `n`, the
+/// process exits (code 86) as soon as a commit has written `n` edge files
+/// — strictly before the catalog rename that would commit them. This
+/// simulates `kill -9` at the worst moment without timing races. Inactive
+/// (one getenv) unless the variable is set.
+fn crash_injection_point(edge_files_written: usize) {
+    if let Ok(n) = std::env::var("DSLOG_PERSIST_CRASH_AFTER_WRITES") {
+        if n.parse::<usize>().is_ok_and(|n| edge_files_written >= n) {
+            std::process::exit(86);
+        }
+    }
+}
+
+/// Delete every `edge-*` file `referenced` does not name, plus any `*.tmp`
+/// debris. Deletion failures are ignored (opening a read-only snapshot
+/// must stay possible).
+fn sweep_stale_files(dir: &Path, referenced: &HashSet<String>) {
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale =
+                (name.starts_with("edge-") && !referenced.contains(name)) || name.ends_with(".tmp");
+            if stale {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+/// How the commit planner decided to handle one orientation slot.
+enum SlotPlan {
+    /// Orientation not stored: skipped (mask bit stays clear).
+    Absent,
+    /// Clean slot whose committed file is still on disk: the new catalog
+    /// re-references it verbatim; nothing is rewritten.
+    Reuse(FileRecord),
+    /// Dirty (or force-rewritten) slot: these plain serialized bytes get
+    /// written as a new generation-qualified file.
+    Write(Vec<u8>),
+}
+
+/// Decide whether one slot can reuse its committed file. Runs file IO, so
+/// it takes a lock-free snapshot of the slot, never the slot lock itself.
+fn plan_slot(
+    source: Option<TableSource>,
+    persisted: Option<FileRecord>,
+    incremental: bool,
+    dir: &Path,
+) -> Result<SlotPlan> {
+    let Some(source) = source else {
+        return Ok(SlotPlan::Absent);
+    };
+    if incremental {
+        if let Some(record) = persisted {
+            // O(1) tamper guard: the recorded file must still exist with
+            // its recorded length. Anything else (externally deleted or
+            // truncated) falls through to a rewrite from the slot.
+            let intact = std::fs::metadata(dir.join(&record.name))
+                .map(|m| m.len() == record.len)
+                .unwrap_or(false);
+            if intact {
+                return Ok(SlotPlan::Reuse(record));
+            }
+        }
+    }
+    // Serialize loaded slots; stream lazily opened (OnDisk) slots as
+    // verified bytes — a commit must not silently drop an edge no query
+    // touched, but it also must not decode and pin a whole lazily opened
+    // database just to re-write it. Nothing is derived here.
+    let plain = match source {
+        TableSource::Loaded(t) => format::serialize(&t),
+        TableSource::OnDisk(d) => d.read_plain_bytes()?,
+    };
+    Ok(SlotPlan::Write(plain))
+}
+
+/// Append one table-file record to the v2 catalog body.
+fn push_file_record(catalog: &mut Vec<u8>, record: &FileRecord) {
+    write_string(catalog, &record.name);
+    write_uvarint(catalog, record.len);
+    catalog.extend_from_slice(&record.crc.to_le_bytes());
+    write_uvarint(catalog, record.raw_len);
+}
+
+/// Commit a storage manager into `dir` (created if missing). With `gzip`
 /// the table files use the ProvRC-GZip disk format — the configuration the
 /// paper recommends for long-term storage.
 ///
-/// The write is atomic (see the module docs): temp-file + rename for every
-/// file, catalog last as the commit point, stale files swept afterwards.
-/// Saving into a directory that holds an older snapshot — even one with a
-/// different edge set, numbering, or `gzip` flag — is safe and replaces it
-/// completely.
-pub fn save(storage: &StorageManager, dir: &Path, gzip: bool) -> Result<()> {
+/// When `dir` (+ `gzip` mode) matches the manager's binding — the
+/// directory it was opened from or last committed into — the commit is
+/// *incremental*: only dirty slots are serialized and written, clean
+/// slots' files are re-referenced by the new catalog, and the cost is
+/// O(changed edges) + O(catalog). Any other target gets a full save and
+/// re-binds the manager to it.
+///
+/// The write is atomic either way (see the module docs): temp-file +
+/// rename for every file, catalog last as the single commit point, stale
+/// files swept afterwards. Committing into a directory that holds an
+/// older snapshot — even one with a different edge set, numbering, or
+/// `gzip` flag — is safe and replaces it completely.
+pub fn commit(storage: &StorageManager, dir: &Path, gzip: bool) -> Result<CommitReport> {
     std::fs::create_dir_all(dir).map_err(|e| DslogError::io("create database dir", e))?;
-    let gen = next_generation(dir);
+    // Canonical form so `open("./db")` then `commit("db")` still matches.
+    let dir = dir
+        .canonicalize()
+        .map_err(|e| DslogError::io("canonicalize database dir", e))?;
+    // Held for the whole commit: serializes concurrent commits on this
+    // manager (two interleaved writers would race the generation counter
+    // and each other's sweeps). The binding mutex itself is taken only
+    // briefly, so binding readers (service stats) never wait on IO.
+    let _commit_guard = storage.commit_lock.lock();
+    let incremental = matches!(&*storage.binding.lock(), Some(b) if b.dir == dir && b.gzip == gzip);
+    let gen = next_generation(&dir);
 
     let mut catalog = Vec::new();
     catalog.extend_from_slice(CATALOG_MAGIC_V2);
@@ -203,47 +354,70 @@ pub fn save(storage: &StorageManager, dir: &Path, gzip: bool) -> Result<()> {
         }
     }
 
-    // Edges, sorted by (in, out) for determinism. Edge files are fully
-    // written (and renamed into their generation-unique names) before the
-    // catalog that references them.
+    // Edges, sorted by (in, out) for determinism. Dirty slots' files are
+    // fully written (and renamed into their generation-unique names)
+    // before the catalog that references them.
     let mut referenced: HashSet<String> = HashSet::new();
     let mut keys: Vec<&(String, String)> = storage.edges.keys().collect();
     keys.sort();
     write_uvarint(&mut catalog, keys.len() as u64);
+    let mut files_written = 0usize;
+    let mut files_reused = 0usize;
+    let mut bytes_written = 0u64;
+    // Slots marked clean only AFTER the catalog rename lands: a crashed
+    // commit must leave every dirty slot dirty.
+    let mut newly_clean: Vec<(&(String, String), Orientation, FileRecord)> = Vec::new();
     for (idx, key) in keys.iter().enumerate() {
         let edge = &storage.edges[*key];
         write_string(&mut catalog, &key.0);
         write_string(&mut catalog, &key.1);
-        // `plain_bytes` serializes loaded slots and streams lazily opened
-        // (OnDisk) slots as verified bytes — a save must not silently drop
-        // an edge no query touched, but it also must not decode and pin a
-        // whole lazily opened database just to re-write it. Nothing is
-        // derived here.
-        let backward = edge.plain_bytes(Orientation::Backward)?;
-        let forward = edge.plain_bytes(Orientation::Forward)?;
-        let mask = (backward.is_some() as u8) | ((forward.is_some() as u8) << 1);
+        let mut plans = Vec::with_capacity(2);
+        for (bit, orientation) in [(1u8, Orientation::Backward), (2u8, Orientation::Forward)] {
+            let (source, persisted) = edge.snapshot(orientation);
+            plans.push((
+                bit,
+                orientation,
+                plan_slot(source, persisted, incremental, &dir)?,
+            ));
+        }
+        let mask = plans
+            .iter()
+            .filter(|(_, _, p)| !matches!(p, SlotPlan::Absent))
+            .fold(0u8, |m, (bit, _, _)| m | bit);
         if mask == 0 {
             return Err(DslogError::Corrupt("edge with no stored orientation"));
         }
         catalog.push(mask);
-        for (plain, orientation) in [
-            (backward, Orientation::Backward),
-            (forward, Orientation::Forward),
-        ] {
-            if let Some(plain) = plain {
-                let raw_len = plain.len() as u64;
-                let bytes = if gzip {
-                    dslog_codecs::gzip::compress(&plain)
-                } else {
-                    plain
-                };
-                let name = edge_file_name(idx, orientation, gzip, gen);
-                write_atomic(&dir.join(&name), &bytes, "write edge table")?;
-                write_string(&mut catalog, &name);
-                write_uvarint(&mut catalog, bytes.len() as u64);
-                catalog.extend_from_slice(&crc32(&bytes).to_le_bytes());
-                write_uvarint(&mut catalog, raw_len);
-                referenced.insert(name);
+        for (_, orientation, plan) in plans {
+            match plan {
+                SlotPlan::Absent => {}
+                SlotPlan::Reuse(record) => {
+                    push_file_record(&mut catalog, &record);
+                    referenced.insert(record.name);
+                    files_reused += 1;
+                }
+                SlotPlan::Write(plain) => {
+                    let raw_len = plain.len() as u64;
+                    let bytes = if gzip {
+                        dslog_codecs::gzip::compress(&plain)
+                    } else {
+                        plain
+                    };
+                    let name = edge_file_name(idx, orientation, gzip, gen);
+                    write_atomic(&dir.join(&name), &bytes, "write edge table")?;
+                    files_written += 1;
+                    crash_injection_point(files_written);
+                    let record = FileRecord {
+                        name: name.clone(),
+                        len: bytes.len() as u64,
+                        crc: crc32(&bytes),
+                        raw_len,
+                    };
+                    push_file_record(&mut catalog, &record);
+                    bytes_written += record.len;
+                    referenced.insert(name);
+                    newly_clean.push((key, orientation, record));
+                }
             }
         }
     }
@@ -254,29 +428,44 @@ pub fn save(storage: &StorageManager, dir: &Path, gzip: bool) -> Result<()> {
 
     // Make the edge-file renames durable BEFORE the catalog can commit:
     // directory entries have no ordering guarantee on power loss otherwise.
-    sync_dir(dir)?;
+    sync_dir(&dir)?;
 
     // Commit point: once this rename lands, the new snapshot is live.
     write_atomic(&dir.join(CATALOG_FILE), &catalog, "write catalog")?;
 
     // And make the commit itself durable before destroying old state.
-    sync_dir(dir)?;
+    sync_dir(&dir)?;
 
     // Sweep every edge file the committed catalog does not reference:
-    // previous generations, v1-style names, opposite-compression leftovers,
-    // and `.tmp` debris from crashed saves.
-    if let Ok(entries) = std::fs::read_dir(dir) {
-        for entry in entries.flatten() {
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
-            let stale =
-                (name.starts_with("edge-") && !referenced.contains(name)) || name.ends_with(".tmp");
-            if stale {
-                let _ = std::fs::remove_file(entry.path());
-            }
-        }
+    // previous generations, v1-style names, opposite-compression
+    // leftovers, and `.tmp` debris from crashed commits.
+    sweep_stale_files(&dir, &referenced);
+
+    // Publish: mark the written slots clean (repointing lazy sources at
+    // their new files) and re-bind the manager, so the next commit into
+    // this directory rewrites none of them.
+    for (key, orientation, record) in newly_clean {
+        storage.edges[key].publish_committed(orientation, record, &dir, gzip);
     }
-    Ok(())
+    *storage.binding.lock() = Some(super::PersistBinding {
+        dir,
+        gzip,
+        generation: gen,
+    });
+    Ok(CommitReport {
+        generation: gen,
+        incremental,
+        files_written,
+        files_reused,
+        bytes_written,
+    })
+}
+
+/// Persist a storage manager into `dir`: [`commit`] with the report
+/// dropped. Kept as the stable entry point; like `commit`, a save into
+/// the bound directory is incremental.
+pub fn save(storage: &StorageManager, dir: &Path, gzip: bool) -> Result<()> {
+    commit(storage, dir, gzip).map(drop)
 }
 
 /// One table file referenced by a parsed catalog.
@@ -474,9 +663,10 @@ fn open_impl(dir: &Path, lazy: bool) -> Result<StorageManager> {
     let catalog = parse_catalog(&bytes)?;
 
     let mut edges = HashMap::new();
+    let mut referenced: HashSet<String> = HashSet::new();
     for entry in catalog.edges {
-        let mut backward = None;
-        let mut forward = None;
+        let mut backward = Slot::default();
+        let mut forward = Slot::default();
         for fref in entry.files {
             let path = dir.join(&fref.name);
             let source = match (lazy, fref.check) {
@@ -506,9 +696,25 @@ fn open_impl(dir: &Path, lazy: bool) -> Result<StorageManager> {
                     fref.check,
                 )?)),
             };
+            // A v2 record means the on-disk file already holds exactly
+            // this slot's content: the slot opens *clean*, so a later
+            // incremental commit reuses the file untouched. v1 slots
+            // carry no checksums and open dirty (first commit upgrades
+            // them to v2 files).
+            let persisted = fref.check.map(|(len, crc, raw_len)| FileRecord {
+                name: fref.name.clone(),
+                len,
+                crc,
+                raw_len,
+            });
+            referenced.insert(fref.name);
+            let slot = Slot {
+                source: Some(source),
+                persisted,
+            };
             match fref.orientation {
-                Orientation::Backward => backward = Some(source),
-                Orientation::Forward => forward = Some(source),
+                Orientation::Backward => backward = slot,
+                Orientation::Forward => forward = slot,
             }
         }
 
@@ -520,11 +726,27 @@ fn open_impl(dir: &Path, lazy: bool) -> Result<StorageManager> {
         );
     }
 
+    // A crashed process can leave `.tmp`/orphaned `edge-*` debris that a
+    // later generation could collide with; opening a snapshot sweeps it
+    // (best-effort — a read-only directory still opens fine).
+    sweep_stale_files(dir, &referenced);
+
+    // Bind the manager to this directory so the next commit into it is
+    // incremental (v1 catalogs bind at generation 0; every slot above
+    // opened dirty, so the first commit rewrites them as v2).
+    let binding = super::PersistBinding {
+        dir: dir.canonicalize().unwrap_or_else(|_| dir.to_path_buf()),
+        gzip: catalog.gzip,
+        generation: catalog.generation,
+    };
+
     Ok(StorageManager {
         arrays: catalog.arrays,
         edges,
         materialize: None,
         compress: None,
+        binding: parking_lot::Mutex::new(Some(binding)),
+        commit_lock: parking_lot::Mutex::new(()),
     })
 }
 
@@ -898,19 +1120,26 @@ mod tests {
         std::fs::write(dir.join("edge-1-b.g99.tbl.tmp"), b"more garbage").unwrap();
         std::fs::write(dir.join("catalog.dsl.tmp"), b"uncommitted catalog").unwrap();
 
-        let reopened = open(&dir).unwrap();
-        assert_eq!(reopened.n_edges(), 2);
-        let (t, _) = reopened.resolve_hop("B", "A").unwrap();
-        assert_eq!(t.orientation(), Orientation::Backward);
+        // `verify` (read-only) reports the debris without touching it.
         let report = verify(&dir).unwrap();
         assert_eq!(report.files_verified, 2);
         assert!(!report.stale_files.is_empty());
 
-        // The next successful save reclaims the debris.
-        save(&s, &dir, false).unwrap();
+        // Opening the snapshot sweeps the debris — a crashed process must
+        // never leave junk a later generation can collide with.
+        let reopened = open(&dir).unwrap();
+        assert_eq!(reopened.n_edges(), 2);
+        let (t, _) = reopened.resolve_hop("B", "A").unwrap();
+        assert_eq!(t.orientation(), Orientation::Backward);
         assert!(verify(&dir).unwrap().stale_files.is_empty());
         assert!(!dir.join("edge-0-b.g99.tbl").exists());
         assert!(!dir.join("catalog.dsl.tmp").exists());
+
+        // A successful commit also reclaims debris (no open needed).
+        std::fs::write(dir.join("edge-0-b.g77.tbl"), b"junk again").unwrap();
+        save(&s, &dir, false).unwrap();
+        assert!(verify(&dir).unwrap().stale_files.is_empty());
+        assert!(!dir.join("edge-0-b.g77.tbl").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1054,6 +1283,199 @@ mod tests {
             }
             std::fs::remove_dir_all(&dir).unwrap();
             std::fs::remove_dir_all(&dir2).unwrap();
+        }
+    }
+
+    /// Ingest one extra tiny edge into a manager (fresh arrays each call).
+    fn add_small_edge(s: &mut StorageManager, tag: usize) {
+        let x = format!("X{tag}");
+        let y = format!("Y{tag}");
+        s.define_array(&x, &[4]).unwrap();
+        s.define_array(&y, &[4]).unwrap();
+        let mut t = LineageTable::new(1, 1);
+        for i in 0..4 {
+            t.push_row(&[i, (i + tag as i64) % 4]);
+        }
+        s.ingest_lineage(&x, &y, &t).unwrap();
+    }
+
+    #[test]
+    fn commit_into_bound_dir_is_incremental() {
+        let dir = temp_dir("incremental");
+        let mut s = sample_manager();
+        // First commit into an unbound manager: full save, 2 files.
+        let first = commit(&s, &dir, false).unwrap();
+        assert!(!first.incremental);
+        assert_eq!((first.files_written, first.files_reused), (2, 0));
+
+        // Append one edge and re-commit: only the new edge is written,
+        // both old files are reused, generation bumps.
+        let before = referenced_edge_files(&dir);
+        add_small_edge(&mut s, 0);
+        let second = commit(&s, &dir, false).unwrap();
+        assert!(second.incremental);
+        assert_eq!((second.files_written, second.files_reused), (1, 2));
+        assert_eq!(second.generation, first.generation + 1);
+        // The reused files are the same physical files (names unchanged).
+        let after = referenced_edge_files(&dir);
+        assert!(
+            before.iter().all(|n| after.contains(n)),
+            "{before:?} {after:?}"
+        );
+        assert_eq!(after.len(), 3);
+
+        // Nothing dirty: a no-op commit writes zero edge files.
+        let third = commit(&s, &dir, false).unwrap();
+        assert_eq!((third.files_written, third.files_reused), (0, 3));
+
+        let reopened = open(&dir).unwrap();
+        assert_eq!(reopened.n_edges(), 3);
+        assert_eq!(
+            *reopened
+                .stored_table("X0", "Y0", Orientation::Backward)
+                .unwrap(),
+            *s.stored_table("X0", "Y0", Orientation::Backward).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn commit_rewrites_only_derived_slot() {
+        let dir = temp_dir("inc-derive");
+        let s = sample_manager();
+        commit(&s, &dir, false).unwrap();
+        // Opening binds; deriving the forward orientation dirties only
+        // that slot.
+        let reopened = open(&dir).unwrap();
+        reopened.resolve_hop("A", "B").unwrap();
+        let report = commit(&reopened, &dir, false).unwrap();
+        assert!(report.incremental);
+        assert_eq!((report.files_written, report.files_reused), (1, 2));
+        // The derived forward table survives the roundtrip without
+        // re-deriving.
+        let again = open(&dir).unwrap();
+        let (t, _) = again.resolve_hop("A", "B").unwrap();
+        assert_eq!(t.orientation(), Orientation::Forward);
+        assert_eq!(verify(&dir).unwrap().files_verified, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn commit_survives_externally_deleted_clean_file() {
+        let dir = temp_dir("inc-tamper");
+        let mut s = sample_manager();
+        commit(&s, &dir, false).unwrap();
+        // Delete one committed file behind the manager's back: the next
+        // incremental commit must notice (O(1) stat) and rewrite it from
+        // the in-memory slot instead of committing a dangling reference.
+        let victim = referenced_edge_files(&dir).remove(0);
+        std::fs::remove_file(dir.join(&victim)).unwrap();
+        add_small_edge(&mut s, 0);
+        let report = commit(&s, &dir, false).unwrap();
+        assert!(report.incremental);
+        assert_eq!(report.files_written, 2); // new edge + rewritten victim
+        verify(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lazy_sources_follow_a_same_dir_rewrite() {
+        // A full rewrite into the same directory (gzip conversion of a
+        // lazily opened database) sweeps the old files; the lazy OnDisk
+        // slots must be repointed at the new files or every later load
+        // would hit a missing path.
+        let dir = temp_dir("lazy-rewrite");
+        save(&sample_manager(), &dir, false).unwrap();
+        let lazy = open_lazy(&dir).unwrap();
+        let report = commit(&lazy, &dir, true).unwrap();
+        assert!(!report.incremental);
+        assert_eq!(report.files_written, 2);
+        let (t, _) = lazy.resolve_hop("B", "A").unwrap();
+        assert_eq!(t.orientation(), Orientation::Backward);
+        // And the rewrite round-trips: the re-read gzip content matches.
+        assert_eq!(
+            *lazy.stored_table("B", "C", Orientation::Backward).unwrap(),
+            *open(&dir)
+                .unwrap()
+                .stored_table("B", "C", Orientation::Backward)
+                .unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gzip_flip_forces_full_rewrite() {
+        let dir = temp_dir("inc-gzflip");
+        let s = sample_manager();
+        commit(&s, &dir, false).unwrap();
+        // Same dir, flipped gzip: records are for plain files, so the
+        // commit must rewrite everything in the new format.
+        let report = commit(&s, &dir, true).unwrap();
+        assert!(!report.incremental);
+        assert_eq!((report.files_written, report.files_reused), (2, 0));
+        // …and having re-bound as gzip, the next commit is incremental.
+        let report = commit(&s, &dir, true).unwrap();
+        assert!(report.incremental);
+        assert_eq!((report.files_written, report.files_reused), (0, 2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_passes_across_three_generations() {
+        for gzip in [false, true] {
+            let dir = temp_dir(if gzip { "gens-gz" } else { "gens" });
+            let mut s = sample_manager();
+            let mut last_gen = 0;
+            for step in 0..3 {
+                if step > 0 {
+                    add_small_edge(&mut s, step);
+                }
+                let report = commit(&s, &dir, gzip).unwrap();
+                assert!(report.generation > last_gen);
+                last_gen = report.generation;
+                let v = verify(&dir).unwrap();
+                assert_eq!(v.n_edges, 2 + step);
+                assert!(v.stale_files.is_empty(), "{:?}", v.stale_files);
+                assert_eq!(v.gzip, gzip);
+            }
+            // Mixed-generation snapshot reopens identically, eager + lazy.
+            for reopened in [open(&dir).unwrap(), open_lazy(&dir).unwrap()] {
+                assert_eq!(reopened.n_edges(), 4);
+                for (a, b) in [("A", "B"), ("X1", "Y1"), ("X2", "Y2")] {
+                    assert_eq!(
+                        *reopened.stored_table(a, b, Orientation::Backward).unwrap(),
+                        *s.stored_table(a, b, Orientation::Backward).unwrap(),
+                        "edge {a}->{b}, gzip={gzip}"
+                    );
+                }
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn open_sweeps_crash_debris() {
+        for lazy in [false, true] {
+            let dir = temp_dir(if lazy { "osweep-lazy" } else { "osweep" });
+            let s = sample_manager();
+            save(&s, &dir, false).unwrap();
+            std::fs::write(dir.join("edge-9-b.g42.tbl"), b"orphan").unwrap();
+            std::fs::write(dir.join("edge-0-b.g43.tbl.tmp"), b"tmp junk").unwrap();
+            std::fs::write(dir.join("catalog.dsl.tmp"), b"uncommitted").unwrap();
+            let opened = if lazy {
+                open_lazy(&dir).unwrap()
+            } else {
+                open(&dir).unwrap()
+            };
+            assert_eq!(opened.n_edges(), 2);
+            assert!(!dir.join("edge-9-b.g42.tbl").exists());
+            assert!(!dir.join("edge-0-b.g43.tbl.tmp").exists());
+            assert!(!dir.join("catalog.dsl.tmp").exists());
+            assert!(verify(&dir).unwrap().stale_files.is_empty());
+            // The lazily opened manager still loads its (referenced,
+            // unswept) tables fine after the sweep.
+            opened.resolve_hop("B", "A").unwrap();
+            std::fs::remove_dir_all(&dir).unwrap();
         }
     }
 

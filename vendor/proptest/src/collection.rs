@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// Length specifications accepted by [`vec`]: a fixed count or a range.
+/// Length specifications accepted by [`vec()`]: a fixed count or a range.
 pub trait SizeRange {
     fn pick(&self, rng: &mut TestRng) -> usize;
 }

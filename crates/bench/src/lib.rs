@@ -13,6 +13,7 @@
 //! | `query_scaling` | rows vs p50 latency, indexed vs scan (writes `BENCH_query.json`) | `… --bin query_scaling` |
 //! | `persist_scaling` | save / eager-open / lazy-open timings, plain vs gzip (writes `BENCH_persist.json`) | `… --bin persist_scaling` |
 //! | `compress_scaling` | rows vs p50 compress latency, fast columnar pipeline vs ablation (writes `BENCH_compress.json`; doubles as the fast ≡ ablation smoke gate) | `… --bin compress_scaling` |
+//! | `serve_scaling` | TCP query latency (p50/p99), idle vs under sustained ingest, vs client count (writes `BENCH_serve.json`) | `… --bin serve_scaling` |
 //!
 //! Criterion micro-benchmarks live under `benches/` (compression latency,
 //! query latency, ProvRC internals, and the merge/parallel ablations).
@@ -37,9 +38,18 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 
 /// Median of a non-empty sample of seconds (sorts in place).
 pub fn p50(samples: &mut [f64]) -> f64 {
-    assert!(!samples.is_empty(), "p50 of an empty sample");
+    percentile(samples, 50.0)
+}
+
+/// The `q`-th percentile (0–100, nearest-rank) of a non-empty sample of
+/// seconds (sorts in place). `percentile(s, 99.0)` is the tail-latency
+/// metric of the serving benchmark.
+pub fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of an empty sample");
+    assert!((0.0..=100.0).contains(&q), "percentile out of range");
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    samples[samples.len() / 2]
+    let rank = (q / 100.0 * samples.len() as f64).ceil() as usize;
+    samples[rank.saturating_sub(1).min(samples.len() - 1)]
 }
 
 /// Format a byte count as MB with sensible precision.
@@ -175,6 +185,16 @@ mod tests {
         let s = t.render();
         assert!(s.contains("longer"));
         assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = vec![5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(percentile(&mut s, 50.0), 3.0);
+        assert_eq!(percentile(&mut s, 99.0), 5.0);
+        assert_eq!(percentile(&mut s, 0.0), 1.0);
+        assert_eq!(percentile(&mut s, 100.0), 5.0);
+        assert_eq!(p50(&mut [7.0]), 7.0);
     }
 
     #[test]

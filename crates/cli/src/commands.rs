@@ -4,6 +4,7 @@
 use crate::csv;
 use crate::opts::{parse_array_spec, parse_cells, Opts};
 use dslog::api::{Dslog, TableCapture};
+use dslog::net::{NetServer, ServeOptions};
 use dslog::provrc;
 use dslog::service::{AutoCommitPolicy, DslogService, IngestJob};
 use dslog::storage::format as provrc_format;
@@ -26,6 +27,9 @@ USAGE:
   dslog compress  --csv FILE --out-arity N [--no-fast]
   dslog serve     --db DIR [--gzip] [--lazy] [--auto-commit-edges N]
                   [--auto-commit-ms MS] [--script FILE]
+                  [--listen ADDR [--addr-file FILE] [--net-workers N]
+                   [--net-queue-depth N] [--max-line-bytes N]]
+  dslog client    --addr HOST:PORT [--script FILE]
   dslog help
 
 A database is a directory of ProvRC-compressed lineage tables plus a
@@ -61,6 +65,17 @@ catalog generation. --auto-commit-edges N commits whenever N edges are
 pending; --auto-commit-ms MS commits on a timer. Pending edges are
 committed on shutdown even when a command fails. --gzip converts an
 existing plain database to the gzip disk format on open.
+
+With --listen ADDR, `serve` instead runs a TCP server (one request per
+line, one JSON response line; same command set, but `ingest` takes
+inline rows `0,1;1,2` instead of a CSV path, and `shutdown` stops the
+server). Queries run against immutable epoch snapshots and never wait
+on ingest or commit IO. --addr-file FILE writes the bound address (use
+--listen 127.0.0.1:0 for an OS-assigned port); --net-workers,
+--net-queue-depth, and --max-line-bytes bound concurrent sessions,
+the admission queue, and request size. `client` connects to a serving
+instance and forwards its command stream (--script FILE or stdin),
+printing one response line per command.
 "
     .to_string()
 }
@@ -281,9 +296,11 @@ pub fn db(args: &[String]) -> Result<String, String> {
 
 /// `dslog serve`: run the concurrent ingest-while-query service over a
 /// command stream (one command per line; `--script FILE` or stdin). See
-/// [`help`] for the command grammar. Ingest batches compress outside the
-/// exclusive lock, queries run concurrently, and commits are incremental
-/// against the database directory's current generation.
+/// [`help`] for the command grammar. Ingest batches compress with no
+/// lock held and publish as new epoch snapshots, queries run wait-free
+/// against the current snapshot, and commits are incremental against
+/// the database directory's current generation. With `--listen ADDR`
+/// the same service is exposed over TCP instead (see [`serve_listen`]).
 pub fn serve(args: &[String]) -> Result<String, String> {
     let opts = Opts::parse(args)?;
     let db_dir = opts.required("db")?;
@@ -330,6 +347,9 @@ pub fn serve(args: &[String]) -> Result<String, String> {
     };
 
     let service = DslogService::new(db, policy);
+    if let Some(listen) = opts.optional("listen") {
+        return serve_listen(&opts, service, listen);
+    }
     let mut out = String::new();
     let stream_result = match opts.optional("script") {
         Some(path) => match std::fs::read_to_string(path) {
@@ -366,6 +386,116 @@ pub fn serve(args: &[String]) -> Result<String, String> {
         db.storage().n_edges()
     )
     .unwrap();
+    Ok(out)
+}
+
+/// `dslog serve --listen`: run the TCP front-end until a client sends
+/// `shutdown`, then final-commit and summarize. The bound address is
+/// printed (and flushed) immediately — and optionally written to
+/// `--addr-file` — so scripts binding port 0 can discover the real port.
+fn serve_listen(opts: &Opts, service: DslogService, listen: &str) -> Result<String, String> {
+    let parse_usize = |key: &str, default: usize| -> Result<usize, String> {
+        opts.optional(key).map_or(Ok(default), |v| {
+            v.parse()
+                .map_err(|_| format!("flag --{key} must be an integer"))
+        })
+    };
+    let defaults = ServeOptions::default();
+    let net_opts = ServeOptions {
+        workers: parse_usize("net-workers", defaults.workers)?,
+        queue_depth: parse_usize("net-queue-depth", defaults.queue_depth)?,
+        max_line_bytes: parse_usize("max-line-bytes", defaults.max_line_bytes)?,
+        ..defaults
+    };
+    let service = std::sync::Arc::new(service);
+    let server = NetServer::spawn(std::sync::Arc::clone(&service), listen, net_opts)
+        .map_err(|e| format!("listen {listen}: {e}"))?;
+    let addr = server.local_addr();
+    {
+        use std::io::Write as _;
+        println!("listening on {addr}");
+        let _ = std::io::stdout().flush();
+    }
+    if let Some(path) = opts.optional("addr-file") {
+        std::fs::write(path, format!("{addr}\n")).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    let net_stats = server.join();
+    let service = std::sync::Arc::try_unwrap(service).expect("all server threads joined");
+    let (db, final_commit) = service.shutdown();
+    final_commit.map_err(|e| format!("final commit: {e}"))?;
+    let generation = db
+        .bound_database()
+        .map_or(0, |(_, _, generation)| generation);
+    Ok(format!(
+        "serve done: {} array(s), {} edge(s) at generation {generation} \
+         ({} connection(s), {} request(s), {} busy-rejected)\n",
+        db.storage().array_names().len(),
+        db.storage().n_edges(),
+        net_stats.accepted,
+        net_stats.requests,
+        net_stats.rejected_busy
+    ))
+}
+
+/// `dslog client`: forward a command stream (one per line, from
+/// `--script FILE` or stdin) to a serving instance and print each JSON
+/// response line. Stops at end of stream or after `quit`/`shutdown`.
+pub fn client(args: &[String]) -> Result<String, String> {
+    use std::io::{BufRead as _, Write as _};
+    let opts = Opts::parse(args)?;
+    let addr = opts.required("addr")?;
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = std::io::BufReader::new(stream);
+
+    let mut roundtrip = |line: &str, out: &mut String| -> Result<bool, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(true);
+        }
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .map_err(|e| format!("send to {addr}: {e}"))?;
+        let mut response = String::new();
+        let n = reader
+            .read_line(&mut response)
+            .map_err(|e| format!("read from {addr}: {e}"))?;
+        if n == 0 {
+            return Err(format!("{addr} closed the connection"));
+        }
+        out.push_str(&response);
+        Ok(!matches!(line, "quit" | "exit" | "shutdown"))
+    };
+
+    let mut out = String::new();
+    match opts.optional("script") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("read script {path}: {e}"))?;
+            for line in text.lines() {
+                if !roundtrip(line, &mut out)? {
+                    break;
+                }
+            }
+        }
+        None => {
+            // Live mode: print each response as it arrives.
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let line = line.map_err(|e| format!("read stdin: {e}"))?;
+                let mut response = String::new();
+                let more = roundtrip(&line, &mut response)?;
+                print!("{response}");
+                let _ = std::io::stdout().flush();
+                if !more {
+                    break;
+                }
+            }
+        }
+    }
     Ok(out)
 }
 

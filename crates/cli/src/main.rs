@@ -51,6 +51,7 @@ pub(crate) fn run(args: &[String]) -> Result<String, String> {
         "db" => commands::db(rest),
         "compress" => commands::compress(rest),
         "serve" => commands::serve(rest),
+        "client" => commands::client(rest),
         "help" | "--help" | "-h" => Ok(commands::help()),
         other => Err(format!("unknown command `{other}`; see `dslog help`")),
     }
@@ -148,6 +149,78 @@ mod tests {
         assert!(q.contains("(1, [0, 1])"), "{q}");
         let _ = std::fs::remove_dir_all(&db);
         let _ = std::fs::remove_file(&csv);
+        let _ = std::fs::remove_file(&script);
+    }
+
+    #[test]
+    fn serve_listen_and_client_roundtrip_over_tcp() {
+        let db = temp_db("serve-net");
+        let addr_file =
+            std::env::temp_dir().join(format!("dslog-net-addr-{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&addr_file);
+        let server = {
+            let db = db.clone();
+            let addr_file = addr_file.clone();
+            std::thread::spawn(move || {
+                run(&s(&[
+                    "serve",
+                    "--db",
+                    &db,
+                    "--listen",
+                    "127.0.0.1:0",
+                    "--addr-file",
+                    addr_file.to_str().unwrap(),
+                ]))
+            })
+        };
+        // Port 0: the real address appears in --addr-file once bound.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if text.trim().contains(':') {
+                    break text.trim().to_string();
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "server never bound");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        let script = std::env::temp_dir().join(format!("dslog-net-cli-{}.txt", std::process::id()));
+        std::fs::write(
+            &script,
+            "define A:3x2\n\
+             define B:3\n\
+             ingest A B 0,0,0;1,1,0;1,1,1\n\
+             query B,A 1\n\
+             stats\n\
+             commit\n\
+             shutdown\n",
+        )
+        .unwrap();
+        let out = run(&s(&[
+            "client",
+            "--addr",
+            &addr,
+            "--script",
+            script.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("\"defined\":\"A\""), "{out}");
+        assert!(out.contains("\"rows\":3"), "{out}");
+        assert!(out.contains("\"boxes\":[[[1,1],[0,1]]]"), "{out}");
+        assert!(out.contains("\"edges\":1"), "{out}");
+        assert!(out.contains("\"generation\":2"), "{out}");
+        assert!(out.contains("\"closing\":\"server\""), "{out}");
+        // The server run returns its summary after the client's shutdown.
+        let summary = server.join().unwrap().unwrap();
+        assert!(
+            summary.contains("serve done: 2 array(s), 1 edge(s)"),
+            "{summary}"
+        );
+        // The committed database is a normal dslog database.
+        let v = run(&s(&["db", "verify", &db])).unwrap();
+        assert!(v.contains("database OK"), "{v}");
+        let _ = std::fs::remove_dir_all(&db);
+        let _ = std::fs::remove_file(&addr_file);
         let _ = std::fs::remove_file(&script);
     }
 

@@ -87,6 +87,20 @@ impl Dslog {
         Self::default()
     }
 
+    /// Clone this database for epoch-snapshot publication (the
+    /// [`crate::service`] write path): storage edges, the persistence
+    /// binding, and the commit lock are *shared* with `self` (see
+    /// `StorageManager::clone_for_epoch`); the reuse predictor state and
+    /// query options are value-cloned. Mutating the clone's array/edge
+    /// maps never disturbs readers of the original.
+    pub(crate) fn clone_for_epoch(&self) -> Self {
+        Self {
+            storage: self.storage.clone_for_epoch(),
+            reuse: self.reuse.clone(),
+            query_options: self.query_options,
+        }
+    }
+
     /// Override the orientation materialization policy.
     pub fn set_materialize(&mut self, m: Materialize) {
         self.storage.set_materialize(m);

@@ -19,6 +19,16 @@ pub enum DslogError {
     CellOutOfBounds { index: Vec<i64>, shape: Vec<usize> },
     /// A lineage table's arity disagrees with the registered array shapes.
     ArityMismatch { expected: usize, got: usize },
+    /// An edge for this exact `(input, output)` pair is already stored.
+    /// Batched ingest ([`crate::service::DslogService::ingest_batch`])
+    /// rejects duplicates — silently overwriting would let the stored
+    /// edge count and the service's ingest counters drift apart.
+    DuplicateEdge {
+        /// Input array of the already-stored edge.
+        in_array: String,
+        /// Output array of the already-stored edge.
+        out_array: String,
+    },
     /// A generalized (symbolic) table was used where an instantiated one is required.
     NotInstantiated,
     /// Tried to instantiate a symbolic table with an incompatible shape.
@@ -57,6 +67,15 @@ impl std::fmt::Display for DslogError {
                 write!(
                     f,
                     "lineage arity {got} does not match array axes {expected}"
+                )
+            }
+            DslogError::DuplicateEdge {
+                in_array,
+                out_array,
+            } => {
+                write!(
+                    f,
+                    "edge {in_array} -> {out_array} is already stored; duplicate ingest rejected"
                 )
             }
             DslogError::NotInstantiated => {

@@ -48,6 +48,7 @@
 pub mod api;
 pub mod error;
 pub mod interval;
+pub mod net;
 pub mod provrc;
 pub mod query;
 pub mod reuse;

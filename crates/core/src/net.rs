@@ -1,0 +1,830 @@
+//! Dependency-free TCP serving of a [`DslogService`].
+//!
+//! [`NetServer::spawn`] binds a [`std::net::TcpListener`] and serves the
+//! full `serve` command set (`define` / `ingest` / `query` / `commit` /
+//! `stats` / `quit`, plus `shutdown`) to many concurrent clients over a
+//! line protocol: one request per line, one JSON object per response line
+//! (the crates registry is unreachable in the target environment, so both
+//! the protocol framing and the JSON emitter are vendored here — they are
+//! a few dozen lines each).
+//!
+//! ## Protocol
+//!
+//! Requests are whitespace-separated words; responses are single-line
+//! JSON, `{"ok":true,...}` on success and `{"ok":false,"error":"..."}` on
+//! failure (a failed command leaves the session open — only transport
+//! problems close it):
+//!
+//! | request                         | success payload |
+//! |---------------------------------|-----------------|
+//! | `define NAME:3x2`               | `{"ok":true,"defined":"NAME","shape":[3,2]}` |
+//! | `ingest IN OUT 0,0;1,2`         | `{"ok":true,"edges":1,"rows":2,"pending_edges":n}` (+ `"auto_commit"`) |
+//! | `query B,A 1;2`                 | `{"ok":true,"hops":1,"cells":n,"boxes":[[[lo,hi],...],...]}` |
+//! | `commit`                        | `{"ok":true,"generation":g,"incremental":b,"files_written":w,"files_reused":r,"bytes_written":n}` |
+//! | `stats`                         | `{"ok":true,"arrays":..,"edges":..,"epoch":..,...}` |
+//! | `quit`                          | `{"ok":true,"closing":"session"}`, then closes the connection |
+//! | `shutdown`                      | `{"ok":true,"closing":"server"}`, then stops the whole server |
+//!
+//! `ingest` rows are inline (`;`-separated rows of `,`-separated indices,
+//! output attributes first — the same row layout as the CSV format):
+//! network clients must not depend on paths in the server's filesystem.
+//!
+//! ## Admission control and backpressure
+//!
+//! The server runs a **bounded worker pool** ([`ServeOptions::workers`]
+//! threads); each worker owns one session at a time. Accepted connections
+//! beyond the pool wait in a **bounded queue**
+//! ([`ServeOptions::queue_depth`]); past that, new connections are turned
+//! away immediately with `{"ok":false,"error":"server busy..."}` instead
+//! of piling up. Per-session limits keep one misbehaving client from
+//! starving the rest:
+//!
+//! - request lines are capped at [`ServeOptions::max_line_bytes`] — an
+//!   oversized frame gets one error response and the connection is
+//!   closed (the byte-budget discipline of the persistence layer's
+//!   hostile-input handling, applied to the wire);
+//! - responses are written under [`ServeOptions::write_timeout`] — a
+//!   reader that stops draining its socket is disconnected, not buffered
+//!   for;
+//! - reads poll at [`ServeOptions::poll_interval`] so idle sessions
+//!   notice server shutdown promptly.
+//!
+//! Queries inherit the service's epoch-snapshot guarantee: N sessions
+//! querying while others ingest and commit never block each other on the
+//! storage layer (see [`crate::service`] module docs).
+//!
+//! ```no_run
+//! use dslog::net::{NetServer, ServeOptions};
+//! use dslog::service::{AutoCommitPolicy, DslogService};
+//! use std::sync::Arc;
+//!
+//! let service = Arc::new(DslogService::new(
+//!     dslog::api::Dslog::new(),
+//!     AutoCommitPolicy::manual(),
+//! ));
+//! let server = NetServer::spawn(
+//!     Arc::clone(&service),
+//!     "127.0.0.1:0", // OS-assigned port; see `server.local_addr()`
+//!     ServeOptions::default(),
+//! )
+//! .unwrap();
+//! println!("listening on {}", server.local_addr());
+//! server.join(); // blocks until a client sends `shutdown`
+//! ```
+
+use crate::error::Result;
+use crate::service::{BatchReport, DslogService, IngestJob, ServiceStats};
+use crate::storage::persist::CommitReport;
+use crate::table::LineageTable;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Sizing and backpressure knobs for [`NetServer::spawn`]. The defaults
+/// suit a small interactive deployment; benchmarks and tests scale
+/// `workers` to the offered concurrency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Worker threads == sessions served concurrently.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a free worker before new
+    /// arrivals are rejected as busy. Total admitted connections are
+    /// therefore bounded by `workers + queue_depth`.
+    pub queue_depth: usize,
+    /// Hard cap on one request line (newline included). Oversized frames
+    /// get one error response and the connection is closed.
+    pub max_line_bytes: usize,
+    /// How long a response write may block on a slow reader before the
+    /// session is dropped.
+    pub write_timeout: Duration,
+    /// Socket read timeout; idle sessions wake this often to check for
+    /// server shutdown. Liveness/latency knob only — a session is never
+    /// closed just for being idle.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            workers: 8,
+            queue_depth: 16,
+            max_line_bytes: 1 << 20,
+            write_timeout: Duration::from_secs(10),
+            poll_interval: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Counters for one server's lifetime, all monotonic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections handed to a worker (served to completion or still live).
+    pub accepted: u64,
+    /// Connections turned away because `workers + queue_depth` were in use.
+    pub rejected_busy: u64,
+    /// Request lines that exceeded `max_line_bytes`.
+    pub oversized_frames: u64,
+    /// Requests answered (ok or error), across all sessions.
+    pub requests: u64,
+}
+
+struct NetShared {
+    service: Arc<DslogService>,
+    opts: ServeOptions,
+    /// Accepted-but-unclaimed sockets; bounded by `opts.queue_depth`
+    /// (admission control happens in the acceptor, not here).
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    /// Sessions currently inside a worker. Written under `queue`'s lock
+    /// (claim) so the acceptor's admission check sees a consistent
+    /// queued+busy total; the end-of-session decrement is lock-free.
+    busy: AtomicU64,
+    stop: AtomicBool,
+    accepted: AtomicU64,
+    rejected_busy: AtomicU64,
+    oversized_frames: AtomicU64,
+    requests: AtomicU64,
+}
+
+impl NetShared {
+    fn stats(&self) -> NetStats {
+        NetStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            oversized_frames: self.oversized_frames.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running TCP front-end over a shared [`DslogService`]. Dropping the
+/// handle (or calling [`join`](NetServer::join) after a client's
+/// `shutdown`) stops the acceptor and all workers; the service itself is
+/// NOT shut down — the owner decides when to run the final commit via
+/// [`DslogService::shutdown`].
+pub struct NetServer {
+    shared: Arc<NetShared>,
+    local_addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:7171"`, or port `0` for an
+    /// OS-assigned port) and start the acceptor + worker pool.
+    pub fn spawn(
+        service: Arc<DslogService>,
+        addr: impl ToSocketAddrs,
+        opts: ServeOptions,
+    ) -> Result<Self> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| crate::error::DslogError::io("bind listener", e))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| crate::error::DslogError::io("resolve bound address", e))?;
+        let shared = Arc::new(NetShared {
+            service,
+            opts,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            busy: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            oversized_frames: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+        });
+        let workers = (0..opts.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dslog-net-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("dslog-net-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor thread")
+        };
+        Ok(Self {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port `0` to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Lifetime counters so far.
+    pub fn stats(&self) -> NetStats {
+        self.shared.stats()
+    }
+
+    /// Whether a `shutdown` request has been received (or
+    /// [`stop`](NetServer::stop) called).
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// Ask the server to stop, without waiting for the threads.
+    pub fn stop(&self) {
+        request_stop(&self.shared, self.local_addr);
+    }
+
+    /// Block until the server stops — a client sends `shutdown`, or
+    /// another thread calls [`stop`](NetServer::stop) — then join every
+    /// thread and return the lifetime stats. Sessions already admitted
+    /// are served to their next poll tick; queued-but-unclaimed sockets
+    /// are closed unserved.
+    pub fn join(mut self) -> NetStats {
+        self.join_threads();
+        self.shared.stats()
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+            for worker in self.workers.drain(..) {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+        self.join_threads();
+    }
+}
+
+/// Flip the stop flag and unblock everyone: workers via the condvar,
+/// the acceptor via a throwaway self-connection (blocking `accept` has
+/// no portable cancellation — a dead-end connect is the std-only way to
+/// wake it).
+fn request_stop(shared: &NetShared, addr: SocketAddr) {
+    if shared.stop.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    shared.queue_cv.notify_all();
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+}
+
+fn accept_loop(listener: &TcpListener, shared: &NetShared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) if shared.stop.load(Ordering::Acquire) => break,
+            Err(_) => continue,
+        };
+        if shared.stop.load(Ordering::Acquire) {
+            break; // the wake-up self-connection lands here
+        }
+        // Admission control: waiting + in-flight sessions together are
+        // bounded by `workers + queue_depth`; everything past that is
+        // turned away now rather than left to pile up.
+        let cap = shared.opts.workers.max(1) + shared.opts.queue_depth;
+        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if queue.len() as u64 + shared.busy.load(Ordering::Acquire) >= cap as u64 {
+            drop(queue);
+            shared.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            reject_busy(stream, shared.opts);
+            continue;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        shared.queue_cv.notify_one();
+    }
+    // Unserved queue entries are closed by the drop below.
+    shared
+        .queue
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+    shared.queue_cv.notify_all();
+}
+
+/// Best-effort busy response on a connection that was never admitted.
+fn reject_busy(mut stream: TcpStream, opts: ServeOptions) {
+    let _ = stream.set_write_timeout(Some(opts.write_timeout.min(Duration::from_secs(1))));
+    let _ = stream.write_all(
+        b"{\"ok\":false,\"error\":\"server busy: connection limit reached, retry later\"}\n",
+    );
+}
+
+fn worker_loop(shared: &NetShared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    shared.busy.fetch_add(1, Ordering::Release);
+                    break stream;
+                }
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        shared.accepted.fetch_add(1, Ordering::Relaxed);
+        let _ = serve_session(stream, shared);
+        shared.busy.fetch_sub(1, Ordering::Release);
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+/// What one request line asked the session loop to do next.
+enum SessionFlow {
+    Continue,
+    CloseSession,
+    StopServer,
+}
+
+/// Drive one client connection to completion: read request lines (capped,
+/// polled), execute, respond one JSON line each. Returns on EOF, `quit`,
+/// `shutdown`, transport errors, or server stop.
+fn serve_session(stream: TcpStream, shared: &NetShared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(shared.opts.poll_interval))?;
+    stream.set_write_timeout(Some(shared.opts.write_timeout))?;
+    stream.set_nodelay(true).ok(); // request/response; don't batch
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = Vec::new();
+    loop {
+        line.clear();
+        match read_line_bounded(&mut reader, shared.opts.max_line_bytes, &mut line) {
+            Ok(LineRead::Eof) => return Ok(()),
+            Ok(LineRead::TimedOut) => {
+                if shared.stop.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Ok(LineRead::TooLong) => {
+                shared.oversized_frames.fetch_add(1, Ordering::Relaxed);
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                let msg = json_err(&format!(
+                    "request line exceeds {} bytes; closing connection",
+                    shared.opts.max_line_bytes
+                ));
+                let _ = writeln(&mut writer, &msg);
+                return Ok(()); // cannot resync mid-frame: drop the session
+            }
+            Ok(LineRead::Line) => {}
+            Err(e) => return Err(e),
+        }
+        let text = String::from_utf8_lossy(&line);
+        let text = text.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let (response, flow) = execute(&shared.service, text);
+        writeln(&mut writer, &response)?;
+        match flow {
+            SessionFlow::Continue => {}
+            SessionFlow::CloseSession => return Ok(()),
+            SessionFlow::StopServer => {
+                let addr = writer.local_addr()?;
+                request_stop(shared, addr);
+                return Ok(());
+            }
+        }
+    }
+}
+
+enum LineRead {
+    Line,
+    Eof,
+    TooLong,
+    TimedOut,
+}
+
+/// Read one `\n`-terminated line into `buf`, never retaining more than
+/// `max` bytes. A frame that hits the cap reports [`LineRead::TooLong`]
+/// without waiting for its newline (the overflow is left unread — the
+/// caller closes the connection). A read timeout with NO partial data is
+/// a poll tick; mid-line timeouts keep waiting so slow-but-live writers
+/// aren't corrupted by the poll interval.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<LineRead> {
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if buf.is_empty() {
+                    return Ok(LineRead::TimedOut);
+                }
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line // unterminated final line
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > max {
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                return Ok(LineRead::Line);
+            }
+            None => {
+                let take = chunk.len();
+                if buf.len() + take > max {
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(take);
+            }
+        }
+    }
+}
+
+fn writeln(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Execute one request line against the service. Always returns a
+/// response (success or error JSON) plus what the session does next.
+fn execute(service: &DslogService, line: &str) -> (String, SessionFlow) {
+    let mut parts = line.split_whitespace();
+    let cmd = parts.next().unwrap_or_default();
+    let args: Vec<&str> = parts.collect();
+    let response = match (cmd, args.as_slice()) {
+        ("define", [spec]) => cmd_define(service, spec),
+        ("ingest", [in_name, out_name, rows]) => cmd_ingest(service, in_name, out_name, rows),
+        ("query", [path, cells]) => cmd_query(service, path, cells),
+        ("commit", []) => cmd_commit(service),
+        ("stats", []) => Ok(render_stats(&service.stats())),
+        ("quit" | "exit", []) => {
+            return (
+                "{\"ok\":true,\"closing\":\"session\"}".to_string(),
+                SessionFlow::CloseSession,
+            )
+        }
+        ("shutdown", []) => {
+            return (
+                "{\"ok\":true,\"closing\":\"server\"}".to_string(),
+                SessionFlow::StopServer,
+            )
+        }
+        _ => Err(format!(
+            "bad request `{line}`; expected define/ingest/query/commit/stats/quit/shutdown"
+        )),
+    };
+    (
+        response.unwrap_or_else(|e| json_err(&e)),
+        SessionFlow::Continue,
+    )
+}
+
+fn cmd_define(service: &DslogService, spec: &str) -> std::result::Result<String, String> {
+    let (name, shape) = parse_array_spec(spec)?;
+    service
+        .define_array(&name, &shape)
+        .map_err(|e| e.to_string())?;
+    let dims: Vec<String> = shape.iter().map(usize::to_string).collect();
+    Ok(format!(
+        "{{\"ok\":true,\"defined\":{},\"shape\":[{}]}}",
+        json_str(&name),
+        dims.join(",")
+    ))
+}
+
+fn cmd_ingest(
+    service: &DslogService,
+    in_name: &str,
+    out_name: &str,
+    rows: &str,
+) -> std::result::Result<String, String> {
+    let (in_shape, out_shape) = service
+        .with_db(|db| {
+            Ok::<_, crate::error::DslogError>((
+                db.storage().array(in_name)?.shape.clone(),
+                db.storage().array(out_name)?.shape.clone(),
+            ))
+        })
+        .map_err(|e| e.to_string())?;
+    let table = parse_inline_rows(rows, out_shape.len(), in_shape.len())?;
+    let report = service
+        .ingest_batch(vec![IngestJob::new(in_name, out_name, table)])
+        .map_err(|e| e.to_string())?;
+    Ok(render_batch(&report))
+}
+
+fn cmd_query(
+    service: &DslogService,
+    path_spec: &str,
+    cells_spec: &str,
+) -> std::result::Result<String, String> {
+    let path: Vec<&str> = path_spec.split(',').map(str::trim).collect();
+    let cells = parse_cells(cells_spec)?;
+    if cells.is_empty() {
+        return Err("no query cells given".to_string());
+    }
+    let result = service.query(&path, &cells).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "{{\"ok\":true,\"hops\":{},\"cells\":{},\"boxes\":[",
+        result.hops,
+        result.cells.volume()
+    );
+    for (i, b) in result.cells.boxes().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, ivl) in b.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{}]", ivl.lo, ivl.hi));
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+fn cmd_commit(service: &DslogService) -> std::result::Result<String, String> {
+    let report = service.commit().map_err(|e| e.to_string())?;
+    Ok(render_commit(&report))
+}
+
+fn render_commit(report: &CommitReport) -> String {
+    format!(
+        "{{\"ok\":true,\"generation\":{},\"incremental\":{},\"files_written\":{},\
+         \"files_reused\":{},\"bytes_written\":{}}}",
+        report.generation,
+        report.incremental,
+        report.files_written,
+        report.files_reused,
+        report.bytes_written
+    )
+}
+
+fn render_batch(report: &BatchReport) -> String {
+    let mut out = format!(
+        "{{\"ok\":true,\"edges\":{},\"rows\":{},\"pending_edges\":{}",
+        report.edges, report.rows, report.pending_edges
+    );
+    match &report.auto_commit {
+        Some(Ok(commit)) => {
+            out.push_str(",\"auto_commit\":");
+            out.push_str(&render_commit(commit));
+        }
+        Some(Err(e)) => {
+            out.push_str(",\"auto_commit\":{\"ok\":false,\"error\":");
+            out.push_str(&json_str(&e.to_string()));
+            out.push('}');
+        }
+        None => {}
+    }
+    out.push('}');
+    out
+}
+
+fn render_stats(s: &ServiceStats) -> String {
+    format!(
+        "{{\"ok\":true,\"arrays\":{},\"edges\":{},\"pending_edges\":{},\"edges_ingested\":{},\
+         \"queries\":{},\"commits\":{},\"auto_commits\":{},\"epoch\":{},\"generation\":{}}}",
+        s.arrays,
+        s.edges,
+        s.pending_edges,
+        s.edges_ingested,
+        s.queries,
+        s.commits,
+        s.auto_commits,
+        s.epoch,
+        s.generation.map_or("null".to_string(), |g| g.to_string())
+    )
+}
+
+/// `{"ok":false,"error":...}` with the message JSON-escaped.
+fn json_err(message: &str) -> String {
+    format!("{{\"ok\":false,\"error\":{}}}", json_str(message))
+}
+
+/// Minimal JSON string encoder (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `NAME:3x2` → `("NAME", [3, 2])`. Scalar arrays use `NAME:1`.
+fn parse_array_spec(spec: &str) -> std::result::Result<(String, Vec<usize>), String> {
+    let (name, dims) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("array spec `{spec}` must be NAME:3x2"))?;
+    if name.is_empty() {
+        return Err(format!("array spec `{spec}` has an empty name"));
+    }
+    let shape = dims
+        .split('x')
+        .map(|d| {
+            d.parse::<usize>()
+                .ok()
+                .filter(|&d| d > 0)
+                .ok_or_else(|| format!("bad dimension `{d}` in array spec `{spec}`"))
+        })
+        .collect::<std::result::Result<Vec<_>, _>>()?;
+    Ok((name.to_string(), shape))
+}
+
+/// `1;2,3` → `[[1], [2, 3]]` (rows of `,`-separated indices).
+fn parse_cells(spec: &str) -> std::result::Result<Vec<Vec<i64>>, String> {
+    spec.split(';')
+        .filter(|cell| !cell.trim().is_empty())
+        .map(|cell| {
+            cell.split(',')
+                .map(|v| {
+                    v.trim()
+                        .parse::<i64>()
+                        .map_err(|_| format!("bad index `{}` in `{spec}`", v.trim()))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Inline lineage rows: `;`-separated rows of `,`-separated indices,
+/// output attributes first then input attributes (the CSV row layout).
+fn parse_inline_rows(
+    spec: &str,
+    out_arity: usize,
+    in_arity: usize,
+) -> std::result::Result<LineageTable, String> {
+    let rows = parse_cells(spec)?;
+    if rows.is_empty() {
+        return Err("ingest needs at least one row".to_string());
+    }
+    let mut table = LineageTable::new(out_arity, in_arity);
+    for row in &rows {
+        if row.len() != out_arity + in_arity {
+            return Err(format!(
+                "row has {} values; edge needs {} output + {} input indices",
+                row.len(),
+                out_arity,
+                in_arity
+            ));
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Dslog;
+    use crate::service::AutoCommitPolicy;
+
+    fn spawn_test_server(opts: ServeOptions) -> (Arc<DslogService>, NetServer) {
+        let mut db = Dslog::new();
+        db.define_array("A", &[8]).unwrap();
+        db.define_array("B", &[8]).unwrap();
+        let service = Arc::new(DslogService::new(db, AutoCommitPolicy::manual()));
+        let server = NetServer::spawn(Arc::clone(&service), "127.0.0.1:0", opts).unwrap();
+        (service, server)
+    }
+
+    fn connect(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        let writer = stream.try_clone().unwrap();
+        (BufReader::new(stream), writer)
+    }
+
+    fn roundtrip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, req: &str) -> String {
+        writer.write_all(req.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim().to_string()
+    }
+
+    #[test]
+    fn session_roundtrip_and_shutdown() {
+        let (_service, server) = spawn_test_server(ServeOptions {
+            workers: 2,
+            ..ServeOptions::default()
+        });
+        let (mut reader, mut writer) = connect(server.local_addr());
+        assert_eq!(
+            roundtrip(&mut reader, &mut writer, "define C:8"),
+            "{\"ok\":true,\"defined\":\"C\",\"shape\":[8]}"
+        );
+        let resp = roundtrip(&mut reader, &mut writer, "ingest A B 0,1;1,2;2,3");
+        assert!(
+            resp.contains("\"ok\":true") && resp.contains("\"rows\":3"),
+            "{resp}"
+        );
+        let resp = roundtrip(&mut reader, &mut writer, "query B,A 1");
+        assert!(resp.contains("\"boxes\":[[[2,2]]]"), "{resp}");
+        // Errors keep the session alive.
+        let resp = roundtrip(&mut reader, &mut writer, "query NOPE,A 1");
+        assert!(resp.starts_with("{\"ok\":false"), "{resp}");
+        let resp = roundtrip(&mut reader, &mut writer, "stats");
+        assert!(resp.contains("\"edges\":1"), "{resp}");
+        assert_eq!(
+            roundtrip(&mut reader, &mut writer, "shutdown"),
+            "{\"ok\":true,\"closing\":\"server\"}"
+        );
+        let stats = server.join();
+        assert_eq!(stats.accepted, 1);
+        assert!(stats.requests >= 6);
+    }
+
+    #[test]
+    fn oversized_frame_rejected_and_connection_closed() {
+        let (_service, server) = spawn_test_server(ServeOptions {
+            workers: 1,
+            max_line_bytes: 64,
+            ..ServeOptions::default()
+        });
+        let (mut reader, mut writer) = connect(server.local_addr());
+        let big = format!("query B,A {}", "1;".repeat(200));
+        let resp = roundtrip(&mut reader, &mut writer, &big);
+        assert!(resp.contains("exceeds 64 bytes"), "{resp}");
+        let mut end = String::new();
+        assert_eq!(reader.read_line(&mut end).unwrap(), 0, "expected EOF");
+        assert_eq!(server.stats().oversized_frames, 1);
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn busy_rejection_past_admission_bound() {
+        let (_service, server) = spawn_test_server(ServeOptions {
+            workers: 1,
+            queue_depth: 0,
+            ..ServeOptions::default()
+        });
+        // Occupy the only worker with a live session.
+        let (mut r1, mut w1) = connect(server.local_addr());
+        assert!(roundtrip(&mut r1, &mut w1, "stats").contains("\"ok\":true"));
+        // Next connection exceeds workers + queue_depth and is turned away.
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        let busy = loop {
+            let (mut r2, _w2) = connect(server.local_addr());
+            let mut line = String::new();
+            r2.read_line(&mut line).unwrap();
+            if line.contains("server busy") {
+                break line;
+            }
+            // The first session may not have been claimed yet; retry.
+            assert!(std::time::Instant::now() < deadline, "never saw busy");
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        assert!(busy.contains("\"ok\":false"), "{busy}");
+        assert!(server.stats().rejected_busy >= 1);
+        // The admitted session still works.
+        assert!(roundtrip(&mut r1, &mut w1, "stats").contains("\"ok\":true"));
+        server.stop();
+        server.join();
+    }
+}

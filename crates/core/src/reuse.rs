@@ -120,7 +120,9 @@ pub struct ReuseStats {
 }
 
 /// The reuse manager: signature tables plus the automatic predictor.
-#[derive(Debug)]
+/// `Clone` duplicates the full signature state (used by the service
+/// layer's epoch snapshots, whose reuse tables are typically empty).
+#[derive(Debug, Clone)]
 pub struct ReuseManager {
     states: HashMap<SigKey, SigState>,
     /// Confirmations required before a mapping becomes permanent (paper m=1).

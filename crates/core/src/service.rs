@@ -1,26 +1,46 @@
-//! Concurrent ingest-while-query service layer.
+//! Concurrent ingest-while-query service layer, built on **epoch
+//! snapshots**.
 //!
 //! The paper's workload is a long-lived pipeline: operations keep
 //! registering lineage while analysts issue `prov_query` calls against
 //! what is already stored. [`DslogService`] wraps a [`Dslog`] for exactly
 //! that shape of traffic:
 //!
-//! - **Queries run concurrently** — with each other, with the expensive
-//!   half of ingest, and with commits. The service holds the database in
-//!   a reader-writer lock; queries and commits only ever take the shared
-//!   side.
+//! - **Queries are wait-free with respect to writers.** The service
+//!   publishes an immutable `Arc<Dslog>` snapshot; a query clones the
+//!   `Arc` (a pointer copy under a momentary lock that writers also only
+//!   hold for a pointer swap) and runs entirely against that snapshot.
+//!   A query never waits on batch compression, on an install, or on
+//!   commit file IO — there is no reader-blocks-behind-writer lock left
+//!   in the serve path.
+//! - **Writes build the next epoch on the side.** `define_array` and the
+//!   install phase of [`ingest_batch`](DslogService::ingest_batch) clone
+//!   the current snapshot's maps (pointer copies — the stored tables
+//!   themselves are shared `Arc`s), mutate the clone, and publish it with
+//!   an O(1) pointer swap. A failed write publishes nothing: readers can
+//!   never observe a partial batch, and the documented "all of a batch or
+//!   none of it" guarantee holds structurally, not by careful ordering.
 //! - **Ingest is two-phase.** [`ingest_batch`](DslogService::ingest_batch)
-//!   validates shapes under a shared lock, compresses the whole batch
-//!   *outside any lock* via [`provrc::compress_batch_parallel_opts`], and
-//!   then takes the exclusive lock only for the O(edges) install. Queries
-//!   are never blocked by compression, and always see a
-//!   snapshot-consistent edge set: all of a batch or none of it.
-//! - **Commits are incremental and non-blocking for readers.**
-//!   [`commit`](DslogService::commit) drives [`Dslog::commit`] under the
-//!   shared lock (the storage layer's own slot locks and binding lock
-//!   make that safe), so serving continues while the snapshot is written.
-//!   An [`AutoCommitPolicy`] can trigger commits automatically after a
+//!   validates shapes and rejects duplicate edges against a snapshot,
+//!   compresses the whole batch *outside any lock* via
+//!   [`provrc::compress_batch_parallel_opts`], and then builds + swaps
+//!   the next epoch under the writer lock (O(edges) pointer work).
+//! - **Commits run against a pinned snapshot.** [`commit`](DslogService::commit)
+//!   pairs the pending-edge counter with a snapshot under the writer lock
+//!   (a momentary critical section), then drives [`Dslog::commit`] with
+//!   no service lock held — ingest keeps installing *and* queries keep
+//!   serving while the snapshot is written. Edges installed mid-commit
+//!   are simply not in the pinned snapshot and stay pending. An
+//!   [`AutoCommitPolicy`] can trigger commits automatically after a
 //!   threshold of ingested edges and/or on a periodic timer thread.
+//!
+//! The generation model gives each *committed* snapshot its identity on
+//! disk; the service's monotonically increasing **epoch** counter gives
+//! each *published* in-memory snapshot its identity (surfaced via
+//! [`ServiceStats::epoch`]).
+//!
+//! For serving this over TCP to many concurrent clients, see
+//! [`crate::net`].
 //!
 //! ```
 //! use dslog::service::{AutoCommitPolicy, DslogService, IngestJob};
@@ -55,6 +75,7 @@ use crate::storage::persist::CommitReport;
 use crate::storage::Materialize;
 use crate::table::{LineageTable, Orientation};
 use parking_lot::{Mutex, RwLock};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Duration;
@@ -156,13 +177,27 @@ pub struct ServiceStats {
     pub commits: u64,
     /// Commits triggered by the auto-commit policy.
     pub auto_commits: u64,
+    /// In-memory snapshot epoch: bumped by every published write
+    /// (`define_array`, installed batch). Identifies which snapshot the
+    /// other fields describe.
+    pub epoch: u64,
     /// Last committed generation of the bound directory (`None` if the
     /// wrapped database is unbound).
     pub generation: Option<u64>,
 }
 
 struct Shared {
-    db: RwLock<Dslog>,
+    /// The current epoch snapshot. Readers clone the `Arc` under the
+    /// momentary read side; writers hold the write side only for the
+    /// pointer swap in [`Shared::publish`]. Nothing slow ever runs under
+    /// this lock.
+    current: RwLock<Arc<Dslog>>,
+    /// Published-snapshot counter (see [`ServiceStats::epoch`]).
+    epoch: AtomicU64,
+    /// Serializes epoch *builders* (define, batch install) and the
+    /// commit prologue's (snapshot, pending-counter) pairing. Never held
+    /// across compression or file IO.
+    writer: Mutex<()>,
     /// Serializes service-level commits so the pending-edge accounting
     /// stays exact (the storage layer would serialize the file writes
     /// anyway, on its binding lock).
@@ -180,16 +215,34 @@ struct Shared {
 }
 
 impl Shared {
-    /// Commit under the shared DB lock. Exact pending accounting: while
-    /// the read guard is held, installs (which need the write side) are
-    /// excluded, so `pending_edges` counts exactly the edges the commit
-    /// snapshot contains.
+    /// The current snapshot: a pointer clone under the momentary read
+    /// side of the swap lock.
+    fn snapshot(&self) -> Arc<Dslog> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Swap in a new epoch. O(1) under the write side; callers hold the
+    /// writer mutex so concurrent builders cannot leapfrog each other.
+    fn publish(&self, db: Dslog) {
+        *self.current.write() = Arc::new(db);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Commit a pinned snapshot. The (snapshot, pending) pair is taken
+    /// under the writer mutex — installs (which also hold it) are
+    /// excluded for that instant, so `pending` counts exactly the
+    /// uncommitted edges the pinned snapshot contains. The commit IO
+    /// itself runs with no service lock held: queries AND ingest installs
+    /// proceed while the snapshot is written; edges installed meanwhile
+    /// are absent from the pinned snapshot and stay pending.
     fn commit(&self, auto: bool) -> Result<CommitReport> {
         let _serialize = self.commit_lock.lock();
-        let db = self.db.read();
-        let pending = self.pending_edges.load(Ordering::Acquire);
-        let report = db.commit()?;
-        drop(db);
+        let (snapshot, pending) = {
+            let _excl = self.writer.lock();
+            (self.snapshot(), self.pending_edges.load(Ordering::Acquire))
+        };
+        let report = snapshot.commit()?;
+        drop(snapshot);
         self.pending_edges.fetch_sub(pending, Ordering::AcqRel);
         self.commits.fetch_add(1, Ordering::Relaxed);
         if auto {
@@ -199,9 +252,9 @@ impl Shared {
     }
 }
 
-/// A concurrency-safe DSLog server: shared queries, two-phase batched
-/// ingest, incremental auto-commits. See the module docs for the locking
-/// story. Cheap to share by reference across threads
+/// A concurrency-safe DSLog server: wait-free snapshot queries, two-phase
+/// batched ingest, incremental auto-commits. See the module docs for the
+/// epoch-publication story. Cheap to share by reference across threads
 /// (`&DslogService: Send + Sync`); every method takes `&self`.
 pub struct DslogService {
     shared: Arc<Shared>,
@@ -212,6 +265,7 @@ impl std::fmt::Debug for DslogService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DslogService")
             .field("policy", &self.shared.policy)
+            .field("epoch", &self.shared.epoch.load(Ordering::Relaxed))
             .field(
                 "pending_edges",
                 &self.shared.pending_edges.load(Ordering::Relaxed),
@@ -228,7 +282,9 @@ impl DslogService {
     /// (auto-commit ticks drop the error and retry next time).
     pub fn new(db: Dslog, policy: AutoCommitPolicy) -> Self {
         let shared = Arc::new(Shared {
-            db: RwLock::new(db),
+            current: RwLock::new(Arc::new(db)),
+            epoch: AtomicU64::new(0),
+            writer: Mutex::new(()),
             commit_lock: Mutex::new(()),
             policy,
             pending_edges: AtomicU64::new(0),
@@ -282,20 +338,35 @@ impl DslogService {
         Ok(Self::new(db, policy))
     }
 
-    /// Define (or idempotently re-define) a named array.
+    /// Define (or idempotently re-define) a named array, published as a
+    /// new epoch.
     pub fn define_array(&self, name: &str, shape: &[usize]) -> Result<()> {
-        self.shared.db.write().define_array(name, shape)
+        let _excl = self.shared.writer.lock();
+        let mut next = self.shared.snapshot().clone_for_epoch();
+        next.define_array(name, shape)?;
+        self.shared.publish(next);
+        Ok(())
     }
 
     /// Ingest a batch of edges.
     ///
-    /// Phase 1 (shared lock): validate every job's arrays and arities.
+    /// Phase 1 (a snapshot, no lock): validate every job's arrays and
+    /// arities, and reject duplicate `(in, out)` pairs — against the
+    /// stored edge set *and* within the batch itself
+    /// ([`DslogError::DuplicateEdge`]).
     /// Phase 2 (no lock): ProvRC-compress the whole batch with
-    /// work-stealing worker threads. Phase 3 (exclusive lock): install
-    /// the compressed tables, O(1) per edge. Concurrent queries never
-    /// wait on compression and see either none or all of the batch. If
-    /// the auto-commit edge threshold fires, the triggered commit's
-    /// report is returned in the [`BatchReport`].
+    /// work-stealing worker threads.
+    /// Phase 3 (writer lock): re-run the duplicate check against the
+    /// *current* epoch (a racing batch may have installed one of our
+    /// pairs while we compressed), build the next epoch from pointer
+    /// clones, install every compressed table O(1)/edge, and publish with
+    /// one swap.
+    ///
+    /// Phase 3 cannot partially install: any error before the swap drops
+    /// the unpublished epoch, so concurrent queries — and the service
+    /// counters — see either none or all of the batch, exactly. If the
+    /// auto-commit edge threshold fires, the triggered commit's report is
+    /// returned in the [`BatchReport`].
     pub fn ingest_batch(&self, jobs: Vec<IngestJob>) -> Result<BatchReport> {
         if jobs.is_empty() {
             return Ok(BatchReport {
@@ -305,12 +376,15 @@ impl DslogService {
                 auto_commit: None,
             });
         }
-        // Phase 1: resolve shapes + options under the shared lock. Shapes
+        // Phase 1: resolve shapes + options against a snapshot. Shapes
         // are stable once defined (re-definition with a different shape
-        // is rejected), so they cannot drift before phase 3.
+        // is rejected), so they cannot drift before phase 3. Duplicates
+        // are rejected here for a fast, pre-compression error; phase 3
+        // re-checks authoritatively.
         let (shapes, opts, policy) = {
-            let db = self.shared.db.read();
+            let db = self.shared.snapshot();
             let storage = db.storage();
+            let mut batch_pairs: HashSet<(&str, &str)> = HashSet::with_capacity(jobs.len());
             let shapes = jobs
                 .iter()
                 .map(|job| {
@@ -322,6 +396,14 @@ impl DslogService {
                         return Err(DslogError::ArityMismatch {
                             expected: out_shape.len() + in_shape.len(),
                             got: job.lineage.arity(),
+                        });
+                    }
+                    if storage.has_directed_edge(&job.in_array, &job.out_array)
+                        || !batch_pairs.insert((&job.in_array, &job.out_array))
+                    {
+                        return Err(DslogError::DuplicateEdge {
+                            in_array: job.in_array.clone(),
+                            out_array: job.out_array.clone(),
                         });
                     }
                     Ok((out_shape, in_shape))
@@ -345,19 +427,36 @@ impl DslogService {
             provrc::compress_batch_parallel_opts(&compress_jobs, Orientation::Forward, opts)
         });
 
-        // Phase 3: install under the exclusive lock (results keep job
-        // order; each iterator yields one table per job). `pending_edges`
-        // is bumped while the write guard is still held so a commit —
-        // which snapshots the counter under the read lock — can never see
-        // these edges without also counting them.
+        // Phase 3: build + publish the next epoch under the writer lock
+        // (results keep job order; each iterator yields one table per
+        // job). The duplicate re-check runs against the freshest epoch
+        // BEFORE any install, so a batch that lost an install race is
+        // rejected whole. Counters are bumped while the lock is still
+        // held, so a commit — which pairs its snapshot with the counter
+        // under the same lock — can never see these edges without also
+        // counting them.
         let rows: usize = jobs.iter().map(|j| j.lineage.n_rows()).sum();
         let n_edges = jobs.len();
         let pending = {
             let mut backward = backward.map(Vec::into_iter);
             let mut forward = forward.map(Vec::into_iter);
-            let mut db = self.shared.db.write();
-            let storage = db.storage_mut();
+            let _excl = self.shared.writer.lock();
+            let mut next = self.shared.snapshot().clone_for_epoch();
+            let storage = next.storage_mut();
             for job in &jobs {
+                if storage.has_directed_edge(&job.in_array, &job.out_array) {
+                    return Err(DslogError::DuplicateEdge {
+                        in_array: job.in_array.clone(),
+                        out_array: job.out_array.clone(),
+                    });
+                }
+            }
+            for job in &jobs {
+                // Cannot fail: arrays/arities validated in phase 1 (shapes
+                // are immutable once defined), duplicates re-checked just
+                // above, and the tables were compressed for exactly these
+                // slots. Even if it somehow did, `next` is unpublished —
+                // `?` here drops the whole epoch, installing nothing.
                 storage.ingest_prepared(
                     &job.in_array,
                     &job.out_array,
@@ -365,6 +464,7 @@ impl DslogService {
                     forward.as_mut().and_then(Iterator::next),
                 )?;
             }
+            self.shared.publish(next);
             self.shared
                 .edges_ingested
                 .fetch_add(n_edges as u64, Ordering::Relaxed);
@@ -390,23 +490,26 @@ impl DslogService {
         })
     }
 
-    /// Run a `prov_query` against the current snapshot (shared lock:
-    /// concurrent with other queries, batch compression, and commits).
+    /// Run a `prov_query` against the current snapshot. Wait-free with
+    /// respect to writers: the snapshot `Arc` is cloned and the query
+    /// runs entirely against it, concurrent with other queries, batch
+    /// compression, installs, and commit IO.
     pub fn query(&self, path: &[&str], query_cells: &[Vec<i64>]) -> Result<QueryResult> {
         self.shared.queries.fetch_add(1, Ordering::Relaxed);
-        self.shared.db.read().prov_query(path, query_cells)
+        self.shared.snapshot().prov_query(path, query_cells)
     }
 
     /// Commit pending work to the bound directory now (incremental:
-    /// O(changed edges)). Queries keep being served while the snapshot is
-    /// written.
+    /// O(changed edges)). Queries and ingest installs keep being served
+    /// while the pinned snapshot is written.
     pub fn commit(&self) -> Result<CommitReport> {
         self.shared.commit(false)
     }
 
-    /// Current counters and sizes.
+    /// Current counters and sizes, all describing one snapshot (whose
+    /// identity is the `epoch` field).
     pub fn stats(&self) -> ServiceStats {
-        let db = self.shared.db.read();
+        let db = self.shared.snapshot();
         let generation = db.bound_database().map(|(_, _, generation)| generation);
         ServiceStats {
             arrays: db.storage().array_names().len(),
@@ -416,14 +519,17 @@ impl DslogService {
             queries: self.shared.queries.load(Ordering::Relaxed),
             commits: self.shared.commits.load(Ordering::Relaxed),
             auto_commits: self.shared.auto_commits.load(Ordering::Relaxed),
+            epoch: self.shared.epoch.load(Ordering::Acquire),
             generation,
         }
     }
 
-    /// Run a closure with shared access to the wrapped database
-    /// (inspection beyond what [`stats`](Self::stats) exposes).
+    /// Run a closure against the current snapshot (inspection beyond what
+    /// [`stats`](Self::stats) exposes). The whole closure sees ONE
+    /// consistent epoch — a batch installed while it runs is either fully
+    /// visible or fully absent.
     pub fn with_db<T>(&self, f: impl FnOnce(&Dslog) -> T) -> T {
-        f(&self.shared.db.read())
+        f(&self.shared.snapshot())
     }
 
     fn stop_ticker(&mut self) {
@@ -444,7 +550,7 @@ impl DslogService {
     pub fn shutdown(mut self) -> (Dslog, Result<()>) {
         self.stop_ticker();
         let final_commit = if self.shared.pending_edges.load(Ordering::Acquire) > 0
-            && self.shared.db.read().bound_database().is_some()
+            && self.shared.snapshot().bound_database().is_some()
         {
             self.shared.commit(false).map(drop)
         } else {
@@ -455,7 +561,9 @@ impl DslogService {
         let shared = Arc::try_unwrap(shared)
             .ok()
             .expect("ticker joined; no other service references remain");
-        (shared.db.into_inner(), final_commit)
+        let db = Arc::try_unwrap(shared.current.into_inner())
+            .unwrap_or_else(|_| panic!("no snapshot readers remain after service teardown"));
+        (db, final_commit)
     }
 }
 
@@ -645,7 +753,7 @@ mod tests {
     }
 
     #[test]
-    fn batch_errors_are_atomic_enough() {
+    fn batch_errors_are_atomic() {
         let dir = temp_dir("badbatch");
         let service = bound_service(&dir, AutoCommitPolicy::manual());
         // Unknown array: rejected in phase 1, nothing installed.
@@ -661,6 +769,109 @@ mod tests {
             .ingest_batch(vec![IngestJob::new("B", "C", small_lineage(8, 1))])
             .unwrap_err();
         assert!(matches!(err, DslogError::ArityMismatch { .. }));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression (pre-PR: `ingest_prepared` silently overwrote duplicate
+    /// edges via `edges.insert`, bumping every counter while `n_edges`
+    /// stayed flat): a duplicate of an already-stored edge rejects the
+    /// whole batch and leaves every counter exact.
+    #[test]
+    fn duplicate_of_stored_edge_rejected_with_exact_counters() {
+        let dir = temp_dir("dup-stored");
+        let service = bound_service(&dir, AutoCommitPolicy::manual());
+        let seed_edges = service.stats().edges as u64; // the committed A->B
+        service.define_array("C", &[8]).unwrap();
+        service
+            .ingest_batch(vec![IngestJob::new("B", "C", small_lineage(8, 1))])
+            .unwrap();
+
+        // Re-ingesting A->B (stored) or B->C (pending) must fail whole.
+        for dup in ["A", "B"] {
+            let out = if dup == "A" { "B" } else { "C" };
+            let err = service
+                .ingest_batch(vec![IngestJob::new(dup, out, small_lineage(8, 7))])
+                .unwrap_err();
+            assert!(
+                matches!(err, DslogError::DuplicateEdge { .. }),
+                "got {err:?}"
+            );
+        }
+
+        // Counter invariant: every ingested edge is a NEW edge.
+        let stats = service.stats();
+        assert_eq!(stats.edges_ingested, stats.edges as u64 - seed_edges);
+        assert_eq!(stats.pending_edges, 1);
+        // The stored B->C table is still the original (not overwritten).
+        let r = service.query(&["C", "B"], &[vec![0]]).unwrap();
+        assert!(r.cells.contains_cell(&[1]), "shift-1 relation replaced");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression (pre-PR: phase 3 `?`-returned mid-loop, leaving earlier
+    /// jobs of the batch installed and the skipped counter bumps out of
+    /// sync): a batch that fails on its *second* job must install
+    /// NOTHING — queries, `n_edges`, and all counters behave as if the
+    /// call never happened.
+    #[test]
+    fn failing_batch_installs_nothing() {
+        let dir = temp_dir("atomic-batch");
+        let service = bound_service(&dir, AutoCommitPolicy::manual());
+        service.define_array("C", &[8]).unwrap();
+        service.define_array("D", &[8]).unwrap();
+        let before = service.stats();
+
+        // Job 1 is perfectly valid; job 2 duplicates the stored A->B.
+        let err = service
+            .ingest_batch(vec![
+                IngestJob::new("C", "D", small_lineage(8, 2)),
+                IngestJob::new("A", "B", small_lineage(8, 3)),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, DslogError::DuplicateEdge { .. }));
+
+        // And a batch duplicating a pair *within itself*.
+        let err = service
+            .ingest_batch(vec![
+                IngestJob::new("C", "D", small_lineage(8, 2)),
+                IngestJob::new("C", "D", small_lineage(8, 4)),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, DslogError::DuplicateEdge { .. }));
+
+        let after = service.stats();
+        assert_eq!(after.edges, before.edges, "partial install leaked");
+        assert_eq!(after.pending_edges, before.pending_edges);
+        assert_eq!(after.edges_ingested, before.edges_ingested);
+        // The valid first job must NOT have been installed.
+        assert!(matches!(
+            service.query(&["D", "C"], &[vec![0]]),
+            Err(DslogError::NoLineagePath { .. })
+        ));
+        // A later clean batch with the same pair succeeds (no residue).
+        service
+            .ingest_batch(vec![IngestJob::new("C", "D", small_lineage(8, 2))])
+            .unwrap();
+        assert_eq!(service.stats().edges, before.edges + 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Every published write advances the epoch; reads pin one snapshot.
+    #[test]
+    fn epochs_advance_and_snapshots_pin() {
+        let dir = temp_dir("epochs");
+        let service = bound_service(&dir, AutoCommitPolicy::manual());
+        let e0 = service.stats().epoch;
+        service.define_array("C", &[8]).unwrap();
+        let e1 = service.stats().epoch;
+        assert!(e1 > e0);
+        // A snapshot taken now must not see a later batch.
+        let pinned = service.with_db(|db| db.storage().n_edges());
+        service
+            .ingest_batch(vec![IngestJob::new("B", "C", small_lineage(8, 1))])
+            .unwrap();
+        assert!(service.stats().epoch > e1);
+        assert_eq!(service.with_db(|db| db.storage().n_edges()), pinned + 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -352,11 +352,17 @@ pub enum HopDirection {
 }
 
 /// The DSLog storage manager.
+///
+/// Edges are held as `Arc`s so an epoch clone (`clone_for_epoch`, used by
+/// [`crate::api::Dslog`]'s own epoch clone) shares every stored table
+/// with its parent: the service layer builds the next snapshot by cloning
+/// the maps (pointer copies), mutating the clone, and publishing it — the
+/// previous snapshot stays fully intact for in-flight readers.
 #[derive(Debug, Default)]
 pub struct StorageManager {
     arrays: HashMap<String, ArrayMeta>,
     /// Keyed by (input array, output array).
-    edges: HashMap<(String, String), Edge>,
+    edges: HashMap<(String, String), Arc<Edge>>,
     materialize: Option<Materialize>,
     /// Compression options for every capture-path compress (ingest and
     /// on-demand orientation derivation).
@@ -366,18 +372,38 @@ pub struct StorageManager {
     /// `&StorageManager` and may run concurrently with queries — can
     /// update it. Held only for brief reads/publishes, so
     /// [`persist_binding`](Self::persist_binding) (service stats) never
-    /// blocks behind commit IO.
-    binding: Mutex<Option<PersistBinding>>,
+    /// blocks behind commit IO. Shared (`Arc`) across epoch clones: a
+    /// commit through any snapshot re-binds every snapshot of the same
+    /// database.
+    binding: Arc<Mutex<Option<PersistBinding>>>,
     /// Held across each whole `persist::commit`: two concurrent commits
     /// on one manager serialize instead of racing for the same
-    /// generation number and each other's sweeps.
-    commit_lock: Mutex<()>,
+    /// generation number and each other's sweeps. Shared across epoch
+    /// clones for the same reason as `binding`.
+    commit_lock: Arc<Mutex<()>>,
 }
 
 impl StorageManager {
     /// Empty manager with the default materialization policy (backward).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Shallow clone for epoch-snapshot publication: shares every stored
+    /// edge (`Arc`), the persistence binding, and the commit lock with
+    /// `self`; the array and edge *maps* are fresh, so inserting into the
+    /// clone never disturbs readers of the original. Slot-level state
+    /// (lazy loads, derived orientations, clean/dirty marks) lives inside
+    /// the shared `Arc<Edge>`s and stays coherent across all clones.
+    pub(crate) fn clone_for_epoch(&self) -> Self {
+        Self {
+            arrays: self.arrays.clone(),
+            edges: self.edges.clone(),
+            materialize: self.materialize,
+            compress: self.compress,
+            binding: Arc::clone(&self.binding),
+            commit_lock: Arc::clone(&self.commit_lock),
+        }
     }
 
     /// Override the materialization policy.
@@ -437,6 +463,12 @@ impl StorageManager {
 
     /// Ingest an uncompressed lineage relation for the edge
     /// `in_array → out_array`, compressing it with ProvRC.
+    ///
+    /// Re-ingesting an existing `(in, out)` pair *replaces* the stored
+    /// edge (capture-path semantics: a re-run operation's lineage
+    /// supersedes the old one). The counter-exact batched service path
+    /// goes through [`ingest_prepared`](Self::ingest_prepared) instead,
+    /// which rejects duplicates.
     pub fn ingest_lineage(
         &mut self,
         in_array: &str,
@@ -479,12 +511,14 @@ impl StorageManager {
         });
         self.edges.insert(
             (in_array.to_string(), out_array.to_string()),
-            Edge::from_tables(backward, forward, out_shape, in_shape),
+            Arc::new(Edge::from_tables(backward, forward, out_shape, in_shape)),
         );
         Ok(())
     }
 
     /// Ingest an already-compressed table (used by the reuse path).
+    /// Like [`ingest_lineage`](Self::ingest_lineage), re-ingesting an
+    /// existing pair replaces the stored edge.
     pub fn ingest_compressed(
         &mut self,
         in_array: &str,
@@ -503,19 +537,25 @@ impl StorageManager {
         };
         self.edges.insert(
             (in_array.to_string(), out_array.to_string()),
-            Edge::from_tables(backward, forward, out_shape, in_shape),
+            Arc::new(Edge::from_tables(backward, forward, out_shape, in_shape)),
         );
         Ok(())
     }
 
     /// Ingest an edge from already-compressed orientation tables.
     ///
-    /// This is the install half of the concurrent service's two-phase
-    /// ingest: [`crate::service::DslogService`] compresses batches
-    /// *outside* any exclusive lock (via
-    /// [`provrc::compress_batch_parallel_opts`]) and then installs the
-    /// results here in O(1) per edge, so queries are only excluded for the
-    /// HashMap insert, never for the compression work.
+    /// This is the install half of the concurrent service's phased
+    /// ingest: [`crate::service::DslogService`] compresses batches with
+    /// no lock held (via [`provrc::compress_batch_parallel_opts`]) and
+    /// then installs the results here, into an unpublished epoch clone,
+    /// in O(1) per edge — concurrent queries keep reading the previous
+    /// epoch's snapshot and never wait on either phase.
+    ///
+    /// Unlike the capture path, an already-stored `(in, out)` pair is
+    /// **rejected** with [`DslogError::DuplicateEdge`] — a silent
+    /// overwrite would leave `n_edges` flat while the service's
+    /// ingested/pending counters (and auto-commit thresholds) kept
+    /// climbing on phantom edges. The map is untouched on any error.
     pub fn ingest_prepared(
         &mut self,
         in_array: &str,
@@ -525,6 +565,12 @@ impl StorageManager {
     ) -> Result<()> {
         let in_shape = self.array(in_array)?.shape.clone();
         let out_shape = self.array(out_array)?.shape.clone();
+        if self.has_directed_edge(in_array, out_array) {
+            return Err(DslogError::DuplicateEdge {
+                in_array: in_array.to_string(),
+                out_array: out_array.to_string(),
+            });
+        }
         if backward.is_none() && forward.is_none() {
             return Err(DslogError::Corrupt("edge with no stored orientation"));
         }
@@ -561,7 +607,7 @@ impl StorageManager {
         let forward = prepare(forward, Orientation::Forward)?;
         self.edges.insert(
             (in_array.to_string(), out_array.to_string()),
-            Edge::from_tables(backward, forward, out_shape, in_shape),
+            Arc::new(Edge::from_tables(backward, forward, out_shape, in_shape)),
         );
         Ok(())
     }
@@ -654,6 +700,14 @@ impl StorageManager {
     pub fn has_edge(&self, a: &str, b: &str) -> bool {
         self.edges.contains_key(&(a.to_string(), b.to_string()))
             || self.edges.contains_key(&(b.to_string(), a.to_string()))
+    }
+
+    /// Whether an edge is stored for exactly this `(input, output)` pair
+    /// — the key [`ingest_prepared`](Self::ingest_prepared) deduplicates
+    /// on (the reverse pair is a *different* edge).
+    pub fn has_directed_edge(&self, in_array: &str, out_array: &str) -> bool {
+        self.edges
+            .contains_key(&(in_array.to_string(), out_array.to_string()))
     }
 
     /// The stored backward table for an edge (ingest order: in → out).

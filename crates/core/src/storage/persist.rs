@@ -722,7 +722,7 @@ fn open_impl(dir: &Path, lazy: bool) -> Result<StorageManager> {
         let in_shape = catalog.arrays[&entry.in_name].shape.clone();
         edges.insert(
             (entry.in_name, entry.out_name),
-            Edge::new(backward, forward, out_shape, in_shape),
+            Arc::new(Edge::new(backward, forward, out_shape, in_shape)),
         );
     }
 
@@ -745,8 +745,8 @@ fn open_impl(dir: &Path, lazy: bool) -> Result<StorageManager> {
         edges,
         materialize: None,
         compress: None,
-        binding: parking_lot::Mutex::new(Some(binding)),
-        commit_lock: parking_lot::Mutex::new(()),
+        binding: Arc::new(parking_lot::Mutex::new(Some(binding))),
+        commit_lock: Arc::new(parking_lot::Mutex::new(())),
     })
 }
 

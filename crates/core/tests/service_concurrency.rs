@@ -9,18 +9,27 @@
 //!   yet) or returns the fully correct answer, never something partial.
 //! - **No deadlocks**: ingest threads, commit threads, and query threads
 //!   (over both eager and lazy opens) make progress together.
+//! - **Epoch atomicity** (linearizability-style): readers spinning on
+//!   `with_db`/`stats`/`query` concurrent with multi-edge `ingest_batch`
+//!   calls, commits, and epoch swaps never observe half of a batch, a
+//!   backwards-moving edge count, or a `pending_edges` underflow.
+//! - **Network serving**: N TCP clients against one in-process listener
+//!   ingest and query concurrently; every session gets correct answers
+//!   and the combined result commits cleanly.
 //! - **Interleaving equivalence** (proptest): any sequence of
 //!   append/commit/reopen operations ends in a database byte-identical at
 //!   the table level to appending the same edges once and saving once.
 
 use dslog::api::{Dslog, TableCapture};
 use dslog::error::DslogError;
+use dslog::net::{NetServer, ServeOptions};
 use dslog::service::{AutoCommitPolicy, DslogService, IngestJob};
 use dslog::storage::persist;
 use dslog::table::{LineageTable, Orientation};
 use proptest::prelude::*;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Unique per call, so proptest cases and parallel tests never collide.
 fn temp_dir(tag: &str) -> PathBuf {
@@ -167,6 +176,175 @@ fn ingest_commit_query_race() {
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }
+}
+
+/// Linearizability-style epoch check: every batch installs exactly TWO
+/// edges, so any reader — `with_db`, `stats`, or a query — must see the
+/// edge count grow in steps of two from the seed, never by one (a
+/// half-installed batch), and never shrink (a stale epoch published over
+/// a newer one). Counter invariants hold throughout: `pending_edges`
+/// never underflows past `edges_ingested`, even while commits subtract
+/// concurrently with installs.
+#[test]
+fn epoch_readers_never_observe_partial_batches() {
+    let dir = temp_dir("epoch-lin");
+    let service = serving_db(&dir, false);
+    const BATCHES: usize = 16;
+    // Arrays are pre-defined so the writer loop below races ONLY batch
+    // installs and commits against the readers.
+    for b in 0..BATCHES {
+        for part in ["a", "b", "c"] {
+            service.define_array(&format!("P{b}{part}"), &[8]).unwrap();
+        }
+    }
+    let seed_edges = service.with_db(|db| db.storage().n_edges());
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let service = &service;
+        let stop = &stop;
+        scope.spawn(move || {
+            for b in 0..BATCHES {
+                service
+                    .ingest_batch(vec![
+                        IngestJob::new(format!("P{b}a"), format!("P{b}b"), shifted_lineage(8, 1)),
+                        IngestJob::new(format!("P{b}b"), format!("P{b}c"), shifted_lineage(8, 2)),
+                    ])
+                    .unwrap();
+                std::thread::yield_now();
+            }
+            stop.store(true, Ordering::Release);
+        });
+        scope.spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                service.commit().unwrap();
+                std::thread::yield_now();
+            }
+        });
+        for _ in 0..2 {
+            scope.spawn(move || {
+                let mut last_edges = seed_edges;
+                let mut last_epoch = 0;
+                while !stop.load(Ordering::Acquire) {
+                    let n = service.with_db(|db| db.storage().n_edges());
+                    let epoch_now = service.stats().epoch;
+                    assert_eq!(
+                        (n - seed_edges) % 2,
+                        0,
+                        "reader saw half of a two-edge batch"
+                    );
+                    assert!(n >= last_edges, "edge count went backwards");
+                    last_edges = n;
+                    assert!(epoch_now >= last_epoch, "epoch went backwards");
+                    last_epoch = epoch_now;
+
+                    let s = service.stats();
+                    assert!(
+                        s.pending_edges <= s.edges_ingested,
+                        "pending_edges underflowed: {} pending vs {} ingested",
+                        s.pending_edges,
+                        s.edges_ingested
+                    );
+                    assert_eq!(
+                        (s.edges - seed_edges) % 2,
+                        0,
+                        "stats saw half of a two-edge batch"
+                    );
+
+                    // The committed seed edge answers identically on every
+                    // epoch, including mid-commit ones.
+                    let r = service.query(&["S1", "S0"], &[vec![5]]).unwrap();
+                    assert!(r.cells.contains_cell(&[8]));
+                }
+            });
+        }
+    });
+
+    let (db, commit) = service.shutdown();
+    commit.unwrap();
+    assert_eq!(db.storage().n_edges(), seed_edges + 2 * BATCHES);
+    persist::verify(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// N TCP clients against one in-process listener (more clients than
+/// worker threads, so the admission queue cycles). Each client defines
+/// its own arrays, ingests an edge inline, and queries it back — all
+/// over the wire, racing every other session's installs and epoch swaps.
+#[test]
+fn net_clients_ingest_and_query_concurrently() {
+    let dir = temp_dir("net-clients");
+    let service = Arc::new(serving_db(&dir, false));
+    let server = NetServer::spawn(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 3,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    const CLIENTS: usize = 8;
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                use std::io::{BufRead as _, BufReader, Write as _};
+                let stream = std::net::TcpStream::connect(addr).unwrap();
+                stream
+                    .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+                    .unwrap();
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut send = |req: String| -> String {
+                    writer.write_all(req.as_bytes()).unwrap();
+                    writer.write_all(b"\n").unwrap();
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    line
+                };
+                let shift = (c % 7 + 1) as i64;
+                let rows: Vec<String> =
+                    (0..8).map(|i| format!("{i},{}", (i + shift) % 8)).collect();
+                assert!(send(format!("define C{c}x:8")).contains("\"ok\":true"));
+                assert!(send(format!("define C{c}y:8")).contains("\"ok\":true"));
+                let resp = send(format!("ingest C{c}x C{c}y {}", rows.join(";")));
+                assert!(
+                    resp.contains("\"ok\":true") && resp.contains("\"rows\":8"),
+                    "{resp}"
+                );
+                // Our own edge: y[0] <- x[shift].
+                let resp = send(format!("query C{c}y,C{c}x 0"));
+                assert!(
+                    resp.contains(&format!("\"boxes\":[[[{shift},{shift}]]]")),
+                    "client {c}: {resp}"
+                );
+                // The shared committed edge answers mid-race, every time.
+                let resp = send("query S1,S0 5".to_string());
+                assert!(resp.contains("\"boxes\":[[[8,8]]]"), "client {c}: {resp}");
+                let resp = send("stats".to_string());
+                assert!(resp.contains("\"ok\":true"), "{resp}");
+                assert!(send("quit".to_string()).contains("\"closing\":\"session\""));
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.accepted, CLIENTS as u64);
+    assert!(stats.requests >= (CLIENTS * 7) as u64);
+    server.stop();
+    server.join();
+    let service = Arc::try_unwrap(service).expect("server joined");
+    let (db, commit) = service.shutdown();
+    commit.unwrap();
+    assert_eq!(db.storage().n_edges(), 1 + CLIENTS);
+    let report = persist::verify(&dir).unwrap();
+    assert_eq!(report.n_edges, 1 + CLIENTS);
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// Commits racing ingest batches with an auto-commit policy on top: the

@@ -65,4 +65,60 @@ for mode in plain gzip; do
     "$BIN" query --db "$db" --path D,C,B,A --cells 1 > /dev/null
 done
 
+# Network serving crash: boot `dslog serve --listen` with auto-commit
+# after every pending edge and the same crash hook armed. A network
+# ingest then dies mid-auto-commit — exit 86 with the new edge file on
+# disk but the catalog rename never performed — while a client is
+# connected. Recovery must land on the surviving generation.
+echo "== crash-consistency (serve --listen, mid-auto-commit) =="
+db="$WORK/db-serve"
+"$BIN" ingest --db "$db" --in A:3x2 --out B:3 --csv "$WORK/ab.csv"
+addr_file="$WORK/serve.addr"
+DSLOG_PERSIST_CRASH_AFTER_WRITES=1 \
+    "$BIN" serve --db "$db" --listen 127.0.0.1:0 --addr-file "$addr_file" \
+    --auto-commit-edges 1 > "$WORK/serve.log" 2>&1 &
+server=$!
+for _ in $(seq 1 100); do
+    [ -s "$addr_file" ] && break
+    sleep 0.1
+done
+if [ ! -s "$addr_file" ]; then
+    echo "FAIL: server never bound" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+fi
+
+# The ingest request trips the edge threshold, the auto-commit hits the
+# crash hook, and the whole server process dies; the client loses its
+# connection mid-session, which is expected.
+printf 'define C:3\ningest B C 0,1;1,2;2,0\n' > "$WORK/serve.session"
+set +e
+"$BIN" client --addr "$(cat "$addr_file")" --script "$WORK/serve.session" \
+    > "$WORK/client.out" 2>&1
+wait "$server"
+rc=$?
+set -e
+if [ "$rc" -ne 86 ]; then
+    echo "FAIL: crashed server exited $rc, expected injected 86" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+fi
+
+# The surviving generation (edge A->B only) must verify and answer
+# queries; the half-committed network edge must be recoverable debris,
+# not corruption.
+"$BIN" db verify "$db"
+"$BIN" query --db "$db" --path B,A --cells 1 > /dev/null
+
+# Re-ingesting the same edge over the debris must succeed and leave a
+# clean, stale-free database behind.
+"$BIN" ingest --db "$db" --in B:3 --out C:3 --csv "$WORK/bc.csv"
+out=$("$BIN" db verify "$db")
+echo "$out"
+if echo "$out" | grep -q "warning: stale"; then
+    echo "FAIL: stale debris survived serve-crash recovery" >&2
+    exit 1
+fi
+"$BIN" query --db "$db" --path C,B,A --cells 1 > /dev/null
+
 echo "crash-consistency gate OK"

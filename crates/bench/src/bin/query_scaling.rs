@@ -1,15 +1,31 @@
-//! Query-engine scaling bench: rows vs p50 latency, indexed probe vs the
-//! nested-loop scan ablation, on a worst-case (incompressible scatter)
-//! single-hop edge. Tracks the perf trajectory of the in-situ engine; the
-//! acceptance bar is indexed ≥ 5× scan at 100k rows on a selective query.
+//! Query-engine scaling bench. Four experiments:
 //!
-//! Emits an aligned table on stdout and machine-readable `BENCH_query.json`
-//! in the working directory.
+//! 1. **Single-hop access path** — rows vs p50 latency, indexed probe vs
+//!    the nested-loop scan ablation, on a worst-case (incompressible
+//!    scatter) edge. Bar: indexed ≥ 5× scan at 100k rows.
+//! 2. **Multi-hop planning** — an 8-hop scatter chain whose *last* hop is
+//!    nearly empty (skewed selectivity). The cost-based planner must
+//!    detect the skew, run its selective-first backpass, and beat the
+//!    strict path-order chain ≥ 2× at full scale.
+//! 3. **Composite edges** — an 8-hop chain queried repeatedly: past the
+//!    hit threshold the planner materializes the joined path as one
+//!    compressed table, and a composite hit must beat re-executing the
+//!    chain ≥ 5× at full scale.
+//! 4. **Batched queries** — 1000 queries sharing a 3-hop path with heavy
+//!    cell overlap; the deduplicated batch sweep must beat a per-query
+//!    loop ≥ 3× at full scale.
+//!
+//! Every timed comparison asserts cell-for-cell parity first. Emits an
+//! aligned table on stdout and machine-readable `BENCH_query.json` in the
+//! working directory.
 //!
 //! Run: `cargo run -p dslog-bench --release --bin query_scaling [--scale f]`
 
 use dslog::api::{Dslog, TableCapture};
 use dslog::query::QueryOptions;
+use dslog::reuse::CompositePolicy;
+use dslog::storage::Materialize;
+use dslog::table::LineageTable;
 use dslog_bench::{cli_scale_seed, p50, secs, timed, TextTable};
 use dslog_workloads::edges;
 use std::fmt::Write as _;
@@ -80,6 +96,223 @@ fn measure(rows: usize, reps: usize) -> Point {
     }
 }
 
+/// A sparse edge: only `support` out-cells (scattered over `[0, n)`) carry
+/// lineage, each to one scattered in-cell.
+fn sparse_edge(n: usize, support: usize) -> LineageTable {
+    let mut t = LineageTable::new(1, 1);
+    for s in 0..support as i64 {
+        let v = (s * 977 + 3) % n as i64;
+        t.push_row(&[v, (v * 37 + 11) % n as i64]);
+    }
+    t
+}
+
+/// `hops` backward scatter hops S0←S1←…: querying `[S0, …, S{hops}]`
+/// crosses each edge on its primary side.
+fn scatter_chain(db: &mut Dslog, hops: usize, n: usize) {
+    for i in 0..=hops {
+        db.define_array(&format!("S{i}"), &[n]).unwrap();
+    }
+    for i in 0..hops {
+        let (t, _, _) = edges::scatter(n);
+        db.add_lineage(
+            &format!("S{}", i + 1),
+            &format!("S{i}"),
+            &TableCapture::new(t),
+        )
+        .unwrap();
+    }
+}
+
+fn chain_path(hops: usize) -> Vec<String> {
+    (0..=hops).map(|i| format!("S{i}")).collect()
+}
+
+fn opts(use_planner: bool) -> QueryOptions {
+    QueryOptions {
+        use_planner,
+        ..QueryOptions::default()
+    }
+}
+
+struct Versus {
+    fast_p50: f64,
+    slow_p50: f64,
+    speedup: f64,
+}
+
+fn versus(reps: usize, mut fast: impl FnMut(), mut slow: impl FnMut()) -> Versus {
+    let mut f: Vec<f64> = (0..reps).map(|_| timed(&mut fast).1).collect();
+    let mut s: Vec<f64> = (0..reps).map(|_| timed(&mut slow).1).collect();
+    let fast_p50 = p50(&mut f);
+    let slow_p50 = p50(&mut s);
+    Versus {
+        fast_p50,
+        slow_p50,
+        speedup: slow_p50 / fast_p50.max(1e-12),
+    }
+}
+
+/// Experiment 2: 8-hop chain, skewed so the last hop is nearly empty.
+/// Planner (selective-first backpass) vs strict path order.
+fn measure_multi_hop(n: usize, reps: usize) -> (usize, Versus) {
+    const HOPS: usize = 8;
+    let mut db = Dslog::new();
+    // Reverse orientations materialized so the backpass is available;
+    // composites disabled so this series isolates the reordering win.
+    db.storage_mut().set_materialize(Materialize::Both);
+    db.set_composite_policy(CompositePolicy {
+        enabled: false,
+        ..CompositePolicy::default()
+    });
+    scatter_chain(&mut db, HOPS - 1, n);
+    let support = (n / 1000).max(4);
+    db.define_array(&format!("S{HOPS}"), &[n]).unwrap();
+    db.add_lineage(
+        &format!("S{HOPS}"),
+        &format!("S{}", HOPS - 1),
+        &TableCapture::new(sparse_edge(n, support)),
+    )
+    .unwrap();
+
+    let names = chain_path(HOPS);
+    let path: Vec<&str> = names.iter().map(String::as_str).collect();
+    let start = (n / 3) as i64;
+    let cells: Vec<Vec<i64>> = (start..start + 1024.min(n as i64 / 4))
+        .map(|v| vec![v])
+        .collect();
+
+    let on = db.prov_query_opts(&path, &cells, opts(true)).unwrap();
+    let off = db.prov_query_opts(&path, &cells, opts(false)).unwrap();
+    assert_eq!(
+        on.cells.cell_set(),
+        off.cells.cell_set(),
+        "planner parity violation on skewed chain"
+    );
+    let decision = on.stats.plan.as_ref().unwrap().decision.label();
+    assert_eq!(
+        decision, "selective_first",
+        "planner failed to detect the skewed hop"
+    );
+
+    let v = versus(
+        reps,
+        || {
+            db.prov_query_opts(&path, &cells, opts(true)).unwrap();
+        },
+        || {
+            db.prov_query_opts(&path, &cells, opts(false)).unwrap();
+        },
+    );
+    (support, v)
+}
+
+/// Experiment 3: 8-hop chain whose first hop has a small support, queried
+/// repeatedly. Composite hit vs re-executing the path.
+fn measure_composite(n: usize, reps: usize) -> (usize, Versus) {
+    const HOPS: usize = 8;
+    let mut db = Dslog::new();
+    db.set_composite_policy(CompositePolicy {
+        hit_threshold: 3,
+        ..CompositePolicy::default()
+    });
+    let support = 256.min(n / 4).max(8);
+    for i in 0..=HOPS {
+        db.define_array(&format!("S{i}"), &[n]).unwrap();
+    }
+    db.add_lineage("S1", "S0", &TableCapture::new(sparse_edge(n, support)))
+        .unwrap();
+    for i in 1..HOPS {
+        let (t, _, _) = edges::scatter(n);
+        db.add_lineage(
+            &format!("S{}", i + 1),
+            &format!("S{i}"),
+            &TableCapture::new(t),
+        )
+        .unwrap();
+    }
+
+    let names = chain_path(HOPS);
+    let path: Vec<&str> = names.iter().map(String::as_str).collect();
+    // Query cells drawn from the sparse first hop's support.
+    let cells: Vec<Vec<i64>> = (0..8i64).map(|s| vec![(s * 977 + 3) % n as i64]).collect();
+
+    // Warm across the hit threshold: the third sighting materializes.
+    for _ in 0..3 {
+        db.prov_query_opts(&path, &cells, opts(true)).unwrap();
+    }
+    assert!(
+        db.storage().has_composite(&path),
+        "composite never materialized"
+    );
+    let hit = db.prov_query_opts(&path, &cells, opts(true)).unwrap();
+    assert_eq!(
+        hit.stats.plan.as_ref().unwrap().decision.label(),
+        "composite"
+    );
+    assert_eq!(hit.hops, 1, "composite serve must be a single probe");
+    let reexec = db.prov_query_opts(&path, &cells, opts(false)).unwrap();
+    assert_eq!(
+        hit.cells.cell_set(),
+        reexec.cells.cell_set(),
+        "composite parity violation"
+    );
+
+    let v = versus(
+        reps,
+        || {
+            db.prov_query_opts(&path, &cells, opts(true)).unwrap();
+        },
+        || {
+            db.prov_query_opts(&path, &cells, opts(false)).unwrap();
+        },
+    );
+    (support, v)
+}
+
+/// Experiment 4: 1000 queries over a 3-hop chain, 4 cells each drawn from
+/// a 64-cell pool (heavy overlap). One batch sweep vs a per-query loop,
+/// planner off on both sides to isolate the batching win.
+fn measure_batch(n: usize, reps: usize) -> (usize, Versus) {
+    const HOPS: usize = 3;
+    const QUERIES: usize = 1000;
+    let mut db = Dslog::new();
+    scatter_chain(&mut db, HOPS, n);
+    let names = chain_path(HOPS);
+    let path: Vec<&str> = names.iter().map(String::as_str).collect();
+
+    let pool: Vec<i64> = (0..64i64).map(|j| (j * 997 + 5) % n as i64).collect();
+    let queries: Vec<Vec<Vec<i64>>> = (0..QUERIES)
+        .map(|q| (0..4).map(|k| vec![pool[(q * 7 + k) % 64]]).collect())
+        .collect();
+
+    let batch = db
+        .prov_query_batch_opts(&path, &queries, opts(false))
+        .unwrap();
+    for (result, query) in batch.iter().zip(&queries) {
+        let single = db.prov_query_opts(&path, query, opts(false)).unwrap();
+        assert_eq!(
+            result.cells.cell_set(),
+            single.cells.cell_set(),
+            "batch parity violation"
+        );
+    }
+
+    let v = versus(
+        reps,
+        || {
+            db.prov_query_batch_opts(&path, &queries, opts(false))
+                .unwrap();
+        },
+        || {
+            for query in &queries {
+                db.prov_query_opts(&path, query, opts(false)).unwrap();
+            }
+        },
+    );
+    (QUERIES, v)
+}
+
 fn main() {
     let (scale, _seed) = cli_scale_seed();
     println!("query_scaling — single-hop selective query, indexed vs scan (scale {scale})");
@@ -111,8 +344,62 @@ fn main() {
     }
     println!("{}", table.render());
 
+    // Multi-hop planning / composite / batch experiments share a chain
+    // size scaled off 100k rows per hop.
+    let n = ((100_000f64 * scale) as usize).max(1_000);
+    let full_scale = scale >= 1.0;
+
+    let (mh_support, mh) = measure_multi_hop(n, 9);
+    let (co_support, co) = measure_composite(n, 9);
+    let (ba_queries, ba) = measure_batch(n, 5);
+
+    let mut t2 = TextTable::new(&["experiment", "fast p50", "baseline p50", "speedup"]);
+    t2.row(&[
+        format!("planner 8-hop skewed (n={n})"),
+        secs(mh.fast_p50),
+        secs(mh.slow_p50),
+        format!("{:.1}x", mh.speedup),
+    ]);
+    t2.row(&[
+        format!("composite hit (n={n})"),
+        secs(co.fast_p50),
+        secs(co.slow_p50),
+        format!("{:.1}x", co.speedup),
+    ]);
+    t2.row(&[
+        format!("batch {ba_queries} vs loop (n={n})"),
+        secs(ba.fast_p50),
+        secs(ba.slow_p50),
+        format!("{:.1}x", ba.speedup),
+    ]);
+    println!("{}", t2.render());
+
+    if full_scale {
+        assert!(
+            mh.speedup >= 2.0,
+            "planner speedup {:.2}x below the 2x bar on the skewed 8-hop chain",
+            mh.speedup
+        );
+        assert!(
+            co.speedup >= 5.0,
+            "composite-hit speedup {:.2}x below the 5x bar",
+            co.speedup
+        );
+        assert!(
+            ba.speedup >= 3.0,
+            "batch speedup {:.2}x below the 3x bar",
+            ba.speedup
+        );
+    }
+
     let json = format!(
-        "{{\"bench\":\"query_scaling\",\"scale\":{scale},\"hop\":\"backward\",\"query_cells\":8,\"reps\":{reps},\"series\":[{json_rows}]}}\n"
+        "{{\"bench\":\"query_scaling\",\"scale\":{scale},\"hop\":\"backward\",\"query_cells\":8,\"reps\":{reps},\"series\":[{json_rows}],\
+         \"multi_hop\":{{\"hops\":8,\"rows\":{n},\"support\":{mh_support},\"plan\":\"selective_first\",\"planner_p50_s\":{:.9},\"no_planner_p50_s\":{:.9},\"speedup\":{:.2}}},\
+         \"composite\":{{\"hops\":8,\"rows\":{n},\"support\":{co_support},\"hit_p50_s\":{:.9},\"reexec_p50_s\":{:.9},\"speedup\":{:.2}}},\
+         \"batch\":{{\"queries\":{ba_queries},\"hops\":3,\"rows\":{n},\"batch_p50_s\":{:.9},\"loop_p50_s\":{:.9},\"speedup\":{:.2}}}}}\n",
+        mh.fast_p50, mh.slow_p50, mh.speedup,
+        co.fast_p50, co.slow_p50, co.speedup,
+        ba.fast_p50, ba.slow_p50, ba.speedup,
     );
     std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");
     println!("wrote BENCH_query.json");

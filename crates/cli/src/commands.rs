@@ -21,7 +21,8 @@ dslog — fine-grained array lineage storage, compression, and querying
 USAGE:
   dslog ingest    --db DIR --in NAME:3x2 --out NAME:3 --csv FILE [--op NAME] [--gzip]
   dslog stats     --db DIR [--lazy]
-  dslog query     --db DIR --path B,A --cells \"1;2;0\" [--no-merge] [--scan] [--stats] [--lazy]
+  dslog query     --db DIR --path B,A --cells \"1;2;0\" [--no-merge] [--scan]
+                  [--no-planner] [--stats] [--lazy]
   dslog export    --db DIR --edge IN,OUT [--csv FILE]
   dslog db verify DIR
   dslog compress  --csv FILE --out-arity N [--no-fast]
@@ -29,7 +30,7 @@ USAGE:
                   [--auto-commit-ms MS] [--script FILE]
                   [--listen ADDR [--addr-file FILE] [--net-workers N]
                    [--net-queue-depth N] [--max-line-bytes N]]
-  dslog client    --addr HOST:PORT [--script FILE]
+  dslog client    --addr HOST:PORT [--script FILE] [--stats]
   dslog help
 
 A database is a directory of ProvRC-compressed lineage tables plus a
@@ -55,9 +56,15 @@ stream (one command per line, from --script FILE or stdin):
   define NAME:3x2             define an array
   ingest IN OUT FILE.csv      compress + install one edge
   query  B,A 1;2              prov_query along a path
+  query_batch B,A 1;2|0       |-separated queries in one shared sweep
   commit                      incremental commit to the database dir
   stats                       service counters
   quit                        stop (implied at end of stream)
+
+`query` plans each path with the cost-based planner (empty-hop pruning,
+selective-hop reordering, composite-edge reuse); --no-planner runs the
+literal path order for ablation. --stats prints the planner decision
+and per-hop probe counts.
 
 Commits are incremental: only edges added or re-derived since the last
 commit are written; everything else is re-referenced by the new
@@ -75,7 +82,9 @@ on ingest or commit IO. --addr-file FILE writes the bound address (use
 --net-queue-depth, and --max-line-bytes bound concurrent sessions,
 the admission queue, and request size. `client` connects to a serving
 instance and forwards its command stream (--script FILE or stdin),
-printing one response line per command.
+printing one response line per command; with --stats it upgrades
+query/query_batch requests to their stats-carrying form so responses
+include probe counts and the planner decision.
 "
     .to_string()
 }
@@ -179,6 +188,7 @@ pub fn query(args: &[String]) -> Result<String, String> {
             dslog::query::QueryOptions {
                 merge: !opts.switch("no-merge"),
                 use_index: !opts.switch("scan"),
+                use_planner: !opts.switch("no-planner"),
                 ..dslog::query::QueryOptions::default()
             },
         )
@@ -194,6 +204,12 @@ pub fn query(args: &[String]) -> Result<String, String> {
     )
     .unwrap();
     if opts.switch("stats") {
+        let plan = result
+            .stats
+            .plan
+            .as_ref()
+            .map_or("off", |p| p.decision.label());
+        writeln!(out, "  plan: {plan}").unwrap();
         for (i, h) in result.stats.hops.iter().enumerate() {
             writeln!(
                 out,
@@ -450,12 +466,24 @@ pub fn client(args: &[String]) -> Result<String, String> {
         .map_err(|e| e.to_string())?;
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
     let mut reader = std::io::BufReader::new(stream);
+    let want_stats = opts.switch("stats");
 
     let mut roundtrip = |line: &str, out: &mut String| -> Result<bool, String> {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             return Ok(true);
         }
+        // --stats upgrades plain query/query_batch requests to their
+        // stats-carrying protocol form.
+        let line = if want_stats
+            && (line.starts_with("query ") || line.starts_with("query_batch "))
+            && !line.ends_with(" stats")
+        {
+            format!("{line} stats")
+        } else {
+            line.to_string()
+        };
+        let line = line.as_str();
         writer
             .write_all(format!("{line}\n").as_bytes())
             .map_err(|e| format!("send to {addr}: {e}"))?;
@@ -599,6 +627,30 @@ fn serve_command(service: &DslogService, line: &str) -> Result<Option<String>, S
             )
             .unwrap();
             render_boxes(&mut out, &result.cells);
+        }
+        ("query_batch", [path_spec, queries_spec]) => {
+            let path: Vec<&str> = path_spec.split(',').map(str::trim).collect();
+            let mut queries = Vec::new();
+            for spec in queries_spec.split('|') {
+                let cells = parse_cells(spec)?;
+                if cells.is_empty() {
+                    return Err("empty query in batch".to_string());
+                }
+                queries.push(cells);
+            }
+            let results = service
+                .query_batch(&path, &queries)
+                .map_err(|e| e.to_string())?;
+            for (q, result) in results.iter().enumerate() {
+                writeln!(
+                    out,
+                    "query {q}: {} box(es), {} cell(s):",
+                    result.cells.n_boxes(),
+                    result.cells.volume(),
+                )
+                .unwrap();
+                render_boxes(&mut out, &result.cells);
+            }
         }
         ("commit", []) => {
             let report = service.commit().map_err(|e| e.to_string())?;

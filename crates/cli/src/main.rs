@@ -191,6 +191,7 @@ mod tests {
              define B:3\n\
              ingest A B 0,0,0;1,1,0;1,1,1\n\
              query B,A 1\n\
+             query_batch B,A 1|0\n\
              stats\n\
              commit\n\
              shutdown\n",
@@ -202,11 +203,15 @@ mod tests {
             &addr,
             "--script",
             script.to_str().unwrap(),
+            "--stats",
         ]))
         .unwrap();
         assert!(out.contains("\"defined\":\"A\""), "{out}");
         assert!(out.contains("\"rows\":3"), "{out}");
         assert!(out.contains("\"boxes\":[[[1,1],[0,1]]]"), "{out}");
+        // --stats upgrades query/query_batch to their stats-carrying form.
+        assert!(out.contains("\"stats\":{\"rows_probed\":"), "{out}");
+        assert!(out.contains("\"results\":[{\"cells\":"), "{out}");
         assert!(out.contains("\"edges\":1"), "{out}");
         assert!(out.contains("\"generation\":2"), "{out}");
         assert!(out.contains("\"closing\":\"server\""), "{out}");
@@ -499,6 +504,56 @@ mod tests {
         assert!(stats.contains("1 edge"), "{stats}");
         let _ = std::fs::remove_dir_all(&db);
         let _ = std::fs::remove_file(&csv);
+    }
+
+    #[test]
+    fn query_stats_plan_line_and_serve_query_batch() {
+        let db = temp_db("planstats");
+        let csv = write_sum_csv("planstats");
+        run(&s(&[
+            "ingest", "--db", &db, "--in", "A:3x2", "--out", "B:3", "--csv", &csv,
+        ]))
+        .unwrap();
+        let on = run(&s(&[
+            "query", "--db", &db, "--path", "B,A", "--cells", "1", "--stats",
+        ]))
+        .unwrap();
+        assert!(on.contains("plan: path_order"), "{on}");
+        let off = run(&s(&[
+            "query",
+            "--db",
+            &db,
+            "--path",
+            "B,A",
+            "--cells",
+            "1",
+            "--stats",
+            "--no-planner",
+        ]))
+        .unwrap();
+        assert!(off.contains("plan: off"), "{off}");
+        // Planner on/off answer the same boxes.
+        assert!(on.contains("(1, [0, 1])") && off.contains("(1, [0, 1])"));
+
+        // serve scripts accept |-separated query batches.
+        let script =
+            std::env::temp_dir().join(format!("dslog-planstats-{}.txt", std::process::id()));
+        std::fs::write(&script, "query_batch B,A 1|2\nquit\n").unwrap();
+        let out = run(&s(&[
+            "serve",
+            "--db",
+            &db,
+            "--script",
+            script.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("query 0: 1 box(es), 2 cell(s):"), "{out}");
+        assert!(out.contains("(1, [0, 1])"), "{out}");
+        assert!(out.contains("query 1: 1 box(es), 2 cell(s):"), "{out}");
+        assert!(out.contains("(2, [0, 1])"), "{out}");
+        let _ = std::fs::remove_dir_all(&db);
+        let _ = std::fs::remove_file(&csv);
+        let _ = std::fs::remove_file(&script);
     }
 
     #[test]

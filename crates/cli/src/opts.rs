@@ -14,6 +14,7 @@ pub struct Opts {
 const SWITCHES: &[&str] = &[
     "gzip",
     "no-merge",
+    "no-planner",
     "forward-store",
     "scan",
     "stats",

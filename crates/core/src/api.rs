@@ -2,7 +2,7 @@
 //! lineage, registering operations, and issuing `prov_query` calls.
 
 use crate::error::{DslogError, Result};
-use crate::query::{QueryExec, QueryOptions, QueryStats};
+use crate::query::{QueryOptions, QueryStats};
 use crate::reuse::{ArgValue, Mapping, ReuseHit, ReuseManager, ReuseStats};
 use crate::storage::{Materialize, StorageManager};
 use crate::table::{BoxTable, LineageTable};
@@ -133,6 +133,19 @@ impl Dslog {
     /// Enable/disable multi-threaded hop execution.
     pub fn set_parallel(&mut self, parallel: bool) {
         self.query_options.parallel = parallel;
+    }
+
+    /// Enable/disable the cost-based multi-hop planner (the planner
+    /// ablation; `false` restores the paper's strict path-order chain).
+    /// See [`crate::query::plan`].
+    pub fn set_use_planner(&mut self, use_planner: bool) {
+        self.query_options.use_planner = use_planner;
+    }
+
+    /// Override the composite-edge materialization policy (hit threshold
+    /// and size caps; see [`crate::reuse::CompositePolicy`]).
+    pub fn set_composite_policy(&mut self, policy: crate::reuse::CompositePolicy) {
+        self.storage.set_composite_policy(policy);
     }
 
     /// Replace the full default query-option set.
@@ -384,10 +397,87 @@ impl Dslog {
         query_cells: &[Vec<i64>],
         opts: QueryOptions,
     ) -> Result<QueryResult> {
+        self.validate_path(path)?;
+        let arity = self.validate_query_cells(path[0], query_cells)?;
+
+        let mut cur = BoxTable::from_cells(arity, query_cells);
+        // The query itself is always range-encoded into Q′ (§V.B: "The
+        // query, Q′, is encoded from Q in the same format as the compressed
+        // relational lineage tables with multi-attribute range encoding").
+        // This is part of query encoding, not the inter-hop merge ablation.
+        cur.merge();
+        let (cells, stats) = if opts.use_planner {
+            crate::query::plan::execute(&self.storage, path, cur, opts)?
+        } else {
+            crate::query::plan::path_order(&self.storage, path, cur, opts)?
+        };
+        let hops = stats.hops.len();
+        Ok(QueryResult { cells, hops, stats })
+    }
+
+    /// Query lineage for many cell sets sharing one path in a single sweep
+    /// (paper: `prov_query`, vectorized). Results come back in input
+    /// order, cell-for-cell identical to a [`prov_query`](Self::prov_query)
+    /// loop, but all frontiers are deduplicated into one set of unique
+    /// boxes so each hop resolves its table and probes each distinct box
+    /// exactly once — one index pass instead of `queries.len()` passes.
+    ///
+    /// Every returned result carries the *batch-wide* statistics (`hops`
+    /// and `stats` are shared, not per-query).
+    pub fn prov_query_batch(
+        &self,
+        path: &[&str],
+        queries: &[Vec<Vec<i64>>],
+    ) -> Result<Vec<QueryResult>> {
+        self.prov_query_batch_opts(path, queries, self.query_options)
+    }
+
+    /// [`prov_query_batch`](Self::prov_query_batch) with explicit options.
+    pub fn prov_query_batch_opts(
+        &self,
+        path: &[&str],
+        queries: &[Vec<Vec<i64>>],
+        opts: QueryOptions,
+    ) -> Result<Vec<QueryResult>> {
+        self.validate_path(path)?;
+        let mut frontiers = Vec::with_capacity(queries.len());
+        for query_cells in queries {
+            let arity = self.validate_query_cells(path[0], query_cells)?;
+            let mut cur = BoxTable::from_cells(arity, query_cells);
+            cur.merge();
+            frontiers.push(cur);
+        }
+        let (outs, stats) =
+            crate::query::plan::execute_batch(&self.storage, path, &frontiers, opts)?;
+        let hops = stats.hops.len();
+        Ok(outs
+            .into_iter()
+            .map(|cells| QueryResult {
+                cells,
+                hops,
+                stats: stats.clone(),
+            })
+            .collect())
+    }
+
+    /// Validate a query path: long enough, and **every** array on it
+    /// exists — including arrays after a hop that may empty the frontier
+    /// (a misspelled late array must error, not vanish into an empty
+    /// result).
+    fn validate_path(&self, path: &[&str]) -> Result<()> {
         if path.len() < 2 {
             return Err(DslogError::PathTooShort);
         }
-        let first = self.storage.array(path[0])?;
+        for name in path {
+            self.storage.array(name)?;
+        }
+        Ok(())
+    }
+
+    /// Validate one query's cells against the first array; returns its
+    /// arity.
+    fn validate_query_cells(&self, first_array: &str, query_cells: &[Vec<i64>]) -> Result<usize> {
+        let first = self.storage.array(first_array)?;
         let arity = first.ndim();
         for cell in query_cells {
             if cell.len() != arity {
@@ -407,42 +497,7 @@ impl Dslog {
                 });
             }
         }
-
-        let mut cur = BoxTable::from_cells(arity, query_cells);
-        // The query itself is always range-encoded into Q′ (§V.B: "The
-        // query, Q′, is encoded from Q in the same format as the compressed
-        // relational lineage tables with multi-attribute range encoding").
-        // This is part of query encoding, not the inter-hop merge ablation.
-        cur.merge();
-        let exec = QueryExec::new(opts);
-        let mut stats = QueryStats::default();
-        for hop in path.windows(2) {
-            // Validate the arrays exist even if the query went empty.
-            self.storage.array(hop[1])?;
-            let (table, _direction) = self.storage.resolve_hop(hop[0], hop[1])?;
-            let (mut next, hop_stats) = exec.hop(&cur, &table)?;
-            stats.hops.push(hop_stats);
-            if opts.merge {
-                next.merge();
-            }
-            cur = next;
-            if cur.is_empty() {
-                // Later hops keep the (empty) arity of their target array.
-                let last = self.storage.array(path.last().unwrap())?;
-                let hops = stats.hops.len();
-                return Ok(QueryResult {
-                    cells: BoxTable::new(last.ndim()),
-                    hops,
-                    stats,
-                });
-            }
-        }
-        let hops = stats.hops.len();
-        Ok(QueryResult {
-            cells: cur,
-            hops,
-            stats,
-        })
+        Ok(arity)
     }
 }
 
@@ -545,6 +600,46 @@ mod tests {
         assert!(r.cells.contains_cell(&[2, 1]));
         assert_eq!(db.reuse_stats().captures, 2);
         assert!(db.reuse_stats().dim_hits + db.reuse_stats().gen_hits >= 1);
+    }
+
+    #[test]
+    fn misspelled_late_array_errors_even_when_frontier_empties() {
+        // Regression: the old loop validated path arrays hop by hop and
+        // returned early once the frontier went empty, so a misspelled
+        // array *after* the emptying hop silently produced Ok(empty).
+        let mut db = Dslog::new();
+        db.define_array("X", &[4]).unwrap();
+        db.define_array("Y", &[4]).unwrap();
+        let mut t = LineageTable::new(1, 1);
+        t.push_row(&[0, 0]); // only Y[0] has lineage: Y[3] empties at hop 1
+        db.add_lineage("X", "Y", &TableCapture::new(t)).unwrap();
+        for use_planner in [true, false] {
+            let mut opts = db.query_options();
+            opts.use_planner = use_planner;
+            assert!(matches!(
+                db.prov_query_opts(&["Y", "X", "Zz"], &[vec![3]], opts),
+                Err(DslogError::UnknownArray(_))
+            ));
+            assert!(matches!(
+                db.prov_query_batch_opts(&["Y", "X", "Zz"], &[vec![vec![3]]], opts),
+                Err(DslogError::UnknownArray(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_query_loop() {
+        let db = setup();
+        let queries: Vec<Vec<Vec<i64>>> = vec![vec![vec![0]], vec![vec![1], vec![2]], vec![]];
+        let batch = db.prov_query_batch(&["B", "A"], &queries).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (q, r) in queries.iter().zip(&batch) {
+            let single = db.prov_query(&["B", "A"], q).unwrap();
+            assert_eq!(r.cells.cell_set(), single.cells.cell_set());
+        }
+        assert!(batch[2].cells.is_empty());
+        // Batch stats are shared across results.
+        assert_eq!(batch[0].stats, batch[1].stats);
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! | `define NAME:3x2`               | `{"ok":true,"defined":"NAME","shape":[3,2]}` |
 //! | `ingest IN OUT 0,0;1,2`         | `{"ok":true,"edges":1,"rows":2,"pending_edges":n}` (+ `"auto_commit"`) |
 //! | `query B,A 1;2`                 | `{"ok":true,"hops":1,"cells":n,"boxes":[[[lo,hi],...],...]}` |
+//! | `query B,A 1;2 stats`           | same, plus a trailing `"stats"` object (see below) |
+//! | `query_batch B,A 1;2\|3`        | `{"ok":true,"hops":1,"results":[{"cells":n,"boxes":[...]},...]}` |
+//! | `query_batch B,A 1\|2 stats`    | same, plus a trailing `"stats"` object |
 //! | `commit`                        | `{"ok":true,"generation":g,"incremental":b,"files_written":w,"files_reused":r,"bytes_written":n}` |
 //! | `stats`                         | `{"ok":true,"arrays":..,"edges":..,"epoch":..,...}` |
 //! | `quit`                          | `{"ok":true,"closing":"session"}`, then closes the connection |
@@ -28,6 +31,18 @@
 //! `ingest` rows are inline (`;`-separated rows of `,`-separated indices,
 //! output attributes first — the same row layout as the CSV format):
 //! network clients must not depend on paths in the server's filesystem.
+//! `query_batch` takes `|`-separated queries, each a `query` cell spec;
+//! the whole batch runs as one deduplicated sweep against one snapshot
+//! (see [`DslogService::query_batch`]), and `results` come back in
+//! request order.
+//!
+//! The optional trailing `stats` word asks for per-query execution
+//! statistics: `"stats":{"rows_probed":n,"rows_matched":n,"plan":"...",
+//! "hops":[{"probed":n,"matched":n,"boxes":n,"indexed":b,"threads":t},..]}`.
+//! `plan` is the planner decision label (`path_order` / `empty_edge` /
+//! `selective_first` / `composite`), or `off` when the planner is
+//! disabled. Responses without the `stats` word are byte-identical to the
+//! previous protocol version.
 //!
 //! ## Admission control and backpressure
 //!
@@ -72,7 +87,9 @@
 //! server.join(); // blocks until a client sends `shutdown`
 //! ```
 
+use crate::api::QueryResult;
 use crate::error::Result;
+use crate::query::QueryStats;
 use crate::service::{BatchReport, DslogService, IngestJob, ServiceStats};
 use crate::storage::persist::CommitReport;
 use crate::table::LineageTable;
@@ -483,7 +500,10 @@ fn execute(service: &DslogService, line: &str) -> (String, SessionFlow) {
     let response = match (cmd, args.as_slice()) {
         ("define", [spec]) => cmd_define(service, spec),
         ("ingest", [in_name, out_name, rows]) => cmd_ingest(service, in_name, out_name, rows),
-        ("query", [path, cells]) => cmd_query(service, path, cells),
+        ("query", [path, cells]) => cmd_query(service, path, cells, false),
+        ("query", [path, cells, "stats"]) => cmd_query(service, path, cells, true),
+        ("query_batch", [path, queries]) => cmd_query_batch(service, path, queries, false),
+        ("query_batch", [path, queries, "stats"]) => cmd_query_batch(service, path, queries, true),
         ("commit", []) => cmd_commit(service),
         ("stats", []) => Ok(render_stats(&service.stats())),
         ("quit" | "exit", []) => {
@@ -499,7 +519,7 @@ fn execute(service: &DslogService, line: &str) -> (String, SessionFlow) {
             )
         }
         _ => Err(format!(
-            "bad request `{line}`; expected define/ingest/query/commit/stats/quit/shutdown"
+            "bad request `{line}`; expected define/ingest/query/query_batch/commit/stats/quit/shutdown"
         )),
     };
     (
@@ -546,6 +566,7 @@ fn cmd_query(
     service: &DslogService,
     path_spec: &str,
     cells_spec: &str,
+    with_stats: bool,
 ) -> std::result::Result<String, String> {
     let path: Vec<&str> = path_spec.split(',').map(str::trim).collect();
     let cells = parse_cells(cells_spec)?;
@@ -554,10 +575,65 @@ fn cmd_query(
     }
     let result = service.query(&path, &cells).map_err(|e| e.to_string())?;
     let mut out = format!(
-        "{{\"ok\":true,\"hops\":{},\"cells\":{},\"boxes\":[",
+        "{{\"ok\":true,\"hops\":{},\"cells\":{},\"boxes\":",
         result.hops,
         result.cells.volume()
     );
+    render_boxes(&mut out, &result);
+    if with_stats {
+        out.push_str(",\"stats\":");
+        out.push_str(&render_query_stats(&result.stats));
+    }
+    out.push('}');
+    Ok(out)
+}
+
+fn cmd_query_batch(
+    service: &DslogService,
+    path_spec: &str,
+    queries_spec: &str,
+    with_stats: bool,
+) -> std::result::Result<String, String> {
+    let path: Vec<&str> = path_spec.split(',').map(str::trim).collect();
+    let mut queries = Vec::new();
+    for spec in queries_spec.split('|') {
+        let cells = parse_cells(spec)?;
+        if cells.is_empty() {
+            return Err("empty query in batch".to_string());
+        }
+        queries.push(cells);
+    }
+    if queries.is_empty() {
+        return Err("no queries given".to_string());
+    }
+    let results = service
+        .query_batch(&path, &queries)
+        .map_err(|e| e.to_string())?;
+    // All batch members share one sweep, so hops/stats are batch-wide.
+    let hops = results.first().map_or(0, |r| r.hops);
+    let mut out = format!("{{\"ok\":true,\"hops\":{hops},\"results\":[");
+    for (i, result) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"cells\":{},\"boxes\":", result.cells.volume()));
+        render_boxes(&mut out, result);
+        out.push('}');
+    }
+    out.push(']');
+    if with_stats {
+        out.push_str(",\"stats\":");
+        out.push_str(&render_query_stats(
+            results.first().map_or(&QueryStats::default(), |r| &r.stats),
+        ));
+    }
+    out.push('}');
+    Ok(out)
+}
+
+/// Append `[[[lo,hi],...],...]` for the result's box set.
+fn render_boxes(out: &mut String, result: &QueryResult) {
+    out.push('[');
     for (i, b) in result.cells.boxes().enumerate() {
         if i > 0 {
             out.push(',');
@@ -571,8 +647,29 @@ fn cmd_query(
         }
         out.push(']');
     }
+    out.push(']');
+}
+
+/// The `"stats"` object for `query ... stats` / `query_batch ... stats`.
+fn render_query_stats(stats: &QueryStats) -> String {
+    let plan = stats.plan.as_ref().map_or("off", |p| p.decision.label());
+    let mut out = format!(
+        "{{\"rows_probed\":{},\"rows_matched\":{},\"plan\":{},\"hops\":[",
+        stats.hops.iter().map(|h| h.rows_probed).sum::<usize>(),
+        stats.hops.iter().map(|h| h.rows_matched).sum::<usize>(),
+        json_str(plan),
+    );
+    for (i, h) in stats.hops.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"probed\":{},\"matched\":{},\"boxes\":{},\"indexed\":{},\"threads\":{}}}",
+            h.rows_probed, h.rows_matched, h.boxes_emitted, h.used_index, h.threads
+        ));
+    }
     out.push_str("]}");
-    Ok(out)
+    out
 }
 
 fn cmd_commit(service: &DslogService) -> std::result::Result<String, String> {
@@ -777,6 +874,38 @@ mod tests {
         let stats = server.join();
         assert_eq!(stats.accepted, 1);
         assert!(stats.requests >= 6);
+    }
+
+    #[test]
+    fn query_batch_and_stats_responses() {
+        let (_service, server) = spawn_test_server(ServeOptions {
+            workers: 1,
+            ..ServeOptions::default()
+        });
+        let (mut reader, mut writer) = connect(server.local_addr());
+        let resp = roundtrip(&mut reader, &mut writer, "ingest A B 0,1;1,2;2,3");
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        // Batch results come back in request order, one entry per query.
+        let resp = roundtrip(&mut reader, &mut writer, "query_batch B,A 1|2|7");
+        assert!(
+            resp.contains("\"results\":[{\"cells\":1,\"boxes\":[[[2,2]]]},{\"cells\":1,\"boxes\":[[[3,3]]]},{\"cells\":0,\"boxes\":[]}]"),
+            "{resp}"
+        );
+        // The stats word appends a stats object with a planner label.
+        let resp = roundtrip(&mut reader, &mut writer, "query B,A 1 stats");
+        assert!(resp.contains("\"boxes\":[[[2,2]]]"), "{resp}");
+        assert!(
+            resp.contains("\"stats\":{\"rows_probed\":") && resp.contains("\"plan\":\""),
+            "{resp}"
+        );
+        let resp = roundtrip(&mut reader, &mut writer, "query_batch B,A 1|2 stats");
+        assert!(resp.contains("\"stats\":{"), "{resp}");
+        // Malformed batches are rejected without killing the session.
+        let resp = roundtrip(&mut reader, &mut writer, "query_batch B,A 1||2");
+        assert!(resp.starts_with("{\"ok\":false"), "{resp}");
+        assert!(roundtrip(&mut reader, &mut writer, "stats").contains("\"ok\":true"));
+        server.stop();
+        server.join();
     }
 
     #[test]

@@ -17,9 +17,11 @@
 //! oracle both paths are tested against.
 
 pub mod exec;
+pub mod plan;
 pub mod reference;
 
 pub use exec::{theta_join, HopStats, QueryExec, QueryStats};
+pub use plan::{HopEstimate, PlanDecision, PlanReport};
 
 use crate::error::Result;
 use crate::table::{BoxTable, CompressedTable};
@@ -39,6 +41,13 @@ pub struct QueryOptions {
     /// Minimum number of query boxes in a hop before threads are spawned;
     /// `0` disables parallelism outright.
     pub parallel_threshold: usize,
+    /// Run the cost-based multi-hop planner ([`plan`]): estimate per-hop
+    /// selectivity from cheap index probes, prune provably-empty hops,
+    /// reorder around the most selective hop via a semi-join backpass, and
+    /// serve hot paths from materialized composite edges. Disabling this
+    /// is the planner ablation: hops run strictly in path order, exactly
+    /// as the paper describes.
+    pub use_planner: bool,
 }
 
 impl Default for QueryOptions {
@@ -48,6 +57,7 @@ impl Default for QueryOptions {
             use_index: true,
             parallel: true,
             parallel_threshold: 64,
+            use_planner: true,
         }
     }
 }

@@ -499,6 +499,22 @@ impl DslogService {
         self.shared.snapshot().prov_query(path, query_cells)
     }
 
+    /// Run many `prov_query` calls sharing one path as a single batched
+    /// sweep against the current snapshot (see
+    /// [`Dslog::prov_query_batch`]): frontiers are deduplicated, each hop
+    /// resolves once, and the whole batch sees one consistent epoch. The
+    /// service query counter advances by the batch size.
+    pub fn query_batch(
+        &self,
+        path: &[&str],
+        queries: &[Vec<Vec<i64>>],
+    ) -> Result<Vec<QueryResult>> {
+        self.shared
+            .queries
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        self.shared.snapshot().prov_query_batch(path, queries)
+    }
+
     /// Commit pending work to the bound directory now (incremental:
     /// O(changed edges)). Queries and ingest installs keep being served
     /// while the pinned snapshot is written.
@@ -627,6 +643,22 @@ mod tests {
         assert!(report.incremental);
         assert_eq!(report.files_written, 2);
         assert_eq!(Dslog::open(&dir).unwrap().storage().n_edges(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn query_batch_matches_loop_and_counts_queries() {
+        let dir = temp_dir("qbatch");
+        let service = bound_service(&dir, AutoCommitPolicy::manual());
+        let queries: Vec<Vec<Vec<i64>>> = (0..4).map(|i| vec![vec![i]]).collect();
+        let batch = service.query_batch(&["B", "A"], &queries).unwrap();
+        assert_eq!(batch.len(), 4);
+        for (q, r) in queries.iter().zip(&batch) {
+            let single = service.query(&["B", "A"], q).unwrap();
+            assert_eq!(r.cells.cell_set(), single.cells.cell_set());
+        }
+        // 4 batched + 4 singles.
+        assert_eq!(service.stats().queries, 8);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

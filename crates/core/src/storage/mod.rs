@@ -12,6 +12,7 @@ pub mod persist;
 
 use crate::error::{DslogError, Result};
 use crate::provrc::{self, CompressOptions};
+use crate::reuse::CompositePolicy;
 use crate::table::{CompressedTable, LineageTable, Orientation};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -242,6 +243,17 @@ impl Edge {
             }
         }
     }
+
+    /// The table for `orientation` only if it is already decoded in memory.
+    /// Unlike [`stored`](Self::stored) this never touches disk — the
+    /// planner's peek path uses it so estimating a query can't force lazy
+    /// loads of orientations the query won't run.
+    fn resident(&self, orientation: Orientation) -> Option<Arc<CompressedTable>> {
+        match &self.slot(orientation).read().source {
+            Some(TableSource::Loaded(t)) => Some(Arc::clone(t)),
+            _ => None,
+        }
+    }
 }
 
 impl Edge {
@@ -351,6 +363,44 @@ pub enum HopDirection {
     Forward,
 }
 
+/// Side-effect-free view of one hop, for the query planner
+/// ([`StorageManager::peek_hop`]).
+#[derive(Debug, Clone)]
+pub(crate) struct HopPeek {
+    /// The stored table in the hop's needed orientation, if materialized
+    /// (no derivation is triggered).
+    pub(crate) table: Option<Arc<CompressedTable>>,
+    /// Whether the edge's relation is known to hold zero rows (from either
+    /// in-memory orientation — content is orientation-independent).
+    pub(crate) known_empty: bool,
+    /// Whether the available table is generalized (symbolic cells — not
+    /// indexable, and a direct hop over it errors).
+    pub(crate) generalized: bool,
+}
+
+/// Lifecycle of one composite-edge registry entry.
+#[derive(Debug, Clone)]
+enum CompositeState {
+    /// Seen `n` times by the planner; not yet worth materializing.
+    Counting(u32),
+    /// Materialized join of the whole path, served as a single probe.
+    Materialized(Arc<CompressedTable>),
+    /// Tried and found too large (policy caps); never retried until an
+    /// ingest to a member edge drops the entry.
+    Unmaterializable,
+}
+
+/// What the planner should do with a path, per the composite registry.
+#[derive(Debug, Clone)]
+pub(crate) enum CompositeProbe {
+    /// A materialized composite covers the path: run it as one hop.
+    Serve(Arc<CompressedTable>),
+    /// The path is hot (hit threshold reached): materialize it now.
+    Materialize,
+    /// Execute normally.
+    Pass,
+}
+
 /// The DSLog storage manager.
 ///
 /// Edges are held as `Arc`s so an epoch clone (`clone_for_epoch`, used by
@@ -381,6 +431,11 @@ pub struct StorageManager {
     /// generation number and each other's sweeps. Shared across epoch
     /// clones for the same reason as `binding`.
     commit_lock: Arc<Mutex<()>>,
+    /// Composite-edge registry: multi-hop paths the planner has seen,
+    /// keyed by the full array path, with their materialization state.
+    /// Behind a lock because the planner observes paths under `&self`.
+    composites: RwLock<HashMap<Vec<String>, CompositeState>>,
+    composite_policy: Option<CompositePolicy>,
 }
 
 impl StorageManager {
@@ -403,6 +458,12 @@ impl StorageManager {
             compress: self.compress,
             binding: Arc::clone(&self.binding),
             commit_lock: Arc::clone(&self.commit_lock),
+            // Composite entries are *content*-cloned (the map, not the
+            // lock): mutating the next epoch's registry — installs or
+            // ingest invalidations — must never disturb readers of the
+            // published snapshot. The tables themselves are shared Arcs.
+            composites: RwLock::new(self.composites.read().clone()),
+            composite_policy: self.composite_policy,
         }
     }
 
@@ -513,6 +574,7 @@ impl StorageManager {
             (in_array.to_string(), out_array.to_string()),
             Arc::new(Edge::from_tables(backward, forward, out_shape, in_shape)),
         );
+        self.invalidate_composites(in_array, out_array);
         Ok(())
     }
 
@@ -539,6 +601,7 @@ impl StorageManager {
             (in_array.to_string(), out_array.to_string()),
             Arc::new(Edge::from_tables(backward, forward, out_shape, in_shape)),
         );
+        self.invalidate_composites(in_array, out_array);
         Ok(())
     }
 
@@ -609,6 +672,7 @@ impl StorageManager {
             (in_array.to_string(), out_array.to_string()),
             Arc::new(Edge::from_tables(backward, forward, out_shape, in_shape)),
         );
+        self.invalidate_composites(in_array, out_array);
         Ok(())
     }
 
@@ -650,6 +714,126 @@ impl StorageManager {
             from: from.to_string(),
             to: to.to_string(),
         })
+    }
+
+    /// Planner-side view of the hop `from → to`, with **none** of
+    /// [`resolve_hop`](Self::resolve_hop)'s side effects: hit counters do
+    /// not move and a missing orientation is *not* derived (the hop may be
+    /// pruned and never run). Lazy on-disk slots in the needed orientation
+    /// are loaded — execution would load them anyway — but the opposite
+    /// slot is only consulted if already in memory. Returns `None` when no
+    /// edge connects the pair, or when a lazy load fails (execution will
+    /// surface that error itself).
+    pub(crate) fn peek_hop(&self, from: &str, to: &str) -> Option<HopPeek> {
+        let (edge, orientation) =
+            if let Some(e) = self.edges.get(&(to.to_string(), from.to_string())) {
+                (e, Orientation::Backward)
+            } else if let Some(e) = self.edges.get(&(from.to_string(), to.to_string())) {
+                (e, Orientation::Forward)
+            } else {
+                return None;
+            };
+        let table = edge.stored(orientation, true).ok()?;
+        let other = edge.resident(orientation.flip());
+        let known_empty = table.as_ref().map(|t| t.is_empty()).unwrap_or(false)
+            || other.as_ref().is_some_and(|t| t.is_empty());
+        let generalized = table
+            .as_ref()
+            .or(other.as_ref())
+            .is_some_and(|t| t.is_generalized());
+        Some(HopPeek {
+            table,
+            known_empty,
+            generalized,
+        })
+    }
+
+    /// Override the composite-edge policy (see [`CompositePolicy`]).
+    pub fn set_composite_policy(&mut self, p: CompositePolicy) {
+        self.composite_policy = Some(p);
+    }
+
+    /// The active composite-edge policy.
+    pub fn composite_policy(&self) -> CompositePolicy {
+        self.composite_policy.unwrap_or_default()
+    }
+
+    /// Record one planner sighting of `path` and say what to do with it:
+    /// serve an existing composite, materialize a now-hot one, or pass.
+    /// `Materialize` keeps being returned on later sightings until
+    /// [`install_composite`](Self::install_composite) resolves the entry,
+    /// so a skipped materialization (e.g. tables not resident) retries.
+    pub(crate) fn observe_composite(&self, path: &[String]) -> CompositeProbe {
+        let policy = self.composite_policy();
+        if !policy.enabled || path.len() < 3 {
+            return CompositeProbe::Pass;
+        }
+        let mut map = self.composites.write();
+        match map.entry(path.to_vec()) {
+            std::collections::hash_map::Entry::Occupied(mut e) => match e.get_mut() {
+                CompositeState::Materialized(t) => CompositeProbe::Serve(Arc::clone(t)),
+                CompositeState::Unmaterializable => CompositeProbe::Pass,
+                CompositeState::Counting(n) => {
+                    *n += 1;
+                    if *n >= policy.hit_threshold {
+                        CompositeProbe::Materialize
+                    } else {
+                        CompositeProbe::Pass
+                    }
+                }
+            },
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(CompositeState::Counting(1));
+                if policy.hit_threshold <= 1 {
+                    CompositeProbe::Materialize
+                } else {
+                    CompositeProbe::Pass
+                }
+            }
+        }
+    }
+
+    /// Resolve a `Materialize` outcome: register the compressed join of
+    /// `path` (`Some`), or mark the path unmaterializable (`None`, policy
+    /// caps exceeded) so the planner stops retrying.
+    pub(crate) fn install_composite(&self, path: &[String], table: Option<Arc<CompressedTable>>) {
+        let state = match table {
+            Some(t) => CompositeState::Materialized(t),
+            None => CompositeState::Unmaterializable,
+        };
+        self.composites.write().insert(path.to_vec(), state);
+    }
+
+    /// Whether a materialized composite table is registered for `path`
+    /// (introspection for tests and stats).
+    pub fn has_composite(&self, path: &[&str]) -> bool {
+        let key: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+        matches!(
+            self.composites.read().get(&key),
+            Some(CompositeState::Materialized(_))
+        )
+    }
+
+    /// Number of materialized composite edges.
+    pub fn n_composites(&self) -> usize {
+        self.composites
+            .read()
+            .values()
+            .filter(|s| matches!(s, CompositeState::Materialized(_)))
+            .count()
+    }
+
+    /// Drop every composite whose path traverses the edge `{in, out}` (in
+    /// either hop direction): ingest replaced that edge's relation, so any
+    /// join through it is stale. Counting entries are dropped too — the
+    /// heat they measured was for the old content. Rebalancing does *not*
+    /// invalidate (it changes representation, never content).
+    fn invalidate_composites(&self, in_array: &str, out_array: &str) {
+        self.composites.write().retain(|key, _| {
+            !key.windows(2).any(|w| {
+                (w[0] == in_array && w[1] == out_array) || (w[0] == out_array && w[1] == in_array)
+            })
+        });
     }
 
     /// Per-edge query-direction statistics, sorted by (input, output).
@@ -928,6 +1112,72 @@ mod tests {
         assert_eq!(fast.storage_bytes(), slow.storage_bytes());
         fast.rebalance_materialization().unwrap();
         slow.rebalance_materialization().unwrap();
+    }
+
+    #[test]
+    fn peek_hop_is_side_effect_free() {
+        let s = manager_with_edge();
+        let peek = s.peek_hop("B", "A").unwrap();
+        assert!(peek.table.is_some());
+        assert!(!peek.known_empty && !peek.generalized);
+        // Peeking the underived forward orientation reports no table and
+        // must not derive it.
+        let fwd = s.peek_hop("A", "B").unwrap();
+        assert!(fwd.table.is_none());
+        assert!(s.peek_hop("B", "Z").is_none());
+        // No hit counters moved.
+        let stats = s.edge_stats();
+        assert_eq!(stats[0].backward_hits + stats[0].forward_hits, 0);
+        // And the forward slot is still empty (no derivation happened).
+        let edge = s.edges.get(&("A".to_string(), "B".to_string())).unwrap();
+        assert!(edge.forward.read().source.is_none());
+    }
+
+    #[test]
+    fn composite_lifecycle_and_ingest_invalidation() {
+        let mut s = StorageManager::new();
+        s.define_array("A", &[3, 2]).unwrap();
+        s.define_array("B", &[3]).unwrap();
+        s.define_array("C", &[3]).unwrap();
+        s.ingest_lineage("A", "B", &sum_lineage()).unwrap();
+        let path: Vec<String> = ["C", "B", "A"].iter().map(|s| s.to_string()).collect();
+        // Threshold 3: two sightings pass, the third asks to materialize,
+        // and so does the fourth (retry until installed).
+        assert!(matches!(s.observe_composite(&path), CompositeProbe::Pass));
+        assert!(matches!(s.observe_composite(&path), CompositeProbe::Pass));
+        assert!(matches!(
+            s.observe_composite(&path),
+            CompositeProbe::Materialize
+        ));
+        assert!(matches!(
+            s.observe_composite(&path),
+            CompositeProbe::Materialize
+        ));
+        let table = s.stored_table("A", "B", Orientation::Backward).unwrap();
+        s.install_composite(&path, Some(table));
+        assert!(s.has_composite(&["C", "B", "A"]));
+        assert_eq!(s.n_composites(), 1);
+        assert!(matches!(
+            s.observe_composite(&path),
+            CompositeProbe::Serve(_)
+        ));
+        // Epoch clones carry the registry; mutating the clone leaves the
+        // parent's registry intact.
+        let clone = s.clone_for_epoch();
+        assert!(clone.has_composite(&["C", "B", "A"]));
+        // Re-ingesting a member edge invalidates (hop B→A matches the
+        // stored A→B edge in reverse).
+        s.ingest_lineage("A", "B", &sum_lineage()).unwrap();
+        assert!(!s.has_composite(&["C", "B", "A"]));
+        assert!(clone.has_composite(&["C", "B", "A"]));
+        // An unrelated edge does not invalidate.
+        s.install_composite(&path, None);
+        assert!(matches!(s.observe_composite(&path), CompositeProbe::Pass));
+        // Two-array paths are never composite candidates.
+        let short: Vec<String> = ["B", "A"].iter().map(|s| s.to_string()).collect();
+        for _ in 0..5 {
+            assert!(matches!(s.observe_composite(&short), CompositeProbe::Pass));
+        }
     }
 
     #[test]

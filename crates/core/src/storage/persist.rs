@@ -747,6 +747,8 @@ fn open_impl(dir: &Path, lazy: bool) -> Result<StorageManager> {
         compress: None,
         binding: Arc::new(parking_lot::Mutex::new(Some(binding))),
         commit_lock: Arc::new(parking_lot::Mutex::new(())),
+        composites: Default::default(),
+        composite_policy: None,
     })
 }
 

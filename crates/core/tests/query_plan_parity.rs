@@ -1,0 +1,234 @@
+//! Property-based parity suite for the cost-based query planner: over
+//! randomized multi-hop databases (1–5 hops, both hop orientations), the
+//! planner must be a pure access-path change. Planner-on, planner-off,
+//! and the nested-loop scan ablation answer the same cells; a composite
+//! edge served after the hit threshold answers the same cells as
+//! re-executing the path; a batched query answers cell-for-cell the same
+//! as a per-query loop; and ingest between queries invalidates any
+//! composite built over the replaced edge.
+
+use dslog::api::{Dslog, TableCapture};
+use dslog::query::QueryOptions;
+use dslog::reuse::CompositePolicy;
+use dslog::table::LineageTable;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Grid dimension for every attribute (values are drawn from `0..DIM`).
+const DIM: i64 = 5;
+
+/// One randomized database + query scenario: a path of 2–6 arrays, one
+/// relation per hop, a per-hop direction, replacement rows for the
+/// invalidation property, and a seed choosing query cells.
+#[derive(Debug, Clone)]
+struct Case {
+    /// Attribute count of each array along the path.
+    arities: Vec<usize>,
+    /// `true` = backward hop (array i is the relation's out side).
+    backward: Vec<bool>,
+    /// One relation per hop, rows already truncated to the hop's arity.
+    relations: Vec<Vec<Vec<i64>>>,
+    /// Replacement rows for one hop (ingest-between-queries property).
+    replacement: Vec<Vec<i64>>,
+    /// Selects the queried array-0 cells and the replaced hop.
+    seed: usize,
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (1usize..=5).prop_flat_map(|hops| {
+        (
+            prop::collection::vec(1usize..=2, hops + 1),
+            prop::collection::vec(prop::bool::ANY, hops),
+            // Rows are generated at the maximum arity (2 + 2) and truncated
+            // per hop, so one homogeneous strategy serves every hop.
+            prop::collection::vec(
+                prop::collection::vec(prop::collection::vec(0i64..DIM, 4), 0..30),
+                hops,
+            ),
+            prop::collection::vec(prop::collection::vec(0i64..DIM, 4), 0..30),
+            0usize..16,
+        )
+            .prop_map(|(arities, backward, raw_rows, raw_repl, seed)| {
+                let truncate = |rows: Vec<Vec<i64>>, i: usize| -> Vec<Vec<i64>> {
+                    let (out_a, in_a) = hop_arities(&arities, &backward, i);
+                    rows.into_iter()
+                        .map(|r| r[..out_a + in_a].to_vec())
+                        .collect()
+                };
+                let relations: Vec<_> = raw_rows
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, rows)| truncate(rows, i))
+                    .collect();
+                let replacement = truncate(raw_repl, seed % backward.len());
+                Case {
+                    arities,
+                    backward,
+                    relations,
+                    replacement,
+                    seed,
+                }
+            })
+    })
+}
+
+/// (out_arity, in_arity) of hop `i`'s relation. A backward hop stores
+/// `R(array_i, array_{i+1})`; a forward hop stores `R(array_{i+1}, array_i)`.
+fn hop_arities(arities: &[usize], backward: &[bool], i: usize) -> (usize, usize) {
+    if backward[i] {
+        (arities[i], arities[i + 1])
+    } else {
+        (arities[i + 1], arities[i])
+    }
+}
+
+fn array_names(case: &Case) -> Vec<String> {
+    (0..case.arities.len()).map(|i| format!("S{i}")).collect()
+}
+
+fn lineage(rows: &[Vec<i64>], out_a: usize, in_a: usize) -> LineageTable {
+    let mut t = LineageTable::new(out_a, in_a);
+    for r in rows {
+        t.push_row(r);
+    }
+    t.normalize();
+    t
+}
+
+/// Ingest hop `i`'s relation: the hop's out side is the lineage edge's
+/// out array, so querying along the path crosses it in the right
+/// direction regardless of orientation.
+fn ingest_hop(db: &mut Dslog, case: &Case, names: &[String], i: usize, rows: &[Vec<i64>]) {
+    let (out_a, in_a) = hop_arities(&case.arities, &case.backward, i);
+    let (in_arr, out_arr) = if case.backward[i] {
+        (&names[i + 1], &names[i])
+    } else {
+        (&names[i], &names[i + 1])
+    };
+    db.add_lineage(
+        in_arr,
+        out_arr,
+        &TableCapture::new(lineage(rows, out_a, in_a)),
+    )
+    .unwrap();
+}
+
+fn build_db(case: &Case) -> (Dslog, Vec<String>) {
+    let names = array_names(case);
+    let mut db = Dslog::new();
+    for (name, &a) in names.iter().zip(&case.arities) {
+        db.define_array(name, &vec![DIM as usize; a]).unwrap();
+    }
+    for (i, rows) in case.relations.iter().enumerate() {
+        ingest_hop(&mut db, case, &names, i, rows);
+    }
+    (db, names)
+}
+
+/// Query cells: a deterministic subset of the array-0 cells that appear
+/// in the first relation (so queries usually hit something).
+fn query_cells(case: &Case) -> Vec<Vec<i64>> {
+    let a0 = case.arities[0];
+    let (out_a, _) = hop_arities(&case.arities, &case.backward, 0);
+    let side: BTreeSet<Vec<i64>> = case.relations[0]
+        .iter()
+        .map(|r| {
+            if case.backward[0] {
+                r[..a0].to_vec()
+            } else {
+                r[out_a..out_a + a0].to_vec()
+            }
+        })
+        .collect();
+    side.into_iter()
+        .enumerate()
+        .filter(|(i, _)| (i + case.seed).is_multiple_of(3))
+        .map(|(_, c)| c)
+        .collect()
+}
+
+fn opts(use_planner: bool, use_index: bool) -> QueryOptions {
+    QueryOptions {
+        use_planner,
+        use_index,
+        ..QueryOptions::default()
+    }
+}
+
+fn run(db: &Dslog, path: &[&str], cells: &[Vec<i64>], o: QueryOptions) -> BTreeSet<Vec<i64>> {
+    db.prov_query_opts(path, cells, o).unwrap().cells.cell_set()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Planner-on equals planner-off equals the nested-loop scan, and a
+    /// composite edge served after the hit threshold equals re-executing
+    /// the path (the repeated planner-on queries cross the threshold,
+    /// materialize, then serve).
+    #[test]
+    fn planner_scan_and_composite_hits_agree(case in arb_case()) {
+        let (mut db, names) = build_db(&case);
+        db.set_composite_policy(CompositePolicy {
+            hit_threshold: 2,
+            ..CompositePolicy::default()
+        });
+        let path: Vec<&str> = names.iter().map(String::as_str).collect();
+        let cells = query_cells(&case);
+        prop_assume!(!cells.is_empty());
+
+        let expected = run(&db, &path, &cells, opts(false, false));
+        prop_assert_eq!(run(&db, &path, &cells, opts(false, true)), expected.clone());
+        for _ in 0..4 {
+            prop_assert_eq!(run(&db, &path, &cells, opts(true, true)), expected.clone());
+        }
+    }
+
+    /// A batched query answers cell-for-cell the same as a per-query
+    /// loop, with the planner on and off.
+    #[test]
+    fn batch_matches_per_query_loop(case in arb_case()) {
+        let (db, names) = build_db(&case);
+        let path: Vec<&str> = names.iter().map(String::as_str).collect();
+        let cells = query_cells(&case);
+        prop_assume!(!cells.is_empty());
+        let chunk = cells.len().div_ceil(3).max(1);
+        let queries: Vec<Vec<Vec<i64>>> = cells.chunks(chunk).map(<[_]>::to_vec).collect();
+
+        for use_planner in [true, false] {
+            let o = opts(use_planner, true);
+            let batch = db.prov_query_batch_opts(&path, &queries, o).unwrap();
+            prop_assert_eq!(batch.len(), queries.len());
+            for (result, query) in batch.iter().zip(&queries) {
+                prop_assert_eq!(result.cells.cell_set(), run(&db, &path, query, o));
+            }
+        }
+    }
+
+    /// Replacing one hop's edge between queries invalidates any composite
+    /// built over it: planner-on answers match a fresh planner-off scan
+    /// of the new database state, never the stale materialization.
+    #[test]
+    fn ingest_between_queries_invalidates_composites(case in arb_case()) {
+        let (mut db, names) = build_db(&case);
+        db.set_composite_policy(CompositePolicy {
+            hit_threshold: 1,
+            ..CompositePolicy::default()
+        });
+        let path: Vec<&str> = names.iter().map(String::as_str).collect();
+        let cells = query_cells(&case);
+        prop_assume!(!cells.is_empty());
+
+        // Warm: threshold 1 materializes a composite on the first repeat.
+        for _ in 0..3 {
+            run(&db, &path, &cells, opts(true, true));
+        }
+        let replaced = case.seed % case.backward.len();
+        ingest_hop(&mut db, &case, &names, replaced, &case.replacement);
+
+        let expected = run(&db, &path, &cells, opts(false, false));
+        for _ in 0..3 {
+            prop_assert_eq!(run(&db, &path, &cells, opts(true, true)), expected.clone());
+        }
+    }
+}

@@ -15,6 +15,8 @@
 //! workflows: [`image`] (resize / luminosity / rotate / flip / filters) and
 //! [`nn`] (conv2d / batch-norm / ReLU / residual add for the ResNet block).
 
+#![forbid(unsafe_code)]
+
 pub mod array;
 pub mod capture;
 pub mod image;

@@ -16,6 +16,8 @@
 //! chained lineage queries, plus the batched "vectorized equality" scan
 //! used by the Array baseline (§VII.D).
 
+#![forbid(unsafe_code)]
+
 pub mod array_store;
 pub mod parquetlike;
 pub mod raw;

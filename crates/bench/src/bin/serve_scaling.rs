@@ -261,7 +261,7 @@ fn main() {
     server.join();
     // Teardown through the service so pending ingest-phase edges commit.
     let service = Arc::try_unwrap(service).expect("server joined");
-    let (_db, final_commit) = service.shutdown();
+    let (_db, final_commit) = service.shutdown().expect("service shutdown");
     final_commit.expect("final commit");
     let _ = std::fs::remove_dir_all(&dir);
 

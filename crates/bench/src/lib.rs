@@ -27,6 +27,8 @@
 //! paper's published tables/figures (see the README's benchmarks section
 //! for how to run and read them).
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 /// Time a closure, returning (result, seconds).

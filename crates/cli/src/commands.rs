@@ -389,7 +389,7 @@ pub fn serve(args: &[String]) -> Result<String, String> {
     };
     // Final commit of anything pending — even after a failed command, so
     // successfully ingested edges are never discarded — then report.
-    let (db, final_commit) = service.shutdown();
+    let (db, final_commit) = service.shutdown().map_err(|e| format!("shutdown: {e}"))?;
     stream_result?;
     final_commit.map_err(|e| format!("final commit: {e}"))?;
     let generation = db
@@ -436,8 +436,9 @@ fn serve_listen(opts: &Opts, service: DslogService, listen: &str) -> Result<Stri
         std::fs::write(path, format!("{addr}\n")).map_err(|e| format!("write {path}: {e}"))?;
     }
     let net_stats = server.join();
-    let service = std::sync::Arc::try_unwrap(service).expect("all server threads joined");
-    let (db, final_commit) = service.shutdown();
+    let service = std::sync::Arc::try_unwrap(service)
+        .map_err(|_| "server threads still reference the service after join".to_string())?;
+    let (db, final_commit) = service.shutdown().map_err(|e| format!("shutdown: {e}"))?;
     final_commit.map_err(|e| format!("final commit: {e}"))?;
     let generation = db
         .bound_database()

@@ -16,6 +16,8 @@
 //! dslog help
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod commands;
 mod csv;
 mod opts;

@@ -14,6 +14,12 @@ use crate::{CodecError, Result};
 /// Maximum code length in bits (same limit as DEFLATE).
 pub const MAX_CODE_LEN: u32 = 15;
 
+/// Largest alphabet a serialized code-length table may declare. Every real
+/// user (byte streams, deflate literal/distance tables) stays well under
+/// this; it exists so [`read_lengths`] never sizes an allocation off an
+/// unvalidated wire count.
+pub const MAX_ALPHABET: usize = 1 << 16;
+
 /// Compute length-limited Huffman code lengths for `freqs`.
 ///
 /// Symbols with zero frequency get length 0 (no code). If only one symbol has
@@ -300,6 +306,12 @@ pub fn write_lengths(buf: &mut Vec<u8>, lengths: &[u32]) {
 /// Inverse of [`write_lengths`].
 pub fn read_lengths(data: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
     let n = read_uvarint(data, pos)? as usize;
+    // Code-length tables describe an alphabet; anything past 16 bits of
+    // symbols is a corrupt header, not a big table. Bounds the allocation
+    // below against hostile length claims.
+    if n > MAX_ALPHABET {
+        return Err(CodecError::InvalidFormat("alphabet too large"));
+    }
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         let l = read_uvarint(data, pos)? as u32;
@@ -341,6 +353,12 @@ pub fn decompress_bytes(data: &[u8]) -> Result<Vec<u8>> {
     let n = read_uvarint(data, &mut pos)? as usize;
     let lengths = read_lengths(data, &mut pos)?;
     let decoder = Decoder::from_lengths(&lengths);
+    // Every decoded byte consumes at least one payload bit, so a claimed
+    // count past 8x the remaining input is corrupt — reject before sizing
+    // the output allocation off it.
+    if n > data.len().saturating_sub(pos).saturating_mul(8) {
+        return Err(CodecError::InvalidFormat("declared size exceeds payload"));
+    }
     let mut r = BitReader::new(&data[pos..]);
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {

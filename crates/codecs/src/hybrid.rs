@@ -81,7 +81,11 @@ pub fn decode(data: &[u8]) -> Result<Vec<u32>> {
         return Err(CodecError::InvalidFormat("hybrid width > 32"));
     }
     let value_bytes = (width as usize).div_ceil(8).max(1);
-    let mut out: Vec<u32> = Vec::with_capacity(count);
+    // RLE lets a tiny input legitimately expand, so `count` alone cannot be
+    // trusted to size the upfront allocation; reserve a capped amount and
+    // let the vector grow as decoded groups actually arrive.
+    let reserve = count.min(1 << 16);
+    let mut out: Vec<u32> = Vec::with_capacity(reserve);
     while out.len() < count {
         let header = read_uvarint(data, &mut pos)?;
         if header & 1 == 0 {

@@ -22,6 +22,8 @@
 //! gzip streams, only to measure what a general-purpose LZ+entropy codec does
 //! to lineage tables.
 
+#![forbid(unsafe_code)]
+
 pub mod bitio;
 pub mod bitpack;
 pub mod crc32;

@@ -44,6 +44,10 @@ pub enum DslogError {
     /// `commit` was called on a database that is not bound to a directory
     /// (it was never saved to nor opened from disk).
     NotBound,
+    /// Service teardown was requested while other live references (server
+    /// threads, leaked snapshot handles) still point at it. The service
+    /// state is intact; retry after those references are gone.
+    ServiceBusy(&'static str),
 }
 
 impl std::fmt::Display for DslogError {
@@ -89,6 +93,7 @@ impl std::fmt::Display for DslogError {
                 f,
                 "database is not bound to a directory; save(dir, gzip) or open one first"
             ),
+            DslogError::ServiceBusy(what) => write!(f, "service busy: {what}"),
         }
     }
 }

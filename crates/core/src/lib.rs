@@ -45,6 +45,8 @@
 //! assert!(!result.cells.contains_cell(&[0, 0]));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod api;
 pub mod error;
 pub mod interval;

@@ -93,11 +93,12 @@ use crate::query::QueryStats;
 use crate::service::{BatchReport, DslogService, IngestJob, ServiceStats};
 use crate::storage::persist::CommitReport;
 use crate::table::LineageTable;
+use dslog_sync::{ranks, Condvar, Mutex};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Sizing and backpressure knobs for [`NetServer::spawn`]. The defaults
@@ -152,7 +153,9 @@ struct NetShared {
     service: Arc<DslogService>,
     opts: ServeOptions,
     /// Accepted-but-unclaimed sockets; bounded by `opts.queue_depth`
-    /// (admission control happens in the acceptor, not here).
+    /// (admission control happens in the acceptor, not here). Rank
+    /// `net.queue` (5) — never co-held with any service lock: the guard
+    /// is dropped before `serve_session` runs.
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
     /// Sessions currently inside a worker. Written under `queue`'s lock
@@ -205,7 +208,7 @@ impl NetServer {
         let shared = Arc::new(NetShared {
             service,
             opts,
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(&ranks::NET_QUEUE, VecDeque::new()),
             queue_cv: Condvar::new(),
             busy: AtomicU64::new(0),
             stop: AtomicBool::new(false),
@@ -214,21 +217,36 @@ impl NetServer {
             oversized_frames: AtomicU64::new(0),
             requests: AtomicU64::new(0),
         });
-        let workers = (0..opts.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("dslog-net-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        // Sanctioned worker pool (see lint-allow.txt): every handle is
+        // joined by NetServer::join/Drop. A failed spawn (thread limit,
+        // OOM) aborts startup cleanly — already-started workers see the
+        // stop flag and exit.
+        let mut workers = Vec::with_capacity(opts.workers.max(1));
+        for i in 0..opts.workers.max(1) {
+            let shared_for_worker = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("dslog-net-worker-{i}"))
+                .spawn(move || worker_loop(&shared_for_worker));
+            match handle {
+                Ok(h) => workers.push(h),
+                Err(e) => {
+                    stop_workers(&shared, &mut workers);
+                    return Err(crate::error::DslogError::io("spawn worker thread", e));
+                }
+            }
+        }
         let acceptor = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
+            let shared_for_acceptor = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
                 .name("dslog-net-accept".to_string())
-                .spawn(move || accept_loop(&listener, &shared))
-                .expect("spawn acceptor thread")
+                .spawn(move || accept_loop(&listener, &shared_for_acceptor));
+            match handle {
+                Ok(h) => h,
+                Err(e) => {
+                    stop_workers(&shared, &mut workers);
+                    return Err(crate::error::DslogError::io("spawn acceptor thread", e));
+                }
+            }
         };
         Ok(Self {
             shared,
@@ -286,6 +304,16 @@ impl Drop for NetServer {
     }
 }
 
+/// Abort a partially-started pool: flip the stop flag, wake everyone,
+/// and join the workers that did start.
+fn stop_workers(shared: &NetShared, workers: &mut Vec<std::thread::JoinHandle<()>>) {
+    shared.stop.store(true, Ordering::Release);
+    shared.queue_cv.notify_all();
+    for worker in workers.drain(..) {
+        let _ = worker.join();
+    }
+}
+
 /// Flip the stop flag and unblock everyone: workers via the condvar,
 /// the acceptor via a throwaway self-connection (blocking `accept` has
 /// no portable cancellation — a dead-end connect is the std-only way to
@@ -312,7 +340,7 @@ fn accept_loop(listener: &TcpListener, shared: &NetShared) {
         // bounded by `workers + queue_depth`; everything past that is
         // turned away now rather than left to pile up.
         let cap = shared.opts.workers.max(1) + shared.opts.queue_depth;
-        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut queue = shared.queue.lock();
         if queue.len() as u64 + shared.busy.load(Ordering::Acquire) >= cap as u64 {
             drop(queue);
             shared.rejected_busy.fetch_add(1, Ordering::Relaxed);
@@ -324,11 +352,7 @@ fn accept_loop(listener: &TcpListener, shared: &NetShared) {
         shared.queue_cv.notify_one();
     }
     // Unserved queue entries are closed by the drop below.
-    shared
-        .queue
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .clear();
+    shared.queue.lock().clear();
     shared.queue_cv.notify_all();
 }
 
@@ -343,7 +367,7 @@ fn reject_busy(mut stream: TcpStream, opts: ServeOptions) {
 fn worker_loop(shared: &NetShared) {
     loop {
         let stream = {
-            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let mut queue = shared.queue.lock();
             loop {
                 if let Some(stream) = queue.pop_front() {
                     shared.busy.fetch_add(1, Ordering::Release);
@@ -352,10 +376,7 @@ fn worker_loop(shared: &NetShared) {
                 if shared.stop.load(Ordering::Acquire) {
                     return;
                 }
-                queue = shared
-                    .queue_cv
-                    .wait(queue)
-                    .unwrap_or_else(|e| e.into_inner());
+                queue = shared.queue_cv.wait(queue);
             }
         };
         shared.accepted.fetch_add(1, Ordering::Relaxed);

@@ -293,8 +293,10 @@ pub fn compress_batch_parallel_opts(
     };
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut results: Vec<Option<CompressedTable>> = (0..jobs.len()).map(|_| None).collect();
-    let slots: Vec<parking_lot::Mutex<&mut Option<CompressedTable>>> =
-        results.iter_mut().map(parking_lot::Mutex::new).collect();
+    let slots: Vec<dslog_sync::Mutex<&mut Option<CompressedTable>>> = results
+        .iter_mut()
+        .map(|slot| dslog_sync::Mutex::new(&dslog_sync::ranks::BATCH_RESULT, slot))
+        .collect();
     std::thread::scope(|scope| {
         for _ in 0..n_threads {
             scope.spawn(|| loop {

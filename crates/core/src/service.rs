@@ -62,7 +62,7 @@
 //!     .unwrap();
 //! let r = service.query(&["B", "A"], &[vec![0]]).unwrap();
 //! assert!(r.cells.contains_cell(&[1]));
-//! let (db, commit) = service.shutdown(); // final commit, teardown
+//! let (db, commit) = service.shutdown().expect("no refs remain"); // final commit, teardown
 //! commit.unwrap();
 //! assert_eq!(db.storage().n_edges(), 1);
 //! # std::fs::remove_dir_all(&dir).unwrap();
@@ -74,10 +74,10 @@ use crate::provrc::{self, CompressJob};
 use crate::storage::persist::CommitReport;
 use crate::storage::Materialize;
 use crate::table::{LineageTable, Orientation};
-use parking_lot::{Mutex, RwLock};
+use dslog_sync::{ranks, Condvar, Mutex, RwLock};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// When the service commits on its own.
@@ -190,17 +190,18 @@ struct Shared {
     /// The current epoch snapshot. Readers clone the `Arc` under the
     /// momentary read side; writers hold the write side only for the
     /// pointer swap in [`Shared::publish`]. Nothing slow ever runs under
-    /// this lock.
+    /// this lock. Rank `service.current` (30).
     current: RwLock<Arc<Dslog>>,
     /// Published-snapshot counter (see [`ServiceStats::epoch`]).
     epoch: AtomicU64,
     /// Serializes epoch *builders* (define, batch install) and the
     /// commit prologue's (snapshot, pending-counter) pairing. Never held
-    /// across compression or file IO.
+    /// across compression or file IO. Rank `service.writer` (20).
     writer: Mutex<()>,
     /// Serializes service-level commits so the pending-edge accounting
     /// stays exact (the storage layer would serialize the file writes
-    /// anyway, on its binding lock).
+    /// anyway, on its binding lock). Rank `service.commit` (10), flagged
+    /// `io_safe`: holding it across the commit's file IO is the point.
     commit_lock: Mutex<()>,
     policy: AutoCommitPolicy,
     pending_edges: AtomicU64,
@@ -208,9 +209,10 @@ struct Shared {
     queries: AtomicU64,
     commits: AtomicU64,
     auto_commits: AtomicU64,
-    /// Ticker shutdown flag + wakeup, `std::sync` because the vendored
-    /// parking_lot shim has no condvar.
-    stop: StdMutex<bool>,
+    /// Ticker shutdown flag + wakeup. Rank `service.stop` (8): below the
+    /// commit lock, so the ticker could even commit while holding it
+    /// (it drops the guard first anyway).
+    stop: Mutex<bool>,
     stop_cv: Condvar,
 }
 
@@ -282,30 +284,29 @@ impl DslogService {
     /// (auto-commit ticks drop the error and retry next time).
     pub fn new(db: Dslog, policy: AutoCommitPolicy) -> Self {
         let shared = Arc::new(Shared {
-            current: RwLock::new(Arc::new(db)),
+            current: RwLock::new(&ranks::SERVICE_CURRENT, Arc::new(db)),
             epoch: AtomicU64::new(0),
-            writer: Mutex::new(()),
-            commit_lock: Mutex::new(()),
+            writer: Mutex::new(&ranks::SERVICE_WRITER, ()),
+            commit_lock: Mutex::new(&ranks::SERVICE_COMMIT, ()),
             policy,
             pending_edges: AtomicU64::new(0),
             edges_ingested: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             commits: AtomicU64::new(0),
             auto_commits: AtomicU64::new(0),
-            stop: StdMutex::new(false),
+            stop: Mutex::new(&ranks::SERVICE_STOP, false),
             stop_cv: Condvar::new(),
         });
         let ticker = policy.interval.map(|interval| {
             let shared = Arc::clone(&shared);
+            // Sanctioned detached thread (see lint-allow.txt): joined by
+            // stop_ticker before the service is torn down.
             std::thread::spawn(move || loop {
-                let mut stop = shared.stop.lock().unwrap_or_else(|e| e.into_inner());
+                let mut stop = shared.stop.lock();
                 if *stop {
                     break;
                 }
-                let (guard, _) = shared
-                    .stop_cv
-                    .wait_timeout(stop, interval)
-                    .unwrap_or_else(|e| e.into_inner());
+                let (guard, _) = shared.stop_cv.wait_timeout(stop, interval);
                 stop = guard;
                 if *stop {
                     break;
@@ -550,7 +551,7 @@ impl DslogService {
 
     fn stop_ticker(&mut self) {
         if let Some(handle) = self.ticker.take() {
-            *self.shared.stop.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            *self.shared.stop.lock() = true;
             self.shared.stop_cv.notify_all();
             let _ = handle.join();
         }
@@ -562,8 +563,13 @@ impl DslogService {
     /// The database is returned **even when the final commit fails**
     /// (disk full, directory gone): the uncommitted edges are still in
     /// it, so the caller can retry `commit` or `save` elsewhere. The
-    /// commit outcome rides alongside.
-    pub fn shutdown(mut self) -> (Dslog, Result<()>) {
+    /// commit outcome rides alongside in the inner `Result`.
+    ///
+    /// Fails with [`DslogError::ServiceBusy`] if other live references to
+    /// the service internals remain (a server thread still running, a
+    /// leaked snapshot handle) — tearing down under a live reader would
+    /// otherwise have to abort the process.
+    pub fn shutdown(mut self) -> Result<(Dslog, Result<()>)> {
         self.stop_ticker();
         let final_commit = if self.shared.pending_edges.load(Ordering::Acquire) > 0
             && self.shared.snapshot().bound_database().is_some()
@@ -575,11 +581,10 @@ impl DslogService {
         let shared = Arc::clone(&self.shared);
         drop(self); // Drop sees ticker == None: nothing left to stop.
         let shared = Arc::try_unwrap(shared)
-            .ok()
-            .expect("ticker joined; no other service references remain");
+            .map_err(|_| DslogError::ServiceBusy("service references remain after ticker join"))?;
         let db = Arc::try_unwrap(shared.current.into_inner())
-            .unwrap_or_else(|_| panic!("no snapshot readers remain after service teardown"));
-        (db, final_commit)
+            .map_err(|_| DslogError::ServiceBusy("snapshot readers remain at teardown"))?;
+        Ok((db, final_commit))
     }
 }
 
@@ -747,12 +752,38 @@ mod tests {
         service
             .ingest_batch(vec![IngestJob::new("B", "C", small_lineage(8, 5))])
             .unwrap();
-        let (db, commit) = service.shutdown();
+        let (db, commit) = service.shutdown().expect("shutdown");
         commit.unwrap();
         assert_eq!(db.storage().n_edges(), 2);
         // The final commit made it to disk.
         assert_eq!(Dslog::open(&dir).unwrap().storage().n_edges(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shutdown_with_live_service_reference_is_service_busy() {
+        // Regression for the former `expect("ticker joined; ...")` abort:
+        // a leaked reference to the service internals must surface as
+        // DslogError::ServiceBusy, not a panic.
+        let mut db = Dslog::new();
+        db.define_array("A", &[4]).unwrap();
+        let service = DslogService::new(db, AutoCommitPolicy::manual());
+        let leaked = Arc::clone(&service.shared);
+        let err = service.shutdown().unwrap_err();
+        assert!(matches!(err, DslogError::ServiceBusy(_)), "{err}");
+        drop(leaked);
+    }
+
+    #[test]
+    fn shutdown_with_live_snapshot_reader_is_service_busy() {
+        // Regression for the former "no snapshot readers remain" panic.
+        let mut db = Dslog::new();
+        db.define_array("A", &[4]).unwrap();
+        let service = DslogService::new(db, AutoCommitPolicy::manual());
+        let snapshot = service.shared.snapshot();
+        let err = service.shutdown().unwrap_err();
+        assert!(matches!(err, DslogError::ServiceBusy(_)), "{err}");
+        assert_eq!(snapshot.storage().array_names().len(), 1);
     }
 
     #[test]
@@ -775,7 +806,7 @@ mod tests {
         assert!(matches!(service.commit(), Err(DslogError::NotBound)));
         // Shutdown skips the final commit and still returns the database
         // — the ingested edge survives in memory for the caller to save.
-        let (db, commit) = service.shutdown();
+        let (db, commit) = service.shutdown().expect("shutdown");
         commit.unwrap();
         assert_eq!(db.storage().n_edges(), 1);
         let dir = temp_dir("unbound-rescue");

@@ -190,10 +190,11 @@ pub fn deserialize(data: &[u8]) -> Result<CompressedTable> {
         _ => return Err(DslogError::Corrupt("row count exceeds input size")),
     }
 
-    // Read per-column directly into the table's columnar layout.
+    // Read per-column directly into the table's columnar layout. `n` is
+    // bounded by the byte-budget check above (lint:checked-alloc).
     let mut columns: Vec<Vec<Cell>> = (0..arity).map(|_| Vec::with_capacity(n)).collect();
     for (k, column) in columns.iter_mut().enumerate() {
-        // Tags.
+        // Tags. Same byte-budget bound on `n` (lint:checked-alloc).
         let mut tags = Vec::with_capacity(n);
         if n == 0 {
             let &marker = body.get(pos).ok_or(DslogError::Corrupt("truncated"))?;

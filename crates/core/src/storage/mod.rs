@@ -14,7 +14,7 @@ use crate::error::{DslogError, Result};
 use crate::provrc::{self, CompressOptions};
 use crate::reuse::CompositePolicy;
 use crate::table::{CompressedTable, LineageTable, Orientation};
-use parking_lot::{Mutex, RwLock};
+use dslog_sync::{ranks, Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -177,8 +177,8 @@ struct Edge {
 impl Edge {
     fn new(backward: Slot, forward: Slot, out_shape: Vec<usize>, in_shape: Vec<usize>) -> Self {
         Self {
-            backward: RwLock::new(backward),
-            forward: RwLock::new(forward),
+            backward: RwLock::new(&ranks::STORAGE_SLOT, backward),
+            forward: RwLock::new(&ranks::STORAGE_SLOT, forward),
             out_shape,
             in_shape,
             backward_hits: AtomicU64::new(0),
@@ -408,7 +408,7 @@ pub(crate) enum CompositeProbe {
 /// with its parent: the service layer builds the next snapshot by cloning
 /// the maps (pointer copies), mutating the clone, and publishing it — the
 /// previous snapshot stays fully intact for in-flight readers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct StorageManager {
     arrays: HashMap<String, ArrayMeta>,
     /// Keyed by (input array, output array).
@@ -424,18 +424,36 @@ pub struct StorageManager {
     /// [`persist_binding`](Self::persist_binding) (service stats) never
     /// blocks behind commit IO. Shared (`Arc`) across epoch clones: a
     /// commit through any snapshot re-binds every snapshot of the same
-    /// database.
+    /// database. Rank `storage.binding` (50).
     binding: Arc<Mutex<Option<PersistBinding>>>,
     /// Held across each whole `persist::commit`: two concurrent commits
     /// on one manager serialize instead of racing for the same
     /// generation number and each other's sweeps. Shared across epoch
-    /// clones for the same reason as `binding`.
+    /// clones for the same reason as `binding`. Rank `storage.commit`
+    /// (40), flagged `io_safe` — serializing the commit's file IO is its
+    /// entire job.
     commit_lock: Arc<Mutex<()>>,
     /// Composite-edge registry: multi-hop paths the planner has seen,
     /// keyed by the full array path, with their materialization state.
     /// Behind a lock because the planner observes paths under `&self`.
+    /// Rank `storage.composites` (60).
     composites: RwLock<HashMap<Vec<String>, CompositeState>>,
     composite_policy: Option<CompositePolicy>,
+}
+
+impl Default for StorageManager {
+    fn default() -> Self {
+        Self {
+            arrays: HashMap::new(),
+            edges: HashMap::new(),
+            materialize: None,
+            compress: None,
+            binding: Arc::new(Mutex::new(&ranks::STORAGE_BINDING, None)),
+            commit_lock: Arc::new(Mutex::new(&ranks::STORAGE_COMMIT, ())),
+            composites: RwLock::new(&ranks::STORAGE_COMPOSITES, HashMap::new()),
+            composite_policy: None,
+        }
+    }
 }
 
 impl StorageManager {
@@ -462,7 +480,7 @@ impl StorageManager {
             // lock): mutating the next epoch's registry — installs or
             // ingest invalidations — must never disturb readers of the
             // published snapshot. The tables themselves are shared Arcs.
-            composites: RwLock::new(self.composites.read().clone()),
+            composites: RwLock::new(&ranks::STORAGE_COMPOSITES, self.composites.read().clone()),
             composite_policy: self.composite_policy,
         }
     }

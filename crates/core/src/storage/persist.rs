@@ -173,6 +173,7 @@ fn next_generation(dir: &Path) -> u64 {
 /// not the edge-file renames it depends on. No-op error-wise on platforms
 /// where directories cannot be opened for sync.
 fn sync_dir(dir: &Path) -> Result<()> {
+    let _io = dslog_sync::io_guard("persist::sync_dir");
     #[cfg(unix)]
     {
         let d = std::fs::File::open(dir).map_err(|e| DslogError::io("open database dir", e))?;
@@ -186,6 +187,7 @@ fn sync_dir(dir: &Path) -> Result<()> {
 
 /// Write `bytes` to `<path>.tmp`, flush, then rename over `path`.
 fn write_atomic(path: &Path, bytes: &[u8], what: &str) -> Result<()> {
+    let _io = dslog_sync::io_guard("persist::write_atomic");
     let tmp = path.with_extension(match path.extension().and_then(|e| e.to_str()) {
         Some(ext) => format!("{ext}.tmp"),
         None => "tmp".to_string(),
@@ -745,9 +747,18 @@ fn open_impl(dir: &Path, lazy: bool) -> Result<StorageManager> {
         edges,
         materialize: None,
         compress: None,
-        binding: Arc::new(parking_lot::Mutex::new(Some(binding))),
-        commit_lock: Arc::new(parking_lot::Mutex::new(())),
-        composites: Default::default(),
+        binding: Arc::new(dslog_sync::Mutex::new(
+            &dslog_sync::ranks::STORAGE_BINDING,
+            Some(binding),
+        )),
+        commit_lock: Arc::new(dslog_sync::Mutex::new(
+            &dslog_sync::ranks::STORAGE_COMMIT,
+            (),
+        )),
+        composites: dslog_sync::RwLock::new(
+            &dslog_sync::ranks::STORAGE_COMPOSITES,
+            Default::default(),
+        ),
         composite_policy: None,
     })
 }

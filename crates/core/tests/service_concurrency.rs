@@ -149,7 +149,7 @@ fn ingest_commit_query_race() {
 
         // Everything lands after a final commit; the database verifies
         // and reopens with every edge present and correct.
-        let (db, commit) = service.shutdown();
+        let (db, commit) = service.shutdown().expect("shutdown");
         commit.unwrap();
         assert_eq!(db.storage().n_edges(), 1 + WRITERS * BATCHES);
         let report = persist::verify(&dir).unwrap();
@@ -260,7 +260,7 @@ fn epoch_readers_never_observe_partial_batches() {
         }
     });
 
-    let (db, commit) = service.shutdown();
+    let (db, commit) = service.shutdown().expect("shutdown");
     commit.unwrap();
     assert_eq!(db.storage().n_edges(), seed_edges + 2 * BATCHES);
     persist::verify(&dir).unwrap();
@@ -339,7 +339,7 @@ fn net_clients_ingest_and_query_concurrently() {
     server.stop();
     server.join();
     let service = Arc::try_unwrap(service).expect("server joined");
-    let (db, commit) = service.shutdown();
+    let (db, commit) = service.shutdown().expect("shutdown");
     commit.unwrap();
     assert_eq!(db.storage().n_edges(), 1 + CLIENTS);
     let report = persist::verify(&dir).unwrap();
@@ -383,7 +383,7 @@ fn auto_commit_under_concurrent_ingest() {
             });
         }
     });
-    let (db, commit) = service.shutdown();
+    let (db, commit) = service.shutdown().expect("shutdown");
     commit.unwrap();
     assert_eq!(db.storage().n_edges(), WRITERS * EDGES);
     assert_eq!(

@@ -20,6 +20,8 @@
 //! * [`kaggle`] — the Table X notebook-trace study, with compressibility
 //!   classified by actually compressing each op's lineage.
 
+#![forbid(unsafe_code)]
+
 pub mod edges;
 pub mod imdb;
 pub mod kaggle;

@@ -6,6 +6,8 @@
 //! hosts the runnable demos. It re-exports the member crates so examples
 //! and downstream experiments can depend on a single package.
 
+#![forbid(unsafe_code)]
+
 pub use dslog;
 pub use dslog_array;
 pub use dslog_baselines;

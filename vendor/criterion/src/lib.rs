@@ -12,6 +12,8 @@
 //! mirroring `cargo bench <filter>`. Harness flags criterion ignores
 //! (`--bench`, `--test`, …) are accepted and ignored here too.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::{self, Display};
 use std::time::{Duration, Instant};
 

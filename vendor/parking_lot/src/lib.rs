@@ -6,6 +6,8 @@
 //! later users (we recover the inner value from the poison error), matching
 //! parking_lot's semantics closely enough for this workspace.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 
@@ -65,6 +67,58 @@ impl<T: ?Sized> Deref for MutexGuard<'_, T> {
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         &mut self.0
+    }
+}
+
+/// A condition variable paired with [`Mutex`].
+///
+/// Unlike parking_lot's `wait(&mut guard)`, this shim consumes and returns
+/// the guard (std style) because the inner `std::sync::MutexGuard` must be
+/// moved into `std::sync::Condvar::wait`. Poison errors from panicking
+/// waiters are swallowed, matching the non-poisoning contract of the rest
+/// of the shim.
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Blocks until notified; the mutex is released while waiting and
+    /// re-acquired before this returns.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        MutexGuard(self.0.wait(guard.0).unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Blocks until notified or `dur` elapses. Returns the re-acquired
+    /// guard and whether the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        match self.0.wait_timeout(guard.0, dur) {
+            Ok((g, timeout)) => (MutexGuard(g), timeout.timed_out()),
+            Err(e) => {
+                let (g, timeout) = e.into_inner();
+                (MutexGuard(g), timeout.timed_out())
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar { .. }")
     }
 }
 

@@ -18,6 +18,8 @@
 //!    crate's manifest dir; persisted seeds are replayed *first* on every
 //!    subsequent run, so a once-seen failure keeps failing until fixed.
 
+#![forbid(unsafe_code)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod sample;

@@ -6,6 +6,8 @@
 //! seed, which is all the DSLog workloads need: reproducible synthetic
 //! datasets, not cryptographic quality.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level entropy source: everything derives from `next_u64`.

@@ -1,0 +1,12 @@
+// Fixture: allocations sized directly by a wire read, with no bounds check
+// between the read and the allocation, must be flagged.
+pub fn decode(data: &[u8]) -> Vec<u64> {
+    let n = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
+    let out: Vec<u64> = Vec::with_capacity(n);
+    out
+}
+
+pub fn decode_bytes(data: &[u8], pos: usize) -> Vec<u8> {
+    let count = read_u32(data, pos) as usize;
+    vec![0u8; count]
+}

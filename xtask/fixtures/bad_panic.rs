@@ -1,0 +1,23 @@
+// Fixture: panic paths in non-test library code must be flagged, while the
+// same patterns inside #[cfg(test)] regions must not be.
+pub fn risky(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("caller guarantees digits")
+}
+
+pub fn boom() -> ! {
+    panic!("library code must return DslogError instead");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fine_here() {
+        let in_test_mod: Option<u8> = Some(1);
+        in_test_mod.unwrap();
+        panic!("also fine in tests");
+    }
+}

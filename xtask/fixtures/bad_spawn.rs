@@ -1,0 +1,6 @@
+// Fixture: unsanctioned thread creation in library code must be flagged.
+pub fn detach_work() {
+    std::thread::spawn(|| {
+        // orphan thread: no join handle, no scope
+    });
+}

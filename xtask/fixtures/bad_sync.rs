@@ -1,0 +1,9 @@
+// Fixture: every lock here bypasses dslog-sync and must be flagged.
+use std::sync::{Arc, Mutex};
+use parking_lot::RwLock;
+
+pub struct Shared {
+    queue: Arc<Mutex<Vec<u8>>>,
+    table: RwLock<u32>,
+    cv: std::sync::Condvar,
+}

@@ -22,15 +22,17 @@ USAGE:
   dslog ingest    --db DIR --in NAME:3x2 --out NAME:3 --csv FILE [--op NAME] [--gzip]
   dslog stats     --db DIR [--lazy]
   dslog query     --db DIR --path B,A --cells \"1;2;0\" [--no-merge] [--scan]
-                  [--no-planner] [--stats] [--lazy]
+                  [--no-planner] [--stats] [--lazy] [--as-of GEN]
   dslog export    --db DIR --edge IN,OUT [--csv FILE]
   dslog db verify DIR
+  dslog db history DIR
   dslog compress  --csv FILE --out-arity N [--no-fast]
   dslog serve     --db DIR [--gzip] [--lazy] [--auto-commit-edges N]
                   [--auto-commit-ms MS] [--script FILE]
                   [--listen ADDR [--addr-file FILE] [--net-workers N]
                    [--net-queue-depth N] [--max-line-bytes N]]
   dslog client    --addr HOST:PORT [--script FILE] [--stats]
+                  [--retries N] [--retry-ms MS]
   dslog help
 
 A database is a directory of ProvRC-compressed lineage tables plus a
@@ -46,6 +48,14 @@ files are crc32-checksummed. `db verify` walks a database and exits
 non-zero on any damage. `--lazy` opens in O(catalog), loading and
 verifying each edge table on first use.
 
+Every mutating operation is also appended to a crc-framed operation
+log (`ops.log`) before the catalog rename. `db history` prints it
+(who did what, when, at which generation). `query --as-of GEN` runs
+against a retained historical generation reconstructed from the log
+(by default only files the current catalog references survive a
+commit; set DSLOG_WAL_RETAIN=N to keep the files of the last N prior
+generations queryable).
+
 `compress` reports per-format sizes plus ProvRC throughput (rows/s and
 raw MB/s); `--no-fast` swaps the columnar fast pipeline for the
 row-of-structs ablation (bit-identical output, for benchmarking).
@@ -59,6 +69,7 @@ stream (one command per line, from --script FILE or stdin):
   query_batch B,A 1;2|0       |-separated queries in one shared sweep
   commit                      incremental commit to the database dir
   stats                       service counters
+  history                     print the database's operation log
   quit                        stop (implied at end of stream)
 
 `query` plans each path with the cost-based planner (empty-hop pruning,
@@ -84,14 +95,22 @@ the admission queue, and request size. `client` connects to a serving
 instance and forwards its command stream (--script FILE or stdin),
 printing one response line per command; with --stats it upgrades
 query/query_batch requests to their stats-carrying form so responses
-include probe counts and the planner decision.
+include probe counts and the planner decision. A server at capacity
+rejects new connections with `server busy`; --retries N retries such
+rejections with jittered exponential backoff starting at --retry-ms
+MS (default 100) before giving up.
 "
     .to_string()
 }
 
 fn open_db(opts: &Opts) -> Result<Dslog, String> {
     let dir = opts.required("db")?;
-    let result = if opts.switch("lazy") {
+    let result = if let Some(spec) = opts.optional("as-of") {
+        let generation: u64 = spec
+            .parse()
+            .map_err(|_| "flag --as-of must be a generation number".to_string())?;
+        Dslog::open_as_of(dir, generation)
+    } else if opts.switch("lazy") {
         Dslog::open_lazy(dir)
     } else {
         Dslog::open(dir)
@@ -123,6 +142,7 @@ pub fn ingest(args: &[String]) -> Result<String, String> {
     } else {
         Dslog::new()
     };
+    db.set_wal_actor("cli");
     db.define_array(&in_name, &in_shape)
         .map_err(|e| e.to_string())?;
     db.define_array(&out_name, &out_shape)
@@ -267,13 +287,17 @@ pub fn export(args: &[String]) -> Result<String, String> {
     }
 }
 
-/// `dslog db <subcommand>`: database maintenance. Currently:
-/// `dslog db verify <dir>` — walk the catalog, re-read every referenced
-/// table file, and check byte length, crc32, structural decode, and
-/// orientation agreement. Errors (non-zero exit) on any damage.
+/// `dslog db <subcommand>`: database maintenance.
+///
+/// - `dslog db verify <dir>` — walk the catalog, re-read every referenced
+///   table file, and check byte length, crc32, structural decode, and
+///   orientation agreement. Errors (non-zero exit) on any damage.
+/// - `dslog db history <dir>` — print the operation log: one line per
+///   recorded operation (id, timestamp, actor, kind, generations), plus
+///   a replay summary.
 pub fn db(args: &[String]) -> Result<String, String> {
     let Some(sub) = args.first() else {
-        return Err("usage: dslog db verify <dir>".to_string());
+        return Err("usage: dslog db <verify|history> <dir>".to_string());
     };
     match sub.as_str() {
         "verify" => {
@@ -289,14 +313,23 @@ pub fn db(args: &[String]) -> Result<String, String> {
             writeln!(
                 out,
                 "database OK: {} array(s), {} edge(s), {} table file(s) verified \
-                 (catalog v{}, {})",
+                 (catalog v{}, {}, {} log record(s))",
                 report.n_arrays,
                 report.n_edges,
                 report.files_verified,
                 report.catalog_version,
-                if report.gzip { "gzip" } else { "plain" }
+                if report.gzip { "gzip" } else { "plain" },
+                report.log_records
             )
             .unwrap();
+            if report.retained_files > 0 {
+                writeln!(
+                    out,
+                    "{} historical file(s) retained for time travel (--as-of)",
+                    report.retained_files
+                )
+                .unwrap();
+            }
             for name in &report.stale_files {
                 writeln!(
                     out,
@@ -304,6 +337,47 @@ pub fn db(args: &[String]) -> Result<String, String> {
                 )
                 .unwrap();
             }
+            Ok(out)
+        }
+        "history" => {
+            let dir = args
+                .get(1)
+                .ok_or_else(|| "usage: dslog db history <dir>".to_string())?;
+            if args.len() > 2 {
+                return Err("db history takes exactly one directory".to_string());
+            }
+            let path = std::path::Path::new(dir);
+            if !path.is_dir() {
+                return Err(format!("history {dir}: not a database directory"));
+            }
+            let records =
+                dslog::storage::wal::history(path).map_err(|e| format!("history {dir}: {e}"))?;
+            let mut out = String::new();
+            for r in &records {
+                writeln!(
+                    out,
+                    "#{} t={} {} {} gen {}->{}: {}",
+                    r.op_id,
+                    r.timestamp_ms,
+                    r.actor,
+                    r.kind.name(),
+                    r.gen_before,
+                    r.gen_after,
+                    r.kind.describe()
+                )
+                .unwrap();
+            }
+            let state = dslog::storage::wal::replay(&records);
+            writeln!(
+                out,
+                "{} record(s), {} commit(s); replay: {} array(s), {} edge(s) at generation {}",
+                records.len(),
+                state.commits,
+                state.arrays.len(),
+                state.edges.len(),
+                state.generation
+            )
+            .unwrap();
             Ok(out)
         }
         other => Err(format!("unknown db subcommand `{other}`; see `dslog help`")),
@@ -362,6 +436,13 @@ pub fn serve(args: &[String]) -> Result<String, String> {
         db
     };
 
+    // Operation-log attribution: TCP sessions override this with their
+    // peer address per command; the ticker tags its commits "auto-commit".
+    db.set_wal_actor(if opts.optional("script").is_some() {
+        "script"
+    } else {
+        "cli"
+    });
     let service = DslogService::new(db, policy);
     if let Some(listen) = opts.optional("listen") {
         return serve_listen(&opts, service, listen);
@@ -454,20 +535,61 @@ fn serve_listen(opts: &Opts, service: DslogService, listen: &str) -> Result<Stri
     ))
 }
 
+/// Exponential backoff with jitter for busy-rejected connections:
+/// `base * 2^(attempt-1)` capped at 32x, half of it fixed and half
+/// clock-derived jitter (sub-millisecond clock noise; the offline
+/// dependency set has no RNG, and this is plenty to de-synchronize a
+/// herd of retrying clients).
+fn retry_backoff(base_ms: u64, attempt: u64) -> Duration {
+    let step = base_ms
+        .max(1)
+        .saturating_mul(1u64 << attempt.saturating_sub(1).min(5));
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| u64::from(d.subsec_nanos()));
+    Duration::from_millis(step / 2 + nanos % (step / 2).max(1))
+}
+
 /// `dslog client`: forward a command stream (one per line, from
 /// `--script FILE` or stdin) to a serving instance and print each JSON
 /// response line. Stops at end of stream or after `quit`/`shutdown`.
+///
+/// A server at capacity answers a new connection's first response with
+/// `server busy ... retry later` and closes. With `--retries N` the
+/// client retries such rejections up to N times with jittered
+/// exponential backoff starting at `--retry-ms` (default 100).
+/// Admission happens at most once per session: after any real response,
+/// a transport error is fatal, never retried.
 pub fn client(args: &[String]) -> Result<String, String> {
     use std::io::{BufRead as _, Write as _};
     let opts = Opts::parse(args)?;
     let addr = opts.required("addr")?;
-    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(60)))
-        .map_err(|e| e.to_string())?;
-    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
-    let mut reader = std::io::BufReader::new(stream);
+    let parse_u64 = |key: &str, default: u64| -> Result<u64, String> {
+        opts.optional(key).map_or(Ok(default), |v| {
+            v.parse()
+                .map_err(|_| format!("flag --{key} must be an integer"))
+        })
+    };
+    let retries = parse_u64("retries", 0)?;
+    let retry_ms = parse_u64("retry-ms", 100)?;
     let want_stats = opts.switch("stats");
+
+    type Conn = (std::io::BufReader<std::net::TcpStream>, std::net::TcpStream);
+    let connect = || -> Result<Conn, String> {
+        let stream =
+            std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .map_err(|e| e.to_string())?;
+        let writer = stream.try_clone().map_err(|e| e.to_string())?;
+        Ok((std::io::BufReader::new(stream), writer))
+    };
+    let (mut reader, mut writer) = connect()?;
+    // A busy rejection is always a connection's FIRST response (the
+    // server sends it at accept time and closes); afterwards the session
+    // is admitted for good. `admitted` gates the retry loop accordingly.
+    let mut admitted = false;
+    let mut attempt: u64 = 0;
 
     let mut roundtrip = |line: &str, out: &mut String| -> Result<bool, String> {
         let line = line.trim();
@@ -485,18 +607,40 @@ pub fn client(args: &[String]) -> Result<String, String> {
             line.to_string()
         };
         let line = line.as_str();
-        writer
-            .write_all(format!("{line}\n").as_bytes())
-            .map_err(|e| format!("send to {addr}: {e}"))?;
-        let mut response = String::new();
-        let n = reader
-            .read_line(&mut response)
-            .map_err(|e| format!("read from {addr}: {e}"))?;
-        if n == 0 {
-            return Err(format!("{addr} closed the connection"));
+        loop {
+            let sent = writer
+                .write_all(format!("{line}\n").as_bytes())
+                .map_err(|e| format!("send to {addr}: {e}"));
+            let response = sent.and_then(|()| {
+                let mut response = String::new();
+                let n = reader
+                    .read_line(&mut response)
+                    .map_err(|e| format!("read from {addr}: {e}"))?;
+                if n == 0 {
+                    return Err(format!("{addr} closed the connection"));
+                }
+                Ok(response)
+            });
+            // Unadmitted connections retry busy rejections AND transport
+            // errors (a busy server may reset the socket before its
+            // rejection line is readable).
+            let busy = match &response {
+                Ok(r) => r.contains("server busy"),
+                Err(_) => true,
+            };
+            if !admitted && busy && attempt < retries {
+                attempt += 1;
+                std::thread::sleep(retry_backoff(retry_ms, attempt));
+                let (r, w) = connect()?;
+                reader = r;
+                writer = w;
+                continue;
+            }
+            let response = response?;
+            admitted = true;
+            out.push_str(&response);
+            return Ok(!matches!(line, "quit" | "exit" | "shutdown"));
         }
-        out.push_str(&response);
-        Ok(!matches!(line, "quit" | "exit" | "shutdown"))
     };
 
     let mut out = String::new();
@@ -675,7 +819,7 @@ fn serve_command(service: &DslogService, line: &str) -> Result<Option<String>, S
             writeln!(
                 out,
                 "{} array(s), {} edge(s), {} pending; {} ingested, {} query(ies), \
-                 {} commit(s) ({} auto), generation {}",
+                 {} commit(s) ({} auto, {} failed), generation {}",
                 s.arrays,
                 s.edges,
                 s.pending_edges,
@@ -683,10 +827,31 @@ fn serve_command(service: &DslogService, line: &str) -> Result<Option<String>, S
                 s.queries,
                 s.commits,
                 s.auto_commits,
+                s.failed_commits,
                 s.generation
                     .map_or("unbound".to_string(), |g| g.to_string())
             )
             .unwrap();
+            if let Some(err) = &s.last_commit_error {
+                writeln!(out, "warning: last commit failed: {err}").unwrap();
+            }
+        }
+        ("history", []) => {
+            let records = service.history().map_err(|e| e.to_string())?;
+            for r in &records {
+                writeln!(
+                    out,
+                    "#{} {} {} gen {}->{}: {}",
+                    r.op_id,
+                    r.actor,
+                    r.kind.name(),
+                    r.gen_before,
+                    r.gen_after,
+                    r.kind.describe()
+                )
+                .unwrap();
+            }
+            writeln!(out, "{} record(s)", records.len()).unwrap();
         }
         ("quit" | "exit", []) => return Ok(None),
         _ => return Err(format!("bad serve command `{line}`; see `dslog help`")),

@@ -486,6 +486,171 @@ mod tests {
         assert!(run(&s(&["db", "frob"])).is_err());
         assert!(run(&s(&["db", "verify"])).is_err());
         assert!(run(&s(&["db", "verify", "/nonexistent/dslog-db"])).is_err());
+        assert!(run(&s(&["db", "history"])).is_err());
+        assert!(run(&s(&["db", "history", "/nonexistent/dslog-db"])).is_err());
+    }
+
+    #[test]
+    fn db_history_lists_cli_operations() {
+        let db = temp_db("history");
+        let csv = write_sum_csv("history");
+        run(&s(&[
+            "ingest", "--db", &db, "--in", "A:3x2", "--out", "B:3", "--csv", &csv,
+        ]))
+        .unwrap();
+        let out = run(&s(&["db", "history", &db])).unwrap();
+        assert!(out.contains("cli define"), "{out}");
+        assert!(out.contains("cli ingest"), "{out}");
+        assert!(out.contains("cli commit"), "{out}");
+        assert!(out.contains("gen 0->1"), "{out}");
+        assert!(
+            out.contains("replay: 2 array(s), 1 edge(s) at generation 1"),
+            "{out}"
+        );
+        // verify reports the log record count alongside the table walk.
+        let v = run(&s(&["db", "verify", &db])).unwrap();
+        assert!(v.contains("4 log record(s)"), "{v}");
+        let _ = std::fs::remove_dir_all(&db);
+        let _ = std::fs::remove_file(&csv);
+    }
+
+    #[test]
+    fn query_as_of_reaches_retained_generation() {
+        let db = temp_db("asof");
+        let csv = write_sum_csv("asof");
+        // Two generations under retention: gen 1 has only A->B, gen 2
+        // adds B->C.
+        std::env::set_var("DSLOG_WAL_RETAIN", "4");
+        run(&s(&[
+            "ingest", "--db", &db, "--in", "A:3x2", "--out", "B:3", "--csv", &csv,
+        ]))
+        .unwrap();
+        let csv2 = std::env::temp_dir().join(format!("dslog-asof2-{}.csv", std::process::id()));
+        std::fs::write(&csv2, "0,0\n1,2\n2,1\n").unwrap();
+        run(&s(&[
+            "ingest",
+            "--db",
+            &db,
+            "--in",
+            "B:3",
+            "--out",
+            "C:3",
+            "--csv",
+            csv2.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::env::remove_var("DSLOG_WAL_RETAIN");
+        // Current database answers the two-hop path...
+        let now = run(&s(&[
+            "query", "--db", &db, "--path", "C,B,A", "--cells", "1",
+        ]))
+        .unwrap();
+        assert!(now.contains("hop(s)"), "{now}");
+        // ...but as of generation 1, C does not exist yet.
+        let old = run(&s(&[
+            "query", "--db", &db, "--path", "B,A", "--cells", "1", "--as-of", "1",
+        ]))
+        .unwrap();
+        assert!(old.contains("(1, [0, 1])"), "{old}");
+        assert!(run(&s(&[
+            "query", "--db", &db, "--path", "C,B", "--cells", "1", "--as-of", "1",
+        ]))
+        .is_err());
+        // An unretained generation is a clean error.
+        assert!(run(&s(&[
+            "query", "--db", &db, "--path", "B,A", "--cells", "1", "--as-of", "99",
+        ]))
+        .is_err());
+        let _ = std::fs::remove_dir_all(&db);
+        let _ = std::fs::remove_file(&csv);
+        let _ = std::fs::remove_file(&csv2);
+    }
+
+    #[test]
+    fn client_retries_busy_rejection_until_admitted() {
+        use std::io::{BufRead as _, Write as _};
+        let db = temp_db("client-retry");
+        let addr_file =
+            std::env::temp_dir().join(format!("dslog-retry-addr-{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&addr_file);
+        let server = {
+            let db = db.clone();
+            let addr_file = addr_file.clone();
+            std::thread::spawn(move || {
+                run(&s(&[
+                    "serve",
+                    "--db",
+                    &db,
+                    "--listen",
+                    "127.0.0.1:0",
+                    "--addr-file",
+                    addr_file.to_str().unwrap(),
+                    "--net-workers",
+                    "1",
+                    "--net-queue-depth",
+                    "0",
+                ]))
+            })
+        };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if text.trim().contains(':') {
+                    break text.trim().to_string();
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "server never bound");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        // Occupy the only worker with a raw admitted session.
+        let occupier = std::net::TcpStream::connect(&addr).unwrap();
+        occupier
+            .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+            .unwrap();
+        let mut occ_writer = occupier.try_clone().unwrap();
+        let mut occ_reader = std::io::BufReader::new(occupier);
+        occ_writer.write_all(b"stats\n").unwrap();
+        let mut line = String::new();
+        occ_reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+
+        // The retrying client starts while the worker is occupied.
+        let script =
+            std::env::temp_dir().join(format!("dslog-retry-cli-{}.txt", std::process::id()));
+        std::fs::write(&script, "stats\nshutdown\n").unwrap();
+        let client = {
+            let addr = addr.clone();
+            let script = script.clone();
+            std::thread::spawn(move || {
+                run(&s(&[
+                    "client",
+                    "--addr",
+                    &addr,
+                    "--script",
+                    script.to_str().unwrap(),
+                    "--retries",
+                    "50",
+                    "--retry-ms",
+                    "10",
+                ]))
+            })
+        };
+        // Hold the worker long enough that the client must retry at
+        // least once, then release it.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        occ_writer.write_all(b"quit\n").unwrap();
+        line.clear();
+        occ_reader.read_line(&mut line).unwrap();
+        drop((occ_reader, occ_writer));
+
+        let out = client.join().unwrap().unwrap();
+        assert!(out.contains("\"ok\":true"), "{out}");
+        assert!(out.contains("\"closing\":\"server\""), "{out}");
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("serve done"), "{summary}");
+        let _ = std::fs::remove_dir_all(&db);
+        let _ = std::fs::remove_file(&addr_file);
+        let _ = std::fs::remove_file(&script);
     }
 
     #[test]

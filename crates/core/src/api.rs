@@ -264,6 +264,52 @@ impl Dslog {
         })
     }
 
+    /// Open the database as it was at `generation` — time travel. The
+    /// operation log's commit record for that generation embeds the exact
+    /// catalog that was live, and the retention policy (see
+    /// [`set_wal_retention`](Self::set_wal_retention)) decides how long
+    /// its edge files stay on disk. The snapshot is unbound: committing
+    /// it is a full save into a fresh target, never a rewrite of history.
+    /// Returns [`DslogError::GenerationNotRetained`] for generations the
+    /// log does not record or whose files were already swept.
+    pub fn open_as_of(dir: impl AsRef<std::path::Path>, generation: u64) -> Result<Self> {
+        Ok(Self {
+            storage: crate::storage::persist::open_as_of(dir.as_ref(), generation)?,
+            reuse: ReuseManager::default(),
+            query_options: QueryOptions::default(),
+        })
+    }
+
+    /// Every cleanly framed record of the bound database's operation log,
+    /// oldest first ([`DslogError::NotBound`] without a binding). The
+    /// read is torn-tail tolerant and never mutates the log.
+    pub fn history(&self) -> Result<Vec<crate::storage::wal::OpRecord>> {
+        let (dir, _, _) = self.storage.persist_binding().ok_or(DslogError::NotBound)?;
+        crate::storage::wal::history(&dir)
+    }
+
+    /// Set the actor label recorded on this handle's subsequent
+    /// operation-log records (`"local"` by default; the CLI and server
+    /// install `"cli"`, `"auto-commit"`, or the network peer address).
+    pub fn set_wal_actor(&self, actor: &str) {
+        self.storage.set_wal_actor(actor);
+    }
+
+    /// Keep the edge files of up to `generations` prior commits on disk
+    /// so [`open_as_of`](Self::open_as_of) can resolve them. Defaults to
+    /// 0 (identical sweep behavior to pre-log releases); the
+    /// `DSLOG_WAL_RETAIN` environment variable supplies a process-wide
+    /// default.
+    pub fn set_wal_retention(&self, generations: u32) {
+        self.storage.set_wal_retention(generations);
+    }
+
+    /// Install (or clear) a fault-injection policy for subsequent commits
+    /// — a test API; see [`crate::storage::wal::IoPolicy`].
+    pub fn set_io_policy(&self, policy: Option<std::sync::Arc<crate::storage::wal::IoPolicy>>) {
+        self.storage.set_io_policy(policy);
+    }
+
     /// Define a named tracked array with a fixed shape (paper: `Array`).
     pub fn define_array(&mut self, name: &str, shape: &[usize]) -> Result<()> {
         self.storage.define_array(name, shape)

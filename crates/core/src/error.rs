@@ -48,6 +48,9 @@ pub enum DslogError {
     /// threads, leaked snapshot handles) still point at it. The service
     /// state is intact; retry after those references are gone.
     ServiceBusy(&'static str),
+    /// `open_as_of` asked for a generation the operation log does not
+    /// record, or whose edge files the retention sweep already reclaimed.
+    GenerationNotRetained(u64),
 }
 
 impl std::fmt::Display for DslogError {
@@ -94,6 +97,10 @@ impl std::fmt::Display for DslogError {
                 "database is not bound to a directory; save(dir, gzip) or open one first"
             ),
             DslogError::ServiceBusy(what) => write!(f, "service busy: {what}"),
+            DslogError::GenerationNotRetained(generation) => write!(
+                f,
+                "generation {generation} is not retained by the operation log"
+            ),
         }
     }
 }

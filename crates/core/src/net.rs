@@ -2,7 +2,7 @@
 //!
 //! [`NetServer::spawn`] binds a [`std::net::TcpListener`] and serves the
 //! full `serve` command set (`define` / `ingest` / `query` / `commit` /
-//! `stats` / `quit`, plus `shutdown`) to many concurrent clients over a
+//! `stats` / `history` / `quit`, plus `shutdown`) to many concurrent clients over a
 //! line protocol: one request per line, one JSON object per response line
 //! (the crates registry is unreachable in the target environment, so both
 //! the protocol framing and the JSON emitter are vendored here — they are
@@ -24,7 +24,8 @@
 //! | `query_batch B,A 1;2\|3`        | `{"ok":true,"hops":1,"results":[{"cells":n,"boxes":[...]},...]}` |
 //! | `query_batch B,A 1\|2 stats`    | same, plus a trailing `"stats"` object |
 //! | `commit`                        | `{"ok":true,"generation":g,"incremental":b,"files_written":w,"files_reused":r,"bytes_written":n}` |
-//! | `stats`                         | `{"ok":true,"arrays":..,"edges":..,"epoch":..,...}` |
+//! | `stats`                         | `{"ok":true,"arrays":..,"edges":..,"failed_commits":..,"epoch":..,...}` |
+//! | `history`                       | `{"ok":true,"records":n,"log":[{"op":1,"actor":"...","kind":"...",...},...]}` |
 //! | `quit`                          | `{"ok":true,"closing":"session"}`, then closes the connection |
 //! | `shutdown`                      | `{"ok":true,"closing":"server"}`, then stops the whole server |
 //!
@@ -399,6 +400,10 @@ enum SessionFlow {
 /// polled), execute, respond one JSON line each. Returns on EOF, `quit`,
 /// `shutdown`, transport errors, or server stop.
 fn serve_session(stream: TcpStream, shared: &NetShared) -> std::io::Result<()> {
+    // Operation-log attribution for this session's mutating commands.
+    let actor = stream
+        .peer_addr()
+        .map_or_else(|_| "net".to_string(), |a| format!("net:{a}"));
     stream.set_read_timeout(Some(shared.opts.poll_interval))?;
     stream.set_write_timeout(Some(shared.opts.write_timeout))?;
     stream.set_nodelay(true).ok(); // request/response; don't batch
@@ -434,7 +439,7 @@ fn serve_session(stream: TcpStream, shared: &NetShared) -> std::io::Result<()> {
             continue;
         }
         shared.requests.fetch_add(1, Ordering::Relaxed);
-        let (response, flow) = execute(&shared.service, text);
+        let (response, flow) = execute(&shared.service, text, &actor);
         writeln(&mut writer, &response)?;
         match flow {
             SessionFlow::Continue => {}
@@ -514,10 +519,16 @@ fn writeln(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
 
 /// Execute one request line against the service. Always returns a
 /// response (success or error JSON) plus what the session does next.
-fn execute(service: &DslogService, line: &str) -> (String, SessionFlow) {
+/// Mutating commands install `actor` as the operation-log attribution
+/// before they run (last writer wins across concurrent sessions — the
+/// label is advisory, not a serialization point).
+fn execute(service: &DslogService, line: &str, actor: &str) -> (String, SessionFlow) {
     let mut parts = line.split_whitespace();
     let cmd = parts.next().unwrap_or_default();
     let args: Vec<&str> = parts.collect();
+    if matches!(cmd, "define" | "ingest" | "commit") {
+        service.set_actor(actor);
+    }
     let response = match (cmd, args.as_slice()) {
         ("define", [spec]) => cmd_define(service, spec),
         ("ingest", [in_name, out_name, rows]) => cmd_ingest(service, in_name, out_name, rows),
@@ -527,6 +538,7 @@ fn execute(service: &DslogService, line: &str) -> (String, SessionFlow) {
         ("query_batch", [path, queries, "stats"]) => cmd_query_batch(service, path, queries, true),
         ("commit", []) => cmd_commit(service),
         ("stats", []) => Ok(render_stats(&service.stats())),
+        ("history", []) => cmd_history(service),
         ("quit" | "exit", []) => {
             return (
                 "{\"ok\":true,\"closing\":\"session\"}".to_string(),
@@ -540,7 +552,7 @@ fn execute(service: &DslogService, line: &str) -> (String, SessionFlow) {
             )
         }
         _ => Err(format!(
-            "bad request `{line}`; expected define/ingest/query/query_batch/commit/stats/quit/shutdown"
+            "bad request `{line}`; expected define/ingest/query/query_batch/commit/stats/history/quit/shutdown"
         )),
     };
     (
@@ -698,6 +710,30 @@ fn cmd_commit(service: &DslogService) -> std::result::Result<String, String> {
     Ok(render_commit(&report))
 }
 
+/// The bound directory's operation log, oldest record first.
+fn cmd_history(service: &DslogService) -> std::result::Result<String, String> {
+    let records = service.history().map_err(|e| e.to_string())?;
+    let mut out = format!("{{\"ok\":true,\"records\":{},\"log\":[", records.len());
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"op\":{},\"timestamp_ms\":{},\"actor\":{},\"kind\":{},\"detail\":{},\
+             \"gen_before\":{},\"gen_after\":{}}}",
+            r.op_id,
+            r.timestamp_ms,
+            json_str(&r.actor),
+            json_str(r.kind.name()),
+            json_str(&r.kind.describe()),
+            r.gen_before,
+            r.gen_after
+        ));
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
 fn render_commit(report: &CommitReport) -> String {
     format!(
         "{{\"ok\":true,\"generation\":{},\"incremental\":{},\"files_written\":{},\
@@ -734,7 +770,8 @@ fn render_batch(report: &BatchReport) -> String {
 fn render_stats(s: &ServiceStats) -> String {
     format!(
         "{{\"ok\":true,\"arrays\":{},\"edges\":{},\"pending_edges\":{},\"edges_ingested\":{},\
-         \"queries\":{},\"commits\":{},\"auto_commits\":{},\"epoch\":{},\"generation\":{}}}",
+         \"queries\":{},\"commits\":{},\"auto_commits\":{},\"failed_commits\":{},\
+         \"last_commit_error\":{},\"epoch\":{},\"generation\":{}}}",
         s.arrays,
         s.edges,
         s.pending_edges,
@@ -742,6 +779,10 @@ fn render_stats(s: &ServiceStats) -> String {
         s.queries,
         s.commits,
         s.auto_commits,
+        s.failed_commits,
+        s.last_commit_error
+            .as_deref()
+            .map_or("null".to_string(), json_str),
         s.epoch,
         s.generation.map_or("null".to_string(), |g| g.to_string())
     )
@@ -945,6 +986,44 @@ mod tests {
         assert_eq!(server.stats().oversized_frames, 1);
         server.stop();
         server.join();
+    }
+
+    #[test]
+    fn history_and_failure_fields_over_the_wire() {
+        let dir = std::env::temp_dir().join(format!("dslog-net-hist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut db = Dslog::new();
+        db.define_array("A", &[8]).unwrap();
+        db.define_array("B", &[8]).unwrap();
+        db.save(&dir, false).unwrap();
+        let service = Arc::new(DslogService::new(db, AutoCommitPolicy::manual()));
+        let server = NetServer::spawn(
+            Arc::clone(&service),
+            "127.0.0.1:0",
+            ServeOptions {
+                workers: 1,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let (mut reader, mut writer) = connect(server.local_addr());
+        let resp = roundtrip(&mut reader, &mut writer, "ingest A B 0,1;1,2");
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        let resp = roundtrip(&mut reader, &mut writer, "commit");
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        let resp = roundtrip(&mut reader, &mut writer, "history");
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        assert!(resp.contains("\"kind\":\"ingest\""), "{resp}");
+        assert!(resp.contains("\"kind\":\"commit\""), "{resp}");
+        // The ingest came in over the wire, so its log record is
+        // attributed to the network peer.
+        assert!(resp.contains("\"actor\":\"net:"), "{resp}");
+        let resp = roundtrip(&mut reader, &mut writer, "stats");
+        assert!(resp.contains("\"failed_commits\":0"), "{resp}");
+        assert!(resp.contains("\"last_commit_error\":null"), "{resp}");
+        server.stop();
+        server.join();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

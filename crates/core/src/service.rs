@@ -76,7 +76,7 @@ use crate::storage::Materialize;
 use crate::table::{LineageTable, Orientation};
 use dslog_sync::{ranks, Condvar, Mutex, RwLock};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -177,6 +177,12 @@ pub struct ServiceStats {
     pub commits: u64,
     /// Commits triggered by the auto-commit policy.
     pub auto_commits: u64,
+    /// Commits that failed (manual + automatic). Monotonic, never reset.
+    pub failed_commits: u64,
+    /// Error text of the most recent failed commit. Cleared back to
+    /// `None` by the next successful commit, so `Some(_)` means the
+    /// service is *currently* unable to persist.
+    pub last_commit_error: Option<String>,
     /// In-memory snapshot epoch: bumped by every published write
     /// (`define_array`, installed batch). Identifies which snapshot the
     /// other fields describe.
@@ -209,6 +215,17 @@ struct Shared {
     queries: AtomicU64,
     commits: AtomicU64,
     auto_commits: AtomicU64,
+    /// Total commit failures (manual + automatic), monotonic.
+    failed_commits: AtomicU64,
+    /// Commit failures since the last success; drives the ticker's
+    /// capped exponential backoff and resets to 0 on any successful
+    /// commit.
+    consecutive_failures: AtomicU32,
+    /// Error text of the most recent failed commit (`None` once a
+    /// commit succeeds again). Rank `service.error` (9): below the
+    /// commit lock, so it is only ever taken with no other service lock
+    /// held.
+    last_commit_error: Mutex<Option<String>>,
     /// Ticker shutdown flag + wakeup. Rank `service.stop` (8): below the
     /// commit lock, so the ticker could even commit while holding it
     /// (it drops the guard first anyway).
@@ -238,19 +255,43 @@ impl Shared {
     /// proceed while the snapshot is written; edges installed meanwhile
     /// are absent from the pinned snapshot and stay pending.
     fn commit(&self, auto: bool) -> Result<CommitReport> {
-        let _serialize = self.commit_lock.lock();
-        let (snapshot, pending) = {
-            let _excl = self.writer.lock();
-            (self.snapshot(), self.pending_edges.load(Ordering::Acquire))
+        let outcome = {
+            let _serialize = self.commit_lock.lock();
+            let (snapshot, pending) = {
+                let _excl = self.writer.lock();
+                (self.snapshot(), self.pending_edges.load(Ordering::Acquire))
+            };
+            if auto {
+                // Attribute the operation-log commit record to the
+                // policy, not to whichever client last set the actor.
+                snapshot.set_wal_actor("auto-commit");
+            }
+            let outcome = snapshot.commit();
+            drop(snapshot);
+            if outcome.is_ok() {
+                self.pending_edges.fetch_sub(pending, Ordering::AcqRel);
+                self.commits.fetch_add(1, Ordering::Relaxed);
+                if auto {
+                    self.auto_commits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            outcome
         };
-        let report = snapshot.commit()?;
-        drop(snapshot);
-        self.pending_edges.fetch_sub(pending, Ordering::AcqRel);
-        self.commits.fetch_add(1, Ordering::Relaxed);
-        if auto {
-            self.auto_commits.fetch_add(1, Ordering::Relaxed);
+        // Failure bookkeeping runs with the commit lock released: the
+        // error slot's rank (9) sits below `service.commit` (10), so it
+        // must only ever be taken with no other service lock held.
+        match &outcome {
+            Ok(_) => {
+                self.consecutive_failures.store(0, Ordering::Relaxed);
+                *self.last_commit_error.lock() = None;
+            }
+            Err(e) => {
+                self.failed_commits.fetch_add(1, Ordering::Relaxed);
+                self.consecutive_failures.fetch_add(1, Ordering::Relaxed);
+                *self.last_commit_error.lock() = Some(e.to_string());
+            }
         }
-        Ok(report)
+        outcome
     }
 }
 
@@ -294,6 +335,9 @@ impl DslogService {
             queries: AtomicU64::new(0),
             commits: AtomicU64::new(0),
             auto_commits: AtomicU64::new(0),
+            failed_commits: AtomicU64::new(0),
+            consecutive_failures: AtomicU32::new(0),
+            last_commit_error: Mutex::new(&ranks::SERVICE_ERROR, None),
             stop: Mutex::new(&ranks::SERVICE_STOP, false),
             stop_cv: Condvar::new(),
         });
@@ -301,22 +345,38 @@ impl DslogService {
             let shared = Arc::clone(&shared);
             // Sanctioned detached thread (see lint-allow.txt): joined by
             // stop_ticker before the service is torn down.
-            std::thread::spawn(move || loop {
-                let mut stop = shared.stop.lock();
-                if *stop {
-                    break;
-                }
-                let (guard, _) = shared.stop_cv.wait_timeout(stop, interval);
-                stop = guard;
-                if *stop {
-                    break;
-                }
-                drop(stop);
-                if shared.pending_edges.load(Ordering::Acquire) > 0 {
-                    // Unbound databases (NotBound) and transient IO errors
-                    // just leave the edges pending for the next tick or an
-                    // explicit commit.
-                    let _ = shared.commit(true);
+            std::thread::spawn(move || {
+                let mut wait = interval;
+                loop {
+                    let mut stop = shared.stop.lock();
+                    if *stop {
+                        break;
+                    }
+                    let (guard, _) = shared.stop_cv.wait_timeout(stop, wait);
+                    stop = guard;
+                    if *stop {
+                        break;
+                    }
+                    drop(stop);
+                    if shared.pending_edges.load(Ordering::Acquire) > 0 {
+                        // Unbound databases (NotBound) and transient IO
+                        // errors leave the edges pending for a later tick
+                        // or an explicit commit; the failure is counted
+                        // and its text surfaced through `stats`.
+                        let _ = shared.commit(true);
+                    }
+                    // Capped exponential backoff: each consecutive commit
+                    // failure doubles the next tick's wait, up to 16x the
+                    // configured interval, so a persistently failing
+                    // store is not hammered with retry IO. Any success
+                    // (including a manual commit) snaps back to the base
+                    // interval.
+                    let consec = shared.consecutive_failures.load(Ordering::Relaxed);
+                    wait = if consec == 0 {
+                        interval
+                    } else {
+                        interval.saturating_mul(1u32 << consec.min(4))
+                    };
                 }
             })
         });
@@ -536,9 +596,27 @@ impl DslogService {
             queries: self.shared.queries.load(Ordering::Relaxed),
             commits: self.shared.commits.load(Ordering::Relaxed),
             auto_commits: self.shared.auto_commits.load(Ordering::Relaxed),
+            failed_commits: self.shared.failed_commits.load(Ordering::Relaxed),
+            last_commit_error: self.shared.last_commit_error.lock().clone(),
             epoch: self.shared.epoch.load(Ordering::Acquire),
             generation,
         }
+    }
+
+    /// Label subsequently logged operations with `actor` (recorded in
+    /// every operation-log record, see [`crate::storage::wal`]). The
+    /// label is shared across all epoch snapshots of the served
+    /// database, so it applies to in-flight ingest as well. The ticker
+    /// overrides it with `"auto-commit"` for its own commit records.
+    pub fn set_actor(&self, actor: &str) {
+        self.shared.snapshot().set_wal_actor(actor);
+    }
+
+    /// The bound directory's operation log, oldest record first (see
+    /// [`Dslog::history`]). Fails with [`DslogError::NotBound`] on an
+    /// unbound database.
+    pub fn history(&self) -> Result<Vec<crate::storage::wal::OpRecord>> {
+        self.shared.snapshot().history()
     }
 
     /// Run a closure against the current snapshot (inspection beyond what
@@ -730,9 +808,11 @@ mod tests {
             .ingest_batch(vec![IngestJob::new("B", "C", small_lineage(8, 1))])
             .unwrap();
         // The ticker must pick the pending edge up without any explicit
-        // commit call.
+        // commit call. The poll open races the ticker's live commit (a
+        // second manager on a live directory — unsupported outside tests),
+        // so a transient Err just means "poll again".
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        while Dslog::open(&dir).unwrap().storage().n_edges() != 2 {
+        while !Dslog::open(&dir).is_ok_and(|db| db.storage().n_edges() == 2) {
             assert!(
                 std::time::Instant::now() < deadline,
                 "ticker never committed"
@@ -804,6 +884,12 @@ mod tests {
         assert_eq!(report.pending_edges, 1);
         assert!(service.query(&["B", "A"], &[vec![0]]).is_ok());
         assert!(matches!(service.commit(), Err(DslogError::NotBound)));
+        // Both failures (the auto-commit and the manual one) are counted
+        // and the latest error text is surfaced.
+        let stats = service.stats();
+        assert_eq!(stats.failed_commits, 2);
+        let err = stats.last_commit_error.expect("error surfaced");
+        assert!(err.contains("not bound"), "{err}");
         // Shutdown skips the final commit and still returns the database
         // — the ingested edge survives in memory for the caller to save.
         let (db, commit) = service.shutdown().expect("shutdown");
@@ -917,6 +1003,62 @@ mod tests {
             .unwrap();
         assert_eq!(service.stats().edges, before.edges + 1);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Commit failures are counted and surfaced through stats, and the
+    /// next successful commit clears the error state (the ticker used to
+    /// drop these errors on the floor).
+    #[test]
+    fn commit_failure_surfaces_then_clears_on_success() {
+        use crate::storage::wal::{IoFault, IoPolicy};
+        let dir = temp_dir("failstats");
+        let service = bound_service(&dir, AutoCommitPolicy::manual());
+        service.define_array("C", &[8]).unwrap();
+        service
+            .ingest_batch(vec![IngestJob::new("B", "C", small_lineage(8, 1))])
+            .unwrap();
+        // One-shot injected write failure: the first commit fails, the
+        // edges stay pending, and the failure is surfaced.
+        service.with_db(|db| db.set_io_policy(Some(IoPolicy::fail_at(IoFault::WriteError, 1))));
+        assert!(service.commit().is_err());
+        let stats = service.stats();
+        assert_eq!(stats.failed_commits, 1);
+        assert_eq!(stats.pending_edges, 1);
+        assert!(stats.last_commit_error.is_some());
+        // The policy trips exactly once: the retry succeeds and clears
+        // the error state (failed_commits stays monotonic).
+        service.commit().unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.failed_commits, 1);
+        assert_eq!(stats.pending_edges, 0);
+        assert!(stats.last_commit_error.is_none());
+        service.with_db(|db| db.set_io_policy(None));
+        assert_eq!(Dslog::open(&dir).unwrap().storage().n_edges(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The interval ticker keeps counting failures (with backoff) instead
+    /// of silently dropping them.
+    #[test]
+    fn ticker_surfaces_commit_failures() {
+        let mut db = Dslog::new();
+        db.define_array("A", &[4]).unwrap();
+        db.define_array("B", &[4]).unwrap();
+        let service = DslogService::new(db, AutoCommitPolicy::every(Duration::from_millis(5)));
+        service
+            .ingest_batch(vec![IngestJob::new("A", "B", small_lineage(4, 1))])
+            .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while service.stats().failed_commits == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "ticker never reported a failure"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let err = service.stats().last_commit_error.expect("error surfaced");
+        assert!(err.contains("not bound"), "{err}");
+        assert_eq!(service.stats().pending_edges, 1);
     }
 
     /// Every published write advances the epoch; reads pin one snapshot.

@@ -9,6 +9,7 @@
 
 pub mod format;
 pub mod persist;
+pub mod wal;
 
 use crate::error::{DslogError, Result};
 use crate::provrc::{self, CompressOptions};
@@ -439,6 +440,13 @@ pub struct StorageManager {
     /// Rank `storage.composites` (60).
     composites: RwLock<HashMap<Vec<String>, CompositeState>>,
     composite_policy: Option<CompositePolicy>,
+    /// Operation-log state: mutations buffered since the last commit, the
+    /// current actor label, the retention override, and the active fault
+    /// policy. Shared (`Arc`) across epoch clones like `binding`, so ops
+    /// recorded on any snapshot drain into the same `ops.log` at the next
+    /// commit. Rank `storage.wal` (45), `io_safe` — `persist::commit`
+    /// briefly re-locks it around the log append it serializes.
+    wal: Arc<Mutex<wal::WalShared>>,
 }
 
 impl Default for StorageManager {
@@ -452,6 +460,7 @@ impl Default for StorageManager {
             commit_lock: Arc::new(Mutex::new(&ranks::STORAGE_COMMIT, ())),
             composites: RwLock::new(&ranks::STORAGE_COMPOSITES, HashMap::new()),
             composite_policy: None,
+            wal: Arc::new(Mutex::new(&ranks::STORAGE_WAL, wal::WalShared::default())),
         }
     }
 }
@@ -482,7 +491,54 @@ impl StorageManager {
             // published snapshot. The tables themselves are shared Arcs.
             composites: RwLock::new(&ranks::STORAGE_COMPOSITES, self.composites.read().clone()),
             composite_policy: self.composite_policy,
+            wal: Arc::clone(&self.wal),
         }
+    }
+
+    /// Buffer one operation-log record; it is framed and flushed to
+    /// `ops.log` by the next commit. Actor and timestamp are captured now.
+    fn wal_push(&self, kind: wal::OpKind) {
+        let mut w = self.wal.lock();
+        let actor = w.actor.clone();
+        w.pending.push(wal::PendingOp {
+            kind,
+            actor,
+            timestamp_ms: wal::now_ms(),
+        });
+    }
+
+    /// Operation-log record for an ingested edge, with the serialized
+    /// table's byte length and crc32 as the per-edge digest.
+    fn wal_ingest_op(in_array: &str, out_array: &str, table: &CompressedTable) -> wal::OpKind {
+        let bytes = format::serialize(table);
+        wal::OpKind::IngestEdge {
+            in_array: in_array.to_string(),
+            out_array: out_array.to_string(),
+            bytes: bytes.len() as u64,
+            digest: dslog_codecs::crc32::crc32(&bytes),
+        }
+    }
+
+    /// Set the actor label recorded on subsequent operation-log records
+    /// (e.g. `"cli"`, `"auto-commit"`, a network peer address).
+    pub fn set_wal_actor(&self, actor: &str) {
+        self.wal.lock().actor = actor.to_string();
+    }
+
+    /// Keep edge files of up to `n` prior committed generations on disk at
+    /// each commit (instead of sweeping everything the new catalog does
+    /// not reference), so `open_as_of`/`--as-of` can resolve them. The
+    /// default, 0, preserves the pre-log sweep behavior; the
+    /// `DSLOG_WAL_RETAIN` environment variable supplies a default when no
+    /// explicit override is set.
+    pub fn set_wal_retention(&self, generations: u32) {
+        self.wal.lock().retain = Some(generations);
+    }
+
+    /// Install (or clear) a fault-injection policy for subsequent commits.
+    /// Test API — see [`wal::IoPolicy`].
+    pub fn set_io_policy(&self, policy: Option<Arc<wal::IoPolicy>>) {
+        self.wal.lock().io_policy = policy;
     }
 
     /// Override the materialization policy.
@@ -521,6 +577,10 @@ impl StorageManager {
                         shape: shape.to_vec(),
                     },
                 );
+                self.wal_push(wal::OpKind::DefineArray {
+                    name: name.to_string(),
+                    shape: shape.to_vec(),
+                });
                 Ok(())
             }
         }
@@ -588,6 +648,9 @@ impl StorageManager {
             t.ensure_index();
             t
         });
+        if let Some(table) = backward.as_deref().or(forward.as_deref()) {
+            self.wal_push(Self::wal_ingest_op(in_array, out_array, table));
+        }
         self.edges.insert(
             (in_array.to_string(), out_array.to_string()),
             Arc::new(Edge::from_tables(backward, forward, out_shape, in_shape)),
@@ -611,6 +674,7 @@ impl StorageManager {
         if !table.is_generalized() {
             table.ensure_index();
         }
+        self.wal_push(Self::wal_ingest_op(in_array, out_array, &table));
         let (backward, forward) = match table.orientation() {
             Orientation::Backward => (Some(table), None),
             Orientation::Forward => (None, Some(table)),
@@ -686,6 +750,9 @@ impl StorageManager {
         };
         let backward = prepare(backward, Orientation::Backward)?;
         let forward = prepare(forward, Orientation::Forward)?;
+        if let Some(table) = backward.as_deref().or(forward.as_deref()) {
+            self.wal_push(Self::wal_ingest_op(in_array, out_array, table));
+        }
         self.edges.insert(
             (in_array.to_string(), out_array.to_string()),
             Arc::new(Edge::from_tables(backward, forward, out_shape, in_shape)),
@@ -816,7 +883,12 @@ impl StorageManager {
     /// caps exceeded) so the planner stops retrying.
     pub(crate) fn install_composite(&self, path: &[String], table: Option<Arc<CompressedTable>>) {
         let state = match table {
-            Some(t) => CompositeState::Materialized(t),
+            Some(t) => {
+                self.wal_push(wal::OpKind::Composite {
+                    path: path.to_vec(),
+                });
+                CompositeState::Materialized(t)
+            }
             None => CompositeState::Unmaterializable,
         };
         self.composites.write().insert(path.to_vec(), state);

@@ -72,6 +72,7 @@
 //! files named `edge-<i>-<o>.tbl[.gz]`) remain fully readable; saving over
 //! one upgrades it to v2 in place.
 
+use super::wal::{self, IoPolicy};
 use super::{format, ArrayMeta, DiskTable, Edge, FileRecord, Slot, StorageManager, TableSource};
 use crate::error::{DslogError, Result};
 use crate::table::Orientation;
@@ -145,17 +146,19 @@ fn parse_generation(name: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
-/// One generation past anything present in the directory — both the
-/// committed catalog's recorded generation and every generation visible in
+/// The directory's committed catalog generation (0 if none parses) and
+/// the generation the next commit must use: one past anything present —
+/// both the catalog's recorded generation and every generation visible in
 /// file names (leftover higher-generation debris from a crashed save must
 /// not be reused while a concurrent reader might still stat it).
-fn next_generation(dir: &Path) -> u64 {
-    let mut max_gen = 0;
+fn generations(dir: &Path) -> (u64, u64) {
+    let mut committed = 0;
     if let Ok(bytes) = std::fs::read(dir.join(CATALOG_FILE)) {
         if let Ok(catalog) = parse_catalog(&bytes) {
-            max_gen = catalog.generation;
+            committed = catalog.generation;
         }
     }
+    let mut max_gen = committed;
     if let Ok(entries) = std::fs::read_dir(dir) {
         for entry in entries.flatten() {
             if let Some(name) = entry.file_name().to_str() {
@@ -165,42 +168,46 @@ fn next_generation(dir: &Path) -> u64 {
             }
         }
     }
-    max_gen.saturating_add(1)
+    (committed, max_gen.saturating_add(1))
 }
 
 /// Flush directory metadata so preceding renames/unlinks in `dir` are
 /// durable. Without this, a power loss can persist the catalog rename but
 /// not the edge-file renames it depends on. No-op error-wise on platforms
 /// where directories cannot be opened for sync.
-fn sync_dir(dir: &Path) -> Result<()> {
+fn sync_dir(dir: &Path, policy: Option<&IoPolicy>) -> Result<()> {
     let _io = dslog_sync::io_guard("persist::sync_dir");
     #[cfg(unix)]
     {
         let d = std::fs::File::open(dir).map_err(|e| DslogError::io("open database dir", e))?;
-        d.sync_all()
-            .map_err(|e| DslogError::io("sync database dir", e))?;
+        wal::policy_sync(&d, "sync database dir", policy)?;
     }
     #[cfg(not(unix))]
-    let _ = dir;
+    let _ = (dir, policy);
     Ok(())
 }
 
-/// Write `bytes` to `<path>.tmp`, flush, then rename over `path`.
-fn write_atomic(path: &Path, bytes: &[u8], what: &str) -> Result<()> {
+/// Write `bytes` to `<path>.tmp`, flush, then rename over `path`. Every
+/// write and sync is gated by the fault-injection `policy` (if any).
+fn write_atomic(
+    path: &Path,
+    bytes: &[u8],
+    what: &'static str,
+    policy: Option<&IoPolicy>,
+) -> Result<()> {
     let _io = dslog_sync::io_guard("persist::write_atomic");
     let tmp = path.with_extension(match path.extension().and_then(|e| e.to_str()) {
         Some(ext) => format!("{ext}.tmp"),
         None => "tmp".to_string(),
     });
     {
-        use std::io::Write as _;
         let mut f = std::fs::File::create(&tmp).map_err(|e| DslogError::io(what, e))?;
-        f.write_all(bytes).map_err(|e| DslogError::io(what, e))?;
+        wal::policy_write(&mut f, bytes, what, policy)?;
         // fdatasync, not fsync: for a freshly created temp file the data
         // and size are what crash recovery needs; the rename only becomes
         // durable at the later directory sync either way. Saves one
         // metadata journal flush per file on the commit hot path.
-        f.sync_data().map_err(|e| DslogError::io(what, e))?;
+        wal::policy_sync(&f, what, policy)?;
     }
     std::fs::rename(&tmp, path).map_err(|e| DslogError::io(what, e))
 }
@@ -336,8 +343,32 @@ pub fn commit(storage: &StorageManager, dir: &Path, gzip: bool) -> Result<Commit
     // and each other's sweeps). The binding mutex itself is taken only
     // briefly, so binding readers (service stats) never wait on IO.
     let _commit_guard = storage.commit_lock.lock();
-    let incremental = matches!(&*storage.binding.lock(), Some(b) if b.dir == dir && b.gzip == gzip);
-    let gen = next_generation(&dir);
+    let bound = storage.binding.lock().clone();
+    let incremental = matches!(&bound, Some(b) if b.dir == dir && b.gzip == gzip);
+    // Same directory, flipped gzip mode: an in-place conversion of the
+    // bound database, not a replacement — its operation log carries over
+    // (with a conversion record). Any other unbound/foreign target starts
+    // a fresh log: whatever history the directory holds describes the
+    // database being replaced, not this manager.
+    let same_dir = matches!(&bound, Some(b) if b.dir == dir);
+    let conversion = same_dir && !incremental;
+    let (prior_gen, gen) = generations(&dir);
+
+    // Snapshot the operation-log side once: the fault policy, the actor,
+    // retention, and how many buffered records this commit will flush
+    // (operations arriving concurrently from other epochs stay buffered
+    // for the next commit).
+    let (arc_policy, pending_ops, actor, retain) = {
+        let w = storage.wal.lock();
+        (
+            w.io_policy.clone(),
+            w.pending.clone(),
+            w.actor.clone(),
+            w.effective_retain(),
+        )
+    };
+    let policy = arc_policy.as_deref();
+    let n_pending = pending_ops.len();
 
     let mut catalog = Vec::new();
     catalog.extend_from_slice(CATALOG_MAGIC_V2);
@@ -406,7 +437,7 @@ pub fn commit(storage: &StorageManager, dir: &Path, gzip: bool) -> Result<Commit
                         plain
                     };
                     let name = edge_file_name(idx, orientation, gzip, gen);
-                    write_atomic(&dir.join(&name), &bytes, "write edge table")?;
+                    write_atomic(&dir.join(&name), &bytes, "write edge table", policy)?;
                     files_written += 1;
                     crash_injection_point(files_written);
                     let record = FileRecord {
@@ -430,18 +461,87 @@ pub fn commit(storage: &StorageManager, dir: &Path, gzip: bool) -> Result<Commit
 
     // Make the edge-file renames durable BEFORE the catalog can commit:
     // directory entries have no ordering guarantee on power loss otherwise.
-    sync_dir(&dir)?;
+    sync_dir(&dir, policy)?;
+
+    // Flush the operation log — buffered mutations, the conversion marker
+    // if the gzip mode flipped in place, then a commit record embedding
+    // the exact catalog bytes about to be renamed live — and fdatasync it
+    // BEFORE the catalog rename, so the log is always at least as new as
+    // the catalog. Reconciling against the *prior* generation first heals
+    // any torn tail and assigns fresh monotonic op ids past the survivors.
+    let recovery = if same_dir {
+        wal::recover(&dir, prior_gen)
+    } else {
+        wal::Recovery::default()
+    };
+    let mut op_id = recovery.last_op_id;
+    let mut new_records: Vec<wal::OpRecord> = Vec::with_capacity(n_pending + 2);
+    for p in &pending_ops {
+        op_id += 1;
+        new_records.push(wal::OpRecord {
+            op_id,
+            timestamp_ms: p.timestamp_ms,
+            actor: p.actor.clone(),
+            gen_before: prior_gen,
+            gen_after: prior_gen,
+            kind: p.kind.clone(),
+        });
+    }
+    if conversion {
+        op_id += 1;
+        new_records.push(wal::OpRecord {
+            op_id,
+            timestamp_ms: wal::now_ms(),
+            actor: actor.clone(),
+            gen_before: prior_gen,
+            gen_after: prior_gen,
+            kind: wal::OpKind::ConvertGzip { gzip },
+        });
+    }
+    op_id += 1;
+    new_records.push(wal::OpRecord {
+        op_id,
+        timestamp_ms: wal::now_ms(),
+        actor,
+        gen_before: prior_gen,
+        gen_after: gen,
+        kind: wal::OpKind::Commit {
+            catalog: catalog.clone(),
+        },
+    });
+    wal::append(&dir, recovery.clean_len, &new_records, policy)?;
 
     // Commit point: once this rename lands, the new snapshot is live.
-    write_atomic(&dir.join(CATALOG_FILE), &catalog, "write catalog")?;
+    write_atomic(&dir.join(CATALOG_FILE), &catalog, "write catalog", policy)?;
 
     // And make the commit itself durable before destroying old state.
-    sync_dir(&dir)?;
+    sync_dir(&dir, policy)?;
 
     // Sweep every edge file the committed catalog does not reference:
     // previous generations, v1-style names, opposite-compression
-    // leftovers, and `.tmp` debris from crashed commits.
-    sweep_stale_files(&dir, &referenced);
+    // leftovers, and `.tmp` debris from crashed commits — except files a
+    // retained prior generation (per the WAL retention policy) still
+    // names, which `open_as_of` may yet resolve.
+    let mut spared = referenced.clone();
+    if retain > 0 {
+        let commits: Vec<&wal::OpRecord> = recovery
+            .records
+            .iter()
+            .filter(|r| matches!(r.kind, wal::OpKind::Commit { .. }))
+            .collect();
+        for rec in commits.iter().rev().take(retain as usize) {
+            if let wal::OpKind::Commit { catalog } = &rec.kind {
+                if let Ok(old) = parse_catalog(catalog) {
+                    for edge in &old.edges {
+                        for fref in &edge.files {
+                            spared.insert(fref.name.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    sweep_stale_files(&dir, &spared);
 
     // Publish: mark the written slots clean (repointing lazy sources at
     // their new files) and re-bind the manager, so the next commit into
@@ -454,6 +554,11 @@ pub fn commit(storage: &StorageManager, dir: &Path, gzip: bool) -> Result<Commit
         gzip,
         generation: gen,
     });
+    // Only now — with the commit fully durable — drop the flushed records
+    // from the buffer. On any earlier error they stay pending, and the
+    // next attempt's recovery pass truncates whatever the failed append
+    // managed to write, so nothing is lost or double-counted.
+    storage.wal.lock().pending.drain(..n_pending);
     Ok(CommitReport {
         generation: gen,
         incremental,
@@ -659,17 +764,22 @@ pub(crate) fn load_table_file(
     Ok(table)
 }
 
-fn open_impl(dir: &Path, lazy: bool) -> Result<StorageManager> {
-    let bytes =
-        std::fs::read(dir.join(CATALOG_FILE)).map_err(|e| DslogError::io("read catalog", e))?;
-    let catalog = parse_catalog(&bytes)?;
+/// Edge map keyed by `(in_array, out_array)`, as loaded from a catalog.
+type EdgeMap = HashMap<(String, String), Arc<Edge>>;
 
+/// Load (or lazily reference) every table file a parsed catalog names.
+/// Returns the edge map plus the set of file names the catalog references.
+fn load_catalog_edges(
+    dir: &Path,
+    catalog: &Catalog,
+    lazy: bool,
+) -> Result<(EdgeMap, HashSet<String>)> {
     let mut edges = HashMap::new();
     let mut referenced: HashSet<String> = HashSet::new();
-    for entry in catalog.edges {
+    for entry in &catalog.edges {
         let mut backward = Slot::default();
         let mut forward = Slot::default();
-        for fref in entry.files {
+        for fref in &entry.files {
             let path = dir.join(&fref.name);
             let source = match (lazy, fref.check) {
                 // Lazy open needs the catalog-recorded checksum to defer
@@ -709,7 +819,7 @@ fn open_impl(dir: &Path, lazy: bool) -> Result<StorageManager> {
                 crc,
                 raw_len,
             });
-            referenced.insert(fref.name);
+            referenced.insert(fref.name.clone());
             let slot = Slot {
                 source: Some(source),
                 persisted,
@@ -723,33 +833,28 @@ fn open_impl(dir: &Path, lazy: bool) -> Result<StorageManager> {
         let out_shape = catalog.arrays[&entry.out_name].shape.clone();
         let in_shape = catalog.arrays[&entry.in_name].shape.clone();
         edges.insert(
-            (entry.in_name, entry.out_name),
+            (entry.in_name.clone(), entry.out_name.clone()),
             Arc::new(Edge::new(backward, forward, out_shape, in_shape)),
         );
     }
+    Ok((edges, referenced))
+}
 
-    // A crashed process can leave `.tmp`/orphaned `edge-*` debris that a
-    // later generation could collide with; opening a snapshot sweeps it
-    // (best-effort — a read-only directory still opens fine).
-    sweep_stale_files(dir, &referenced);
-
-    // Bind the manager to this directory so the next commit into it is
-    // incremental (v1 catalogs bind at generation 0; every slot above
-    // opened dirty, so the first commit rewrites them as v2).
-    let binding = super::PersistBinding {
-        dir: dir.canonicalize().unwrap_or_else(|_| dir.to_path_buf()),
-        gzip: catalog.gzip,
-        generation: catalog.generation,
-    };
-
-    Ok(StorageManager {
-        arrays: catalog.arrays,
+/// A freshly built manager around a parsed catalog's arrays and edges;
+/// everything else (policies, log buffer) starts at its defaults.
+fn manager_from_parts(
+    arrays: HashMap<String, ArrayMeta>,
+    edges: HashMap<(String, String), Arc<Edge>>,
+    binding: Option<super::PersistBinding>,
+) -> StorageManager {
+    StorageManager {
+        arrays,
         edges,
         materialize: None,
         compress: None,
         binding: Arc::new(dslog_sync::Mutex::new(
             &dslog_sync::ranks::STORAGE_BINDING,
-            Some(binding),
+            binding,
         )),
         commit_lock: Arc::new(dslog_sync::Mutex::new(
             &dslog_sync::ranks::STORAGE_COMMIT,
@@ -760,7 +865,108 @@ fn open_impl(dir: &Path, lazy: bool) -> Result<StorageManager> {
             Default::default(),
         ),
         composite_policy: None,
-    })
+        wal: Arc::new(dslog_sync::Mutex::new(
+            &dslog_sync::ranks::STORAGE_WAL,
+            wal::WalShared::default(),
+        )),
+    }
+}
+
+fn open_impl(dir: &Path, lazy: bool) -> Result<StorageManager> {
+    let bytes =
+        std::fs::read(dir.join(CATALOG_FILE)).map_err(|e| DslogError::io("read catalog", e))?;
+    let catalog = parse_catalog(&bytes)?;
+
+    // Reconcile the operation log with the committed catalog: scan it,
+    // truncate any torn tail and any record past the last commit this
+    // catalog vouches for (a crash between the log fdatasync and the
+    // catalog rename leaves such a dangling tail). Best-effort — a
+    // missing or pre-log directory yields an empty recovery.
+    let recovery = wal::recover(dir, catalog.generation);
+
+    let (edges, referenced) = load_catalog_edges(dir, &catalog, lazy)?;
+
+    // A crashed process can leave `.tmp`/orphaned `edge-*` debris that a
+    // later generation could collide with; opening a snapshot sweeps it
+    // (best-effort — a read-only directory still opens fine). Files any
+    // surviving log commit record still names are spared: they may belong
+    // to a retained generation `open_as_of` can resolve (the next commit
+    // applies the retention policy and trims them).
+    let mut spared = referenced.clone();
+    for rec in &recovery.records {
+        if let wal::OpKind::Commit { catalog } = &rec.kind {
+            if let Ok(old) = parse_catalog(catalog) {
+                for edge in &old.edges {
+                    for fref in &edge.files {
+                        spared.insert(fref.name.clone());
+                    }
+                }
+            }
+        }
+    }
+    sweep_stale_files(dir, &spared);
+
+    // Bind the manager to this directory so the next commit into it is
+    // incremental (v1 catalogs bind at generation 0; every slot above
+    // opened dirty, so the first commit rewrites them as v2).
+    let binding = super::PersistBinding {
+        dir: dir.canonicalize().unwrap_or_else(|_| dir.to_path_buf()),
+        gzip: catalog.gzip,
+        generation: catalog.generation,
+    };
+
+    Ok(manager_from_parts(catalog.arrays, edges, Some(binding)))
+}
+
+/// Open the database as it was at generation `generation`, by replaying
+/// the operation log: the log's commit record for that generation embeds
+/// the exact catalog bytes that were live, and — when the retention
+/// policy kept them — the generation-named edge files it references are
+/// still on disk.
+///
+/// The returned manager is a read-only style snapshot: it is *unbound*
+/// (no incremental-commit binding), so a commit from it is a full save
+/// into a fresh target rather than a rewrite of history. Requesting the
+/// directory's current generation is equivalent to [`open`]. A
+/// generation the log does not record, or whose files the sweep already
+/// reclaimed, yields [`DslogError::GenerationNotRetained`].
+pub fn open_as_of(dir: &Path, generation: u64) -> Result<StorageManager> {
+    let bytes =
+        std::fs::read(dir.join(CATALOG_FILE)).map_err(|e| DslogError::io("read catalog", e))?;
+    let current = parse_catalog(&bytes)?;
+    if generation == current.generation {
+        return open_impl(dir, false);
+    }
+    let records = wal::history(dir)?;
+    let old = records
+        .iter()
+        .rev()
+        .find_map(|rec| match &rec.kind {
+            wal::OpKind::Commit { catalog } if rec.gen_after == generation => Some(catalog),
+            _ => None,
+        })
+        .ok_or(DslogError::GenerationNotRetained(generation))?;
+    let catalog = parse_catalog(old)?;
+    if catalog.generation != generation {
+        return Err(DslogError::Corrupt(
+            "log commit record embeds a catalog of the wrong generation",
+        ));
+    }
+    // Fail up front (and precisely) if the sweep already reclaimed any of
+    // the generation's files, instead of erroring mid-load.
+    for entry in &catalog.edges {
+        for fref in &entry.files {
+            if !dir.join(&fref.name).is_file() {
+                return Err(DslogError::GenerationNotRetained(generation));
+            }
+        }
+    }
+    // Eager load: historical snapshots are for inspection, and eager
+    // verification means a reclaimed-then-recreated name cannot bite
+    // later. No sweep, no binding — opening history must never mutate
+    // the live database.
+    let (edges, _referenced) = load_catalog_edges(dir, &catalog, false)?;
+    Ok(manager_from_parts(catalog.arrays, edges, None))
 }
 
 /// Open a database directory written by [`save`], eagerly decoding every
@@ -793,6 +999,13 @@ pub struct VerifyReport {
     /// `edge-*` / `*.tmp` files present but not referenced by the catalog
     /// (debris from a crashed save — harmless, swept by the next save).
     pub stale_files: Vec<String>,
+    /// Cleanly framed records in the operation log (0 for pre-log
+    /// directories).
+    pub log_records: usize,
+    /// `edge-*` files on disk that are not referenced by the current
+    /// catalog but are named by a logged commit record — retained prior
+    /// generations `open_as_of` can resolve, not debris.
+    pub retained_files: usize,
 }
 
 /// Walk a database directory and validate everything the catalog claims:
@@ -820,14 +1033,35 @@ pub fn verify(dir: &Path) -> Result<VerifyReport> {
         }
     }
 
+    // Files named by logged commit records are retained history, not
+    // debris (the read here is torn-tail tolerant and side-effect free).
+    let log_records = wal::history(dir).unwrap_or_default();
+    let mut retained: HashSet<String> = HashSet::new();
+    for rec in &log_records {
+        if let wal::OpKind::Commit { catalog } = &rec.kind {
+            if let Ok(old) = parse_catalog(catalog) {
+                for edge in &old.edges {
+                    for fref in &edge.files {
+                        retained.insert(fref.name.clone());
+                    }
+                }
+            }
+        }
+    }
+
     let mut stale_files = Vec::new();
+    let mut retained_files = 0usize;
     if let Ok(entries) = std::fs::read_dir(dir) {
         for entry in entries.flatten() {
             if let Some(name) = entry.file_name().to_str() {
-                let is_debris = (name.starts_with("edge-") && !referenced.contains(name))
-                    || name.ends_with(".tmp");
-                if is_debris {
+                if name.ends_with(".tmp") {
                     stale_files.push(name.to_string());
+                } else if name.starts_with("edge-") && !referenced.contains(name) {
+                    if retained.contains(name) {
+                        retained_files += 1;
+                    } else {
+                        stale_files.push(name.to_string());
+                    }
                 }
             }
         }
@@ -841,6 +1075,8 @@ pub fn verify(dir: &Path) -> Result<VerifyReport> {
         n_edges: catalog.edges.len(),
         files_verified,
         stale_files,
+        log_records: log_records.len(),
+        retained_files,
     })
 }
 

@@ -101,7 +101,11 @@ proptest! {
 
     /// Flipping any single bit of any file in a saved database directory
     /// must make `open` fail — both catalog and table files carry crc32s,
-    /// and a lazy open must fail no later than first touch.
+    /// and a lazy open must fail no later than first touch. The one
+    /// deliberate exception is the operation log: its per-record crc32s
+    /// detect the damage, recovery truncates from the damaged record on,
+    /// and the database must open cleanly (the catalog, not the log, is
+    /// the durable truth).
     #[test]
     fn any_bitflip_in_database_dir_fails_open(
         file_pick in any::<prop::sample::Index>(),
@@ -118,10 +122,19 @@ proptest! {
         corrupted[i] ^= 1 << bit;
         std::fs::write(dir.join(name), &corrupted).unwrap();
 
-        prop_assert!(Dslog::open(&dir).is_err(), "{name} byte {i} accepted");
-        let lazily = Dslog::open_lazy(&dir)
-            .and_then(|db| db.prov_query(&["B", "A"], &[vec![1]]).map(drop));
-        prop_assert!(lazily.is_err(), "{name} byte {i} accepted lazily");
+        if name == "ops.log" {
+            // Damage is confined to the log: open must succeed, truncate
+            // the damaged tail, and leave a verify-clean store behind.
+            let db = Dslog::open(&dir).unwrap();
+            let r = db.prov_query(&["B", "A"], &[vec![1]]).unwrap();
+            prop_assert!(r.cells.contains_cell(&[1, 0]));
+            prop_assert!(persist::verify(&dir).is_ok(), "{name} byte {i} broke verify");
+        } else {
+            prop_assert!(Dslog::open(&dir).is_err(), "{name} byte {i} accepted");
+            let lazily = Dslog::open_lazy(&dir)
+                .and_then(|db| db.prov_query(&["B", "A"], &[vec![1]]).map(drop));
+            prop_assert!(lazily.is_err(), "{name} byte {i} accepted lazily");
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

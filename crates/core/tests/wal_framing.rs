@@ -1,0 +1,148 @@
+//! Property tests for the operation-log frame codec.
+//!
+//! The contract: arbitrary records roundtrip bit-exactly through
+//! `encode_record`/`decode_body`; and a log image truncated or
+//! bit-flipped at ANY byte offset never panics the reader, never
+//! resurrects a damaged record, and always parses to a clean,
+//! unmodified prefix of the original records (crc framing makes a
+//! mutated-but-accepted record a 2^-32 event — treated as impossible
+//! under the pinned proptest seed).
+
+use dslog::storage::wal::{self, OpKind, OpRecord};
+use proptest::prelude::*;
+
+/// Lowercase identifier, 1..10 chars (the vendored proptest shim has no
+/// regex-string strategies, so build strings from byte vectors).
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..26, 1..10)
+        .prop_map(|v| v.into_iter().map(|b| char::from(b'a' + b)).collect())
+}
+
+/// Arbitrary unicode actor string, including the empty string.
+fn arb_actor() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<char>(), 0..12).prop_map(|cs| cs.into_iter().collect())
+}
+
+fn arb_kind() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        (arb_name(), proptest::collection::vec(1usize..64, 1..4))
+            .prop_map(|(name, shape)| OpKind::DefineArray { name, shape }),
+        (arb_name(), arb_name(), any::<u64>(), any::<u32>()).prop_map(
+            |(in_array, out_array, bytes, digest)| OpKind::IngestEdge {
+                in_array,
+                out_array,
+                bytes,
+                digest,
+            }
+        ),
+        proptest::collection::vec(arb_name(), 2..5).prop_map(|path| OpKind::Composite { path }),
+        any::<bool>().prop_map(|gzip| OpKind::ConvertGzip { gzip }),
+        proptest::collection::vec(any::<u8>(), 0..128)
+            .prop_map(|catalog| OpKind::Commit { catalog }),
+    ]
+}
+
+/// Everything but the op_id, which must stay monotonic within one log.
+fn arb_record_parts() -> impl Strategy<Value = (u64, String, u64, u64, OpKind)> {
+    (
+        any::<u64>(),
+        arb_actor(),
+        0u64..1000,
+        0u64..1000,
+        arb_kind(),
+    )
+}
+
+type RecordParts = (u64, String, u64, u64, OpKind);
+
+/// Assemble a log image: op_ids 1..=n, frames concatenated.
+fn build_log(parts: Vec<RecordParts>) -> (Vec<OpRecord>, Vec<u8>) {
+    let records: Vec<OpRecord> = parts
+        .into_iter()
+        .enumerate()
+        .map(
+            |(i, (timestamp_ms, actor, gen_before, gen_after, kind))| OpRecord {
+                op_id: i as u64 + 1,
+                timestamp_ms,
+                actor,
+                gen_before,
+                gen_after,
+                kind,
+            },
+        )
+        .collect();
+    let mut log = Vec::new();
+    for r in &records {
+        log.extend_from_slice(&wal::encode_record(r));
+    }
+    (records, log)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode is the identity, per record and per log image.
+    #[test]
+    fn records_roundtrip_exactly(parts in proptest::collection::vec(arb_record_parts(), 1..6)) {
+        let (records, log) = build_log(parts);
+        for r in &records {
+            let frame = wal::encode_record(r);
+            let body = &frame[4..frame.len() - 4];
+            prop_assert_eq!(&wal::decode_body(body).unwrap(), r);
+        }
+        let (parsed, clean_len) = wal::read_log(&log);
+        prop_assert_eq!(clean_len, log.len());
+        prop_assert_eq!(parsed, records);
+    }
+
+    /// Cutting the log at EVERY byte offset keeps exactly the records
+    /// whose frames end at or before the cut — a partially written
+    /// record is dropped whole, never partially decoded.
+    #[test]
+    fn truncation_at_every_offset_drops_only_the_tail(
+        parts in proptest::collection::vec(arb_record_parts(), 1..5),
+    ) {
+        let (records, log) = build_log(parts);
+        let mut boundaries = vec![0usize];
+        for r in &records {
+            boundaries.push(boundaries[boundaries.len() - 1] + wal::encode_record(r).len());
+        }
+        for cut in 0..log.len() {
+            let (parsed, clean_len) = wal::read_log(&log[..cut]);
+            let complete = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+            prop_assert_eq!(parsed.len(), complete, "cut at {}", cut);
+            prop_assert_eq!(clean_len, boundaries[complete], "cut at {}", cut);
+            prop_assert_eq!(&parsed[..], &records[..complete], "cut at {}", cut);
+        }
+    }
+
+    /// Flipping one bit at EVERY byte offset yields an unmodified prefix
+    /// of the original records: the damaged record (and everything after
+    /// it) vanishes, and no record ever comes back altered.
+    #[test]
+    fn bitflip_at_every_offset_never_resurrects(
+        parts in proptest::collection::vec(arb_record_parts(), 1..4),
+        bit in 0u8..8,
+    ) {
+        let (records, log) = build_log(parts);
+        for i in 0..log.len() {
+            let mut damaged = log.clone();
+            damaged[i] ^= 1 << bit;
+            let (parsed, clean_len) = wal::read_log(&damaged);
+            prop_assert!(clean_len <= damaged.len());
+            prop_assert!(parsed.len() <= records.len(), "offset {}", i);
+            prop_assert_eq!(&parsed[..], &records[..parsed.len()], "offset {}", i);
+        }
+    }
+
+    /// Entirely random bytes never panic the reader or the body decoder.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let (parsed, clean_len) = wal::read_log(&bytes);
+        prop_assert!(clean_len <= bytes.len());
+        // Accidentally well-framed random bytes would need a valid crc32;
+        // parsing is still exercised, the result just isn't asserted on.
+        drop(parsed);
+        let _ = wal::decode_body(&bytes);
+    }
+}

@@ -86,10 +86,12 @@ impl LockMeta {
 /// |-----:|------|------|
 /// | 5  | `net.queue` | TCP accept queue handoff (never co-held with service locks) |
 /// | 8  | `service.stop` | ticker shutdown flag + condvar |
+/// | 9  | `service.error` | last auto-commit error string (taken with nothing held) |
 /// | 10 | `service.commit` | serializes service-level commits; **io_safe** |
 /// | 20 | `service.writer` | serializes epoch builders (ingest/define) |
 /// | 30 | `service.current` | the published `Arc<Dslog>` epoch pointer |
 /// | 40 | `storage.commit` | serializes `persist::commit`; **io_safe** |
+/// | 45 | `storage.wal` | pending operation-log records + actor/policy; **io_safe** |
 /// | 50 | `storage.binding` | persistence binding (dir + generation state) |
 /// | 60 | `storage.composites` | composite-edge cache map |
 /// | 70 | `storage.slot` | per-edge representation slot (many instances share this rank; never hold two) |
@@ -99,10 +101,12 @@ pub mod ranks {
 
     pub static NET_QUEUE: LockMeta = LockMeta::new("net.queue", 5);
     pub static SERVICE_STOP: LockMeta = LockMeta::new("service.stop", 8);
+    pub static SERVICE_ERROR: LockMeta = LockMeta::new("service.error", 9);
     pub static SERVICE_COMMIT: LockMeta = LockMeta::io_safe("service.commit", 10);
     pub static SERVICE_WRITER: LockMeta = LockMeta::new("service.writer", 20);
     pub static SERVICE_CURRENT: LockMeta = LockMeta::new("service.current", 30);
     pub static STORAGE_COMMIT: LockMeta = LockMeta::io_safe("storage.commit", 40);
+    pub static STORAGE_WAL: LockMeta = LockMeta::io_safe("storage.wal", 45);
     pub static STORAGE_BINDING: LockMeta = LockMeta::new("storage.binding", 50);
     pub static STORAGE_COMPOSITES: LockMeta = LockMeta::new("storage.composites", 60);
     pub static STORAGE_SLOT: LockMeta = LockMeta::new("storage.slot", 70);

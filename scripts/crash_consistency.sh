@@ -65,6 +65,42 @@ for mode in plain gzip; do
     "$BIN" query --db "$db" --path D,C,B,A --cells 1 > /dev/null
 done
 
+# Operation-log kill sweep: kill the same second ingest inside the log
+# append instead. DSLOG_WAL_CRASH_AFTER_RECORDS=<n> exits 86 once <n>
+# records are fully framed, after first writing HALF of the next frame —
+# so recovery faces a genuinely torn tail (a commit writes define +
+# ingest + commit, three records, so n=1..3 covers every position).
+# Recovery must truncate the tail: verify, history, and queries all
+# succeed, and the retried ingest lands cleanly.
+for mode in plain gzip; do
+    flags=()
+    [ "$mode" = gzip ] && flags=(--gzip)
+    for n in 1 2 3; do
+        db="$WORK/db-wal-$mode-$n"
+        echo "== wal-crash sweep ($mode, after $n record(s)) =="
+        "$BIN" ingest --db "$db" --in A:3x2 --out B:3 --csv "$WORK/ab.csv" "${flags[@]}"
+        set +e
+        DSLOG_WAL_CRASH_AFTER_RECORDS=$n \
+            "$BIN" ingest --db "$db" --in B:3 --out C:3 --csv "$WORK/bc.csv" "${flags[@]}"
+        rc=$?
+        set -e
+        if [ "$rc" -ne 86 ]; then
+            echo "FAIL: wal-crashed ingest exited $rc, expected injected 86" >&2
+            exit 1
+        fi
+        "$BIN" db verify "$db"
+        "$BIN" db history "$db" > /dev/null
+        "$BIN" query --db "$db" --path B,A --cells 1 > /dev/null
+        "$BIN" ingest --db "$db" --in B:3 --out C:3 --csv "$WORK/bc.csv" "${flags[@]}"
+        out=$("$BIN" db verify "$db")
+        if echo "$out" | grep -q "warning: stale"; then
+            echo "FAIL: stale debris survived wal-crash recovery" >&2
+            exit 1
+        fi
+        "$BIN" query --db "$db" --path C,B,A --cells 1 > /dev/null
+    done
+done
+
 # Network serving crash: boot `dslog serve --listen` with auto-commit
 # after every pending edge and the same crash hook armed. A network
 # ingest then dies mid-auto-commit — exit 86 with the new edge file on

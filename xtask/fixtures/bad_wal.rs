@@ -1,0 +1,22 @@
+//! Lint fixture: op kinds that `replay_op` cannot replay — two variants
+//! have no arm, and a `_ =>` wildcard hides the gap from the compiler.
+
+pub enum OpKind {
+    Define { name: String },
+    Ingest { bytes: u64 },
+    Composite { path: Vec<String> },
+    Truncate,
+}
+
+#[derive(Default)]
+pub struct ReplayState {
+    pub arrays: Vec<String>,
+}
+
+pub fn replay_op(state: &mut ReplayState, op: &OpKind) {
+    match op {
+        OpKind::Define { name } => state.arrays.push(name.clone()),
+        OpKind::Ingest { .. } => {}
+        _ => {}
+    }
+}

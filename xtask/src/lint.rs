@@ -2,7 +2,7 @@
 //!
 //! Scans `crates/**/src` plus `xtask/src` line by line (no syn, no regex
 //! crates — a hand-rolled tokenizer good enough for the repo's rustfmt'd
-//! style) and enforces four invariants:
+//! style) and enforces five invariants:
 //!
 //! - **raw-sync** — no raw `parking_lot::` / `std::sync::{Mutex, RwLock,
 //!   Condvar}` outside `crates/sync`; all locks go through `dslog-sync` so
@@ -14,9 +14,14 @@
 //!   outside the sanctioned net worker pool and service ticker (allowlisted);
 //!   everything else uses `std::thread::scope`.
 //! - **decode-alloc** — in decode paths (`storage/format.rs`,
-//!   `storage/persist.rs`, `crates/codecs`), a `with_capacity` / `vec![_; n]`
-//!   whose size came from a wire read must be bounds-checked between the
-//!   read and the allocation (or carry a `lint:checked-alloc` marker).
+//!   `storage/persist.rs`, `storage/wal.rs`, `crates/codecs`), a
+//!   `with_capacity` / `vec![_; n]` whose size came from a wire read must be
+//!   bounds-checked between the read and the allocation (or carry a
+//!   `lint:checked-alloc` marker).
+//! - **wal-replay-arm** — in `storage/wal.rs`, every `OpKind` variant has
+//!   its own arm inside `fn replay_op`, and the match carries no `_ =>`
+//!   wildcard — a new op kind must fail the lint loudly instead of silently
+//!   becoming unreplayable.
 //!
 //! Test regions (`#[cfg(test)] mod` bodies) are skipped for every rule;
 //! binary targets (`src/bin`, `src/main.rs`, the CLI crate) are skipped for
@@ -66,6 +71,8 @@ pub struct FileClass {
     pub bin_target: bool,
     /// Wire-decode scope: the decode-alloc rule applies.
     pub decode_scope: bool,
+    /// The operation-log module: the wal-replay-arm rule applies.
+    pub wal_scope: bool,
 }
 
 pub fn classify(rel: &str) -> FileClass {
@@ -76,7 +83,9 @@ pub fn classify(rel: &str) -> FileClass {
             || rel.ends_with("src/main.rs"),
         decode_scope: rel == "crates/core/src/storage/format.rs"
             || rel == "crates/core/src/storage/persist.rs"
+            || rel == "crates/core/src/storage/wal.rs"
             || rel.starts_with("crates/codecs/src/"),
+        wal_scope: rel == "crates/core/src/storage/wal.rs",
     }
 }
 
@@ -366,6 +375,97 @@ pub fn scan_source(rel: &str, content: &str, class: FileClass) -> Vec<Finding> {
             findings.extend(check_allocs(rel, idx, raw_lines[idx], prev, &sanitized));
         }
     }
+
+    // wal-replay-arm: whole-file pass (the enum and the replay fn sit far
+    // apart; line-local scanning cannot relate them).
+    if class.wal_scope {
+        findings.extend(check_replay_arms(rel, &raw_lines, &sanitized));
+    }
+    findings
+}
+
+/// wal-replay-arm rule: every `OpKind` variant declared in this file must
+/// have its own `OpKind::<Variant>` arm inside `fn replay_op`, and that
+/// match must not contain a `_ =>` wildcard. Together the two checks make
+/// "add an op kind without teaching replay about it" a lint failure
+/// instead of a silently unreplayable log record.
+fn check_replay_arms(rel: &str, raw_lines: &[&str], sanitized: &[String]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Variant names: identifiers at brace depth 1 inside `enum OpKind`.
+    let Some(enum_line) = sanitized
+        .iter()
+        .position(|s| s.contains("enum OpKind") && s.contains('{'))
+    else {
+        return findings; // no OpKind here — nothing to enforce
+    };
+    let mut variants: Vec<String> = Vec::new();
+    let mut depth = brace_delta(&sanitized[enum_line]);
+    for s in &sanitized[enum_line + 1..] {
+        if depth <= 0 {
+            break;
+        }
+        if depth == 1 {
+            let ident: String = s.trim().chars().take_while(|c| is_ident_char(*c)).collect();
+            if ident.starts_with(|c: char| c.is_ascii_uppercase()) {
+                variants.push(ident);
+            }
+        }
+        depth += brace_delta(s);
+    }
+
+    let Some(fn_line) = sanitized.iter().position(|s| s.contains("fn replay_op")) else {
+        findings.push(Finding {
+            rule: "wal-replay-arm",
+            path: rel.to_string(),
+            line: enum_line + 1,
+            text: raw_lines[enum_line].trim().to_string(),
+            message: "OpKind is declared but no `fn replay_op` exists to replay it".into(),
+        });
+        return findings;
+    };
+
+    // Block extent of replay_op, brace-tracked from its signature line.
+    let mut depth = 0i64;
+    let mut opened = false;
+    let mut fn_end = fn_line;
+    for (i, s) in sanitized.iter().enumerate().skip(fn_line) {
+        depth += brace_delta(s);
+        opened |= s.contains('{');
+        fn_end = i;
+        if opened && depth <= 0 {
+            break;
+        }
+    }
+    let body = &sanitized[fn_line..=fn_end];
+
+    for v in &variants {
+        let arm = format!("OpKind::{v}");
+        if !body.iter().any(|l| l.contains(&arm)) {
+            findings.push(Finding {
+                rule: "wal-replay-arm",
+                path: rel.to_string(),
+                line: fn_line + 1,
+                text: raw_lines[fn_line].trim().to_string(),
+                message: format!(
+                    "`fn replay_op` has no arm for `OpKind::{v}`; every logged op kind must replay"
+                ),
+            });
+        }
+    }
+    for (off, l) in body.iter().enumerate() {
+        if l.trim_start().starts_with("_ =>") {
+            findings.push(Finding {
+                rule: "wal-replay-arm",
+                path: rel.to_string(),
+                line: fn_line + off + 1,
+                text: raw_lines[fn_line + off].trim().to_string(),
+                message: "wildcard `_ =>` in `fn replay_op`; a new OpKind must fail this lint, \
+                          not silently skip replay"
+                    .into(),
+            });
+        }
+    }
     findings
 }
 
@@ -648,6 +748,7 @@ mod tests {
             sync_crate: false,
             bin_target: false,
             decode_scope: false,
+            wal_scope: false,
         }
     }
 
@@ -700,6 +801,29 @@ mod tests {
     }
 
     #[test]
+    fn fixture_wal_replay_arm_is_flagged() {
+        let src = include_str!("../fixtures/bad_wal.rs");
+        let class = FileClass {
+            wal_scope: true,
+            ..lib_class()
+        };
+        let f = scan_source("fixtures/bad_wal.rs", src, class);
+        let wal: Vec<_> = f.iter().filter(|f| f.rule == "wal-replay-arm").collect();
+        assert!(
+            wal.iter().any(|f| f.message.contains("OpKind::Composite")),
+            "{f:#?}"
+        );
+        assert!(
+            wal.iter().any(|f| f.message.contains("OpKind::Truncate")),
+            "{f:#?}"
+        );
+        assert!(wal.iter().any(|f| f.message.contains("wildcard")), "{f:#?}");
+        // Covered variants are not flagged.
+        assert!(!wal.iter().any(|f| f.message.contains("OpKind::Define")));
+        assert!(!wal.iter().any(|f| f.message.contains("OpKind::Ingest")));
+    }
+
+    #[test]
     fn fixture_clean_passes_every_rule() {
         let src = include_str!("../fixtures/clean.rs");
         let f = scan_source("fixtures/clean.rs", src, decode_class());
@@ -725,6 +849,7 @@ fn f() -> &'static str {
             sync_crate: false,
             bin_target: true,
             decode_scope: false,
+            wal_scope: false,
         };
         let f = scan_source("crates/cli/src/main.rs", src, class);
         assert_eq!(rules(&f), vec!["raw-sync"], "{f:#?}");

@@ -6,7 +6,7 @@ use crate::opts::{parse_array_spec, parse_cells, Opts};
 use dslog::api::{Dslog, TableCapture};
 use dslog::net::{NetServer, ServeOptions};
 use dslog::provrc;
-use dslog::service::{AutoCommitPolicy, DslogService, IngestJob};
+use dslog::service::{AutoCommitPolicy, DslogService, IngestJob, MaintenancePolicy};
 use dslog::storage::format as provrc_format;
 use dslog::table::Orientation;
 use dslog_baselines::all_formats;
@@ -26,9 +26,11 @@ USAGE:
   dslog export    --db DIR --edge IN,OUT [--csv FILE]
   dslog db verify DIR
   dslog db history DIR
+  dslog db compact DIR
   dslog compress  --csv FILE --out-arity N [--no-fast]
   dslog serve     --db DIR [--gzip] [--lazy] [--auto-commit-edges N]
-                  [--auto-commit-ms MS] [--script FILE]
+                  [--auto-commit-ms MS] [--compact-every-gens N]
+                  [--script FILE]
                   [--listen ADDR [--addr-file FILE] [--net-workers N]
                    [--net-queue-depth N] [--max-line-bytes N]]
   dslog client    --addr HOST:PORT [--script FILE] [--stats]
@@ -55,6 +57,14 @@ against a retained historical generation reconstructed from the log
 (by default only files the current catalog references survive a
 commit; set DSLOG_WAL_RETAIN=N to keep the files of the last N prior
 generations queryable).
+
+`db compact` folds the one-file-per-edge-per-generation layout into a
+few consolidated segment files plus a checksummed manifest of live
+ranges, then sweeps superseded generation files (honoring the
+retention window, so --as-of keeps working inside it). The catalog
+rename stays the single commit point: a crash mid-compaction leaves
+the previous generation intact. `serve --compact-every-gens N` runs
+the same pass automatically after every N committed generations.
 
 `compress` reports per-format sizes plus ProvRC throughput (rows/s and
 raw MB/s); `--no-fast` swaps the columnar fast pipeline for the
@@ -105,17 +115,17 @@ MS (default 100) before giving up.
 
 fn open_db(opts: &Opts) -> Result<Dslog, String> {
     let dir = opts.required("db")?;
-    let result = if let Some(spec) = opts.optional("as-of") {
+    // One validated builder instead of picking a constructor per flag
+    // combination: contradictions (e.g. --as-of with --lazy) surface as
+    // one InvalidOptions error before any file IO.
+    let mut options = Dslog::options().lazy(opts.switch("lazy"));
+    if let Some(spec) = opts.optional("as-of") {
         let generation: u64 = spec
             .parse()
             .map_err(|_| "flag --as-of must be a generation number".to_string())?;
-        Dslog::open_as_of(dir, generation)
-    } else if opts.switch("lazy") {
-        Dslog::open_lazy(dir)
-    } else {
-        Dslog::open(dir)
-    };
-    result.map_err(|e| format!("open {dir}: {e}"))
+        options = options.as_of(generation);
+    }
+    options.open(dir).map_err(|e| format!("open {dir}: {e}"))
 }
 
 /// `dslog ingest`: add one CSV relation as an edge, creating or extending
@@ -297,7 +307,7 @@ pub fn export(args: &[String]) -> Result<String, String> {
 ///   a replay summary.
 pub fn db(args: &[String]) -> Result<String, String> {
     let Some(sub) = args.first() else {
-        return Err("usage: dslog db <verify|history> <dir>".to_string());
+        return Err("usage: dslog db <verify|history|compact> <dir>".to_string());
     };
     match sub.as_str() {
         "verify" => {
@@ -322,6 +332,14 @@ pub fn db(args: &[String]) -> Result<String, String> {
                 report.log_records
             )
             .unwrap();
+            if report.manifests_verified > 0 {
+                writeln!(
+                    out,
+                    "{} compaction manifest(s) verified against their segments",
+                    report.manifests_verified
+                )
+                .unwrap();
+            }
             if report.retained_files > 0 {
                 writeln!(
                     out,
@@ -380,6 +398,31 @@ pub fn db(args: &[String]) -> Result<String, String> {
             .unwrap();
             Ok(out)
         }
+        "compact" => {
+            let dir = args
+                .get(1)
+                .ok_or_else(|| "usage: dslog db compact <dir>".to_string())?;
+            if args.len() > 2 {
+                return Err("db compact takes exactly one directory".to_string());
+            }
+            // A lazy open binds the manager in O(catalog) without decoding
+            // any table: compaction streams clean slots byte-for-byte.
+            let db = Dslog::options()
+                .lazy(true)
+                .open(dir)
+                .map_err(|e| format!("open {dir}: {e}"))?;
+            db.set_wal_actor("cli");
+            let report = db.compact().map_err(|e| format!("compact {dir}: {e}"))?;
+            Ok(format!(
+                "compacted to generation {}: {} edge file(s) folded into {} segment(s) \
+                 ({} live range(s), {} B written)\n",
+                report.generation,
+                report.files_folded,
+                report.segments_written,
+                report.ranges,
+                report.bytes_written
+            ))
+        }
         other => Err(format!("unknown db subcommand `{other}`; see `dslog help`")),
     }
 }
@@ -408,6 +451,9 @@ pub fn serve(args: &[String]) -> Result<String, String> {
         edge_threshold: parse_u64("auto-commit-edges")?,
         interval: parse_u64("auto-commit-ms")?.map(Duration::from_millis),
     };
+    let maintenance = MaintenancePolicy {
+        auto_compact_generations: parse_u64("compact-every-gens")?,
+    };
 
     // Open an existing database, or initialize (and bind) an empty one so
     // commits have a target from the start. Fresh-init happens ONLY when
@@ -415,8 +461,14 @@ pub fn serve(args: &[String]) -> Result<String, String> {
     // propagate, never be shadowed by an empty save (whose sweep would
     // delete the surviving edge files).
     let db = if database_exists(db_dir) {
-        let open = if lazy { Dslog::open_lazy } else { Dslog::open };
-        let db = open(db_dir).map_err(|e| format!("open {db_dir}: {e}"))?;
+        // --gzip is deliberately NOT passed to the builder here: for
+        // `serve` it means "convert a plain database", not "insist the
+        // catalog already is gzip" (which the builder would validate).
+        let db = Dslog::options()
+            .lazy(lazy)
+            .maintenance(maintenance)
+            .open(db_dir)
+            .map_err(|e| format!("open {db_dir}: {e}"))?;
         // An existing plain database with an explicit --gzip is converted
         // (full re-save in the gzip format) so later commits honor the
         // requested mode; without the flag the catalog's mode wins.
@@ -430,10 +482,11 @@ pub fn serve(args: &[String]) -> Result<String, String> {
         }
         db
     } else {
-        let db = Dslog::new();
-        db.save(db_dir, gzip)
-            .map_err(|e| format!("initialize {db_dir}: {e}"))?;
-        db
+        Dslog::options()
+            .gzip(gzip)
+            .maintenance(maintenance)
+            .create(db_dir)
+            .map_err(|e| format!("initialize {db_dir}: {e}"))?
     };
 
     // Operation-log attribution: TCP sessions override this with their

@@ -567,6 +567,64 @@ mod tests {
     }
 
     #[test]
+    fn db_compact_folds_generations_and_keeps_queries() {
+        let db = temp_db("compact");
+        let csv = write_sum_csv("compact");
+        run(&s(&[
+            "ingest", "--db", &db, "--in", "A:3x2", "--out", "B:3", "--csv", &csv,
+        ]))
+        .unwrap();
+        let csv2 = std::env::temp_dir().join(format!("dslog-compact2-{}.csv", std::process::id()));
+        std::fs::write(&csv2, "0,0\n1,2\n2,1\n").unwrap();
+        run(&s(&[
+            "ingest",
+            "--db",
+            &db,
+            "--in",
+            "B:3",
+            "--out",
+            "C:3",
+            "--csv",
+            csv2.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&s(&["db", "compact", &db])).unwrap();
+        assert!(out.contains("compacted to generation 3"), "{out}");
+        assert!(out.contains("2 edge file(s) folded"), "{out}");
+        // Every per-edge generation file is gone; the data now lives in
+        // consolidated segments described by a manifest.
+        let names: Vec<String> = std::fs::read_dir(&db)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(!names.iter().any(|n| n.starts_with("edge-")), "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("segment-")), "{names:?}");
+        // Eager and lazy opens both answer over the compacted layout.
+        for extra in [&[][..], &["--lazy"][..]] {
+            let mut args = s(&["query", "--db", &db, "--path", "C,B,A", "--cells", "1"]);
+            args.extend(extra.iter().map(|x| x.to_string()));
+            let q = run(&args).unwrap();
+            assert!(q.contains("hop(s)"), "{q}");
+        }
+        // Verify checks the manifest against its segments; history shows
+        // the compact record.
+        let v = run(&s(&["db", "verify", &db])).unwrap();
+        assert!(v.contains("database OK"), "{v}");
+        assert!(v.contains("compaction manifest(s) verified"), "{v}");
+        let h = run(&s(&["db", "history", &db])).unwrap();
+        assert!(h.contains("cli compact"), "{h}");
+        // Conflicting open flags are one clean builder error.
+        let err = run(&s(&[
+            "query", "--db", &db, "--path", "B,A", "--cells", "1", "--as-of", "1", "--lazy",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("invalid options"), "{err}");
+        let _ = std::fs::remove_dir_all(&db);
+        let _ = std::fs::remove_file(&csv);
+        let _ = std::fs::remove_file(&csv2);
+    }
+
+    #[test]
     fn client_retries_busy_rejection_until_admitted() {
         use std::io::{BufRead as _, Write as _};
         let db = temp_db("client-retry");

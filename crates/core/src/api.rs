@@ -2,8 +2,10 @@
 //! lineage, registering operations, and issuing `prov_query` calls.
 
 use crate::error::{DslogError, Result};
+use crate::provrc::CompressOptions;
 use crate::query::{QueryOptions, QueryStats};
-use crate::reuse::{ArgValue, Mapping, ReuseHit, ReuseManager, ReuseStats};
+use crate::reuse::{ArgValue, CompositePolicy, Mapping, ReuseHit, ReuseManager, ReuseStats};
+use crate::service::MaintenancePolicy;
 use crate::storage::{Materialize, StorageManager};
 use crate::table::{BoxTable, LineageTable};
 
@@ -72,12 +74,254 @@ pub struct QueryResult {
     pub stats: QueryStats,
 }
 
+/// Consolidated construction + configuration builder for [`Dslog`]
+/// (start with [`Dslog::options`]).
+///
+/// This is the one front door for every open-time decision that used to
+/// be spread across the `open`/`open_lazy`/`open_as_of` constructor trio
+/// and a pile of post-construction `set_*` calls. Settings accumulate on
+/// the builder; the terminal methods ([`open`](Self::open),
+/// [`create`](Self::create), [`build`](Self::build)) validate the
+/// combination **before** any file IO and reject contradictions with
+/// [`DslogError::InvalidOptions`].
+///
+/// ```no_run
+/// use dslog::api::Dslog;
+///
+/// // Before: Dslog::open_lazy(dir)? + db.set_wal_retention(8) + ...
+/// let db = Dslog::options()
+///     .lazy(true)
+///     .wal_retention(8)
+///     .wal_actor("ingest-worker")
+///     .open("db-dir")?;
+/// # Ok::<(), dslog::DslogError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OpenOptions {
+    lazy: bool,
+    as_of: Option<u64>,
+    gzip: Option<bool>,
+    wal_actor: Option<String>,
+    wal_retention: Option<u32>,
+    compress: Option<CompressOptions>,
+    query: Option<QueryOptions>,
+    composite_policy: Option<CompositePolicy>,
+    maintenance: MaintenancePolicy,
+}
+
+impl OpenOptions {
+    /// Defer table decode + checksum to first use (see the former
+    /// `open_lazy`): the open costs O(catalog), ideal when a large
+    /// database serves queries that touch few edges. Conflicts with
+    /// [`as_of`](Self::as_of) — time-travel snapshots are rebuilt from
+    /// the operation log and always decode eagerly.
+    pub fn lazy(mut self, lazy: bool) -> Self {
+        self.lazy = lazy;
+        self
+    }
+
+    /// Open the database as it was at `generation` — time travel (see the
+    /// former `open_as_of`). The snapshot is unbound and read-only with
+    /// respect to the source directory; it conflicts with
+    /// [`lazy`](Self::lazy) and with a background
+    /// [`maintenance`](Self::maintenance) policy.
+    pub fn as_of(mut self, generation: u64) -> Self {
+        self.as_of = Some(generation);
+        self
+    }
+
+    /// On-disk format: `true` selects the ProvRC-GZip table format. For
+    /// [`create`](Self::create) this is the format written; for
+    /// [`open`](Self::open) it is validated against what the catalog
+    /// actually uses (omit it to accept either).
+    pub fn gzip(mut self, gzip: bool) -> Self {
+        self.gzip = Some(gzip);
+        self
+    }
+
+    /// Actor label recorded on subsequent operation-log records.
+    pub fn wal_actor(mut self, actor: impl Into<String>) -> Self {
+        self.wal_actor = Some(actor.into());
+        self
+    }
+
+    /// Keep the edge files of up to this many prior commits on disk so
+    /// [`as_of`](Self::as_of) opens can resolve them.
+    pub fn wal_retention(mut self, generations: u32) -> Self {
+        self.wal_retention = Some(generations);
+        self
+    }
+
+    /// ProvRC compression options for every capture-path compress.
+    pub fn compress(mut self, opts: CompressOptions) -> Self {
+        self.compress = Some(opts);
+        self
+    }
+
+    /// Default query-execution options.
+    pub fn query(mut self, opts: QueryOptions) -> Self {
+        self.query = Some(opts);
+        self
+    }
+
+    /// Composite-edge materialization policy.
+    pub fn composite_policy(mut self, policy: CompositePolicy) -> Self {
+        self.composite_policy = Some(policy);
+        self
+    }
+
+    /// Background-compaction policy, honored by
+    /// [`crate::service::DslogService`] after each successful commit.
+    pub fn maintenance(mut self, policy: MaintenancePolicy) -> Self {
+        self.maintenance = policy;
+        self
+    }
+
+    /// Reject combinations that contradict each other. Shared by every
+    /// terminal method so a bad bundle fails before any file IO.
+    fn validate(&self) -> Result<()> {
+        if self.as_of.is_some() && self.lazy {
+            return Err(DslogError::InvalidOptions(
+                "`as_of` snapshots are rebuilt from the operation log and always decode \
+                 eagerly; combining `as_of` with `lazy` is a conflict",
+            ));
+        }
+        if self.as_of.is_some() && self.maintenance.auto_compact_generations.is_some() {
+            return Err(DslogError::InvalidOptions(
+                "`as_of` snapshots are unbound and read-only; a background compaction \
+                 policy cannot apply to them",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Copy the accumulated configuration onto a constructed handle.
+    fn configure(self, db: &mut Dslog) {
+        if let Some(actor) = &self.wal_actor {
+            db.set_wal_actor(actor);
+        }
+        if let Some(retention) = self.wal_retention {
+            db.set_wal_retention(retention);
+        }
+        if let Some(opts) = self.compress {
+            db.set_compress_options(opts);
+        }
+        if let Some(opts) = self.query {
+            db.set_query_options(opts);
+        }
+        if let Some(policy) = self.composite_policy {
+            db.set_composite_policy(policy);
+        }
+        db.maintenance = self.maintenance;
+    }
+
+    /// Open an existing database directory with this configuration.
+    /// Replaces the `open`/`open_lazy`/`open_as_of` trio: `lazy` and
+    /// `as_of` select the open mode, everything else is applied to the
+    /// handle before it is returned.
+    pub fn open(self, dir: impl AsRef<std::path::Path>) -> Result<Dslog> {
+        self.validate()?;
+        let dir = dir.as_ref();
+        let storage = match self.as_of {
+            Some(generation) => crate::storage::persist::open_as_of(dir, generation)?,
+            None if self.lazy => crate::storage::persist::open_lazy(dir)?,
+            None => crate::storage::persist::open(dir)?,
+        };
+        let mut db = Dslog {
+            storage,
+            reuse: ReuseManager::default(),
+            query_options: QueryOptions::default(),
+            maintenance: MaintenancePolicy::default(),
+            opened_lazy: self.lazy,
+            opened_as_of: self.as_of,
+        };
+        if let (Some(requested), Some((_, actual, _))) = (self.gzip, db.bound_database()) {
+            if requested != actual {
+                return Err(DslogError::InvalidOptions(
+                    "the database directory was written with the other gzip mode; omit \
+                     `gzip` to accept what the catalog records",
+                ));
+            }
+        }
+        self.configure(&mut db);
+        Ok(db)
+    }
+
+    /// Create a **new** database at `dir` with this configuration: an
+    /// empty snapshot is saved immediately (in the [`gzip`](Self::gzip)
+    /// format, plain by default), binding the handle for incremental
+    /// [`commit`](Dslog::commit)s. Conflicts with [`as_of`](Self::as_of)
+    /// and [`lazy`](Self::lazy), which describe *existing* data.
+    pub fn create(self, dir: impl AsRef<std::path::Path>) -> Result<Dslog> {
+        self.validate()?;
+        if self.as_of.is_some() || self.lazy {
+            return Err(DslogError::InvalidOptions(
+                "`as_of` and `lazy` select how existing data is read; they cannot apply \
+                 to a freshly created database",
+            ));
+        }
+        let gzip = self.gzip.unwrap_or(false);
+        let mut db = Dslog::new();
+        self.configure(&mut db);
+        db.save(dir, gzip)?;
+        Ok(db)
+    }
+
+    /// Build an unbound in-memory database with this configuration.
+    /// Settings that only mean something for a database directory
+    /// (`lazy`, `as_of`, `gzip`) are rejected.
+    pub fn build(self) -> Result<Dslog> {
+        self.validate()?;
+        if self.as_of.is_some() || self.lazy || self.gzip.is_some() {
+            return Err(DslogError::InvalidOptions(
+                "`lazy`, `as_of`, and `gzip` describe a database directory; use \
+                 open(dir)/create(dir), or drop them to build in memory",
+            ));
+        }
+        let mut db = Dslog::new();
+        self.configure(&mut db);
+        Ok(db)
+    }
+}
+
+/// One snapshot of a [`Dslog`] handle's effective configuration
+/// ([`Dslog::config`] / [`Dslog::reconfigure`]). The service layer
+/// reports it over the net protocol as the stats `"config"` object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslogConfig {
+    /// Whether the handle was opened lazily (tables decoded on first
+    /// use). Fixed at open time.
+    pub lazy: bool,
+    /// The time-travel generation this handle was opened as of, if any.
+    /// Fixed at open time.
+    pub as_of: Option<u64>,
+    /// The bound directory's on-disk format (`None` while unbound).
+    /// Fixed by the binding.
+    pub gzip: Option<bool>,
+    /// Actor label on new operation-log records.
+    pub wal_actor: String,
+    /// Effective retention window (explicit override or the
+    /// `DSLOG_WAL_RETAIN` environment default).
+    pub wal_retention: u32,
+    /// Capture-path compression options.
+    pub compress: CompressOptions,
+    /// Default query-execution options.
+    pub query: QueryOptions,
+    /// Composite-edge materialization policy.
+    pub composite_policy: CompositePolicy,
+    /// Background-compaction policy.
+    pub maintenance: MaintenancePolicy,
+}
+
 /// Top-level DSLog handle: storage manager + reuse manager + query planner.
 #[derive(Debug, Default)]
 pub struct Dslog {
     storage: StorageManager,
     reuse: ReuseManager,
     query_options: QueryOptions,
+    maintenance: MaintenancePolicy,
+    opened_lazy: bool,
+    opened_as_of: Option<u64>,
 }
 
 impl Dslog {
@@ -85,6 +329,77 @@ impl Dslog {
     /// materialized, merge step enabled, reuse predictor with m = 1).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Start an [`OpenOptions`] builder — the consolidated front door for
+    /// opening, creating, or building a database with non-default
+    /// configuration. See the builder docs for the migration story from
+    /// the former constructor trio.
+    pub fn options() -> OpenOptions {
+        OpenOptions::default()
+    }
+
+    /// Snapshot the handle's effective configuration: open-time facts
+    /// (`lazy`, `as_of`, the binding's `gzip` mode) plus every runtime
+    /// knob, in one [`DslogConfig`] value.
+    pub fn config(&self) -> DslogConfig {
+        DslogConfig {
+            lazy: self.opened_lazy,
+            as_of: self.opened_as_of,
+            gzip: self.storage.persist_binding().map(|(_, gzip, _)| gzip),
+            wal_actor: self.storage.wal_actor(),
+            wal_retention: self.storage.wal_retention(),
+            compress: self.storage.compress_options(),
+            query: self.query_options,
+            composite_policy: self.storage.composite_policy(),
+            maintenance: self.maintenance,
+        }
+    }
+
+    /// Apply a (typically [`config`](Self::config)-derived, then edited)
+    /// configuration snapshot to this handle. The open-time facts
+    /// (`lazy`, `as_of`, `gzip`) cannot be changed here — pass them back
+    /// unmodified or get [`DslogError::InvalidOptions`]; reopen through
+    /// [`Dslog::options`] to change how data is read.
+    pub fn reconfigure(&mut self, config: DslogConfig) -> Result<()> {
+        let current = self.config();
+        if config.lazy != current.lazy
+            || config.as_of != current.as_of
+            || config.gzip != current.gzip
+        {
+            return Err(DslogError::InvalidOptions(
+                "`lazy`, `as_of`, and `gzip` are fixed when a database is opened; reopen \
+                 through Dslog::options() to change them",
+            ));
+        }
+        self.set_wal_actor(&config.wal_actor);
+        self.set_wal_retention(config.wal_retention);
+        self.set_compress_options(config.compress);
+        self.set_query_options(config.query);
+        self.set_composite_policy(config.composite_policy);
+        self.maintenance = config.maintenance;
+        Ok(())
+    }
+
+    /// The background-compaction policy this handle carries (honored by
+    /// [`crate::service::DslogService`] after successful commits).
+    pub fn maintenance_policy(&self) -> MaintenancePolicy {
+        self.maintenance
+    }
+
+    /// Fold the bound directory's cold generations into consolidated
+    /// segment files (see [`crate::storage::compact`]): every live edge
+    /// is re-referenced as a range of a shard-assigned segment, a
+    /// crc32-trailed manifest records those ranges, and superseded
+    /// generation files are swept — except those the operation-log
+    /// retention window (see
+    /// [`set_wal_retention`](Self::set_wal_retention)) still vouches for,
+    /// so time-travel opens inside the window keep working. The catalog
+    /// rename remains the single commit point; a crash at any earlier
+    /// step leaves the previous generation intact.
+    pub fn compact(&self) -> Result<crate::storage::compact::CompactReport> {
+        let (dir, gzip, _) = self.storage.persist_binding().ok_or(DslogError::NotBound)?;
+        crate::storage::compact::compact(&self.storage, &dir, gzip)
     }
 
     /// Clone this database for epoch-snapshot publication (the
@@ -98,6 +413,9 @@ impl Dslog {
             storage: self.storage.clone_for_epoch(),
             reuse: self.reuse.clone(),
             query_options: self.query_options,
+            maintenance: self.maintenance,
+            opened_lazy: self.opened_lazy,
+            opened_as_of: self.opened_as_of,
         }
     }
 
@@ -242,26 +560,26 @@ impl Dslog {
 
     /// Open a database directory previously written by [`save`](Self::save),
     /// eagerly decoding (and checksum-verifying) every table file.
+    ///
+    /// Thin wrapper kept for existing callers — prefer
+    /// [`Dslog::options()`](Self::options)`.open(dir)`, which takes the
+    /// same path and accepts the rest of the configuration too.
+    #[doc(hidden)]
     pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Self> {
-        Ok(Self {
-            storage: crate::storage::persist::open(dir.as_ref())?,
-            reuse: ReuseManager::default(),
-            query_options: QueryOptions::default(),
-        })
+        Self::options().open(dir)
     }
 
     /// Open a database directory in O(catalog) time: table files are only
     /// stat'd now and read, verified against the catalog's recorded
     /// length + crc32, and decoded on the first query hop that needs them.
-    /// Ideal when a large database serves queries that touch few edges.
     /// (Legacy v1 directories carry no checksums and fall back to an eager
     /// open.)
+    ///
+    /// Thin wrapper kept for existing callers — prefer
+    /// [`Dslog::options()`](Self::options)`.lazy(true).open(dir)`.
+    #[doc(hidden)]
     pub fn open_lazy(dir: impl AsRef<std::path::Path>) -> Result<Self> {
-        Ok(Self {
-            storage: crate::storage::persist::open_lazy(dir.as_ref())?,
-            reuse: ReuseManager::default(),
-            query_options: QueryOptions::default(),
-        })
+        Self::options().lazy(true).open(dir)
     }
 
     /// Open the database as it was at `generation` — time travel. The
@@ -272,12 +590,12 @@ impl Dslog {
     /// it is a full save into a fresh target, never a rewrite of history.
     /// Returns [`DslogError::GenerationNotRetained`] for generations the
     /// log does not record or whose files were already swept.
+    ///
+    /// Thin wrapper kept for existing callers — prefer
+    /// [`Dslog::options()`](Self::options)`.as_of(generation).open(dir)`.
+    #[doc(hidden)]
     pub fn open_as_of(dir: impl AsRef<std::path::Path>, generation: u64) -> Result<Self> {
-        Ok(Self {
-            storage: crate::storage::persist::open_as_of(dir.as_ref(), generation)?,
-            reuse: ReuseManager::default(),
-            query_options: QueryOptions::default(),
-        })
+        Self::options().as_of(generation).open(dir)
     }
 
     /// Every cleanly framed record of the bound database's operation log,
@@ -686,6 +1004,88 @@ mod tests {
         assert!(batch[2].cells.is_empty());
         // Batch stats are shared across results.
         assert_eq!(batch[0].stats, batch[1].stats);
+    }
+
+    #[test]
+    fn open_options_rejects_conflicts_before_io() {
+        // No such directory exists — validation must fire first.
+        let missing = std::path::Path::new("/nonexistent/dslog-options-test");
+        assert!(matches!(
+            Dslog::options().as_of(3).lazy(true).open(missing),
+            Err(DslogError::InvalidOptions(_))
+        ));
+        assert!(matches!(
+            Dslog::options()
+                .as_of(3)
+                .maintenance(MaintenancePolicy::every_generations(4))
+                .open(missing),
+            Err(DslogError::InvalidOptions(_))
+        ));
+        assert!(matches!(
+            Dslog::options().lazy(true).create(missing),
+            Err(DslogError::InvalidOptions(_))
+        ));
+        assert!(matches!(
+            Dslog::options().gzip(true).build(),
+            Err(DslogError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn open_options_create_open_and_config_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("dslog-api-options-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut db = Dslog::options()
+            .gzip(true)
+            .wal_retention(5)
+            .wal_actor("builder-test")
+            .maintenance(MaintenancePolicy::every_generations(4))
+            .create(&dir)
+            .unwrap();
+        db.define_array("A", &[3, 2]).unwrap();
+        db.define_array("B", &[3]).unwrap();
+        db.add_lineage("A", "B", &TableCapture::new(sum_lineage()))
+            .unwrap();
+        db.commit().unwrap();
+
+        let cfg = db.config();
+        assert_eq!(cfg.gzip, Some(true));
+        assert_eq!(cfg.wal_retention, 5);
+        assert_eq!(cfg.wal_actor, "builder-test");
+        assert_eq!(cfg.maintenance.auto_compact_generations, Some(4));
+
+        // Requesting the wrong format at open time is a build-time error;
+        // omitting gzip (or matching it) accepts the catalog's record.
+        assert!(matches!(
+            Dslog::options().gzip(false).open(&dir),
+            Err(DslogError::InvalidOptions(_))
+        ));
+        let reopened = Dslog::options().gzip(true).lazy(true).open(&dir).unwrap();
+        assert!(reopened.config().lazy);
+        let r = reopened.prov_query(&["B", "A"], &[vec![1]]).unwrap();
+        assert!(r.cells.contains_cell(&[1, 0]));
+
+        // reconfigure: runtime knobs change, open-time facts do not.
+        let mut db = reopened;
+        let mut cfg = db.config();
+        cfg.wal_retention = 9;
+        cfg.query.merge = false;
+        db.reconfigure(cfg).unwrap();
+        assert_eq!(db.config().wal_retention, 9);
+        assert!(!db.query_options().merge);
+        let mut bad = db.config();
+        bad.gzip = Some(false);
+        assert!(matches!(
+            db.reconfigure(bad),
+            Err(DslogError::InvalidOptions(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_requires_binding_at_api_level() {
+        let db = setup();
+        assert!(matches!(db.compact(), Err(DslogError::NotBound)));
     }
 
     #[test]

@@ -51,6 +51,11 @@ pub enum DslogError {
     /// `open_as_of` asked for a generation the operation log does not
     /// record, or whose edge files the retention sweep already reclaimed.
     GenerationNotRetained(u64),
+    /// An [`OpenOptions`](crate::api::OpenOptions) builder combined
+    /// settings that contradict each other (e.g. `as_of` + `lazy`), or a
+    /// [`reconfigure`](crate::api::Dslog::reconfigure) call tried to change
+    /// a property fixed at open time.
+    InvalidOptions(&'static str),
 }
 
 impl std::fmt::Display for DslogError {
@@ -101,6 +106,7 @@ impl std::fmt::Display for DslogError {
                 f,
                 "generation {generation} is not retained by the operation log"
             ),
+            DslogError::InvalidOptions(what) => write!(f, "invalid options: {what}"),
         }
     }
 }

@@ -58,7 +58,8 @@ pub mod service;
 pub mod storage;
 pub mod table;
 
-pub use api::Dslog;
+pub use api::{Dslog, DslogConfig, OpenOptions};
 pub use error::{DslogError, Result};
 pub use interval::Interval;
+pub use service::MaintenancePolicy;
 pub use table::{BoxTable, Cell, CompressedTable, LineageTable, Orientation};

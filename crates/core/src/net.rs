@@ -771,7 +771,8 @@ fn render_stats(s: &ServiceStats) -> String {
     format!(
         "{{\"ok\":true,\"arrays\":{},\"edges\":{},\"pending_edges\":{},\"edges_ingested\":{},\
          \"queries\":{},\"commits\":{},\"auto_commits\":{},\"failed_commits\":{},\
-         \"last_commit_error\":{},\"epoch\":{},\"generation\":{}}}",
+         \"last_commit_error\":{},\"epoch\":{},\"generation\":{},\"compactions\":{},\
+         \"config\":{}}}",
         s.arrays,
         s.edges,
         s.pending_edges,
@@ -784,7 +785,37 @@ fn render_stats(s: &ServiceStats) -> String {
             .as_deref()
             .map_or("null".to_string(), json_str),
         s.epoch,
-        s.generation.map_or("null".to_string(), |g| g.to_string())
+        s.generation.map_or("null".to_string(), |g| g.to_string()),
+        s.compactions,
+        render_config(&s.config)
+    )
+}
+
+/// The effective served-database configuration as a JSON object (the
+/// `"config"` field of a `stats` response).
+fn render_config(c: &crate::api::DslogConfig) -> String {
+    format!(
+        "{{\"lazy\":{},\"as_of\":{},\"gzip\":{},\"wal_actor\":{},\"wal_retention\":{},\
+         \"compress\":{{\"fast\":{},\"parallel\":{}}},\
+         \"query\":{{\"merge\":{},\"use_index\":{},\"parallel\":{},\"use_planner\":{}}},\
+         \"composite\":{{\"enabled\":{},\"hit_threshold\":{}}},\
+         \"auto_compact_generations\":{}}}",
+        c.lazy,
+        c.as_of.map_or("null".to_string(), |g| g.to_string()),
+        c.gzip.map_or("null".to_string(), |g| g.to_string()),
+        json_str(&c.wal_actor),
+        c.wal_retention,
+        c.compress.fast,
+        c.compress.parallel,
+        c.query.merge,
+        c.query.use_index,
+        c.query.parallel,
+        c.query.use_planner,
+        c.composite_policy.enabled,
+        c.composite_policy.hit_threshold,
+        c.maintenance
+            .auto_compact_generations
+            .map_or("null".to_string(), |g| g.to_string())
     )
 }
 
@@ -929,6 +960,12 @@ mod tests {
         assert!(resp.starts_with("{\"ok\":false"), "{resp}");
         let resp = roundtrip(&mut reader, &mut writer, "stats");
         assert!(resp.contains("\"edges\":1"), "{resp}");
+        // The effective configuration rides along as a "config" object.
+        assert!(
+            resp.contains("\"config\":{\"lazy\":")
+                && resp.contains("\"auto_compact_generations\":"),
+            "{resp}"
+        );
         assert_eq!(
             roundtrip(&mut reader, &mut writer, "shutdown"),
             "{\"ok\":true,\"closing\":\"server\"}"

@@ -117,6 +117,40 @@ impl AutoCommitPolicy {
     }
 }
 
+/// When the service runs background **compaction** (see
+/// [`crate::storage::compact`]) on the database it serves.
+///
+/// The policy travels with the database: set it at open time through
+/// [`crate::api::OpenOptions::maintenance`] (or later via
+/// [`Dslog::reconfigure`]), and the service checks it after every
+/// successful commit. Compaction runs on the committing thread under the
+/// service commit lock — queries and ingest installs are never blocked
+/// (they only touch the epoch-snapshot locks), and the storage layer's
+/// own commit lock serializes it against concurrent explicit commits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenancePolicy {
+    /// Compact once the bound directory has accreted this many committed
+    /// generations since the last compaction (checked after each
+    /// successful service commit). `None` disables background
+    /// compaction; explicit [`Dslog::compact`] calls always work.
+    pub auto_compact_generations: Option<u64>,
+}
+
+impl MaintenancePolicy {
+    /// No background compaction (the default).
+    pub fn manual() -> Self {
+        Self::default()
+    }
+
+    /// Compact after every `n` committed generations (`n` is clamped to
+    /// at least 1).
+    pub fn every_generations(n: u64) -> Self {
+        Self {
+            auto_compact_generations: Some(n.max(1)),
+        }
+    }
+}
+
 /// One edge of an ingest batch: the uncompressed lineage relation for
 /// `in_array → out_array` (both must already be defined).
 #[derive(Debug, Clone)]
@@ -190,6 +224,11 @@ pub struct ServiceStats {
     /// Last committed generation of the bound directory (`None` if the
     /// wrapped database is unbound).
     pub generation: Option<u64>,
+    /// Background compactions driven by the [`MaintenancePolicy`].
+    pub compactions: u64,
+    /// The effective configuration of the served database (rendered as a
+    /// `"config"` object over the net protocol).
+    pub config: crate::api::DslogConfig,
 }
 
 struct Shared {
@@ -215,6 +254,12 @@ struct Shared {
     queries: AtomicU64,
     commits: AtomicU64,
     auto_commits: AtomicU64,
+    /// Background compactions driven by the maintenance policy.
+    compactions: AtomicU64,
+    /// Generation of the last background compaction (seeded with the
+    /// bound generation at construction so a freshly opened service does
+    /// not immediately compact). Plain atomic — no new lock rank.
+    last_compact_gen: AtomicU64,
     /// Total commit failures (manual + automatic), monotonic.
     failed_commits: AtomicU64,
     /// Commit failures since the last success; drives the ticker's
@@ -267,14 +312,19 @@ impl Shared {
                 snapshot.set_wal_actor("auto-commit");
             }
             let outcome = snapshot.commit();
-            drop(snapshot);
             if outcome.is_ok() {
                 self.pending_edges.fetch_sub(pending, Ordering::AcqRel);
                 self.commits.fetch_add(1, Ordering::Relaxed);
                 if auto {
                     self.auto_commits.fetch_add(1, Ordering::Relaxed);
                 }
+                // Maintenance rides the committing thread while the
+                // service commit lock (rank 10, io_safe) is still held;
+                // `compact` takes the storage commit lock (rank 40) —
+                // a legal ascent, and queries never touch either.
+                self.maybe_auto_compact(&snapshot);
             }
+            drop(snapshot);
             outcome
         };
         // Failure bookkeeping runs with the commit lock released: the
@@ -292,6 +342,28 @@ impl Shared {
             }
         }
         outcome
+    }
+
+    /// Run background compaction if the served database's
+    /// [`MaintenancePolicy`] says the directory has accreted enough
+    /// generations. Failures are swallowed (the next qualifying commit
+    /// retries); success advances the compaction watermark.
+    fn maybe_auto_compact(&self, db: &Dslog) {
+        let Some(every) = db.maintenance_policy().auto_compact_generations else {
+            return;
+        };
+        let Some((_, _, generation)) = db.bound_database() else {
+            return;
+        };
+        if generation.saturating_sub(self.last_compact_gen.load(Ordering::Acquire)) < every {
+            return;
+        }
+        db.set_wal_actor("maintenance");
+        if let Ok(report) = db.compact() {
+            self.compactions.fetch_add(1, Ordering::Relaxed);
+            self.last_compact_gen
+                .store(report.generation, Ordering::Release);
+        }
     }
 }
 
@@ -324,6 +396,7 @@ impl DslogService {
     /// ingest + queries, but commits fail with [`DslogError::NotBound`]
     /// (auto-commit ticks drop the error and retry next time).
     pub fn new(db: Dslog, policy: AutoCommitPolicy) -> Self {
+        let bound_generation = db.bound_database().map_or(0, |(_, _, g)| g);
         let shared = Arc::new(Shared {
             current: RwLock::new(&ranks::SERVICE_CURRENT, Arc::new(db)),
             epoch: AtomicU64::new(0),
@@ -335,6 +408,8 @@ impl DslogService {
             queries: AtomicU64::new(0),
             commits: AtomicU64::new(0),
             auto_commits: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            last_compact_gen: AtomicU64::new(bound_generation),
             failed_commits: AtomicU64::new(0),
             consecutive_failures: AtomicU32::new(0),
             last_commit_error: Mutex::new(&ranks::SERVICE_ERROR, None),
@@ -385,18 +460,26 @@ impl DslogService {
 
     /// Open a database directory and serve it. `lazy` defers table loads
     /// to first use (ideal when a large database serves queries touching
-    /// few edges).
+    /// few edges). Thin wrapper over
+    /// [`open_with`](Self::open_with) for the two historical knobs.
     pub fn open(
         dir: impl AsRef<std::path::Path>,
         lazy: bool,
         policy: AutoCommitPolicy,
     ) -> Result<Self> {
-        let db = if lazy {
-            Dslog::open_lazy(dir)?
-        } else {
-            Dslog::open(dir)?
-        };
-        Ok(Self::new(db, policy))
+        Self::open_with(dir, Dslog::options().lazy(lazy), policy)
+    }
+
+    /// Open a database directory through a full [`crate::api::OpenOptions`]
+    /// builder and serve it — the way to hand the service a retention
+    /// window, a [`MaintenancePolicy`], or non-default query/compression
+    /// options in one validated bundle.
+    pub fn open_with(
+        dir: impl AsRef<std::path::Path>,
+        options: crate::api::OpenOptions,
+        policy: AutoCommitPolicy,
+    ) -> Result<Self> {
+        Ok(Self::new(options.open(dir)?, policy))
     }
 
     /// Define (or idempotently re-define) a named array, published as a
@@ -600,6 +683,8 @@ impl DslogService {
             last_commit_error: self.shared.last_commit_error.lock().clone(),
             epoch: self.shared.epoch.load(Ordering::Acquire),
             generation,
+            compactions: self.shared.compactions.load(Ordering::Relaxed),
+            config: db.config(),
         }
     }
 
@@ -796,6 +881,52 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.auto_commits, 1);
         assert_eq!(stats.commits, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn maintenance_policy_compacts_after_enough_generations() {
+        let dir = temp_dir("maint");
+        let mut db = Dslog::options()
+            .maintenance(MaintenancePolicy::every_generations(2))
+            .create(&dir)
+            .unwrap();
+        db.define_array("A", &[8]).unwrap();
+        db.define_array("B", &[8]).unwrap();
+        db.add_lineage("A", "B", &TableCapture::new(small_lineage(8, 0)))
+            .unwrap();
+        db.commit().unwrap();
+        // The watermark seeds at the bound generation: the service never
+        // compacts a freshly opened directory on its first commit.
+        let service = DslogService::new(db, AutoCommitPolicy::manual());
+        service.define_array("C", &[8]).unwrap();
+        service
+            .ingest_batch(vec![IngestJob::new("B", "C", small_lineage(8, 1))])
+            .unwrap();
+        service.commit().unwrap(); // 1 generation since seed: below threshold
+        assert_eq!(service.stats().compactions, 0);
+        service.define_array("D", &[8]).unwrap();
+        service
+            .ingest_batch(vec![IngestJob::new("C", "D", small_lineage(8, 2))])
+            .unwrap();
+        service.commit().unwrap(); // 2 generations: compaction fires
+        let stats = service.stats();
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.config.maintenance.auto_compact_generations, Some(2));
+        // Every edge file was folded into consolidated segments.
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(names.iter().any(|n| n.starts_with("segment-")), "{names:?}");
+        assert!(!names.iter().any(|n| n.starts_with("edge-")), "{names:?}");
+        // The service keeps serving multi-hop queries over the compacted
+        // layout, and a cold reopen sees all edges.
+        let r = service.query(&["D", "C", "B", "A"], &[vec![3]]).unwrap();
+        assert_eq!(r.hops, 3);
+        let (_db, commit) = service.shutdown().expect("no refs remain");
+        commit.unwrap();
+        assert_eq!(Dslog::open(&dir).unwrap().storage().n_edges(), 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

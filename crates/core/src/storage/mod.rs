@@ -7,6 +7,7 @@
 //! orientation is derived lazily on the first forward query over that edge
 //! and cached.
 
+pub mod compact;
 pub mod format;
 pub mod persist;
 pub mod wal;
@@ -64,6 +65,10 @@ pub(crate) struct DiskTable {
     pub(crate) raw_len: u64,
     /// Orientation the catalog says this file stores.
     pub(crate) orientation: Orientation,
+    /// `Some(byte offset)` when the table is a live range inside a shared
+    /// compaction segment (`segment-*.seg`); `None` for a whole
+    /// `edge-*` file. The range spans `offset..offset + len`.
+    pub(crate) offset: Option<u64>,
 }
 
 impl DiskTable {
@@ -77,6 +82,7 @@ impl DiskTable {
             self.gzip,
             self.orientation,
             Some((self.len, self.crc, self.raw_len)),
+            self.offset,
         )
     }
 
@@ -88,6 +94,7 @@ impl DiskTable {
             &self.path,
             self.gzip,
             Some((self.len, self.crc, self.raw_len)),
+            self.offset,
         )?;
         let plain = if self.gzip {
             dslog_codecs::gzip::decompress(&bytes)?
@@ -124,6 +131,9 @@ pub(crate) struct FileRecord {
     pub(crate) crc: u32,
     /// Byte length of the plain (un-gzipped) serialized table.
     pub(crate) raw_len: u64,
+    /// `Some(byte offset)` when the committed bytes are a live range of a
+    /// shared compaction segment; `None` for a whole `edge-*` file.
+    pub(crate) offset: Option<u64>,
 }
 
 /// One orientation slot of an edge: the table (if stored) plus its
@@ -291,6 +301,7 @@ impl Edge {
                 crc: record.crc,
                 raw_len: record.raw_len,
                 orientation,
+                offset: record.offset,
             }));
         }
         slot.persisted = Some(record);
@@ -539,6 +550,17 @@ impl StorageManager {
     /// Test API — see [`wal::IoPolicy`].
     pub fn set_io_policy(&self, policy: Option<Arc<wal::IoPolicy>>) {
         self.wal.lock().io_policy = policy;
+    }
+
+    /// The actor label currently recorded on new operation-log records.
+    pub fn wal_actor(&self) -> String {
+        self.wal.lock().actor.clone()
+    }
+
+    /// The effective retention window: the explicit override, else the
+    /// `DSLOG_WAL_RETAIN` environment default, else 0.
+    pub fn wal_retention(&self) -> u32 {
+        self.wal.lock().effective_retain()
     }
 
     /// Override the materialization policy.

@@ -84,7 +84,12 @@ use std::sync::Arc;
 
 const CATALOG_MAGIC_V1: &[u8; 8] = b"DSLGDB1\0";
 const CATALOG_MAGIC_V2: &[u8; 8] = b"DSLGDB2\0";
-const CATALOG_FILE: &str = "catalog.dsl";
+/// v3 adds one uvarint byte offset per file record, so a reference can be
+/// a live range inside a shared compaction segment (`segment-*.seg`).
+/// Emitted only when at least one reference actually is one — a database
+/// never compacted keeps writing v2 bytes.
+const CATALOG_MAGIC_V3: &[u8; 8] = b"DSLGDB3\0";
+pub(crate) const CATALOG_FILE: &str = "catalog.dsl";
 
 fn write_string(buf: &mut Vec<u8>, s: &str) {
     write_uvarint(buf, s.len() as u64);
@@ -136,10 +141,27 @@ fn edge_file_name(idx: usize, orientation: Orientation, gzip: bool, gen: u64) ->
     format!("edge-{idx}-{o}.g{gen}.{ext}")
 }
 
-/// Extract the generation from a `edge-<i>-<o>.g<gen>.…` file name (also
-/// matches leftover `.tmp` siblings). `None` for v1-style names.
-fn parse_generation(name: &str) -> Option<u64> {
-    let rest = name.strip_prefix("edge-")?;
+/// Consolidated segment file written by a compaction pass at generation
+/// `gen`, holding the live table bytes of every edge hashed into shard `k`.
+pub(crate) fn segment_file_name(shard: usize, gen: u64) -> String {
+    format!("segment-{shard}.g{gen}.seg")
+}
+
+/// Manifest written alongside a compaction's segments, recording the live
+/// ranges per edge (see [`super::compact`]).
+pub(crate) fn manifest_file_name(gen: u64) -> String {
+    format!("manifest.g{gen}.dsl")
+}
+
+/// Extract the generation from a generation-qualified data file name —
+/// `edge-<i>-<o>.g<gen>.…`, `segment-<k>.g<gen>.seg`, or
+/// `manifest.g<gen>.dsl` (also matches leftover `.tmp` siblings). `None`
+/// for v1-style names.
+pub(crate) fn parse_generation(name: &str) -> Option<u64> {
+    let rest = name
+        .strip_prefix("edge-")
+        .or_else(|| name.strip_prefix("segment-"))
+        .or_else(|| name.strip_prefix("manifest"))?;
     let gpos = rest.find(".g")?;
     let tail = &rest[gpos + 2..];
     let digits = &tail[..tail.find('.').unwrap_or(tail.len())];
@@ -151,7 +173,7 @@ fn parse_generation(name: &str) -> Option<u64> {
 /// both the catalog's recorded generation and every generation visible in
 /// file names (leftover higher-generation debris from a crashed save must
 /// not be reused while a concurrent reader might still stat it).
-fn generations(dir: &Path) -> (u64, u64) {
+pub(crate) fn generations(dir: &Path) -> (u64, u64) {
     let mut committed = 0;
     if let Ok(bytes) = std::fs::read(dir.join(CATALOG_FILE)) {
         if let Ok(catalog) = parse_catalog(&bytes) {
@@ -175,7 +197,7 @@ fn generations(dir: &Path) -> (u64, u64) {
 /// durable. Without this, a power loss can persist the catalog rename but
 /// not the edge-file renames it depends on. No-op error-wise on platforms
 /// where directories cannot be opened for sync.
-fn sync_dir(dir: &Path, policy: Option<&IoPolicy>) -> Result<()> {
+pub(crate) fn sync_dir(dir: &Path, policy: Option<&IoPolicy>) -> Result<()> {
     let _io = dslog_sync::io_guard("persist::sync_dir");
     #[cfg(unix)]
     {
@@ -189,7 +211,7 @@ fn sync_dir(dir: &Path, policy: Option<&IoPolicy>) -> Result<()> {
 
 /// Write `bytes` to `<path>.tmp`, flush, then rename over `path`. Every
 /// write and sync is gated by the fault-injection `policy` (if any).
-fn write_atomic(
+pub(crate) fn write_atomic(
     path: &Path,
     bytes: &[u8],
     what: &'static str,
@@ -244,21 +266,71 @@ fn crash_injection_point(edge_files_written: usize) {
     }
 }
 
-/// Delete every `edge-*` file `referenced` does not name, plus any `*.tmp`
-/// debris. Deletion failures are ignored (opening a read-only snapshot
-/// must stay possible).
-fn sweep_stale_files(dir: &Path, referenced: &HashSet<String>) {
+/// Whether a directory entry is one of ours and subject to sweeping:
+/// whole edge tables, compaction segments, and compaction manifests.
+fn is_data_file(name: &str) -> bool {
+    name.starts_with("edge-") || name.starts_with("segment-") || name.starts_with("manifest.")
+}
+
+/// Delete every data file (`edge-*`, `segment-*`, `manifest.*`) that
+/// `spared` does not name, plus any `*.tmp` debris. Deletion failures are
+/// ignored (opening a read-only snapshot must stay possible).
+pub(crate) fn sweep_stale_files(dir: &Path, spared: &HashSet<String>) {
     if let Ok(entries) = std::fs::read_dir(dir) {
         for entry in entries.flatten() {
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
-            let stale =
-                (name.starts_with("edge-") && !referenced.contains(name)) || name.ends_with(".tmp");
+            let stale = (is_data_file(name) && !spared.contains(name)) || name.ends_with(".tmp");
             if stale {
                 let _ = std::fs::remove_file(entry.path());
             }
         }
     }
+}
+
+/// The single source of truth for what a sweep must leave alone — shared
+/// by [`commit`], [`super::compact::compact`], and [`open`]/[`open_lazy`],
+/// so no caller can invent its own (weaker) sparing rule and delete a file
+/// the live catalog or the retained time-travel window still references.
+///
+/// Spared: everything `referenced` names (the catalog being committed or
+/// opened), every file named by the last `keep` logged commit records
+/// (`None` keeps them all — opens defer trimming to the next commit, which
+/// applies the retention policy), and the manifest of every generation a
+/// spared segment belongs to (a segment can outlive its own commit's
+/// retention window while the live catalog still references ranges in it,
+/// and `verify` cross-checks those ranges against the manifest).
+pub(crate) fn spared_set(
+    referenced: &HashSet<String>,
+    records: &[wal::OpRecord],
+    keep: Option<usize>,
+) -> HashSet<String> {
+    let mut spared = referenced.clone();
+    let commits: Vec<&wal::OpRecord> = records
+        .iter()
+        .filter(|r| matches!(r.kind, wal::OpKind::Commit { .. }))
+        .collect();
+    let keep = keep.unwrap_or(commits.len());
+    for rec in commits.iter().rev().take(keep) {
+        if let wal::OpKind::Commit { catalog } = &rec.kind {
+            if let Ok(old) = parse_catalog(catalog) {
+                for edge in &old.edges {
+                    for fref in &edge.files {
+                        spared.insert(fref.name.clone());
+                    }
+                }
+                spared.insert(manifest_file_name(old.generation));
+            }
+        }
+    }
+    let manifests: Vec<String> = spared
+        .iter()
+        .filter(|n| n.starts_with("segment-"))
+        .filter_map(|n| parse_generation(n))
+        .map(manifest_file_name)
+        .collect();
+    spared.extend(manifests);
+    spared
 }
 
 /// How the commit planner decided to handle one orientation slot.
@@ -287,10 +359,14 @@ fn plan_slot(
     if incremental {
         if let Some(record) = persisted {
             // O(1) tamper guard: the recorded file must still exist with
-            // its recorded length. Anything else (externally deleted or
-            // truncated) falls through to a rewrite from the slot.
+            // its recorded length — for a segment range, at least enough
+            // bytes to hold the range. Anything else (externally deleted
+            // or truncated) falls through to a rewrite from the slot.
             let intact = std::fs::metadata(dir.join(&record.name))
-                .map(|m| m.len() == record.len)
+                .map(|m| match record.offset {
+                    None => m.len() == record.len,
+                    Some(off) => m.len() >= off.saturating_add(record.len),
+                })
                 .unwrap_or(false);
             if intact {
                 return Ok(SlotPlan::Reuse(record));
@@ -308,12 +384,66 @@ fn plan_slot(
     Ok(SlotPlan::Write(plain))
 }
 
-/// Append one table-file record to the v2 catalog body.
-fn push_file_record(catalog: &mut Vec<u8>, record: &FileRecord) {
+/// Append one table-file record to a v2/v3 catalog body. v3 records carry
+/// the byte offset of the live range (0 for whole files).
+fn push_file_record(catalog: &mut Vec<u8>, record: &FileRecord, v3: bool) {
     write_string(catalog, &record.name);
     write_uvarint(catalog, record.len);
     catalog.extend_from_slice(&record.crc.to_le_bytes());
     write_uvarint(catalog, record.raw_len);
+    if v3 {
+        write_uvarint(catalog, record.offset.unwrap_or(0));
+    }
+}
+
+/// Assemble complete catalog bytes (magic through crc trailer) for the
+/// given per-edge plans. Chooses the v3 format only when a record is a
+/// compaction segment range, so never-compacted databases keep writing v2
+/// bytes. Shared by [`commit`] and [`super::compact::compact`] — the
+/// catalog rename stays the single commit point for both.
+pub(crate) fn build_catalog_bytes(
+    storage: &StorageManager,
+    gzip: bool,
+    gen: u64,
+    planned: &[(&(String, String), u8, Vec<FileRecord>)],
+) -> Result<Vec<u8>> {
+    let v3 = planned
+        .iter()
+        .any(|(_, _, rs)| rs.iter().any(|r| r.offset.is_some()));
+    let mut catalog = Vec::new();
+    catalog.extend_from_slice(if v3 {
+        CATALOG_MAGIC_V3
+    } else {
+        CATALOG_MAGIC_V2
+    });
+    catalog.push(gzip as u8);
+    write_uvarint(&mut catalog, gen);
+
+    // Arrays, sorted for deterministic bytes.
+    let names = storage.array_names();
+    write_uvarint(&mut catalog, names.len() as u64);
+    for name in &names {
+        let meta = storage.array(name)?;
+        write_string(&mut catalog, name);
+        write_uvarint(&mut catalog, meta.shape.len() as u64);
+        for &d in &meta.shape {
+            write_uvarint(&mut catalog, d as u64);
+        }
+    }
+    write_uvarint(&mut catalog, planned.len() as u64);
+    for (key, mask, records) in planned {
+        write_string(&mut catalog, &key.0);
+        write_string(&mut catalog, &key.1);
+        catalog.push(*mask);
+        for record in records {
+            push_file_record(&mut catalog, record, v3);
+        }
+    }
+
+    // Self-checksum so catalog corruption is always detected at open.
+    let catalog_crc = crc32(&catalog);
+    catalog.extend_from_slice(&catalog_crc.to_le_bytes());
+    Ok(catalog)
 }
 
 /// Commit a storage manager into `dir` (created if missing). With `gzip`
@@ -370,40 +500,23 @@ pub fn commit(storage: &StorageManager, dir: &Path, gzip: bool) -> Result<Commit
     let policy = arc_policy.as_deref();
     let n_pending = pending_ops.len();
 
-    let mut catalog = Vec::new();
-    catalog.extend_from_slice(CATALOG_MAGIC_V2);
-    catalog.push(gzip as u8);
-    write_uvarint(&mut catalog, gen);
-
-    // Arrays, sorted for deterministic bytes.
-    let names = storage.array_names();
-    write_uvarint(&mut catalog, names.len() as u64);
-    for name in &names {
-        let meta = storage.array(name)?;
-        write_string(&mut catalog, name);
-        write_uvarint(&mut catalog, meta.shape.len() as u64);
-        for &d in &meta.shape {
-            write_uvarint(&mut catalog, d as u64);
-        }
-    }
-
-    // Edges, sorted by (in, out) for determinism. Dirty slots' files are
-    // fully written (and renamed into their generation-unique names)
-    // before the catalog that references them.
+    // Plan + write pass: edges sorted by (in, out) for determinism. Dirty
+    // slots' files are fully written (and renamed into their generation-
+    // unique names) before the catalog that references them is even
+    // assembled — whether the catalog needs the v3 format (offset-bearing
+    // records) is only known once every reused record has been seen.
     let mut referenced: HashSet<String> = HashSet::new();
     let mut keys: Vec<&(String, String)> = storage.edges.keys().collect();
     keys.sort();
-    write_uvarint(&mut catalog, keys.len() as u64);
     let mut files_written = 0usize;
     let mut files_reused = 0usize;
     let mut bytes_written = 0u64;
     // Slots marked clean only AFTER the catalog rename lands: a crashed
     // commit must leave every dirty slot dirty.
     let mut newly_clean: Vec<(&(String, String), Orientation, FileRecord)> = Vec::new();
+    let mut planned: Vec<(&(String, String), u8, Vec<FileRecord>)> = Vec::with_capacity(keys.len());
     for (idx, key) in keys.iter().enumerate() {
         let edge = &storage.edges[*key];
-        write_string(&mut catalog, &key.0);
-        write_string(&mut catalog, &key.1);
         let mut plans = Vec::with_capacity(2);
         for (bit, orientation) in [(1u8, Orientation::Backward), (2u8, Orientation::Forward)] {
             let (source, persisted) = edge.snapshot(orientation);
@@ -420,14 +533,14 @@ pub fn commit(storage: &StorageManager, dir: &Path, gzip: bool) -> Result<Commit
         if mask == 0 {
             return Err(DslogError::Corrupt("edge with no stored orientation"));
         }
-        catalog.push(mask);
+        let mut records = Vec::with_capacity(2);
         for (_, orientation, plan) in plans {
             match plan {
                 SlotPlan::Absent => {}
                 SlotPlan::Reuse(record) => {
-                    push_file_record(&mut catalog, &record);
-                    referenced.insert(record.name);
+                    referenced.insert(record.name.clone());
                     files_reused += 1;
+                    records.push(record);
                 }
                 SlotPlan::Write(plain) => {
                     let raw_len = plain.len() as u64;
@@ -445,19 +558,19 @@ pub fn commit(storage: &StorageManager, dir: &Path, gzip: bool) -> Result<Commit
                         len: bytes.len() as u64,
                         crc: crc32(&bytes),
                         raw_len,
+                        offset: None,
                     };
-                    push_file_record(&mut catalog, &record);
                     bytes_written += record.len;
                     referenced.insert(name);
-                    newly_clean.push((key, orientation, record));
+                    newly_clean.push((key, orientation, record.clone()));
+                    records.push(record);
                 }
             }
         }
+        planned.push((key, mask, records));
     }
 
-    // Self-checksum so catalog corruption is always detected at open.
-    let catalog_crc = crc32(&catalog);
-    catalog.extend_from_slice(&catalog_crc.to_le_bytes());
+    let catalog = build_catalog_bytes(storage, gzip, gen, &planned)?;
 
     // Make the edge-file renames durable BEFORE the catalog can commit:
     // directory entries have no ordering guarantee on power loss otherwise.
@@ -517,31 +630,16 @@ pub fn commit(storage: &StorageManager, dir: &Path, gzip: bool) -> Result<Commit
     // And make the commit itself durable before destroying old state.
     sync_dir(&dir, policy)?;
 
-    // Sweep every edge file the committed catalog does not reference:
+    // Sweep every data file the committed catalog does not reference:
     // previous generations, v1-style names, opposite-compression
     // leftovers, and `.tmp` debris from crashed commits — except files a
     // retained prior generation (per the WAL retention policy) still
-    // names, which `open_as_of` may yet resolve.
-    let mut spared = referenced.clone();
-    if retain > 0 {
-        let commits: Vec<&wal::OpRecord> = recovery
-            .records
-            .iter()
-            .filter(|r| matches!(r.kind, wal::OpKind::Commit { .. }))
-            .collect();
-        for rec in commits.iter().rev().take(retain as usize) {
-            if let wal::OpKind::Commit { catalog } = &rec.kind {
-                if let Ok(old) = parse_catalog(catalog) {
-                    for edge in &old.edges {
-                        for fref in &edge.files {
-                            spared.insert(fref.name.clone());
-                        }
-                    }
-                }
-            }
-        }
-    }
-    sweep_stale_files(&dir, &spared);
+    // names, which `open_as_of` may yet resolve. The sparing rule is the
+    // shared [`spared_set`], identical to the one compaction and open use.
+    sweep_stale_files(
+        &dir,
+        &spared_set(&referenced, &recovery.records, Some(retain as usize)),
+    );
 
     // Publish: mark the written slots clean (repointing lazy sources at
     // their new files) and re-bind the manager, so the next commit into
@@ -575,43 +673,48 @@ pub fn save(storage: &StorageManager, dir: &Path, gzip: bool) -> Result<()> {
     commit(storage, dir, gzip).map(drop)
 }
 
-/// One table file referenced by a parsed catalog.
-struct FileRef {
-    name: String,
-    orientation: Orientation,
+/// One table reference of a parsed catalog: a whole `edge-*` file, or (v3)
+/// a live range inside a shared compaction segment.
+pub(crate) struct FileRef {
+    pub(crate) name: String,
+    pub(crate) orientation: Orientation,
     /// `(file byte length, crc32, plain serialized length)` — recorded by
-    /// v2 catalogs, absent in v1.
-    check: Option<(u64, u32, u64)>,
+    /// v2+ catalogs, absent in v1. For a segment range, `len`/`crc` cover
+    /// the range's bytes, not the whole segment file.
+    pub(crate) check: Option<(u64, u32, u64)>,
+    /// `Some(byte offset)` for a segment range, `None` for a whole file.
+    pub(crate) offset: Option<u64>,
 }
 
 /// One edge entry of a parsed catalog.
-struct CatalogEdge {
-    in_name: String,
-    out_name: String,
-    files: Vec<FileRef>,
+pub(crate) struct CatalogEdge {
+    pub(crate) in_name: String,
+    pub(crate) out_name: String,
+    pub(crate) files: Vec<FileRef>,
 }
 
 /// A parsed (and structurally validated) catalog.
-struct Catalog {
-    version: u8,
-    gzip: bool,
+pub(crate) struct Catalog {
+    pub(crate) version: u8,
+    pub(crate) gzip: bool,
     /// Snapshot generation (0 for v1 catalogs); the next save uses a
     /// strictly larger one.
-    generation: u64,
-    arrays: HashMap<String, ArrayMeta>,
-    edges: Vec<CatalogEdge>,
+    pub(crate) generation: u64,
+    pub(crate) arrays: HashMap<String, ArrayMeta>,
+    pub(crate) edges: Vec<CatalogEdge>,
 }
 
-fn parse_catalog(data: &[u8]) -> Result<Catalog> {
+pub(crate) fn parse_catalog(data: &[u8]) -> Result<Catalog> {
     if data.len() < 9 {
         return Err(DslogError::Corrupt("catalog too short"));
     }
     let version = match &data[..8] {
         m if m == CATALOG_MAGIC_V1 => 1,
         m if m == CATALOG_MAGIC_V2 => 2,
+        m if m == CATALOG_MAGIC_V3 => 3,
         _ => return Err(DslogError::Corrupt("bad catalog magic")),
     };
-    let data = if version == 2 {
+    let data = if version >= 2 {
         // v2 catalogs end in a crc32 trailer over everything before it;
         // verify before parsing so any corruption is caught up front.
         if data.len() < 13 {
@@ -628,7 +731,7 @@ fn parse_catalog(data: &[u8]) -> Result<Catalog> {
     };
     let gzip = data[8] != 0;
     let mut pos = 9usize;
-    let generation = if version == 2 {
+    let generation = if version >= 2 {
         read_uvarint(data, &mut pos)?
     } else {
         0
@@ -674,16 +777,16 @@ fn parse_catalog(data: &[u8]) -> Result<Catalog> {
             if mask & bit == 0 {
                 continue;
             }
-            let (name, check) = if version == 2 {
+            let (name, check, offset) = if version >= 2 {
                 let name = read_string(data, &mut pos)?;
                 // Catalogs are untrusted input: a table reference must be
-                // a bare `edge-*` file name inside the database directory
-                // (no separators, so it can never escape it), and not a
-                // `.tmp` name the sweep would reclaim.
-                if !name.starts_with("edge-")
-                    || name.contains('/')
-                    || name.contains('\\')
-                    || name.ends_with(".tmp")
+                // a bare `edge-*` (or, v3, `segment-*`) file name inside
+                // the database directory (no separators, so it can never
+                // escape it), and not a `.tmp` name the sweep would
+                // reclaim.
+                let prefix_ok =
+                    name.starts_with("edge-") || (version >= 3 && name.starts_with("segment-"));
+                if !prefix_ok || name.contains('/') || name.contains('\\') || name.ends_with(".tmp")
                 {
                     return Err(DslogError::Corrupt(
                         "catalog references an illegal file name",
@@ -692,14 +795,29 @@ fn parse_catalog(data: &[u8]) -> Result<Catalog> {
                 let len = read_uvarint(data, &mut pos)?;
                 let crc = read_u32_le(data, &mut pos)?;
                 let raw_len = read_uvarint(data, &mut pos)?;
-                (name, Some((len, crc, raw_len)))
+                let offset = if version >= 3 {
+                    let off = read_uvarint(data, &mut pos)?;
+                    if name.starts_with("segment-") {
+                        Some(off)
+                    } else if off == 0 {
+                        None
+                    } else {
+                        return Err(DslogError::Corrupt(
+                            "catalog records an offset into a whole edge file",
+                        ));
+                    }
+                } else {
+                    None
+                };
+                (name, Some((len, crc, raw_len)), offset)
             } else {
-                (edge_file_name_v1(idx, orientation, gzip), None)
+                (edge_file_name_v1(idx, orientation, gzip), None, None)
             };
             files.push(FileRef {
                 name,
                 orientation,
                 check,
+                offset,
             });
         }
         edges.push(CatalogEdge {
@@ -717,17 +835,42 @@ fn parse_catalog(data: &[u8]) -> Result<Catalog> {
     })
 }
 
-/// Read one table file and verify it against its catalog record when one
-/// exists: byte length, crc32, and — for gzip — the container's claimed
-/// uncompressed size vs the recorded plain length (so a later decompress
-/// is bounded by the catalog, not by whatever the file body claims).
-/// Returns the raw file bytes.
+/// Read one table — a whole file (`offset: None`) or a live range inside a
+/// shared compaction segment (`offset: Some`) — and verify it against its
+/// catalog record when one exists: byte length, crc32, and — for gzip —
+/// the container's claimed uncompressed size vs the recorded plain length
+/// (so a later decompress is bounded by the catalog, not by whatever the
+/// file body claims). Returns the raw table bytes.
 pub(crate) fn read_verified_bytes(
     path: &Path,
     gzip: bool,
     check: Option<(u64, u32, u64)>,
+    offset: Option<u64>,
 ) -> Result<Vec<u8>> {
-    let bytes = std::fs::read(path).map_err(|e| DslogError::io("read edge table", e))?;
+    let bytes = match offset {
+        None => std::fs::read(path).map_err(|e| DslogError::io("read edge table", e))?,
+        Some(off) => {
+            // A range read without its catalog record would have no length
+            // to read — v3 catalogs always record one.
+            let Some((len, _, _)) = check else {
+                return Err(DslogError::Corrupt(
+                    "segment range without a catalog record",
+                ));
+            };
+            use std::io::{Read as _, Seek as _};
+            let mut f =
+                std::fs::File::open(path).map_err(|e| DslogError::io("open segment file", e))?;
+            f.seek(std::io::SeekFrom::Start(off))
+                .map_err(|e| DslogError::io("seek segment file", e))?;
+            // Bounded by the catalog-recorded range length, which the crc
+            // check below vouches for. lint:checked-alloc — len comes from
+            // the crc-trailed catalog, and read_exact fails on truncation.
+            let mut buf = vec![0u8; len as usize];
+            f.read_exact(&mut buf)
+                .map_err(|e| DslogError::io("read segment range", e))?;
+            buf
+        }
+    };
     if let Some((len, crc, raw_len)) = check {
         if bytes.len() as u64 != len {
             return Err(DslogError::Corrupt("edge file length mismatch"));
@@ -751,8 +894,9 @@ pub(crate) fn load_table_file(
     gzip: bool,
     orientation: Orientation,
     check: Option<(u64, u32, u64)>,
+    offset: Option<u64>,
 ) -> Result<crate::table::CompressedTable> {
-    let bytes = read_verified_bytes(path, gzip, check)?;
+    let bytes = read_verified_bytes(path, gzip, check, offset)?;
     let table = if gzip {
         format::deserialize_gzip(&bytes)?
     } else {
@@ -767,6 +911,86 @@ pub(crate) fn load_table_file(
 /// Edge map keyed by `(in_array, out_array)`, as loaded from a catalog.
 type EdgeMap = HashMap<(String, String), Arc<Edge>>;
 
+/// Worker-thread count for fanning edge decode + crc across a scoped
+/// pool: the machine's available parallelism, clamped by the
+/// `DSLOG_OPEN_THREADS` environment variable (`1` = serial — the bench's
+/// single-thread baseline).
+pub(crate) fn open_threads() -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    std::env::var("DSLOG_OPEN_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(hw)
+        .min(64)
+}
+
+/// Stable shard assignment for one edge, shared by the parallel open pool
+/// and compaction's segment layout: hash of the `(in, out)` edge key.
+pub(crate) fn edge_shard(in_name: &str, out_name: &str, shards: usize) -> usize {
+    use std::hash::{Hash as _, Hasher as _};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    in_name.hash(&mut h);
+    out_name.hash(&mut h);
+    (h.finish() % shards.max(1) as u64) as usize
+}
+
+/// Decode catalog file references across a scoped thread pool, sharded by
+/// edge-id hash (decode + crc dominates open time, and edges are
+/// independent). Returns each table keyed by `(edge index, forward?)`.
+/// Any decode error — or a worker panic — fails the whole load, exactly
+/// as the sequential loop did.
+fn load_tables_sharded(
+    dir: &Path,
+    catalog: &Catalog,
+    jobs: &[(usize, &FileRef)],
+) -> Result<HashMap<(usize, bool), crate::table::CompressedTable>> {
+    let decode_one = |idx: usize, fref: &FileRef| {
+        load_table_file(
+            &dir.join(&fref.name),
+            catalog.gzip,
+            fref.orientation,
+            fref.check,
+            fref.offset,
+        )
+        .map(|t| ((idx, fref.orientation == Orientation::Forward), t))
+    };
+    let shards = open_threads().min(jobs.len());
+    if shards <= 1 {
+        return jobs
+            .iter()
+            .map(|(idx, fref)| decode_one(*idx, fref))
+            .collect();
+    }
+    let mut buckets: Vec<Vec<(usize, &FileRef)>> = (0..shards).map(|_| Vec::new()).collect();
+    for (idx, fref) in jobs {
+        let entry = &catalog.edges[*idx];
+        buckets[edge_shard(&entry.in_name, &entry.out_name, shards)].push((*idx, fref));
+    }
+    let decode_one = &decode_one;
+    let results: Result<Vec<Vec<_>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || -> Result<Vec<_>> {
+                    bucket
+                        .into_iter()
+                        .map(|(idx, fref)| decode_one(idx, fref))
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .map_err(|_| DslogError::Corrupt("edge decode worker panicked"))?
+            })
+            .collect()
+    });
+    Ok(results?.into_iter().flatten().collect())
+}
+
 /// Load (or lazily reference) every table file a parsed catalog names.
 /// Returns the edge map plus the set of file names the catalog references.
 fn load_catalog_edges(
@@ -774,22 +998,45 @@ fn load_catalog_edges(
     catalog: &Catalog,
     lazy: bool,
 ) -> Result<(EdgeMap, HashSet<String>)> {
+    // Everything to be decoded eagerly fans out across the scoped pool;
+    // lazily referenced files are only stat'd (O(1) each) inline below.
+    // v1 catalogs record no checksums, so their files always load eagerly
+    // even under `lazy`.
+    let eager_jobs: Vec<(usize, &FileRef)> = catalog
+        .edges
+        .iter()
+        .enumerate()
+        .flat_map(|(idx, entry)| entry.files.iter().map(move |fref| (idx, fref)))
+        .filter(|(_, fref)| !(lazy && fref.check.is_some()))
+        .collect();
+    let mut loaded = load_tables_sharded(dir, catalog, &eager_jobs)?;
+
     let mut edges = HashMap::new();
     let mut referenced: HashSet<String> = HashSet::new();
-    for entry in &catalog.edges {
+    for (idx, entry) in catalog.edges.iter().enumerate() {
         let mut backward = Slot::default();
         let mut forward = Slot::default();
         for fref in &entry.files {
             let path = dir.join(&fref.name);
-            let source = match (lazy, fref.check) {
-                // Lazy open needs the catalog-recorded checksum to defer
-                // verification; v1 catalogs have none, so they always load
-                // eagerly. The O(1) existence + length check here catches
-                // missing or truncated files at open time.
-                (true, Some((len, crc, raw_len))) => {
+            let forward_slot = fref.orientation == Orientation::Forward;
+            let source = match loaded.remove(&(idx, forward_slot)) {
+                Some(table) => TableSource::Loaded(Arc::new(table)),
+                None => {
+                    // Lazy reference: the catalog-recorded checksum defers
+                    // verification to first use. The O(1) existence +
+                    // length check here catches missing or truncated
+                    // files at open time (for a segment range, the file
+                    // must at least hold the range).
+                    let Some((len, crc, raw_len)) = fref.check else {
+                        return Err(DslogError::Corrupt("lazy slot without a catalog record"));
+                    };
                     let meta = std::fs::metadata(&path)
                         .map_err(|e| DslogError::io("stat edge table", e))?;
-                    if meta.len() != len {
+                    let intact = match fref.offset {
+                        None => meta.len() == len,
+                        Some(off) => meta.len() >= off.saturating_add(len),
+                    };
+                    if !intact {
                         return Err(DslogError::Corrupt("edge file length mismatch"));
                     }
                     TableSource::OnDisk(DiskTable {
@@ -799,16 +1046,11 @@ fn load_catalog_edges(
                         crc,
                         raw_len,
                         orientation: fref.orientation,
+                        offset: fref.offset,
                     })
                 }
-                _ => TableSource::Loaded(Arc::new(load_table_file(
-                    &path,
-                    catalog.gzip,
-                    fref.orientation,
-                    fref.check,
-                )?)),
             };
-            // A v2 record means the on-disk file already holds exactly
+            // A v2+ record means the on-disk bytes already hold exactly
             // this slot's content: the slot opens *clean*, so a later
             // incremental commit reuses the file untouched. v1 slots
             // carry no checksums and open dirty (first commit upgrades
@@ -818,6 +1060,7 @@ fn load_catalog_edges(
                 len,
                 crc,
                 raw_len,
+                offset: fref.offset,
             });
             referenced.insert(fref.name.clone());
             let slot = Slot {
@@ -886,25 +1129,14 @@ fn open_impl(dir: &Path, lazy: bool) -> Result<StorageManager> {
 
     let (edges, referenced) = load_catalog_edges(dir, &catalog, lazy)?;
 
-    // A crashed process can leave `.tmp`/orphaned `edge-*` debris that a
-    // later generation could collide with; opening a snapshot sweeps it
-    // (best-effort — a read-only directory still opens fine). Files any
-    // surviving log commit record still names are spared: they may belong
-    // to a retained generation `open_as_of` can resolve (the next commit
-    // applies the retention policy and trims them).
-    let mut spared = referenced.clone();
-    for rec in &recovery.records {
-        if let wal::OpKind::Commit { catalog } = &rec.kind {
-            if let Ok(old) = parse_catalog(catalog) {
-                for edge in &old.edges {
-                    for fref in &edge.files {
-                        spared.insert(fref.name.clone());
-                    }
-                }
-            }
-        }
-    }
-    sweep_stale_files(dir, &spared);
+    // A crashed process can leave `.tmp`/orphaned debris that a later
+    // generation could collide with; opening a snapshot sweeps it
+    // (best-effort — a read-only directory still opens fine). The sparing
+    // rule is the shared [`spared_set`]: files any surviving log commit
+    // record still names may belong to a retained generation `open_as_of`
+    // can resolve, so an open spares them all and the next commit applies
+    // the retention policy and trims them.
+    sweep_stale_files(dir, &spared_set(&referenced, &recovery.records, None));
 
     // Bind the manager to this directory so the next commit into it is
     // incremental (v1 catalogs bind at generation 0; every slot above
@@ -986,7 +1218,7 @@ pub fn open_lazy(dir: &Path) -> Result<StorageManager> {
 /// What [`verify`] found in a healthy database directory.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyReport {
-    /// Catalog format version (1 or 2).
+    /// Catalog format version (1, 2, or 3).
     pub catalog_version: u8,
     /// Whether table files use the gzip disk format.
     pub gzip: bool,
@@ -994,60 +1226,66 @@ pub struct VerifyReport {
     pub n_arrays: usize,
     /// Edges declared by the catalog.
     pub n_edges: usize,
-    /// Table files read, checksum-verified, and structurally decoded.
+    /// Table files/ranges read, checksum-verified, and structurally
+    /// decoded.
     pub files_verified: usize,
-    /// `edge-*` / `*.tmp` files present but not referenced by the catalog
-    /// (debris from a crashed save — harmless, swept by the next save).
+    /// Data (`edge-*`/`segment-*`/`manifest.*`) / `*.tmp` files present
+    /// but not referenced by the catalog (debris from a crashed save —
+    /// harmless, swept by the next save).
     pub stale_files: Vec<String>,
     /// Cleanly framed records in the operation log (0 for pre-log
     /// directories).
     pub log_records: usize,
-    /// `edge-*` files on disk that are not referenced by the current
-    /// catalog but are named by a logged commit record — retained prior
+    /// Data files on disk that are not referenced by the current catalog
+    /// but are named by a logged commit record — retained prior
     /// generations `open_as_of` can resolve, not debris.
     pub retained_files: usize,
+    /// Compaction manifests found, crc-verified, and cross-checked
+    /// against the live catalog's segment ranges.
+    pub manifests_verified: usize,
 }
 
 /// Walk a database directory and validate everything the catalog claims:
-/// every referenced table file exists, matches its recorded byte length and
-/// crc32 (v2), decodes structurally, and stores the orientation the catalog
-/// says. Returns a report on success; any damage is an `Err`. Unreferenced
-/// `edge-*`/`*.tmp` debris is reported, not treated as damage.
+/// every referenced table file (or segment range) exists, matches its
+/// recorded byte length and crc32 (v2+), decodes structurally, and stores
+/// the orientation the catalog says — fanned across the same scoped thread
+/// pool as [`open`]. Compaction manifests of generations the catalog's
+/// segments belong to are decoded and cross-checked too. Returns a report
+/// on success; any damage is an `Err`. Unreferenced data/`*.tmp` debris is
+/// reported, not treated as damage.
 pub fn verify(dir: &Path) -> Result<VerifyReport> {
     let bytes =
         std::fs::read(dir.join(CATALOG_FILE)).map_err(|e| DslogError::io("read catalog", e))?;
     let catalog = parse_catalog(&bytes)?;
 
-    let mut referenced: HashSet<&str> = HashSet::new();
-    let mut files_verified = 0usize;
-    for entry in &catalog.edges {
-        for fref in &entry.files {
-            load_table_file(
-                &dir.join(&fref.name),
-                catalog.gzip,
-                fref.orientation,
-                fref.check,
-            )?;
-            referenced.insert(&fref.name);
-            files_verified += 1;
-        }
+    let jobs: Vec<(usize, &FileRef)> = catalog
+        .edges
+        .iter()
+        .enumerate()
+        .flat_map(|(idx, entry)| entry.files.iter().map(move |fref| (idx, fref)))
+        .collect();
+    let files_verified = jobs.len();
+    load_tables_sharded(dir, &catalog, &jobs)?;
+    let referenced: HashSet<&str> = jobs.iter().map(|(_, fref)| fref.name.as_str()).collect();
+
+    // Every manifest whose generation a referenced segment belongs to must
+    // decode, and its recorded ranges must agree with the live catalog's.
+    let mut manifests_verified = 0usize;
+    let manifest_gens: std::collections::BTreeSet<u64> = referenced
+        .iter()
+        .filter(|n| n.starts_with("segment-"))
+        .filter_map(|n| parse_generation(n))
+        .collect();
+    for g in manifest_gens {
+        super::compact::verify_manifest(dir, g, &catalog)?;
+        manifests_verified += 1;
     }
 
     // Files named by logged commit records are retained history, not
-    // debris (the read here is torn-tail tolerant and side-effect free).
+    // debris (the read here is torn-tail tolerant and side-effect free;
+    // the classification rule is the same [`spared_set`] the sweeps use).
     let log_records = wal::history(dir).unwrap_or_default();
-    let mut retained: HashSet<String> = HashSet::new();
-    for rec in &log_records {
-        if let wal::OpKind::Commit { catalog } = &rec.kind {
-            if let Ok(old) = parse_catalog(catalog) {
-                for edge in &old.edges {
-                    for fref in &edge.files {
-                        retained.insert(fref.name.clone());
-                    }
-                }
-            }
-        }
-    }
+    let retained = spared_set(&HashSet::new(), &log_records, None);
 
     let mut stale_files = Vec::new();
     let mut retained_files = 0usize;
@@ -1056,7 +1294,11 @@ pub fn verify(dir: &Path) -> Result<VerifyReport> {
             if let Some(name) = entry.file_name().to_str() {
                 if name.ends_with(".tmp") {
                     stale_files.push(name.to_string());
-                } else if name.starts_with("edge-") && !referenced.contains(name) {
+                } else if is_data_file(name)
+                    && !referenced.contains(name)
+                    && !(name.starts_with("manifest.")
+                        && parse_generation(name) == Some(catalog.generation))
+                {
                     if retained.contains(name) {
                         retained_files += 1;
                     } else {
@@ -1077,6 +1319,7 @@ pub fn verify(dir: &Path) -> Result<VerifyReport> {
         stale_files,
         log_records: log_records.len(),
         retained_files,
+        manifests_verified,
     })
 }
 

@@ -98,6 +98,17 @@ pub enum OpKind {
         /// Verbatim catalog file contents (including its crc32 trailer).
         catalog: Vec<u8>,
     },
+    /// A compaction folded cold generation files into consolidated
+    /// segments. Logical state is unchanged — the paired `Commit` record
+    /// carries the new catalog — so replay treats this as an annotation.
+    Compact {
+        /// Number of segment files written.
+        segments: u64,
+        /// Number of superseded generation files the pass made obsolete.
+        folded: u64,
+        /// Total bytes written into segments (compressed sizes).
+        bytes: u64,
+    },
 }
 
 impl OpKind {
@@ -109,6 +120,7 @@ impl OpKind {
             OpKind::Composite { .. } => "composite",
             OpKind::ConvertGzip { .. } => "convert",
             OpKind::Commit { .. } => "commit",
+            OpKind::Compact { .. } => "compact",
         }
     }
 
@@ -130,6 +142,11 @@ impl OpKind {
                 format!("convert to {}", if *gzip { "gzip" } else { "plain" })
             }
             OpKind::Commit { catalog } => format!("commit ({} catalog bytes)", catalog.len()),
+            OpKind::Compact {
+                segments,
+                folded,
+                bytes,
+            } => format!("compact ({segments} segments, {folded} files folded, {bytes} bytes)"),
         }
     }
 }
@@ -242,6 +259,16 @@ pub fn encode_record(rec: &OpRecord) -> Vec<u8> {
             write_uvarint(&mut body, catalog.len() as u64);
             body.extend_from_slice(catalog);
         }
+        OpKind::Compact {
+            segments,
+            folded,
+            bytes,
+        } => {
+            body.push(5);
+            write_uvarint(&mut body, *segments);
+            write_uvarint(&mut body, *folded);
+            write_uvarint(&mut body, *bytes);
+        }
     }
     let mut frame = Vec::with_capacity(body.len() + 8);
     frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -322,6 +349,16 @@ pub fn decode_body(data: &[u8]) -> Result<OpRecord> {
             let catalog = data[pos..pos + len].to_vec();
             pos += len;
             OpKind::Commit { catalog }
+        }
+        5 => {
+            let segments = read_uvarint(data, &mut pos)?;
+            let folded = read_uvarint(data, &mut pos)?;
+            let bytes = read_uvarint(data, &mut pos)?;
+            OpKind::Compact {
+                segments,
+                folded,
+                bytes,
+            }
         }
         _ => return Err(DslogError::Corrupt("unknown log record kind")),
     };
@@ -451,6 +488,11 @@ pub fn replay_op(state: &mut ReplayState, op: &OpRecord) {
         OpKind::Commit { .. } => {
             state.generation = op.gen_after;
             state.commits += 1;
+        }
+        OpKind::Compact { .. } => {
+            // Compaction rewrites file layout, never logical state: the
+            // arrays, edges, and generation it produced are carried by the
+            // Commit record that follows it in the same append.
         }
     }
 }

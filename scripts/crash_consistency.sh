@@ -101,6 +101,63 @@ for mode in plain gzip; do
     done
 done
 
+# Compaction kill sweep: build a three-generation database, then kill
+# `dslog db compact` at every gated IO step in turn —
+# DSLOG_COMPACT_CRASH_AFTER_WRITES=<n> exits 86 after each segment
+# write, the manifest write, and the catalog rename. After every kill
+# the database must verify and answer queries (the catalog rename is
+# the single commit point, so anything earlier leaves the old snapshot
+# intact and anything after leaves a complete new one). The sweep ends
+# when a compaction runs out of injection points and completes; the
+# compacted database must then verify stale-free and still accept an
+# incremental commit on top.
+for mode in plain gzip; do
+    flags=()
+    [ "$mode" = gzip ] && flags=(--gzip)
+    db="$WORK/db-compact-$mode"
+    echo "== compact-crash sweep ($mode) =="
+    "$BIN" ingest --db "$db" --in A:3x2 --out B:3 --csv "$WORK/ab.csv" "${flags[@]}"
+    "$BIN" ingest --db "$db" --in B:3 --out C:3 --csv "$WORK/bc.csv" "${flags[@]}"
+    "$BIN" ingest --db "$db" --in C:3 --out D:3 --csv "$WORK/cd.csv" "${flags[@]}"
+    n=1
+    while :; do
+        if [ "$n" -gt 16 ]; then
+            echo "FAIL: compaction still crashing after 16 injection points" >&2
+            exit 1
+        fi
+        set +e
+        DSLOG_COMPACT_CRASH_AFTER_WRITES=$n "$BIN" db compact "$db"
+        rc=$?
+        set -e
+        if [ "$rc" -eq 0 ]; then
+            echo "   compaction completed past $((n - 1)) kill point(s)"
+            break
+        fi
+        if [ "$rc" -ne 86 ]; then
+            echo "FAIL: crashed compaction exited $rc, expected injected 86" >&2
+            exit 1
+        fi
+        "$BIN" db verify "$db" > /dev/null
+        "$BIN" query --db "$db" --path D,C,B,A --cells 1 > /dev/null
+        n=$((n + 1))
+    done
+    out=$("$BIN" db verify "$db")
+    echo "$out"
+    if ! echo "$out" | grep -q "compaction manifest"; then
+        echo "FAIL: completed compaction left no manifest to verify" >&2
+        exit 1
+    fi
+    if echo "$out" | grep -q "warning: stale"; then
+        echo "FAIL: stale debris survived the completed compaction" >&2
+        exit 1
+    fi
+    "$BIN" query --db "$db" --path D,C,B,A --cells 1 > /dev/null
+    # Incremental life goes on after compaction.
+    "$BIN" ingest --db "$db" --in D:3 --out E:3 --csv "$WORK/cd.csv" "${flags[@]}"
+    "$BIN" db verify "$db" > /dev/null
+    "$BIN" query --db "$db" --path E,D,C,B,A --cells 1 > /dev/null
+done
+
 # Network serving crash: boot `dslog serve --listen` with auto-commit
 # after every pending edge and the same crash hook armed. A network
 # ingest then dies mid-auto-commit — exit 86 with the new edge file on
